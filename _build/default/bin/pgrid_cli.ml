@@ -1,0 +1,267 @@
+(* pgrid: command-line front end for the P-Grid reproduction.
+
+   Subcommands:
+     construct -- run the decentralized construction and report the overlay
+     bisect    -- simulate one key-space bisection with a chosen strategy
+     planetlab -- run the full simulated deployment (Figures 7-9)
+     reference -- print the Algorithm 1 partitioning for a workload
+     figure    -- regenerate one of the paper's figures/tables *)
+
+open Cmdliner
+
+module Rng = Pgrid_prng.Rng
+module Table = Pgrid_stats.Table
+module Series = Pgrid_stats.Series
+module Reference = Pgrid_partition.Reference
+module Discrete = Pgrid_partition.Discrete
+module Distribution = Pgrid_workload.Distribution
+module Overlay = Pgrid_core.Overlay
+module Round = Pgrid_construction.Round
+module Net_engine = Pgrid_construction.Net_engine
+module Figures = Pgrid_experiment.Figures
+
+(* --- shared arguments ---------------------------------------------------- *)
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let peers_arg default =
+  Arg.(value & opt int default & info [ "peers"; "n" ] ~docv:"N" ~doc:"Number of peers.")
+
+let distribution_arg =
+  let parse s =
+    match String.uppercase_ascii s with
+    | "U" -> Ok Distribution.Uniform
+    | "P0.5" -> Ok (Distribution.Pareto 0.5)
+    | "P1.0" | "P1" -> Ok (Distribution.Pareto 1.0)
+    | "P1.5" -> Ok (Distribution.Pareto 1.5)
+    | "N" -> Ok Distribution.paper_normal
+    | "A" -> Ok Distribution.paper_text
+    | other -> Error (`Msg (Printf.sprintf "unknown distribution %s (use U, P0.5, P1.0, P1.5, N, A)" other))
+  in
+  let print fmt spec = Format.pp_print_string fmt (Distribution.label spec) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) Distribution.Uniform
+    & info [ "distribution"; "d" ] ~docv:"DIST"
+        ~doc:"Key distribution: U, P0.5, P1.0, P1.5, N or A.")
+
+let n_min_arg =
+  Arg.(value & opt int 5 & info [ "n-min" ] ~docv:"R" ~doc:"Minimal replication factor.")
+
+let d_max_arg =
+  Arg.(value & opt int 50 & info [ "d-max" ] ~docv:"D" ~doc:"Maximal keys per partition.")
+
+let keys_per_peer_arg =
+  Arg.(value & opt int 10 & info [ "keys-per-peer" ] ~docv:"K" ~doc:"Keys owned per peer.")
+
+(* --- construct ------------------------------------------------------------ *)
+
+let construct seed peers spec n_min d_max keys_per_peer show_trie =
+  let rng = Rng.create ~seed in
+  let params = { (Round.default_params ~peers) with Round.n_min; d_max; keys_per_peer } in
+  let o = Round.run rng params ~spec in
+  let s = Overlay.stats o.Round.overlay in
+  Table.print ~title:(Printf.sprintf "decentralized construction (%s keys)" (Distribution.label spec))
+    ~columns:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "peers"; string_of_int s.Overlay.peers ];
+        [ "partitions"; string_of_int s.Overlay.partitions ];
+        [ "mean path length"; Table.fmt_float s.Overlay.mean_path_length ];
+        [ "mean replication"; Table.fmt_float s.Overlay.mean_replication ];
+        [ "rounds"; string_of_int o.Round.rounds ];
+        [ "interactions / peer"; Table.fmt_float (Round.interactions_per_peer o) ];
+        [ "keys moved / peer"; Table.fmt_float (Round.keys_moved_per_peer o) ];
+        [ "splits / follows / merges";
+          Printf.sprintf "%d / %d / %d" o.Round.splits o.Round.follows o.Round.merges ];
+        [ "deviation vs Algorithm 1"; Table.fmt_float o.Round.deviation ];
+        [ "routing violations"; string_of_int (Overlay.integrity_errors o.Round.overlay) ];
+      ];
+  if show_trie then print_endline (Pgrid_core.Trie_view.render o.Round.overlay)
+
+let construct_cmd =
+  let doc = "run the parallel decentralized overlay construction" in
+  let trie_arg =
+    Arg.(value & flag & info [ "trie" ] ~doc:"Print the resulting partition trie.")
+  in
+  Cmd.v (Cmd.info "construct" ~doc)
+    Term.(
+      const construct $ seed_arg $ peers_arg 256 $ distribution_arg $ n_min_arg
+      $ d_max_arg $ keys_per_peer_arg $ trie_arg)
+
+(* --- bisect ----------------------------------------------------------------- *)
+
+let strategy_arg =
+  let all =
+    [
+      ("eager", Discrete.Eager);
+      ("aut", Discrete.Autonomous);
+      ("aep", Discrete.Aep);
+      ("cor", Discrete.Cor);
+      ("cor-taylor", Discrete.CorTaylor);
+      ("heuristic", Discrete.Heuristic);
+      ("oracle", Discrete.Oracle);
+    ]
+  in
+  Arg.(
+    value
+    & opt (enum all) Discrete.Aep
+    & info [ "strategy"; "s" ] ~docv:"STRATEGY"
+        ~doc:"Partitioning strategy: eager, aut, aep, cor, cor-taylor, heuristic, oracle.")
+
+let p_arg =
+  Arg.(
+    value & opt float 0.3
+    & info [ "load-fraction"; "f" ] ~docv:"P" ~doc:"Load fraction of side 0.")
+
+let samples_arg =
+  Arg.(value & opt int 10 & info [ "samples" ] ~docv:"S" ~doc:"Local key samples per peer.")
+
+let reps_arg default =
+  Arg.(value & opt int default & info [ "reps" ] ~docv:"R" ~doc:"Repetitions.")
+
+let bisect seed peers strategy p samples reps =
+  let rng = Rng.create ~seed in
+  let dev = Pgrid_stats.Moments.create () in
+  let cost = Pgrid_stats.Moments.create () in
+  for _ = 1 to reps do
+    let o = Discrete.run rng strategy ~n:peers ~p ~samples in
+    Pgrid_stats.Moments.add dev (float_of_int o.Discrete.p0 -. (float_of_int peers *. p));
+    Pgrid_stats.Moments.add cost (float_of_int o.Discrete.interactions)
+  done;
+  Table.print
+    ~title:
+      (Printf.sprintf "bisection: %s, n=%d, p=%.3f, s=%d, %d reps"
+         (Discrete.strategy_label strategy) peers p samples reps)
+    ~columns:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "mean deviation p0 - n p"; Table.fmt_float (Pgrid_stats.Moments.mean dev) ];
+        [ "stddev of deviation"; Table.fmt_float (Pgrid_stats.Moments.stddev dev) ];
+        [ "mean interactions"; Table.fmt_float (Pgrid_stats.Moments.mean cost) ];
+        [ "interactions / peer";
+          Table.fmt_float (Pgrid_stats.Moments.mean cost /. float_of_int peers) ];
+        [ "theory t_lambda";
+          (try Table.fmt_float (Pgrid_partition.Aep_math.t_lambda ~n:peers ~p)
+           with Invalid_argument _ -> "-") ];
+      ]
+
+let bisect_cmd =
+  let doc = "simulate one decentralized key-space bisection" in
+  Cmd.v (Cmd.info "bisect" ~doc)
+    Term.(const bisect $ seed_arg $ peers_arg 1000 $ strategy_arg $ p_arg $ samples_arg
+          $ reps_arg 100)
+
+(* --- planetlab ---------------------------------------------------------------- *)
+
+let planetlab seed peers spec =
+  let rng = Rng.create ~seed in
+  let o = Net_engine.run rng (Net_engine.default_params ~peers) ~spec in
+  let qs = o.Net_engine.query_stats in
+  let s = o.Net_engine.stats in
+  Table.print ~title:"simulated deployment (paper Section 5 timeline)"
+    ~columns:[ "metric"; "value" ]
+    ~rows:
+      [
+        [ "peers"; string_of_int s.Overlay.peers ];
+        [ "partitions"; string_of_int s.Overlay.partitions ];
+        [ "mean path length"; Table.fmt_float s.Overlay.mean_path_length ];
+        [ "mean replication"; Table.fmt_float s.Overlay.mean_replication ];
+        [ "deviation"; Table.fmt_float o.Net_engine.deviation ];
+        [ "queries issued"; string_of_int qs.Net_engine.issued ];
+        [ "query success";
+          Printf.sprintf "%.1f%%"
+            (100. *. float_of_int qs.Net_engine.succeeded /. float_of_int (max 1 qs.Net_engine.issued)) ];
+        [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
+        [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
+      ];
+  Series.print
+    (Series.figure ~title:"online peers" ~x_label:"minutes" ~y_label:"peers"
+       [ Series.make "peers" (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series) ])
+
+let planetlab_cmd =
+  let doc = "run the full simulated deployment (join, replicate, construct, query, churn)" in
+  Cmd.v (Cmd.info "planetlab" ~doc)
+    Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg)
+
+(* --- reference ------------------------------------------------------------------ *)
+
+let reference seed peers spec n_min d_max keys_per_peer =
+  let rng = Rng.create ~seed in
+  let keys = Distribution.generate rng spec ~n:(peers * keys_per_peer) in
+  let r = Reference.compute ~keys ~peers ~d_max ~n_min in
+  let mean_depth, max_depth = Reference.depth_stats r in
+  Printf.printf "Algorithm 1 on %d %s keys, %d peers (d_max=%d, n_min=%d):\n"
+    (Array.length keys) (Distribution.label spec) peers d_max n_min;
+  Printf.printf "%d partitions, depth mean %.2f max %d, max load %d, min peers %.2f\n\n"
+    (List.length r.Reference.partitions)
+    mean_depth max_depth (Reference.max_key_load r) (Reference.min_peers r);
+  Table.print ~title:"partitions" ~columns:[ "path"; "peers"; "keys" ]
+    ~rows:
+      (List.map
+         (fun p ->
+           [ Pgrid_keyspace.Path.to_string p.Reference.path;
+             Table.fmt_float ~decimals:2 p.Reference.peers;
+             string_of_int p.Reference.keys ])
+         r.Reference.partitions)
+
+let reference_cmd =
+  let doc = "print the global Algorithm 1 partitioning for a workload" in
+  Cmd.v (Cmd.info "reference" ~doc)
+    Term.(const reference $ seed_arg $ peers_arg 256 $ distribution_arg $ n_min_arg
+          $ d_max_arg $ keys_per_peer_arg)
+
+(* --- figure -------------------------------------------------------------------- *)
+
+let figure_name_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"FIGURE"
+        ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
+              table1 ablation-seq ablation-cost ablation-cor ablation-pht \
+              ablation-merge ablation-maintain.")
+
+let figure seed name reps =
+  let print_fig6 f = print_endline (Figures.fig6_table f) in
+  let print_table title (columns, rows) = Table.print ~title ~columns ~rows in
+  match name with
+  | "fig3" -> Series.print (Figures.fig3 ())
+  | "fig4" -> Series.print (Figures.fig4 ?reps ~seed ())
+  | "fig5" -> Series.print (Figures.fig5 ?reps ~seed ())
+  | "fig6a" -> print_fig6 (Figures.fig6a ?reps ~seed ())
+  | "fig6b" -> print_fig6 (Figures.fig6b ?reps ~seed ())
+  | "fig6c" -> print_fig6 (Figures.fig6c ?reps ~seed ())
+  | "fig6d" -> print_fig6 (Figures.fig6d ?reps ~seed ())
+  | "fig6e" -> print_fig6 (Figures.fig6e ?reps ~seed ())
+  | "fig6f" -> print_fig6 (Figures.fig6f ?reps ~seed ())
+  | "fig7" -> Series.print (Figures.fig7 ~seed ())
+  | "fig8" -> Series.print (Figures.fig8 ~seed ())
+  | "fig9" -> Series.print (Figures.fig9 ~seed ())
+  | "table1" -> print_table "in-text statistics" (Figures.table1 ~seed ())
+  | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
+  | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
+  | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())
+  | "ablation-pht" -> print_table "P-Grid vs PHT" (Figures.ablation_pht ~seed ())
+  | "ablation-merge" -> print_table "merge vs fresh" (Figures.ablation_merge ~seed ())
+  | "ablation-maintain" ->
+    print_table "maintenance timeline" (Figures.ablation_maintenance ~seed ())
+  | other -> Printf.eprintf "unknown figure %s\n" other
+
+let figure_cmd =
+  let doc = "regenerate one of the paper's figures or tables" in
+  let reps_opt =
+    Arg.(value & opt (some int) None & info [ "reps" ] ~docv:"R" ~doc:"Repetitions.")
+  in
+  Cmd.v (Cmd.info "figure" ~doc) Term.(const figure $ seed_arg $ figure_name_arg $ reps_opt)
+
+(* --- main ------------------------------------------------------------------------ *)
+
+let () =
+  let doc = "P-Grid: indexing data-oriented overlay networks (VLDB 2005 reproduction)" in
+  let info = Cmd.info "pgrid" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ construct_cmd; bisect_cmd; planetlab_cmd; reference_cmd; figure_cmd ]))

@@ -1,0 +1,1 @@
+examples/churn_maintenance.ml: Array Hashtbl List Pgrid_construction Pgrid_core Pgrid_prng Pgrid_query Pgrid_workload Printf

@@ -1,0 +1,1 @@
+examples/inverted_file.ml: Array List Pgrid_construction Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_workload Printf

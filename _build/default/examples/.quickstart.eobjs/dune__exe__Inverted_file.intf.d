@@ -1,0 +1,1 @@
+examples/inverted_file.mli:

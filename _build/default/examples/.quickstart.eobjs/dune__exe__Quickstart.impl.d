@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_workload Printf String

@@ -1,0 +1,1 @@
+examples/range_index.ml: Array Float List Pgrid_core Pgrid_keyspace Pgrid_prng Printf String

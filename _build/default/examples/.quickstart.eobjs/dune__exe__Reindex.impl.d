@@ -1,0 +1,1 @@
+examples/reindex.ml: Array List Pgrid_construction Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_simnet Pgrid_workload Printf

@@ -1,0 +1,1 @@
+examples/reindex.mli:

@@ -1,0 +1,71 @@
+(* Living with churn: the maintenance model on a constructed overlay.
+
+   The paper contrasts its parallel construction with the standard
+   sequential maintenance model (joins, leaves, repair).  This example
+   shows both living together: build once with the decentralized
+   protocol, then survive a churn storm with graceful leaves, routing
+   repair, re-joins and replication re-balancing.
+
+     dune exec examples/churn_maintenance.exe *)
+
+module Rng = Pgrid_prng.Rng
+module Distribution = Pgrid_workload.Distribution
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+module Maintenance = Pgrid_core.Maintenance
+module Round = Pgrid_construction.Round
+module Query = Pgrid_query.Query
+
+let peers = 200
+
+let () =
+  let rng = Rng.create ~seed:404 in
+
+  (* 1. Build the overlay from scratch (Pareto keys: skewed, like real data). *)
+  let outcome = Round.run rng (Round.default_params ~peers) ~spec:(Distribution.Pareto 1.0) in
+  let overlay = outcome.Round.overlay in
+  let keys =
+    let tbl = Hashtbl.create 2048 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+  in
+  let success () =
+    let s = Query.lookup_batch (Rng.create ~seed:1) overlay ~keys ~count:500 in
+    100. *. float_of_int s.Query.routed /. 500.
+  in
+  Printf.printf "constructed: %d partitions, deviation %.3f, query success %.1f%%\n"
+    (Overlay.stats overlay).Overlay.partitions outcome.Round.deviation (success ());
+
+  (* 2. A churn storm: 35%% of the population leaves gracefully. *)
+  let storm = Rng.sample_without_replacement rng ~k:(35 * peers / 100) ~n:peers in
+  let handed = Array.fold_left (fun acc id -> acc + Maintenance.leave rng overlay id) 0 storm in
+  Printf.printf "storm: %d peers left, %d payload copies handed over, success %.1f%%\n"
+    (Array.length storm) handed (success ());
+
+  (* 3. Proactive repair brings the routing tables back to health. *)
+  let rep = Maintenance.repair rng overlay ~redundancy:3 in
+  Printf.printf "repair: %d dead refs dropped, %d added, success %.1f%%\n"
+    rep.Maintenance.dead_refs_dropped rep.Maintenance.refs_added (success ());
+
+  (* 4. The peers come back one by one (the sequential join model). *)
+  let rejoined = ref 0 in
+  Array.iter
+    (fun id ->
+      let rec entry () =
+        let e = Rng.int rng peers in
+        if (Overlay.node overlay e).Node.online then e else entry ()
+      in
+      match Maintenance.join rng overlay id ~entry:(entry ()) with
+      | Some _ -> incr rejoined
+      | None -> ())
+    storm;
+  Printf.printf "rejoin: %d of %d back online, success %.1f%%\n" !rejoined
+    (Array.length storm) (success ());
+
+  (* 5. Joins land where the keys point them, so replication drifts;
+     balancing migrates peers from rich to starved partitions. *)
+  let bal = Maintenance.rebalance rng overlay ~n_min:5 ~max_rounds:300 in
+  Printf.printf "rebalance: %d migrations, peers-per-partition spread %.2f, success %.1f%%\n"
+    bal.Maintenance.migrations bal.Maintenance.final_spread (success ())

@@ -1,0 +1,51 @@
+(* Quickstart: build a P-Grid overlay over random keys, look some up, run
+   a range query.
+
+     dune exec examples/quickstart.exe *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Distribution = Pgrid_workload.Distribution
+module Builder = Pgrid_core.Builder
+module Overlay = Pgrid_core.Overlay
+module Node = Pgrid_core.Node
+
+let () =
+  let rng = Rng.create ~seed:1 in
+
+  (* 1. A data set: 2000 uniformly distributed keys. *)
+  let keys = Distribution.generate rng Distribution.Uniform ~n:2000 in
+
+  (* 2. Index it over 200 peers: at most 50 keys per partition, at least 5
+     replica peers each.  [Builder.index] runs the paper's Algorithm 1 and
+     materializes the overlay directly; see examples/reindex.ml for the
+     decentralized construction. *)
+  let overlay = Builder.index rng ~peers:200 ~keys ~d_max:50 ~n_min:5 ~refs_per_level:2 in
+  let stats = Overlay.stats overlay in
+  Printf.printf "overlay: %d peers, %d partitions, mean path %.2f, replication %.1f\n"
+    stats.Overlay.peers stats.Overlay.partitions stats.Overlay.mean_path_length
+    stats.Overlay.mean_replication;
+
+  (* 3. Insert a value and find it again from another peer. *)
+  let my_key = Key.of_float 0.42424242 in
+  (match Overlay.insert overlay ~from:0 my_key "hello-world" with
+  | Some hops -> Printf.printf "insert routed in %d hops\n" hops
+  | None -> print_endline "insert failed");
+  let result = Overlay.search overlay ~from:137 my_key in
+  (match result.Overlay.responsible with
+  | Some peer ->
+    Printf.printf "lookup from peer 137: responsible peer %d (path %s), %d hops, payloads [%s]\n"
+      peer
+      (Pgrid_keyspace.Path.to_string (Overlay.node overlay peer).Node.path)
+      result.Overlay.hops
+      (String.concat "; " result.Overlay.payloads)
+  | None -> print_endline "lookup failed");
+
+  (* 4. A range query: order preservation makes it a few adjacent
+     partitions instead of a broadcast. *)
+  let lo = Key.of_float 0.40 and hi = Key.of_float 0.45 in
+  let range = Overlay.range_search overlay ~from:7 ~lo ~hi in
+  Printf.printf "range [0.40, 0.45]: %d matches from %d partitions in %d hops total\n"
+    (List.length range.Overlay.matches)
+    (List.length range.Overlay.visited)
+    range.Overlay.total_hops

@@ -1,0 +1,1 @@
+lib/baseline/hash_dht.ml: Array Char Hashtbl Int64 Pgrid_keyspace Pgrid_prng String

@@ -1,0 +1,1 @@
+lib/baseline/hash_dht.mli: Pgrid_keyspace Pgrid_prng

@@ -1,0 +1,1 @@
+lib/baseline/pht.ml: Hash_dht Hashtbl List Option Pgrid_keyspace String

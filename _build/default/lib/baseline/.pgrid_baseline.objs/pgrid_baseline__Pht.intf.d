@@ -1,0 +1,1 @@
+lib/baseline/pht.mli: Hash_dht Pgrid_keyspace

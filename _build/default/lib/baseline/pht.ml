@@ -1,0 +1,130 @@
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+
+type node = Leaf of (Key.t, string list) Hashtbl.t | Internal
+
+type t = {
+  dht : Hash_dht.t;
+  block : int;
+  (* The logical DHT content: trie-node label -> node.  Central storage is
+     an implementation convenience; every access is costed as a real DHT
+     routing from the requester. *)
+  store : (string, node) Hashtbl.t;
+  mutable max_depth : int;
+}
+
+type cost = { dht_lookups : int; hops : int }
+
+let create dht ~block =
+  if block < 1 then invalid_arg "Pht.create: block must be >= 1";
+  let store = Hashtbl.create 256 in
+  Hashtbl.replace store "" (Leaf (Hashtbl.create 8));
+  { dht; block; store; max_depth = 0 }
+
+let leaves t =
+  Hashtbl.fold (fun _ n acc -> match n with Leaf _ -> acc + 1 | Internal -> acc) t.store 0
+
+let depth t = t.max_depth
+
+(* One costed access to the trie node labelled [label]. *)
+let access t ~from cost label =
+  let _, hops = Hash_dht.lookup t.dht ~from ~hash:(Hash_dht.hash_string label) in
+  cost := { dht_lookups = !cost.dht_lookups + 1; hops = !cost.hops + hops };
+  Hashtbl.find_opt t.store label
+
+let label_of_key key len = Path.to_string (Path.key_prefix key len)
+
+(* Canonical PHT leaf location: binary search over prefix lengths.  On
+   the root-to-key path exactly one label is a leaf; longer labels are
+   absent and shorter ones internal, so the search is well-founded. *)
+let locate_leaf t ~from cost key =
+  let rec search lo hi =
+    if lo > hi then None
+    else begin
+      let mid = (lo + hi) / 2 in
+      match access t ~from cost (label_of_key key mid) with
+      | Some (Leaf _) -> Some mid
+      | Some Internal -> search (mid + 1) hi
+      | None -> search lo (mid - 1)
+    end
+  in
+  match search 0 t.max_depth with
+  | Some len -> len
+  | None ->
+    (* Unreachable for a consistent trie; walk down defensively. *)
+    let rec walk len =
+      match access t ~from cost (label_of_key key len) with
+      | Some (Leaf _) -> len
+      | Some Internal -> walk (len + 1)
+      | None -> 0
+    in
+    walk 0
+
+let leaf_table t label =
+  match Hashtbl.find_opt t.store label with
+  | Some (Leaf tbl) -> tbl
+  | _ -> invalid_arg "Pht: internal inconsistency"
+
+let rec split t label =
+  let tbl = leaf_table t label in
+  if Hashtbl.length tbl > t.block && String.length label < Key.bits then begin
+    let l0 = label ^ "0" and l1 = label ^ "1" in
+    let t0 = Hashtbl.create 8 and t1 = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun k v ->
+        let dst = if Key.bit k (String.length label) = 0 then t0 else t1 in
+        Hashtbl.replace dst k v)
+      tbl;
+    Hashtbl.replace t.store label Internal;
+    Hashtbl.replace t.store l0 (Leaf t0);
+    Hashtbl.replace t.store l1 (Leaf t1);
+    t.max_depth <- max t.max_depth (String.length label + 1);
+    split t l0;
+    split t l1
+  end
+
+let insert t ~from key payload =
+  let cost = ref { dht_lookups = 0; hops = 0 } in
+  let len = locate_leaf t ~from cost key in
+  let label = label_of_key key len in
+  let tbl = leaf_table t label in
+  let existing = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+  Hashtbl.replace tbl key (payload :: existing);
+  (* The write itself is one more routed message. *)
+  let _, hops = Hash_dht.lookup t.dht ~from ~hash:(Hash_dht.hash_string label) in
+  cost := { dht_lookups = !cost.dht_lookups + 1; hops = !cost.hops + hops };
+  split t label;
+  !cost
+
+let lookup t ~from key =
+  let cost = ref { dht_lookups = 0; hops = 0 } in
+  let len = locate_leaf t ~from cost key in
+  let tbl = leaf_table t (label_of_key key len) in
+  (Option.value ~default:[] (Hashtbl.find_opt tbl key), !cost)
+
+let range t ~from ~lo ~hi =
+  if Key.compare lo hi > 0 then invalid_arg "Pht.range: lo must be <= hi";
+  let cost = ref { dht_lookups = 0; hops = 0 } in
+  let results = ref [] in
+  let lo_i = Key.to_int lo and hi_i = Key.to_int hi in
+  (* Descend into every intersecting branch; each trie node visited is a
+     fresh DHT routing from the requester (no prefix locality to exploit:
+     labels hash to unrelated ring positions). *)
+  let rec walk label path =
+    let plo, phi = Path.interval_keys path in
+    if phi > lo_i && plo <= hi_i then begin
+      match access t ~from cost label with
+      | None -> ()
+      | Some Internal ->
+        walk (label ^ "0") (Path.extend path 0);
+        walk (label ^ "1") (Path.extend path 1)
+      | Some (Leaf tbl) ->
+        Hashtbl.iter
+          (fun k v ->
+            if Key.compare lo k <= 0 && Key.compare k hi <= 0 then
+              results := (k, v) :: !results)
+          tbl
+    end
+  in
+  walk "" Path.root;
+  (List.sort (fun (a, _) (b, _) -> Key.compare a b) !results, !cost)

@@ -1,0 +1,46 @@
+(** Prefix Hash Tree: a trie *stored inside* a hashing DHT
+    (Ramabhadran et al., PODC 2004 — the paper's reference [22] for
+    "an additional index on top of the overlay").
+
+    Every trie node (labelled by a bit-string prefix) lives at the DHT
+    node owning [hash(label)].  Order-preserving queries are possible,
+    but every trie-node access is a full O(log n) DHT routing from the
+    requester — the fragmentation cost the paper's in-network trie
+    avoids.  All message counts are reported so the two designs can be
+    compared head-to-head (bench target [ablation-pht]). *)
+
+type t
+
+(** [create dht ~block] lays an empty PHT over [dht]; leaves split once
+    they hold more than [block] distinct keys. Requires [block >= 1]. *)
+val create : Hash_dht.t -> block:int -> t
+
+(** Message accounting for one operation. *)
+type cost = {
+  dht_lookups : int;  (** trie-node accesses (each one a DHT routing) *)
+  hops : int;  (** total underlay hops over all accesses *)
+}
+
+(** [insert t ~from key payload] walks to the responsible leaf (binary
+    search over prefix lengths), stores the payload, splitting on
+    overflow. *)
+val insert : t -> from:int -> Pgrid_keyspace.Key.t -> string -> cost
+
+(** [lookup t ~from key] finds the leaf and returns its payloads. *)
+val lookup : t -> from:int -> Pgrid_keyspace.Key.t -> string list * cost
+
+(** [range t ~from ~lo ~hi] collects every (key, payloads) in the range
+    by descending into all intersecting trie branches; each visited trie
+    node is a fresh DHT routing from the requester. *)
+val range :
+  t ->
+  from:int ->
+  lo:Pgrid_keyspace.Key.t ->
+  hi:Pgrid_keyspace.Key.t ->
+  (Pgrid_keyspace.Key.t * string list) list * cost
+
+(** [leaves t] is the current number of leaves; [depth t] the deepest
+    leaf label length. *)
+val leaves : t -> int
+
+val depth : t -> int

@@ -1,0 +1,1 @@
+lib/construction/engine.ml: Array Estimate Float Hashtbl List Logs Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng

@@ -1,0 +1,1 @@
+lib/construction/engine.mli: Pgrid_core Pgrid_keyspace Pgrid_prng

@@ -1,0 +1,1 @@
+lib/construction/estimate.ml: List Pgrid_keyspace

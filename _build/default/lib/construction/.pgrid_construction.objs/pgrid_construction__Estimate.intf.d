@@ -1,0 +1,1 @@
+lib/construction/estimate.mli: Pgrid_keyspace

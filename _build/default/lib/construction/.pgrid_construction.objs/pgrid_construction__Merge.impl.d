@@ -1,0 +1,1 @@
+lib/construction/merge.ml: Array Engine Hashtbl List Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng

@@ -1,0 +1,1 @@
+lib/construction/merge.mli: Engine Pgrid_core Pgrid_partition Pgrid_prng

@@ -1,0 +1,1 @@
+lib/construction/net_engine.ml: Array Engine Float Hashtbl List Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_simnet Pgrid_stats Pgrid_workload

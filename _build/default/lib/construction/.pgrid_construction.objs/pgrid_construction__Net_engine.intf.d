@@ -1,0 +1,1 @@
+lib/construction/net_engine.mli: Engine Pgrid_core Pgrid_partition Pgrid_prng Pgrid_simnet Pgrid_workload

@@ -1,0 +1,1 @@
+lib/construction/round.ml: Array Engine List Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_workload

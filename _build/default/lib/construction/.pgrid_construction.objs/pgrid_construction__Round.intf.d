@@ -1,0 +1,1 @@
+lib/construction/round.mli: Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_workload

@@ -1,0 +1,1 @@
+lib/construction/sequential.ml: Array Hashtbl List Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_workload

@@ -1,0 +1,1 @@
+lib/construction/sequential.mli: Pgrid_core Pgrid_partition Pgrid_prng Pgrid_workload

@@ -1,0 +1,467 @@
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Aep_math = Pgrid_partition.Aep_math
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+
+type mode = Theory | Heuristic
+
+type config = {
+  n_min : int;
+  d_max : int;
+  max_fruitless : int;
+  refer_hops : int;
+  mode : mode;
+}
+
+type hooks = {
+  on_contact : src:int -> dst:int -> unit;
+  on_key_moved : src:int -> dst:int -> unit;
+  on_reactivate : int -> unit;
+}
+
+let no_hooks =
+  {
+    on_contact = (fun ~src:_ ~dst:_ -> ());
+    on_key_moved = (fun ~src:_ ~dst:_ -> ());
+    on_reactivate = ignore;
+  }
+
+type counters = {
+  interactions : int;
+  keys_moved : int;
+  splits : int;
+  follows : int;
+  merges : int;
+  descents : int;
+  refer_steps : int;
+}
+
+type t = {
+  rng : Rng.t;
+  config : config;
+  net : Overlay.t;
+  hooks : hooks;
+  active : bool array;
+  fruitless : int array;
+  (* Per-peer smoothed overlap estimates for the current partition (reset
+     on path change): deciding on single noisy draws systematically
+     over-splits, and a plain running mean never forgets stale early
+     observations, so an exponential moving average is kept. *)
+  obs_count : int array;
+  k_ema : float array;
+  r_ema : float array;
+  mutable interactions : int;
+  mutable keys_moved : int;
+  mutable splits : int;
+  mutable follows : int;
+  mutable merges : int;
+  mutable descents : int;
+  mutable refer_steps : int;
+}
+
+let create rng config net hooks =
+  let n = Overlay.size net in
+  {
+    rng;
+    config;
+    net;
+    hooks;
+    active = Array.make n true;
+    fruitless = Array.make n 0;
+    obs_count = Array.make n 0;
+    k_ema = Array.make n 0.;
+    r_ema = Array.make n 0.;
+    interactions = 0;
+    keys_moved = 0;
+    splits = 0;
+    follows = 0;
+    merges = 0;
+    descents = 0;
+    refer_steps = 0;
+  }
+
+let overlay t = t.net
+let config t = t.config
+let node t i = Overlay.node t.net i
+let is_active t i = t.active.(i)
+let any_active t = Array.exists (fun a -> a) t.active
+
+let counters t =
+  {
+    interactions = t.interactions;
+    keys_moved = t.keys_moved;
+    splits = t.splits;
+    follows = t.follows;
+    merges = t.merges;
+    descents = t.descents;
+    refer_steps = t.refer_steps;
+  }
+
+let reset_estimates t i =
+  t.obs_count.(i) <- 0;
+  t.k_ema.(i) <- 0.;
+  t.r_ema.(i) <- 0.
+
+let ema_weight = 0.4
+
+let fold_estimate t i ~distinct ~replicas =
+  if t.obs_count.(i) = 0 then begin
+    t.k_ema.(i) <- distinct;
+    t.r_ema.(i) <- replicas
+  end
+  else begin
+    t.k_ema.(i) <- ((1. -. ema_weight) *. t.k_ema.(i)) +. (ema_weight *. distinct);
+    t.r_ema.(i) <- ((1. -. ema_weight) *. t.r_ema.(i)) +. (ema_weight *. replicas)
+  end;
+  t.obs_count.(i) <- t.obs_count.(i) + 1
+
+let mark_useful t i =
+  t.fruitless.(i) <- 0;
+  if not t.active.(i) then begin
+    t.active.(i) <- true;
+    t.hooks.on_reactivate i
+  end
+
+let note_useful = mark_useful
+
+let mark_fruitless t i =
+  t.fruitless.(i) <- t.fruitless.(i) + 1;
+  if t.fruitless.(i) >= t.config.max_fruitless then t.active.(i) <- false
+
+let probabilities t ~p_hat ~samples =
+  let clamped = Aep_math.clamp_estimate ~samples:(max 1 samples) p_hat in
+  let p_eff, flipped = Aep_math.normalize clamped in
+  let probs =
+    match t.config.mode with
+    | Theory -> Aep_math.probabilities ~p:p_eff
+    | Heuristic -> Aep_math.heuristic ~p:p_eff
+  in
+  (probs, flipped)
+
+(* Deliver one key (with payloads) starting at peer [at]: ingest when the
+   partition matches, else forward along a routing reference toward the
+   key.  Every hop moves the key once (bandwidth).  Keys that cannot be
+   routed are kept where they are rather than lost. *)
+let deliver t ~at key payloads =
+  let ingest i =
+    let n = node t i in
+    Node.ensure_key n key;
+    let existing = Node.lookup n key in
+    List.iter (fun p -> if not (List.mem p existing) then Node.insert n key p) payloads;
+    mark_useful t i
+  in
+  let rec hop prev i budget =
+    t.keys_moved <- t.keys_moved + 1;
+    t.hooks.on_key_moved ~src:prev ~dst:i;
+    let n = node t i in
+    if Path.matches_key n.Node.path key || budget = 0 then ingest i
+    else begin
+      let len = Path.length n.Node.path in
+      let rec diverge l =
+        if l >= len then None
+        else if Path.bit n.Node.path l <> Key.bit key l then Some l
+        else diverge (l + 1)
+      in
+      match diverge 0 with
+      | None -> ingest i
+      | Some l ->
+        (match
+           List.filter (fun r -> (node t r).Node.online) (Node.refs_at n ~level:l)
+         with
+        | [] -> ingest i
+        | refs -> hop i (Rng.pick_list t.rng refs) (budget - 1))
+    end
+  in
+  hop at at t.config.refer_hops
+
+(* Transfer every (key, payloads) of [src] outside [src]'s new path,
+   entering the network at [dst] (which forwards what it does not own). *)
+let hand_over t ~src ~dst =
+  let s = node t src in
+  let doomed =
+    Hashtbl.fold
+      (fun k payloads acc ->
+        if Path.matches_key s.Node.path k then acc else (k, payloads) :: acc)
+      s.Node.store []
+  in
+  List.iter
+    (fun (k, payloads) ->
+      Hashtbl.remove s.Node.store k;
+      deliver t ~at:dst k payloads)
+    doomed
+
+(* Balanced split of a same-path pair. *)
+let do_split t i j =
+  let ni = node t i and nj = node t j in
+  let level = Path.length ni.Node.path in
+  let bit_i = if Rng.bool t.rng then 0 else 1 in
+  Node.set_path ni (Path.extend ni.Node.path bit_i);
+  Node.set_path nj (Path.extend nj.Node.path (1 - bit_i));
+  hand_over t ~src:i ~dst:j;
+  hand_over t ~src:j ~dst:i;
+  Node.add_ref ni ~level j;
+  Node.add_ref nj ~level i;
+  (* Replica lists referred to the parent partition; they are rebuilt at
+     the new level through replicate interactions. *)
+  ni.Node.replicas <- [];
+  nj.Node.replicas <- [];
+  reset_estimates t i;
+  reset_estimates t j;
+  t.splits <- t.splits + 1;
+  mark_useful t i;
+  mark_useful t j
+
+(* Same-partition meeting: split vs replicate, decided on the pooled mean
+   of the overlap estimates (paper Section 4.2). *)
+let same_partition t i j =
+  let ni = node t i and nj = node t j in
+  let keys_i = Node.keys ni and keys_j = Node.keys nj in
+  let d1 = List.length keys_i and d2 = List.length keys_j in
+  let overlap = List.length (List.filter (Node.has_key nj) keys_i) in
+  let distinct_obs = Estimate.distinct_keys ~d1 ~d2 ~overlap in
+  let replicas_obs = Estimate.replicas ~n_min:t.config.n_min ~d1 ~d2 ~overlap in
+  let replicas_capped =
+    Float.min replicas_obs (2. *. float_of_int (Overlay.size t.net))
+  in
+  fold_estimate t i ~distinct:distinct_obs ~replicas:replicas_capped;
+  fold_estimate t j ~distinct:distinct_obs ~replicas:replicas_capped;
+  let obs = t.obs_count.(i) + t.obs_count.(j) in
+  let distinct = (t.k_ema.(i) +. t.k_ema.(j)) /. 2. in
+  (* The overlap-based estimate assumes every key still has n_min live
+     copies; hand-overs consolidate copies, so it can undercount a large
+     partition.  The replica lists give a hard lower bound. *)
+  let known_peers =
+    float_of_int (2 + max (List.length ni.Node.replicas) (List.length nj.Node.replicas))
+  in
+  let replicas = Float.max ((t.r_ema.(i) +. t.r_ema.(j)) /. 2.) known_peers in
+  let level = Path.length ni.Node.path in
+  Logs.debug (fun m ->
+      m "meet level=%d d1=%d d2=%d overlap=%d K^=%.0f r^=%.1f obs=%d" level d1 d2
+        overlap distinct replicas obs);
+  let overloaded =
+    (* Splitting needs enough peers that both halves can keep n_min
+       replicas (Algorithm 1's leaves stay between n_min and ~3 n_min). *)
+    distinct > float_of_int t.config.d_max
+    && replicas >= float_of_int (2 * t.config.n_min)
+    && level < Key.bits
+  in
+  if overloaded && obs >= 2 then begin
+    let union = List.sort_uniq Key.compare (keys_i @ keys_j) in
+    let zeros =
+      List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 union
+    in
+    if union <> [] && (zeros = 0 || zeros = List.length union) then begin
+      (* Degenerate bisection: the sample says one half is empty (e.g.
+         ASCII term keys share their leading bits).  Dispersing peers into
+         empty key space would strand them, so the pair descends together
+         into the occupied half; nothing is exchanged and no reference
+         exists at this level (the complement holds no peers). *)
+      let bit = if zeros = 0 then 1 else 0 in
+      Node.set_path ni (Path.extend ni.Node.path bit);
+      Node.set_path nj (Path.extend nj.Node.path bit);
+      reset_estimates t i;
+      reset_estimates t j;
+      t.descents <- t.descents + 1;
+      mark_useful t i;
+      mark_useful t j
+    end
+    else begin
+      let p_hat = Estimate.load_fraction union ~level in
+      let { Aep_math.alpha; _ }, _flipped =
+        probabilities t ~p_hat ~samples:(List.length union)
+      in
+      if Rng.bernoulli t.rng alpha then do_split t i j
+      else begin
+        (* Finding a split partner is useful even when the coin declines
+           (liveness at strongly skewed partitions). *)
+        mark_useful t i;
+        mark_useful t j
+      end
+    end
+  end
+  else if overloaded then begin
+    (* Single observation: record it and wait for confirmation before
+       splitting; merging now would destroy the overlap information. *)
+    mark_useful t i;
+    mark_useful t j
+  end
+  else begin
+    (* Replicate: reconcile stores and record each other. *)
+    let gained = ref false in
+    let copy src dst =
+      let s = node t src and d = node t dst in
+      Hashtbl.iter
+        (fun k payloads ->
+          let fresh = not (Node.has_key d k) in
+          Node.ensure_key d k;
+          let existing = Node.lookup d k in
+          List.iter
+            (fun p -> if not (List.mem p existing) then Node.insert d k p)
+            payloads;
+          if fresh then begin
+            t.keys_moved <- t.keys_moved + 1;
+            t.hooks.on_key_moved ~src ~dst;
+            (* Only new distinct keys count as progress; payload-level
+               reconciliation must not keep peers active forever. *)
+            gained := true
+          end)
+        s.Node.store
+    in
+    copy i j;
+    copy j i;
+    (* Exchange routing tables as well (paper Figure 2, possibility 3):
+       this repairs levels where a believed-empty complement was
+       colonized after a degenerate descent. *)
+    let exchange_refs a b =
+      let na = node t a and nb = node t b in
+      for level = 0 to Path.length na.Node.path - 1 do
+        List.iter
+          (fun r -> if r <> b then Node.add_ref nb ~level r)
+          (Node.refs_at na ~level)
+      done
+    in
+    exchange_refs i j;
+    exchange_refs j i;
+    let new_replica =
+      (not (List.mem j ni.Node.replicas)) || not (List.mem i nj.Node.replicas)
+    in
+    Node.add_replica ni j;
+    Node.add_replica nj i;
+    (* Exchange (partial) replica lists, paper Figure 2. *)
+    List.iter (fun r -> if r <> j then Node.add_replica nj r) ni.Node.replicas;
+    List.iter (fun r -> if r <> i then Node.add_replica ni r) nj.Node.replicas;
+    t.merges <- t.merges + 1;
+    if !gained || new_replica then begin
+      mark_useful t i;
+      mark_useful t j
+    end
+    else mark_fruitless t i
+  end
+
+(* The initiator [i] is undecided at level [len path_i]; [j] has already
+   extended there: AEP rules 3/4. *)
+let follow_decided t i j =
+  let ni = node t i and nj = node t j in
+  let level = Path.length ni.Node.path in
+  let own_keys = Node.keys ni in
+  let zeros =
+    List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 own_keys
+  in
+  let j_side_raw = Path.bit nj.Node.path level in
+  if own_keys <> [] && (zeros = 0 || zeros = List.length own_keys)
+     && j_side_raw = (if zeros = 0 then 1 else 0)
+     && Node.refs_at nj ~level = []
+  then begin
+    (* The peer's whole sample lies on the side [j] descended to, and [j]
+       itself knows nobody on the other side: follow the degenerate
+       descent (no complement peer exists to reference). *)
+    Node.set_path ni (Path.extend ni.Node.path j_side_raw);
+    ni.Node.replicas <- [];
+    reset_estimates t i;
+    t.follows <- t.follows + 1;
+    mark_useful t i
+  end
+  else begin
+  let p_hat = Estimate.load_fraction (Node.keys ni) ~level in
+  let { Aep_math.alpha = _; beta }, flipped =
+    probabilities t ~p_hat ~samples:(Node.key_count ni)
+  in
+  let minority = if flipped then 1 else 0 in
+  let majority = 1 - minority in
+  let j_side = Path.bit nj.Node.path level in
+  let decide side other =
+    Node.set_path ni (Path.extend ni.Node.path side);
+    Node.add_ref ni ~level other;
+    (* The complement peer learns about the newcomer too (it may have had
+       an empty table at this level if the side was believed empty). *)
+    if Path.bit (node t other).Node.path level <> side then
+      Node.add_ref (node t other) ~level i;
+    ni.Node.replicas <- [];
+    reset_estimates t i;
+    let recipient =
+      if Path.bit (node t other).Node.path level <> side then other else j
+    in
+    hand_over t ~src:i ~dst:recipient;
+    t.follows <- t.follows + 1;
+    mark_useful t i;
+    mark_useful t recipient
+  in
+  if j_side = minority then decide majority j
+  else if Rng.bernoulli t.rng beta then decide minority j
+  else begin
+    (* Copy a minority-side reference from [j] (AEP invariant: it holds
+       one from its own decision at this level). *)
+    match
+      List.filter (fun r -> (node t r).Node.online) (Node.refs_at nj ~level)
+    with
+    | [] -> mark_fruitless t i
+    | refs -> decide majority (Rng.pick_list t.rng refs)
+  end
+  end
+
+(* Locate an interaction partner: walk refer recommendations until the
+   contacted peer's partition is compatible (equal or prefix-related). *)
+let rec locate t i j hops =
+  t.interactions <- t.interactions + 1;
+  t.hooks.on_contact ~src:i ~dst:j;
+  if not (node t j).Node.online then None
+  else begin
+    let pi = (node t i).Node.path and pj = (node t j).Node.path in
+    let cpl = Path.common_prefix_length pi pj in
+    if cpl = Path.length pi || cpl = Path.length pj then Some j
+    else if hops >= t.config.refer_hops then None
+    else begin
+      (* Divergent: exchange routing references at the divergence level,
+         then follow a recommendation from [j]'s table. *)
+      t.refer_steps <- t.refer_steps + 1;
+      Node.add_ref (node t i) ~level:cpl j;
+      Node.add_ref (node t j) ~level:cpl i;
+      let candidates =
+        List.filter
+          (fun r -> r <> i && (node t r).Node.online)
+          (Node.refs_at (node t j) ~level:cpl)
+      in
+      match candidates with
+      | [] -> None
+      | _ -> locate t i (Rng.pick_list t.rng candidates) (hops + 1)
+    end
+  end
+
+let random_online_peer t ~excluding =
+  let n = Overlay.size t.net in
+  let rec try_ attempts =
+    if attempts = 0 then None
+    else begin
+      let j = Rng.int t.rng n in
+      if j <> excluding && (node t j).Node.online then Some j else try_ (attempts - 1)
+    end
+  in
+  try_ (4 * n)
+
+let interact t i =
+  let ni = node t i in
+  if ni.Node.online then begin
+    let first =
+      (* Prefer known replicas half of the time (peers keep the references
+         gathered after splits); otherwise a random-walk peer. *)
+      let online_replicas =
+        List.filter (fun r -> (node t r).Node.online) ni.Node.replicas
+      in
+      if online_replicas <> [] && Rng.bool t.rng then
+        Some (Rng.pick_list t.rng online_replicas)
+      else random_online_peer t ~excluding:i
+    in
+    match first with
+    | None -> mark_fruitless t i
+    | Some first ->
+      (match locate t i first 0 with
+      | None -> mark_fruitless t i
+      | Some j ->
+        let li = Path.length (node t i).Node.path
+        and lj = Path.length (node t j).Node.path in
+        if li = lj then same_partition t i j
+        else if li < lj then follow_decided t i j
+        else follow_decided t j i)
+  end

@@ -1,0 +1,69 @@
+(** The construction protocol core, shared by the round-based simulator
+    ({!Round}, Figure 6) and the message-level network engine
+    ({!Net_engine}, Figures 7-9).
+
+    One call to {!interact} performs a single initiated interaction —
+    locate a partner (refer walk), then split / follow / replicate — and
+    updates the overlay, the activity bookkeeping and the counters.  Hooks
+    let the caller account messages and key transfers (the network engine
+    turns them into simulated traffic) and observe re-activations (to
+    restart a peer's initiation loop). *)
+
+type mode = Theory | Heuristic
+
+type config = {
+  n_min : int;
+  d_max : int;
+  max_fruitless : int;
+  refer_hops : int;
+  mode : mode;
+}
+
+type hooks = {
+  on_contact : src:int -> dst:int -> unit;  (** one pairwise contact *)
+  on_key_moved : src:int -> dst:int -> unit;  (** one key, one hop *)
+  on_reactivate : int -> unit;  (** peer flipped from passive to active *)
+}
+
+(** Hooks that do nothing (the round engine's defaults). *)
+val no_hooks : hooks
+
+type t
+
+(** [create rng config overlay hooks] starts with every peer active. The
+    engine only mutates peers through the given overlay. *)
+val create : Pgrid_prng.Rng.t -> config -> Pgrid_core.Overlay.t -> hooks -> t
+
+val overlay : t -> Pgrid_core.Overlay.t
+val config : t -> config
+
+(** [interact t i] lets peer [i] initiate one interaction (no-op when [i]
+    is offline). *)
+val interact : t -> int -> unit
+
+(** [deliver t ~at key payloads] injects a key at peer [at], routing it to
+    a matching partition (used by re-insertion and hand-overs). *)
+val deliver : t -> at:int -> Pgrid_keyspace.Key.t -> string list -> unit
+
+val is_active : t -> int -> bool
+val any_active : t -> bool
+
+(** [note_useful t i] resets peer [i]'s fruitless counter, re-activating
+    it (e.g. after it received new data from outside the engine). *)
+val note_useful : t -> int -> unit
+
+(** Counters over the engine's lifetime. *)
+type counters = {
+  interactions : int;
+  keys_moved : int;
+  splits : int;
+  follows : int;
+  merges : int;
+  descents : int;
+      (** degenerate bisections: a partition whose sample was entirely
+          one-sided descended into the occupied half without dispersing
+          peers (common for ASCII term keys, which share leading bits) *)
+  refer_steps : int;
+}
+
+val counters : t -> counters

@@ -1,0 +1,31 @@
+module Key = Pgrid_keyspace.Key
+
+let check ~d1 ~d2 ~overlap =
+  if d1 < 0 || d2 < 0 || overlap < 0 then invalid_arg "Estimate: negative count";
+  if overlap > min d1 d2 then invalid_arg "Estimate: overlap exceeds set size"
+
+let distinct_keys ~d1 ~d2 ~overlap =
+  check ~d1 ~d2 ~overlap;
+  (* Chapman's variant of the Lincoln-Petersen estimator: the +1 terms
+     remove the strong upward Jensen bias of d1*d2/overlap at the small
+     overlaps typical here (raw capture-recapture made the construction
+     split one level too deep systematically). *)
+  (float_of_int ((d1 + 1) * (d2 + 1)) /. float_of_int (overlap + 1)) -. 1.
+
+let replicas ~n_min ~d1 ~d2 ~overlap =
+  check ~d1 ~d2 ~overlap;
+  if n_min < 1 then invalid_arg "Estimate.replicas: n_min must be >= 1";
+  if d1 + d2 = 0 then float_of_int n_min
+  else begin
+    (* Each of the K keys got n_min copies, so a peer's expected share is
+       K * n_min / r; inverting with the Chapman estimate of K gives r. *)
+    let k = distinct_keys ~d1 ~d2 ~overlap in
+    2. *. float_of_int n_min *. k /. float_of_int (d1 + d2)
+  end
+
+let load_fraction keys ~level =
+  match keys with
+  | [] -> 0.5
+  | _ ->
+    let zeros = List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 keys in
+    float_of_int zeros /. float_of_int (List.length keys)

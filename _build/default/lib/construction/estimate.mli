@@ -1,0 +1,29 @@
+(** Local estimation from pairwise key-set overlap (paper Section 4.2).
+
+    When two peers of the same partition interact they see two random
+    subsets D1, D2 of the partition's key population (the initial
+    replication phase randomized key placement for exactly this purpose).
+    Capture-recapture then estimates the partition's distinct key count,
+    and — since every key initially received [n_min] copies — the number
+    of peer replicas present. *)
+
+(** [distinct_keys ~d1 ~d2 ~overlap] estimates the partition's key
+    population with Chapman's capture-recapture estimator
+    [(d1+1)(d2+1)/(overlap+1) - 1] (the raw Lincoln-Petersen form
+    [d1*d2/overlap] is strongly Jensen-biased upward at the small overlaps
+    arising here and made the construction over-split).  Fully
+    synchronized replicas (D1 = D2, overlap = d) give exactly [d].
+    Requires non-negative counts with [overlap <= min d1 d2]. *)
+val distinct_keys : d1:int -> d2:int -> overlap:int -> float
+
+(** [replicas ~n_min ~d1 ~d2 ~overlap] estimates the number of peers
+    associated with the partition by inverting the expected share: each of
+    the (estimated) K keys received [n_min] copies, so
+    [r = 2 n_min K / (d1 + d2)].  For fully synchronized replicas
+    (D1 = D2) this is exactly [n_min] — the paper's anchor case. *)
+val replicas : n_min:int -> d1:int -> d2:int -> overlap:int -> float
+
+(** [load_fraction keys ~level] is the fraction of [keys] whose bit at
+    [level] is 0 — the estimate of the left child's load share [p].
+    Returns 0.5 on an empty list. *)
+val load_fraction : Pgrid_keyspace.Key.t list -> level:int -> float

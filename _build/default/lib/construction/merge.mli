@@ -1,0 +1,30 @@
+(** Merging independently created indices.
+
+    The paper's introduction singles this out as a benefit of the parallel
+    construction model: two overlay networks built separately (different
+    communities, different times) over the same key space can be fused by
+    running exactly the same random-interaction protocol on the combined
+    population — no coordinator, no rebuild from scratch.  Peers from the
+    two trees meet, reconcile compatible partitions (replicate),
+    re-partition overloaded ones (split), and align inconsistent depths
+    (follow), until the usual fruitless-attempt termination. *)
+
+type outcome = {
+  overlay : Pgrid_core.Overlay.t;  (** the fused population *)
+  reference : Pgrid_partition.Reference.t;
+      (** Algorithm 1 over the union of both key populations *)
+  deviation : float;
+  rounds : int;
+  counters : Engine.counters;
+}
+
+(** [overlays rng ~config ~max_rounds a b] fuses the populations of [a]
+    and [b] (node ids of [b] are shifted by [size a]) and runs the
+    construction engine to convergence. The inputs are not modified. *)
+val overlays :
+  Pgrid_prng.Rng.t ->
+  config:Engine.config ->
+  max_rounds:int ->
+  Pgrid_core.Overlay.t ->
+  Pgrid_core.Overlay.t ->
+  outcome

@@ -1,0 +1,398 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Reference = Pgrid_partition.Reference
+module Distribution = Pgrid_workload.Distribution
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+module Deviation = Pgrid_core.Deviation
+module Moments = Pgrid_stats.Moments
+module Sim = Pgrid_simnet.Sim
+module Net = Pgrid_simnet.Net
+module Latency = Pgrid_simnet.Latency
+module Unstructured = Pgrid_simnet.Unstructured
+module Churn = Pgrid_simnet.Churn
+
+type phases = {
+  join_end : float;
+  replicate_start : float;
+  construct_start : float;
+  construct_end : float;
+  query_start : float;
+  churn_start : float;
+  end_time : float;
+}
+
+let minutes m = 60. *. m
+
+let paper_phases =
+  {
+    join_end = minutes 100.;
+    replicate_start = minutes 45.;
+    construct_start = minutes 100.;
+    construct_end = minutes 300.;
+    query_start = minutes 300.;
+    churn_start = minutes 430.;
+    end_time = minutes 500.;
+  }
+
+type params = {
+  peers : int;
+  keys_per_peer : int;
+  n_min : int;
+  d_max : int;
+  degree : int;
+  walk_steps : int;
+  latency : Latency.model;
+  loss : float;
+  bucket : float;
+  header_bytes : int;
+  key_bytes : int;
+  initiate_mean : float;
+  ping_interval : float;
+  query_min : float;
+  query_max : float;
+  retry_timeout : float;
+  max_fruitless : int;
+  refer_hops : int;
+  mode : Engine.mode;
+  phases : phases;
+  churn : Churn.params option;
+}
+
+let default_params ~peers =
+  {
+    peers;
+    keys_per_peer = 10;
+    n_min = 5;
+    d_max = 50;
+    degree = 4;
+    walk_steps = 8;
+    latency = Latency.planetlab;
+    loss = 0.02;
+    bucket = 60.;
+    header_bytes = 200;
+    key_bytes = 64;
+    initiate_mean = 20.;
+    ping_interval = 30.;
+    query_min = 60.;
+    query_max = 120.;
+    retry_timeout = 2.;
+    max_fruitless = 2;
+    refer_hops = 20;
+    mode = Engine.Theory;
+    phases = paper_phases;
+    churn = None;
+  }
+
+type query_stats = {
+  issued : int;
+  succeeded : int;
+  failed : int;
+  mean_hops : float;
+  mean_latency : float;
+}
+
+type outcome = {
+  overlay : Overlay.t;
+  reference : Reference.t;
+  deviation : float;
+  online_series : (float * int) list;
+  maintenance_bw : (float * float) list;
+  query_bw : (float * float) list;
+  latency_series : (float * float * float) list;
+  query_stats : query_stats;
+  stats : Overlay.stats;
+  counters : Engine.counters;
+  messages_sent : int;
+  messages_dropped : int;
+}
+
+type query_record = { at : float; latency : float; hops : int; success : bool }
+
+let run rng params ~spec =
+  if params.peers < 8 then invalid_arg "Net_engine.run: need at least 8 peers";
+  let ph = params.phases in
+  let sim = Sim.create () in
+  (* The network carries unit messages: interactions are executed on
+     shared state, so only accounting and timing flow through it. *)
+  let net = Net.create sim (Rng.split rng) ~nodes:params.peers ~latency:params.latency
+      ~loss:params.loss ~bucket:params.bucket
+  in
+  let overlay = Overlay.create (Rng.split rng) ~n:params.peers in
+  let assignments =
+    Distribution.assign_to_peers rng spec ~peers:params.peers
+      ~keys_per_peer:params.keys_per_peer
+  in
+  Array.iteri
+    (fun i own ->
+      let n = Overlay.node overlay i in
+      n.Node.online <- false;
+      Array.iter (Node.ensure_key n) own)
+    assignments;
+  let graph = Unstructured.create (Rng.split rng) ~nodes:params.peers ~degree:params.degree in
+  let set_online i v =
+    (Overlay.node overlay i).Node.online <- v;
+    Net.set_online net i v
+  in
+  Array.iteri (fun i _ -> Net.set_online net i false) assignments;
+  let online i = (Overlay.node overlay i).Node.online in
+  let account ~bytes ~kind = Net.account net ~bytes ~kind in
+  (* --- construction engine wiring ------------------------------------ *)
+  let engine = ref None in
+  let schedule_initiation = ref (fun _ -> ()) in
+  let hooks =
+    {
+      Engine.on_contact =
+        (fun ~src:_ ~dst:_ -> account ~bytes:(2 * params.header_bytes) ~kind:Net.Maintenance);
+      on_key_moved =
+        (fun ~src:_ ~dst:_ -> account ~bytes:params.key_bytes ~kind:Net.Maintenance);
+      on_reactivate = (fun i -> !schedule_initiation i);
+    }
+  in
+  let engine_config =
+    {
+      Engine.n_min = params.n_min;
+      d_max = params.d_max;
+      max_fruitless = params.max_fruitless;
+      refer_hops = params.refer_hops;
+      mode = params.mode;
+    }
+  in
+  let eng = Engine.create (Rng.split rng) engine_config overlay hooks in
+  engine := Some eng;
+  let scheduled = Array.make params.peers false in
+  let rec initiation_loop i () =
+    scheduled.(i) <- false;
+    let now = Sim.now sim in
+    if now < ph.construct_end && Engine.is_active eng i then begin
+      if online i then Engine.interact eng i;
+      if Engine.is_active eng i then begin
+        scheduled.(i) <- true;
+        Sim.schedule sim ~delay:(Sample.exponential rng ~rate:(1. /. params.initiate_mean))
+          (initiation_loop i)
+      end
+    end
+  in
+  (schedule_initiation :=
+     fun i ->
+       if
+         (not scheduled.(i))
+         && Sim.now sim >= ph.construct_start
+         && Sim.now sim < ph.construct_end
+       then begin
+         scheduled.(i) <- true;
+         Sim.schedule sim ~delay:(Sample.exponential rng ~rate:(1. /. params.initiate_mean))
+           (initiation_loop i)
+       end);
+  (* --- joins ---------------------------------------------------------- *)
+  Array.iteri
+    (fun i _ ->
+      let join_at = Sample.uniform rng ~lo:1. ~hi:ph.join_end in
+      Sim.schedule_at sim ~time:join_at (fun () ->
+          set_online i true;
+          (* Bootstrap handshake. *)
+          account ~bytes:(3 * params.header_bytes) ~kind:Net.Maintenance))
+    assignments;
+  (* --- replication phase ---------------------------------------------- *)
+  Array.iteri
+    (fun i own ->
+      let at =
+        Sample.uniform rng
+          ~lo:(Float.max ph.replicate_start 2.)
+          ~hi:ph.construct_start
+      in
+      Sim.schedule_at sim ~time:at (fun () ->
+          if online i then begin
+            let seen = Hashtbl.create 8 in
+            let attempts = ref 0 in
+            while Hashtbl.length seen < params.n_min && !attempts < 8 * params.n_min do
+              incr attempts;
+              let target =
+                Unstructured.random_walk graph rng ~online ~start:i
+                  ~steps:params.walk_steps
+              in
+              if target <> i && online target then Hashtbl.replace seen target ()
+            done;
+            Hashtbl.iter
+              (fun target () ->
+                account
+                  ~bytes:
+                    ((params.walk_steps * params.header_bytes)
+                    + (Array.length own * params.key_bytes))
+                  ~kind:Net.Maintenance;
+                let nt = Overlay.node overlay target in
+                Array.iter (Node.ensure_key nt) own)
+              seen
+          end))
+    assignments;
+  (* --- construction kick-off ------------------------------------------ *)
+  Array.iteri
+    (fun i _ ->
+      Sim.schedule_at sim
+        ~time:(ph.construct_start +. Sample.uniform rng ~lo:0. ~hi:60.)
+        (fun () ->
+          scheduled.(i) <- true;
+          initiation_loop i ()))
+    assignments;
+  (* --- periodic pings -------------------------------------------------- *)
+  Array.iteri
+    (fun i _ ->
+      let rec ping () =
+        if Sim.now sim < ph.end_time then begin
+          if online i then account ~bytes:params.header_bytes ~kind:Net.Maintenance;
+          Sim.schedule sim ~delay:params.ping_interval ping
+        end
+      in
+      Sim.schedule sim ~delay:(Sample.uniform rng ~lo:0. ~hi:params.ping_interval) ping)
+    assignments;
+  (* --- queries ---------------------------------------------------------- *)
+  let all_keys =
+    Array.to_list assignments
+    |> List.concat_map Array.to_list
+    |> List.sort_uniq Key.compare
+    |> Array.of_list
+  in
+  let query_log = ref [] in
+  let issue_query origin =
+    let key = all_keys.(Rng.int rng (Array.length all_keys)) in
+    let issued_at = Sim.now sim in
+    let latency_total = ref 0. in
+    let hops = ref 0 in
+    let send_msg () =
+      account ~bytes:params.header_bytes ~kind:Net.Query;
+      latency_total := !latency_total +. Latency.sample params.latency rng
+    in
+    (* Route hop by hop; dead references cost a timeout and a retry. *)
+    let rec route cur budget =
+      if budget = 0 then false
+      else begin
+        let n = Overlay.node overlay cur in
+        let len = Path.length n.Node.path in
+        let rec diverge l =
+          if l >= len then None
+          else if Path.bit n.Node.path l <> Key.bit key l then Some l
+          else diverge (l + 1)
+        in
+        match diverge 0 with
+        | None -> true (* responsible peer reached *)
+        | Some level ->
+          let refs = Array.of_list (Node.refs_at n ~level) in
+          Rng.shuffle rng refs;
+          let rec try_refs idx =
+            if idx >= Array.length refs then false
+            else begin
+              let next = refs.(idx) in
+              send_msg ();
+              incr hops;
+              if online next then route next (budget - 1)
+              else begin
+                (* Timeout, then retry an alternative reference. *)
+                latency_total := !latency_total +. params.retry_timeout;
+                try_refs (idx + 1)
+              end
+            end
+          in
+          try_refs 0
+      end
+    in
+    let success = route origin (4 * Key.bits) in
+    if success then begin
+      (* Response travels straight back to the origin. *)
+      send_msg ()
+    end;
+    query_log :=
+      { at = issued_at; latency = !latency_total; hops = !hops; success } :: !query_log
+  in
+  Array.iteri
+    (fun i _ ->
+      let rec loop () =
+        if Sim.now sim < ph.end_time then begin
+          if online i && Sim.now sim >= ph.query_start then issue_query i;
+          Sim.schedule sim
+            ~delay:(Sample.uniform rng ~lo:params.query_min ~hi:params.query_max)
+            loop
+        end
+      in
+      Sim.schedule_at sim
+        ~time:(ph.query_start +. Sample.uniform rng ~lo:0. ~hi:params.query_max)
+        loop)
+    assignments;
+  (* --- churn ------------------------------------------------------------ *)
+  let churn_params =
+    match params.churn with
+    | Some c -> c
+    | None -> Churn.paper_params ~start:ph.churn_start ~stop:ph.end_time
+  in
+  Churn.install sim rng churn_params
+    ~node_ids:(List.init params.peers (fun i -> i))
+    ~set_online;
+  (* --- online population sampling --------------------------------------- *)
+  let online_series = ref [] in
+  let rec sample_online () =
+    if Sim.now sim <= ph.end_time then begin
+      online_series := (Sim.now sim /. 60., Net.online_count net) :: !online_series;
+      Sim.schedule sim ~delay:60. sample_online
+    end
+  in
+  Sim.schedule_at sim ~time:0. sample_online;
+  (* --- run --------------------------------------------------------------- *)
+  (* Let the last churned peers come back online before evaluating. *)
+  Sim.run_until sim ~time:(ph.end_time +. 600.);
+  (* --- evaluation ---------------------------------------------------------- *)
+  let reference =
+    Reference.compute ~keys:all_keys ~peers:params.peers ~d_max:params.d_max
+      ~n_min:params.n_min
+  in
+  let queries = !query_log in
+  let successes = List.filter (fun q -> q.success) queries in
+  let hops_m = Moments.of_list (List.map (fun q -> float_of_int q.hops) successes) in
+  let lat_m = Moments.of_list (List.map (fun q -> q.latency) successes) in
+  let query_stats =
+    {
+      issued = List.length queries;
+      succeeded = List.length successes;
+      failed = List.length queries - List.length successes;
+      mean_hops = Moments.mean hops_m;
+      mean_latency = Moments.mean lat_m;
+    }
+  in
+  (* Query latency per 10-minute bucket (successful queries). *)
+  let latency_series =
+    let tbl = Hashtbl.create 32 in
+    List.iter
+      (fun q ->
+        if q.success then begin
+          let bucket = 10. *. Float.round (q.at /. 600.) in
+          let m =
+            match Hashtbl.find_opt tbl bucket with
+            | Some m -> m
+            | None ->
+              let m = Moments.create () in
+              Hashtbl.add tbl bucket m;
+              m
+          in
+          Moments.add m q.latency
+        end)
+      queries;
+    Hashtbl.fold (fun b m acc -> (b, Moments.mean m, Moments.stddev m) :: acc) tbl []
+    |> List.sort compare
+  in
+  let per_peer series =
+    List.map (fun (t, bps) -> (t /. 60., bps /. float_of_int params.peers)) series
+  in
+  {
+    overlay;
+    reference;
+    deviation = Deviation.of_overlay ~reference overlay;
+    online_series = List.rev !online_series;
+    maintenance_bw = per_peer (Net.bandwidth net Net.Maintenance);
+    query_bw = per_peer (Net.bandwidth net Net.Query);
+    latency_series;
+    query_stats;
+    stats = Overlay.stats overlay;
+    counters = Engine.counters eng;
+    messages_sent = Net.messages_sent net;
+    messages_dropped = Net.messages_dropped net;
+  }

@@ -1,0 +1,83 @@
+(** The full-system experiment on the simulated network — this repo's
+    substitute for the paper's PlanetLab deployment (Section 5).
+
+    The timeline follows the paper: peers join (0-100 min) and form an
+    unstructured overlay, replicate their keys to [n_min] random-walk
+    targets (45-100 min), construct the structured overlay with the
+    {!Engine} protocol (100-300 min), answer queries (300 min to the end),
+    and endure churn (430-500 min; every peer offline 1-5 min every 5-10
+    min).  Message latency, loss, per-kind bandwidth and query retries are
+    simulated by [Pgrid_simnet]; the outcome carries the time series of
+    Figures 7 (population), 8 (bandwidth) and 9 (query latency) plus the
+    in-text statistics. *)
+
+type phases = {
+  join_end : float;
+  replicate_start : float;
+  construct_start : float;
+  construct_end : float;
+  query_start : float;
+  churn_start : float;
+  end_time : float;
+}
+
+(** The paper's timeline in seconds (minutes 0/45/100/300/430/500). *)
+val paper_phases : phases
+
+type params = {
+  peers : int;
+  keys_per_peer : int;
+  n_min : int;
+  d_max : int;
+  degree : int;  (** unstructured overlay degree *)
+  walk_steps : int;  (** random-walk length for peer sampling *)
+  latency : Pgrid_simnet.Latency.model;
+  loss : float;
+  bucket : float;  (** bandwidth bucket (seconds) *)
+  header_bytes : int;
+  key_bytes : int;
+  initiate_mean : float;  (** mean pause between construction initiations *)
+  ping_interval : float;  (** periodic routing-table ping *)
+  query_min : float;  (** paper: a query every 1-2 minutes per peer *)
+  query_max : float;
+  retry_timeout : float;  (** per dead-reference timeout penalty *)
+  max_fruitless : int;
+  refer_hops : int;
+  mode : Engine.mode;
+  phases : phases;
+  churn : Pgrid_simnet.Churn.params option;
+      (** [None]: the paper's churn cycle over [churn_start, end_time] *)
+}
+
+(** Paper-like defaults for ~296 peers. *)
+val default_params : peers:int -> params
+
+type query_stats = {
+  issued : int;
+  succeeded : int;
+  failed : int;
+  mean_hops : float;
+  mean_latency : float;  (** seconds, successful queries *)
+}
+
+type outcome = {
+  overlay : Pgrid_core.Overlay.t;
+  reference : Pgrid_partition.Reference.t;
+  deviation : float;
+  online_series : (float * int) list;  (** (minute, online peers) — Fig 7 *)
+  maintenance_bw : (float * float) list;
+      (** (minute, bytes/sec per online peer) — Fig 8 *)
+  query_bw : (float * float) list;
+  latency_series : (float * float * float) list;
+      (** (minute bucket, mean, stddev) of query latency — Fig 9 *)
+  query_stats : query_stats;
+  stats : Pgrid_core.Overlay.stats;
+  counters : Engine.counters;
+  messages_sent : int;
+  messages_dropped : int;
+}
+
+(** [run rng params ~spec] executes the full timeline. Deterministic for a
+    given seed. *)
+val run :
+  Pgrid_prng.Rng.t -> params -> spec:Pgrid_workload.Distribution.spec -> outcome

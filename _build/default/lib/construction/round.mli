@@ -1,0 +1,86 @@
+(** The round-based decentralized construction engine (paper Sections 2.2,
+    4.2 and 4.4 — the engine behind the Figure 6 experiments).
+
+    Every peer starts at the root path holding its own data keys.  After
+    the replication phase (keys pushed to [n_min] random peers), active
+    peers repeatedly initiate random interactions:
+
+    - {b refer}: the contacted peer's path diverges — it recommends one of
+      its routing references closer to the initiator's partition and the
+      walk continues (both sides opportunistically add each other to
+      their routing tables);
+    - {b split}: same partition, overloaded (capture-recapture estimate
+      of distinct keys exceeds [d_max]) and enough replicas (overlap
+      estimate above [n_min]): with probability [alpha(p-hat)] the pair
+      performs a balanced split, exchanging the keys of the halves and
+      referencing each other;
+    - {b follow}: the contacted peer already extended past the
+      initiator's level: the initiator applies AEP rules 3/4 (decide the
+      opposite of a minority-side peer; decide minority with probability
+      [beta(p-hat)] against a majority-side peer, else copy one of its
+      minority references), hands over its out-of-partition keys and
+      extends one bit;
+    - {b replicate}: same partition, not overloaded (or too few
+      replicas): the peers reconcile stores and record each other as
+      replicas.
+
+    A peer whose last [max_fruitless] initiated interactions achieved
+    nothing stops initiating (it still responds, and a useful contact
+    re-activates it); the engine stops when no peer is active. *)
+
+type probabilities_mode =
+  | Theory  (** the exact AEP [alpha]/[beta] (Figure 6 default) *)
+  | Heuristic  (** the Figure 6(d) strawman functions *)
+
+type params = {
+  peers : int;
+  keys_per_peer : int;
+  n_min : int;
+  d_max : int;
+  max_fruitless : int;  (** paper suggests 2 *)
+  max_rounds : int;  (** safety bound; runs end well before it *)
+  refer_hops : int;  (** refer-walk budget per interaction *)
+  mode : probabilities_mode;
+}
+
+(** Sensible defaults for a Figure-6-style run ([n_min = 5],
+    [d_max = 10 * n_min], [keys_per_peer = 10], [max_fruitless = 2],
+    [refer_hops = 20], [max_rounds = 500], [mode = Theory]). *)
+val default_params : peers:int -> params
+
+type outcome = {
+  overlay : Pgrid_core.Overlay.t;  (** the constructed overlay *)
+  reference : Pgrid_partition.Reference.t;
+      (** Algorithm 1 on the same key population *)
+  deviation : float;  (** paper Section 4.4 metric *)
+  rounds : int;
+  interactions : int;  (** contacts during construction (incl. refers) *)
+  keys_moved : int;  (** distinct key transfers during construction *)
+  replication_keys : int;  (** key copies pushed in the replication phase *)
+  splits : int;
+  follows : int;
+  merges : int;
+  refer_steps : int;
+}
+
+(** [interactions_per_peer o] / [keys_moved_per_peer o]: construction-phase
+    counters normalized by population (Figures 6(e)/6(f); the paper's 6(f)
+    includes the replication phase, so it is reported separately). *)
+val interactions_per_peer : outcome -> float
+
+val keys_moved_per_peer : outcome -> float
+
+(** [run rng params ~spec] draws per-peer keys from [spec] and executes
+    the protocol. The outcome overlay can be queried with
+    {!Pgrid_core.Overlay} functions. *)
+val run :
+  Pgrid_prng.Rng.t -> params -> spec:Pgrid_workload.Distribution.spec -> outcome
+
+(** [run_with_keys rng params ~assignments] runs on a fixed key
+    assignment (peer [i] owns [assignments.(i)]); used by tests and by
+    re-indexing examples. Requires [Array.length assignments = peers]. *)
+val run_with_keys :
+  Pgrid_prng.Rng.t ->
+  params ->
+  assignments:Pgrid_keyspace.Key.t array array ->
+  outcome

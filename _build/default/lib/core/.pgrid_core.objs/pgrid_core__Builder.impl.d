@@ -1,0 +1,1 @@
+lib/core/builder.ml: Array Float List Node Overlay Pgrid_keyspace Pgrid_partition Pgrid_prng

@@ -1,0 +1,1 @@
+lib/core/builder.mli: Overlay Pgrid_keyspace Pgrid_partition Pgrid_prng

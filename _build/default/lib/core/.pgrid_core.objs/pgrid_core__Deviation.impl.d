@@ -1,0 +1,1 @@
+lib/core/deviation.ml: Array List Overlay Pgrid_keyspace Pgrid_partition

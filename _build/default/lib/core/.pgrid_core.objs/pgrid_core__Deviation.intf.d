@@ -1,0 +1,1 @@
+lib/core/deviation.mli: Overlay Pgrid_keyspace Pgrid_partition

@@ -1,0 +1,1 @@
+lib/core/maintenance.ml: Array Hashtbl List Node Option Overlay Pgrid_keyspace Pgrid_prng

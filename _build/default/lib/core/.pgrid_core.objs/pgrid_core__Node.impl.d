@@ -1,0 +1,1 @@
+lib/core/node.ml: Array Hashtbl List Option Pgrid_keyspace

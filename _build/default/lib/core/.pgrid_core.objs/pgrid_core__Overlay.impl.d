@@ -1,0 +1,1 @@
+lib/core/overlay.ml: Array Hashtbl List Node Option Pgrid_keyspace Pgrid_prng Pgrid_stats

@@ -1,0 +1,1 @@
+lib/core/overlay.mli: Node Pgrid_keyspace Pgrid_prng Pgrid_stats

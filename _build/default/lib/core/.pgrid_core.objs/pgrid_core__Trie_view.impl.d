@@ -1,0 +1,1 @@
+lib/core/trie_view.ml: Hashtbl List Node Option Overlay Pgrid_keyspace Printf String

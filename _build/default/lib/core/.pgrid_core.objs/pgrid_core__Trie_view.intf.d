@@ -1,0 +1,1 @@
+lib/core/trie_view.mli: Node Overlay Pgrid_keyspace

@@ -1,0 +1,34 @@
+(** Direct construction of a well-formed overlay from a reference
+    partitioning — the "as if globally coordinated" baseline.
+
+    Used by examples and tests that need a working overlay without running
+    the decentralized construction protocol, and as the ideal endpoint the
+    construction engines are compared against. *)
+
+(** [of_reference rng ~reference ~keys ~refs_per_level] builds an overlay:
+
+    - fractional reference peer counts are rounded by largest remainder so
+      the population total is preserved;
+    - every peer of a partition replicates all keys of that partition and
+      knows its co-replicas;
+    - each routing level holds [refs_per_level] references drawn uniformly
+      from the peers of the complementary subtree (fewer when the subtree
+      is smaller). *)
+val of_reference :
+  Pgrid_prng.Rng.t ->
+  reference:Pgrid_partition.Reference.t ->
+  keys:Pgrid_keyspace.Key.t array ->
+  refs_per_level:int ->
+  Overlay.t
+
+(** [index rng ~peers ~keys ~d_max ~n_min ~refs_per_level] is the one-call
+    quickstart: run Algorithm 1 on [keys], then build the overlay for
+    [peers] peers. *)
+val index :
+  Pgrid_prng.Rng.t ->
+  peers:int ->
+  keys:Pgrid_keyspace.Key.t array ->
+  d_max:int ->
+  n_min:int ->
+  refs_per_level:int ->
+  Overlay.t

@@ -1,0 +1,29 @@
+module Path = Pgrid_keyspace.Path
+module Reference = Pgrid_partition.Reference
+
+let of_paths ~reference paths =
+  let partitions = Array.of_list reference.Reference.partitions in
+  let k = Array.length partitions in
+  if k = 0 then invalid_arg "Deviation.of_paths: empty reference";
+  let achieved = Array.make k 0. in
+  List.iter
+    (fun q ->
+      Array.iteri
+        (fun i part ->
+          let f = Path.overlap_fraction ~of_:q part.Reference.path in
+          if f > 0. then achieved.(i) <- achieved.(i) +. f)
+        partitions)
+    paths;
+  let sq_sum = ref 0. and ref_sum = ref 0. in
+  Array.iteri
+    (fun i part ->
+      let d = part.Reference.peers -. achieved.(i) in
+      sq_sum := !sq_sum +. (d *. d);
+      ref_sum := !ref_sum +. part.Reference.peers)
+    partitions;
+  let fk = float_of_int k in
+  let rms = sqrt (!sq_sum /. fk) in
+  let mean = !ref_sum /. fk in
+  if mean = 0. then 0. else rms /. mean
+
+let of_overlay ~reference overlay = of_paths ~reference (Overlay.paths overlay)

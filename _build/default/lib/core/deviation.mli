@@ -1,0 +1,20 @@
+(** The paper's load-balancing quality metric (Section 4.4).
+
+    Algorithm 1 ({!Pgrid_partition.Reference}) defines the optimal
+    distribution [(k_i, n_i)] of peers over partitions; a decentralized
+    run produces its own partition tree, so each achieved peer path [q] is
+    projected onto the reference partitions by dyadic-interval overlap:
+    [q] contributes [|I q ∩ I k_i| / |I q|] to partition [i].  The metric
+    is the root-mean-square difference of peer counts, normalized by the
+    mean reference peer count:
+
+    [sqrt ((1/K) * sum_i (n_i - n'_i)^2) / ((1/K) * sum_i n_i)] *)
+
+(** [of_paths ~reference paths] computes the deviation of the achieved
+    peer-path multiset against the reference partitioning. *)
+val of_paths :
+  reference:Pgrid_partition.Reference.t -> Pgrid_keyspace.Path.t list -> float
+
+(** [of_overlay ~reference overlay] projects the online peers of
+    [overlay]. *)
+val of_overlay : reference:Pgrid_partition.Reference.t -> Overlay.t -> float

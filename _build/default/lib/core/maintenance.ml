@@ -1,0 +1,290 @@
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+
+let node = Overlay.node
+
+(* --- shared helpers -------------------------------------------------------- *)
+
+(* Online peers whose paths branch into the complement [prefix]. *)
+let complement_candidates overlay prefix ~excluding =
+  let rec collect i acc =
+    if i >= Overlay.size overlay then acc
+    else begin
+      let m = node overlay i in
+      if i <> excluding && m.Node.online && Path.is_prefix_of ~prefix m.Node.path
+      then collect (i + 1) (i :: acc)
+      else collect (i + 1) acc
+    end
+  in
+  collect 0 []
+
+(* Online peers sharing exactly [path], excluding one id. *)
+let partition_members overlay path ~excluding =
+  let rec collect i acc =
+    if i >= Overlay.size overlay then acc
+    else begin
+      let m = node overlay i in
+      if i <> excluding && m.Node.online && Path.equal m.Node.path path then
+        collect (i + 1) (i :: acc)
+      else collect (i + 1) acc
+    end
+  in
+  collect 0 []
+
+(* Refill one emptied routing level with a random complement peer. *)
+let refill_level rng overlay i level =
+  let n = node overlay i in
+  if level < Path.length n.Node.path && Node.refs_at n ~level = [] then begin
+    let prefix = Path.complement_at n.Node.path level in
+    match complement_candidates overlay prefix ~excluding:i with
+    | [] -> ()
+    | pool -> Node.add_ref n ~level (Rng.pick_list rng pool)
+  end
+
+(* A peer that changed partition invalidates third-party routing entries
+   pointing at its old position; drop the ones that no longer match and
+   refill any level this emptied. *)
+let purge_stale_refs rng overlay id =
+  let moved = node overlay id in
+  for i = 0 to Overlay.size overlay - 1 do
+    if i <> id then begin
+      let n = node overlay i in
+      for level = 0 to Array.length n.Node.refs - 1 do
+        if List.mem id n.Node.refs.(level) then begin
+          let consistent =
+            level < Path.length n.Node.path
+            &&
+            let prefix = Path.complement_at n.Node.path level in
+            Path.length moved.Node.path >= Path.length prefix
+            && Path.is_prefix_of ~prefix moved.Node.path
+          in
+          if not consistent then begin
+            n.Node.refs.(level) <- List.filter (fun r -> r <> id) n.Node.refs.(level);
+            refill_level rng overlay i level
+          end
+        end
+      done
+    end
+  done
+
+(* Make [peer] a fresh replica of [host_id]: adopt path, store and routing
+   table, then register with the whole replica group.  [peer]'s previous
+   state is discarded (its old group must already have been told). *)
+let adopt overlay ~host_id ~peer =
+  let host = node overlay host_id in
+  let n = node overlay peer in
+  Hashtbl.reset n.Node.store;
+  n.Node.refs <- Array.make (max 8 (Path.length host.Node.path)) [];
+  n.Node.replicas <- [];
+  Node.set_path n host.Node.path;
+  Hashtbl.iter
+    (fun k payloads ->
+      Node.ensure_key n k;
+      List.iter (Node.insert n k) payloads)
+    host.Node.store;
+  for level = 0 to Path.length host.Node.path - 1 do
+    List.iter
+      (fun r -> if r <> peer then Node.add_ref n ~level r)
+      (Node.refs_at host ~level)
+  done;
+  Node.add_replica n host_id;
+  List.iter (fun r -> Node.add_replica n r) host.Node.replicas;
+  List.iter
+    (fun rid ->
+      let r = node overlay rid in
+      if r.Node.online then Node.add_replica r peer)
+    (host_id :: host.Node.replicas)
+
+(* Remove [id] from its group's replica lists. *)
+let farewell overlay id =
+  let n = node overlay id in
+  List.iter
+    (fun rid ->
+      let r = node overlay rid in
+      r.Node.replicas <- List.filter (fun x -> x <> id) r.Node.replicas)
+    n.Node.replicas
+
+(* The member list of the partition with the most online peers. *)
+let richest_partition overlay ~excluding =
+  let census = Hashtbl.create 64 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = node overlay i in
+    if i <> excluding && n.Node.online then begin
+      let key = Path.to_string n.Node.path in
+      let members = Option.value ~default:[] (Hashtbl.find_opt census key) in
+      Hashtbl.replace census key (i :: members)
+    end
+  done;
+  Hashtbl.fold
+    (fun _ members best ->
+      match best with
+      | Some b when List.length b >= List.length members -> best
+      | _ -> Some members)
+    census None
+
+(* --- leave ------------------------------------------------------------------ *)
+
+let leave rng overlay id =
+  let n = node overlay id in
+  if not n.Node.online then 0
+  else begin
+    let pushed = ref 0 in
+    (* A partition must not die with its last member: recruit a stand-in
+       from the most-replicated partition before departing (emergency
+       replication balancing). *)
+    if partition_members overlay n.Node.path ~excluding:id = [] then begin
+      match richest_partition overlay ~excluding:id with
+      | Some (_ :: _ :: _ as rich) ->
+        (* Only partitions that can spare a member qualify. *)
+        let recruit = Rng.pick_list rng rich in
+        farewell overlay recruit;
+        adopt overlay ~host_id:id ~peer:recruit;
+        pushed := !pushed + Node.key_count n;
+        purge_stale_refs rng overlay recruit
+      | _ -> ()
+    end;
+    let online_replicas =
+      List.filter (fun r -> (node overlay r).Node.online) n.Node.replicas
+    in
+    (* Push payload-bearing keys the replicas are missing. *)
+    Hashtbl.iter
+      (fun k payloads ->
+        List.iter
+          (fun rid ->
+            let r = node overlay rid in
+            if Node.responsible_for r k then begin
+              Node.ensure_key r k;
+              let existing = Node.lookup r k in
+              List.iter
+                (fun p ->
+                  if not (List.mem p existing) then begin
+                    Node.insert r k p;
+                    incr pushed
+                  end)
+                payloads
+            end)
+          online_replicas)
+      n.Node.store;
+    (* Departure announcement: replicas forget the leaver. *)
+    farewell overlay id;
+    n.Node.online <- false;
+    !pushed
+  end
+
+(* --- join ------------------------------------------------------------------- *)
+
+let join rng overlay id ~entry =
+  let n = node overlay id in
+  if n.Node.online then invalid_arg "Maintenance.join: node already online";
+  let anchor = Key.random rng in
+  let probe = Overlay.search overlay ~from:entry anchor in
+  match probe.Overlay.responsible with
+  | None -> None
+  | Some host_id ->
+    adopt overlay ~host_id ~peer:id;
+    n.Node.online <- true;
+    purge_stale_refs rng overlay id;
+    Some probe.Overlay.hops
+
+(* --- repair ------------------------------------------------------------------ *)
+
+type repair_report = {
+  dead_refs_dropped : int;
+  refs_added : int;
+  unfixable_levels : int;
+}
+
+let repair rng overlay ~redundancy =
+  if redundancy < 1 then invalid_arg "Maintenance.repair: redundancy must be >= 1";
+  let dropped = ref 0 and added = ref 0 and unfixable = ref 0 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = node overlay i in
+    if n.Node.online then
+      for level = 0 to Path.length n.Node.path - 1 do
+        let prefix_here = Path.complement_at n.Node.path level in
+        (* Keep a reference only while its peer is online and still
+           provably branches into this level's complement. *)
+        let valid r =
+          let m = node overlay r in
+          m.Node.online
+          && (Path.length m.Node.path <= level
+             || Path.is_prefix_of ~prefix:prefix_here m.Node.path)
+        in
+        let alive, dead = List.partition valid (Node.refs_at n ~level) in
+        dropped := !dropped + List.length dead;
+        (* Levels past the allocated table have no refs to prune. *)
+        if level < Array.length n.Node.refs then n.Node.refs.(level) <- alive;
+        if List.length alive < redundancy then begin
+          match
+            List.filter
+              (fun c -> not (List.mem c alive))
+              (complement_candidates overlay prefix_here ~excluding:i)
+          with
+          | [] -> if alive = [] then incr unfixable
+          | pool ->
+            let arr = Array.of_list pool in
+            Rng.shuffle rng arr;
+            let want = redundancy - List.length alive in
+            Array.iteri
+              (fun rank c ->
+                if rank < want then begin
+                  Node.add_ref n ~level c;
+                  incr added
+                end)
+              arr
+        end
+      done
+  done;
+  { dead_refs_dropped = !dropped; refs_added = !added; unfixable_levels = !unfixable }
+
+(* --- rebalance ----------------------------------------------------------------- *)
+
+type rebalance_report = { migrations : int; rounds : int; final_spread : float }
+
+let partition_census overlay =
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = node overlay i in
+    if n.Node.online then begin
+      let key = Path.to_string n.Node.path in
+      let members = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (i :: members)
+    end
+  done;
+  Hashtbl.fold (fun path members acc -> (path, members) :: acc) tbl []
+
+let spread census =
+  match census with
+  | [] -> 1.
+  | _ ->
+    let sizes = List.map (fun (_, m) -> List.length m) census in
+    let mx = List.fold_left max 1 sizes and mn = List.fold_left min max_int sizes in
+    float_of_int mx /. float_of_int (max 1 mn)
+
+let rebalance rng overlay ~n_min ~max_rounds =
+  if n_min < 1 then invalid_arg "Maintenance.rebalance: n_min must be >= 1";
+  if max_rounds < 0 then invalid_arg "Maintenance.rebalance: negative rounds";
+  let migrations = ref 0 in
+  let rounds = ref 0 in
+  let continue = ref true in
+  while !continue && !rounds < max_rounds do
+    incr rounds;
+    let census = partition_census overlay in
+    let sorted =
+      List.sort (fun (_, a) (_, b) -> compare (List.length b) (List.length a)) census
+    in
+    match (sorted, List.rev sorted) with
+    | (_, rich) :: _, (_, poor) :: _
+      when List.length rich > n_min
+           && List.length rich >= 2 * List.length poor
+           && List.length rich > List.length poor + 1 ->
+      let mover = Rng.pick_list rng rich in
+      let target = Rng.pick_list rng poor in
+      farewell overlay mover;
+      adopt overlay ~host_id:target ~peer:mover;
+      purge_stale_refs rng overlay mover;
+      incr migrations
+    | _ -> continue := false
+  done;
+  { migrations = !migrations; rounds = !rounds; final_spread = spread (partition_census overlay) }

@@ -1,0 +1,65 @@
+(** Standard overlay maintenance: the sequential join/leave/repair model
+    the paper contrasts its parallel construction against (Sections 1 and
+    6), plus online replication balancing (the paper's second
+    load-balancing dimension, elaborated in its companion work
+    "Multifaceted Simultaneous Load Balancing", reference [2]).
+
+    These operations run on a *constructed* overlay: churn repair keeps
+    routing tables alive, graceful leaves keep data alive, joins restore
+    replication, and rebalancing migrates peers from over- to
+    under-replicated partitions. *)
+
+(** [leave rng overlay id] performs a graceful departure: the node pushes
+    any payload-bearing keys its online replicas are missing, announces
+    the departure, and goes offline.  A peer departing as the *last*
+    member of its partition first recruits a stand-in from the
+    most-replicated partition (emergency replication balancing), so no
+    partition — and no data — dies with it.  Returns the number of
+    (key, payload) copies pushed. No-op (returning 0) when the node is
+    already offline. *)
+val leave : Pgrid_prng.Rng.t -> Overlay.t -> Node.id -> int
+
+(** [join rng overlay id ~entry] integrates the offline node [id] back:
+    starting from online peer [entry], it routes to a partition chosen by
+    a random key, becomes a replica of the host (copying its path, keys
+    and routing references), and registers with the host's replica group.
+    Returns the routing hop count, or [None] when no host is
+    reachable. @raise Invalid_argument if [id] is online. *)
+val join :
+  Pgrid_prng.Rng.t -> Overlay.t -> Node.id -> entry:Node.id -> int option
+
+type repair_report = {
+  dead_refs_dropped : int;
+  refs_added : int;
+  unfixable_levels : int;
+      (** levels whose complement has no online peer at all *)
+}
+
+(** [repair rng overlay ~redundancy] walks every online node's routing
+    table: references that are offline or no longer branch into the
+    level's complement are dropped, and each level is refilled up to
+    [redundancy] references with online peers of the complement (the
+    global index stands in for the lookup-based discovery a deployment
+    would use — "correction on use"). *)
+val repair : Pgrid_prng.Rng.t -> Overlay.t -> redundancy:int -> repair_report
+
+type rebalance_report = {
+  migrations : int;
+  rounds : int;
+  final_spread : float;
+      (** max/min online peers per partition after balancing *)
+}
+
+(** [rebalance rng overlay ~n_min ~max_rounds] performs replication
+    balancing: while some partition holds more than twice the peers of
+    the most starved one (and stays above [n_min] itself), one peer
+    migrates from the richest to the poorest partition — adopting its
+    path, cloning a member's store and wiring fresh references (the
+    "balls move themselves" dynamic of the paper's balls-into-bins
+    discussion). *)
+val rebalance :
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  n_min:int ->
+  max_rounds:int ->
+  rebalance_report

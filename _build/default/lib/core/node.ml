@@ -1,0 +1,69 @@
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+
+type id = int
+
+type t = {
+  id : id;
+  mutable path : Path.t;
+  mutable refs : id list array;
+  store : (Key.t, string list) Hashtbl.t;
+  mutable replicas : id list;
+  mutable online : bool;
+}
+
+let create ~id =
+  {
+    id;
+    path = Path.root;
+    refs = Array.make 8 [];
+    store = Hashtbl.create 32;
+    replicas = [];
+    online = true;
+  }
+
+let insert t key payload =
+  let existing = Option.value ~default:[] (Hashtbl.find_opt t.store key) in
+  Hashtbl.replace t.store key (payload :: existing)
+
+let ensure_key t key =
+  if not (Hashtbl.mem t.store key) then Hashtbl.replace t.store key []
+
+let has_key t key = Hashtbl.mem t.store key
+let lookup t key = Option.value ~default:[] (Hashtbl.find_opt t.store key)
+let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.store []
+let key_count t = Hashtbl.length t.store
+
+let ensure_capacity t level =
+  let n = Array.length t.refs in
+  if level >= n then begin
+    let grown = Array.make (max (level + 1) (2 * n)) [] in
+    Array.blit t.refs 0 grown 0 n;
+    t.refs <- grown
+  end
+
+let add_ref t ~level peer =
+  if level < 0 then invalid_arg "Node.add_ref: negative level";
+  ensure_capacity t level;
+  if peer <> t.id && not (List.mem peer t.refs.(level)) then
+    t.refs.(level) <- peer :: t.refs.(level)
+
+let refs_at t ~level =
+  if level < 0 || level >= Array.length t.refs then [] else t.refs.(level)
+
+let set_path t path = t.path <- path
+
+let add_replica t peer =
+  if peer <> t.id && not (List.mem peer t.replicas) then
+    t.replicas <- peer :: t.replicas
+
+let drop_keys_outside t path =
+  let doomed =
+    Hashtbl.fold
+      (fun k _ acc -> if Path.matches_key path k then acc else k :: acc)
+      t.store []
+  in
+  List.iter (Hashtbl.remove t.store) doomed;
+  List.length doomed
+
+let responsible_for t key = Path.matches_key t.path key

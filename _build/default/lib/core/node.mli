@@ -1,0 +1,68 @@
+(** One P-Grid peer: its partition path, level-wise routing table, key
+    store and replica list.
+
+    The routing table mirrors the trie structure (paper Section 2.1): for
+    every bit position [l] of the node's path it holds one or more
+    references to peers whose paths branch to the complementary subtree at
+    [l].  Multiple references per level provide the redundancy that makes
+    routing resilient under churn. *)
+
+type id = int
+
+type t = {
+  id : id;
+  mutable path : Pgrid_keyspace.Path.t;
+  mutable refs : id list array;
+      (** [refs.(l)]: peers in the complement at level [l]; the array has
+          at least [Path.length path] used slots *)
+  store : (Pgrid_keyspace.Key.t, string list) Hashtbl.t;
+      (** key -> payloads (e.g. posting lists); multiple payloads per key *)
+  mutable replicas : id list;  (** known peers sharing this node's path *)
+  mutable online : bool;
+}
+
+(** [create ~id] starts at the root path with an empty store. *)
+val create : id:id -> t
+
+(** [insert t key payload] appends a payload under [key]. *)
+val insert : t -> Pgrid_keyspace.Key.t -> string -> unit
+
+(** [ensure_key t key] records [key] in the store (with no payload) if it
+    is absent — construction moves keys around without touching
+    application payloads. *)
+val ensure_key : t -> Pgrid_keyspace.Key.t -> unit
+
+(** [has_key t key] tests presence regardless of payloads. *)
+val has_key : t -> Pgrid_keyspace.Key.t -> bool
+
+(** [lookup t key] is the payload list under [key] (empty when absent). *)
+val lookup : t -> Pgrid_keyspace.Key.t -> string list
+
+(** [keys t] lists distinct stored keys (unspecified order). *)
+val keys : t -> Pgrid_keyspace.Key.t list
+
+(** [key_count t] is the number of distinct keys stored. *)
+val key_count : t -> int
+
+(** [add_ref t ~level peer] records a routing reference, growing the table
+    as needed; duplicates are ignored. Requires [level >= 0]. *)
+val add_ref : t -> level:int -> id -> unit
+
+(** [refs_at t ~level] is the (possibly empty) reference list at [level]. *)
+val refs_at : t -> level:int -> id list
+
+(** [set_path t path] updates the node's partition path. *)
+val set_path : t -> Pgrid_keyspace.Path.t -> unit
+
+(** [add_replica t peer] records a same-partition replica (idempotent,
+    never records the node itself). *)
+val add_replica : t -> id -> unit
+
+(** [drop_keys_outside t path] removes stored keys not matching [path]
+    (performed after a split hands the complement's keys over) and returns
+    the number of distinct keys dropped. *)
+val drop_keys_outside : t -> Pgrid_keyspace.Path.t -> int
+
+(** [responsible_for t key] tests whether the node's partition covers
+    [key]. *)
+val responsible_for : t -> Pgrid_keyspace.Key.t -> bool

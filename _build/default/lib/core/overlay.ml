@@ -1,0 +1,229 @@
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Moments = Pgrid_stats.Moments
+
+type t = { nodes : Node.t array; rng : Rng.t }
+
+let create rng ~n =
+  if n < 1 then invalid_arg "Overlay.create: n must be >= 1";
+  { nodes = Array.init n (fun id -> Node.create ~id); rng }
+
+let size t = Array.length t.nodes
+let node t id = t.nodes.(id)
+
+let online_count t =
+  Array.fold_left (fun acc n -> if n.Node.online then acc + 1 else acc) 0 t.nodes
+
+type search_result = {
+  responsible : Node.id option;
+  hops : int;
+  key_present : bool;
+  payloads : string list;
+}
+
+(* First level at which [path] disagrees with [key], if any. *)
+let divergence_level path key =
+  let len = Path.length path in
+  let rec go l =
+    if l >= len then None
+    else if Path.bit path l <> Key.bit key l then Some l
+    else go (l + 1)
+  in
+  go 0
+
+(* Forward one step toward [key]: choose a random online reference at the
+   divergence level. *)
+let forward t cur key =
+  match divergence_level cur.Node.path key with
+  | None -> `Responsible
+  | Some level ->
+    let candidates =
+      List.filter (fun id -> (node t id).Node.online) (Node.refs_at cur ~level)
+    in
+    (match candidates with
+    | [] -> `Dead_end
+    | _ -> `Next (Rng.pick_list t.rng candidates))
+
+let max_hops = 2 * Key.bits
+
+let search t ~from key =
+  let fail hops = { responsible = None; hops; key_present = false; payloads = [] } in
+  let rec go cur hops =
+    if hops > max_hops then fail hops
+    else begin
+      match forward t cur key with
+      | `Responsible ->
+        {
+          responsible = Some cur.Node.id;
+          hops;
+          key_present = Node.has_key cur key;
+          payloads = Node.lookup cur key;
+        }
+      | `Dead_end -> fail hops
+      | `Next id -> go (node t id) (hops + 1)
+    end
+  in
+  let origin = node t from in
+  if origin.Node.online then go origin 0 else fail 0
+
+type range_result = {
+  visited : Node.id list;
+  total_hops : int;
+  matches : (Key.t * string list) list;
+}
+
+let range_search t ~from ~lo ~hi =
+  if Key.compare lo hi > 0 then invalid_arg "Overlay.range_search: lo must be <= hi";
+  let rec shower origin cursor visited hops matches =
+    if Key.compare cursor hi > 0 then (List.rev visited, hops, List.rev matches)
+    else begin
+      let r = search t ~from:origin cursor in
+      match r.responsible with
+      | None -> (List.rev visited, hops + r.hops, List.rev matches)
+      | Some id ->
+        let peer = node t id in
+        let found =
+          Node.keys peer
+          |> List.filter (fun k -> Key.compare lo k <= 0 && Key.compare k hi <= 0)
+          |> List.sort Key.compare
+          |> List.map (fun k -> (k, Node.lookup peer k))
+        in
+        let matches = List.rev_append found matches in
+        let _, interval_hi = Path.interval_keys peer.Node.path in
+        (* Continue at the first key beyond this partition; the current
+           responsible peer is the new origin (prefix locality). *)
+        if interval_hi >= 1 lsl Key.bits then
+          (List.rev (id :: visited), hops + r.hops, List.rev matches)
+        else
+          shower id (Key.of_int interval_hi) (id :: visited) (hops + r.hops) matches
+    end
+  in
+  let visited, total_hops, matches = shower from lo [] 0 [] in
+  { visited; total_hops; matches }
+
+let insert t ~from key payload =
+  let r = search t ~from key in
+  match r.responsible with
+  | None -> None
+  | Some id ->
+    let peer = node t id in
+    Node.insert peer key payload;
+    List.iter
+      (fun rid ->
+        let replica = node t rid in
+        if replica.Node.online && Node.responsible_for replica key then
+          Node.insert replica key payload)
+      peer.Node.replicas;
+    Some r.hops
+
+let anti_entropy t =
+  let by_path = Hashtbl.create 64 in
+  Array.iter
+    (fun n ->
+      if n.Node.online then begin
+        let key = Path.to_string n.Node.path in
+        let group = Option.value ~default:[] (Hashtbl.find_opt by_path key) in
+        Hashtbl.replace by_path key (n :: group)
+      end)
+    t.nodes;
+  let moved = ref 0 in
+  Hashtbl.iter
+    (fun _ group ->
+      match group with
+      | [] | [ _ ] -> ()
+      | members ->
+        (* Union of the group's stores, then fill each member's gaps. *)
+        let union = Hashtbl.create 64 in
+        List.iter
+          (fun n ->
+            Hashtbl.iter
+              (fun k payloads ->
+                let existing = Option.value ~default:[] (Hashtbl.find_opt union k) in
+                let missing = List.filter (fun p -> not (List.mem p existing)) payloads in
+                Hashtbl.replace union k (missing @ existing))
+              n.Node.store)
+          members;
+        List.iter
+          (fun n ->
+            Hashtbl.iter
+              (fun k payloads ->
+                let mine = Node.lookup n k in
+                List.iter
+                  (fun p ->
+                    if not (List.mem p mine) then begin
+                      Node.insert n k p;
+                      incr moved
+                    end)
+                  payloads)
+              union)
+          members)
+    by_path;
+  !moved
+
+let paths t =
+  Array.to_list t.nodes
+  |> List.filter_map (fun n -> if n.Node.online then Some n.Node.path else None)
+
+type stats = {
+  peers : int;
+  partitions : int;
+  mean_path_length : float;
+  max_path_length : int;
+  mean_replication : float;
+  storage : Moments.t;
+}
+
+let stats t =
+  let online = List.filter (fun n -> n.Node.online) (Array.to_list t.nodes) in
+  let distinct = Hashtbl.create 64 in
+  let lengths = Moments.create () in
+  let storage = Moments.create () in
+  List.iter
+    (fun n ->
+      Hashtbl.replace distinct (Path.to_string n.Node.path) ();
+      Moments.add lengths (float_of_int (Path.length n.Node.path));
+      Moments.add storage (float_of_int (Node.key_count n)))
+    online;
+  let peers = List.length online in
+  let partitions = Hashtbl.length distinct in
+  {
+    peers;
+    partitions;
+    mean_path_length = Moments.mean lengths;
+    max_path_length = (if peers = 0 then 0 else int_of_float (Moments.max lengths));
+    mean_replication =
+      (if partitions = 0 then 0. else float_of_int peers /. float_of_int partitions);
+    storage;
+  }
+
+let integrity_errors t =
+  let errors = ref 0 in
+  (* A level may legitimately have no references when nobody populates the
+     complement (empty key-space regions are never colonized). *)
+  let complement_inhabited prefix =
+    Array.exists
+      (fun n -> n.Node.online && Path.is_prefix_of ~prefix n.Node.path)
+      t.nodes
+  in
+  Array.iter
+    (fun n ->
+      if n.Node.online then
+        for level = 0 to Path.length n.Node.path - 1 do
+          let expected = Path.complement_at n.Node.path level in
+          let refs = Node.refs_at n ~level in
+          if refs = [] then begin
+            if complement_inhabited expected then incr errors
+          end
+          else
+            List.iter
+              (fun id ->
+                let rp = (node t id).Node.path in
+                if
+                  Path.length rp > level
+                  && not (Path.is_prefix_of ~prefix:expected rp)
+                then incr errors)
+              refs
+        done)
+    t.nodes;
+  !errors

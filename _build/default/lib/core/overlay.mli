@@ -1,0 +1,84 @@
+(** The P-Grid overlay network: a population of {!Node}s with prefix
+    routing, range search, replica-aware insertion and integrity checks.
+
+    The overlay is the paper's primary artifact: a trie-structured,
+    order-preserving distributed index.  This module implements its
+    *operational* behaviour (searching, inserting, syncing); how peers
+    obtain their paths and routing tables is the job of the construction
+    engines ([Pgrid_construction]) or the {!Builder}. *)
+
+type t = { nodes : Node.t array; rng : Pgrid_prng.Rng.t }
+
+(** [create rng ~n] makes [n] nodes, all at the root path, ids [0..n-1]. *)
+val create : Pgrid_prng.Rng.t -> n:int -> t
+
+val size : t -> int
+val node : t -> Node.id -> Node.t
+
+(** [online_count t] is the number of online nodes. *)
+val online_count : t -> int
+
+(** Outcome of a routed lookup. *)
+type search_result = {
+  responsible : Node.id option;  (** [None]: routing failed (dead refs) *)
+  hops : int;  (** number of forwardings *)
+  key_present : bool;  (** the responsible peer stores the key *)
+  payloads : string list;  (** data found at the responsible peer *)
+}
+
+(** [search t ~from key] routes bit-by-bit from [from]: while the current
+    node's path disagrees with [key] at some level [l], the query is
+    forwarded to a (random, online) level-[l] reference.  Fails after
+    exhausting the references of a level or a hop budget of
+    [2 * Key.bits]. Offline [from] fails immediately with 0 hops. *)
+val search : t -> from:Node.id -> Pgrid_keyspace.Key.t -> search_result
+
+(** Outcome of a range query. *)
+type range_result = {
+  visited : Node.id list;  (** distinct responsible peers, in key order *)
+  total_hops : int;
+  matches : (Pgrid_keyspace.Key.t * string list) list;  (** in key order *)
+}
+
+(** [range_search t ~from ~lo ~hi] is the sequential "shower": route to
+    the partition containing [lo], collect, then hop to the next adjacent
+    partition until [hi] is passed.  Order preservation makes each
+    subsequent partition reachable in few hops. *)
+val range_search :
+  t ->
+  from:Node.id ->
+  lo:Pgrid_keyspace.Key.t ->
+  hi:Pgrid_keyspace.Key.t ->
+  range_result
+
+(** [insert t ~from key payload] routes to the responsible peer and stores
+    the payload there and at its known replicas. Returns the hop count,
+    or [None] if routing failed. *)
+val insert : t -> from:Node.id -> Pgrid_keyspace.Key.t -> string -> int option
+
+(** [anti_entropy t] reconciles replicas: nodes sharing a path exchange
+    missing keys (union of their stores). Returns the number of
+    (key, payload) pairs copied — the paper's replica-synchronization
+    step. Offline nodes participate neither as source nor target. *)
+val anti_entropy : t -> int
+
+(** [paths t] is every online node's current path. *)
+val paths : t -> Pgrid_keyspace.Path.t list
+
+(** Structural statistics used across the experiments. *)
+type stats = {
+  peers : int;
+  partitions : int;  (** distinct paths among online peers *)
+  mean_path_length : float;
+  max_path_length : int;
+  mean_replication : float;  (** peers per distinct path *)
+  storage : Pgrid_stats.Moments.t;  (** distinct keys per peer *)
+}
+
+val stats : t -> stats
+
+(** [integrity_errors t] counts routing-table violations: a level-[l]
+    reference whose path provably does not branch into the complement at
+    [l] (references shorter than [l+1] bits cannot be judged and are not
+    counted), plus levels of online nodes with no references at all. *)
+val integrity_errors : t -> int

@@ -1,0 +1,56 @@
+module Path = Pgrid_keyspace.Path
+
+type leaf = { path : Path.t; peers : Node.id list; keys : int }
+
+let leaves overlay =
+  let tbl : (string, leaf) Hashtbl.t = Hashtbl.create 64 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = Overlay.node overlay i in
+    if n.Node.online then begin
+      let key = Path.to_string n.Node.path in
+      let existing =
+        Option.value
+          ~default:{ path = n.Node.path; peers = []; keys = 0 }
+          (Hashtbl.find_opt tbl key)
+      in
+      Hashtbl.replace tbl key
+        {
+          existing with
+          peers = i :: existing.peers;
+          keys = max existing.keys (Node.key_count n);
+        }
+    end
+  done;
+  Hashtbl.fold (fun _ l acc -> { l with peers = List.sort compare l.peers } :: acc) tbl []
+  |> List.sort (fun a b -> Path.compare a.path b.path)
+
+let leaf_line l =
+  let indent = String.make (2 * Path.length l.path) ' ' in
+  let members =
+    match l.peers with
+    | [] -> "(empty)"
+    | ps when List.length ps <= 6 ->
+      String.concat "," (List.map string_of_int ps)
+    | ps -> Printf.sprintf "%d peers" (List.length ps)
+  in
+  Printf.sprintf "%s%s  peers[%s]  keys=%d" indent
+    (if Path.length l.path = 0 then "<root>" else Path.to_string l.path)
+    members l.keys
+
+let render ?(max_leaves = 64) overlay =
+  let all = leaves overlay in
+  let total = List.length all in
+  let shown =
+    if total <= max_leaves then List.map leaf_line all
+    else begin
+      let head = List.filteri (fun i _ -> i < max_leaves / 2) all in
+      let tail = List.filteri (fun i _ -> i >= total - (max_leaves / 2)) all in
+      List.map leaf_line head
+      @ [ Printf.sprintf "  ... %d partitions elided ..." (total - max_leaves) ]
+      @ List.map leaf_line tail
+    end
+  in
+  String.concat "\n"
+    ((Printf.sprintf "partition trie: %d partitions, %d online peers" total
+        (Overlay.online_count overlay))
+    :: shown)

@@ -1,0 +1,22 @@
+(** ASCII rendering of the overlay's partition trie — the picture of the
+    paper's Figure 1, computed from a live overlay.
+
+    Each leaf line shows the partition path, the online peers associated
+    with it and their (maximum) distinct key load; inner nodes are
+    implied by indentation.  Used by the CLI ([construct --trie]) and
+    handy when debugging construction runs. *)
+
+(** One partition as displayed. *)
+type leaf = {
+  path : Pgrid_keyspace.Path.t;
+  peers : Node.id list;  (** online members, ascending id *)
+  keys : int;  (** max distinct keys held by a member *)
+}
+
+(** [leaves overlay] lists the distinct partitions of online peers in key
+    order. *)
+val leaves : Overlay.t -> leaf list
+
+(** [render ?max_leaves overlay] draws the trie; when there are more than
+    [max_leaves] (default 64) partitions the middle is elided. *)
+val render : ?max_leaves:int -> Overlay.t -> string

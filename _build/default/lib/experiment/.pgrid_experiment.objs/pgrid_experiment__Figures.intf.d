@@ -1,0 +1,1 @@
+lib/experiment/figures.mli: Pgrid_construction Pgrid_stats

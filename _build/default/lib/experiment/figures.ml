@@ -1,0 +1,510 @@
+module Rng = Pgrid_prng.Rng
+module Moments = Pgrid_stats.Moments
+module Series = Pgrid_stats.Series
+module Table = Pgrid_stats.Table
+module Aep_math = Pgrid_partition.Aep_math
+module Mva = Pgrid_partition.Mva
+module Discrete = Pgrid_partition.Discrete
+module Distribution = Pgrid_workload.Distribution
+module Round = Pgrid_construction.Round
+module Sequential = Pgrid_construction.Sequential
+module Net_engine = Pgrid_construction.Net_engine
+
+let fig3 () =
+  let points =
+    List.init 60 (fun i ->
+        let p = 0.005 *. float_of_int (i + 1) in
+        (p, Aep_math.alpha_second_derivative p))
+  in
+  Series.figure ~title:"Figure 3: alpha''(p) (numerical)" ~x_label:"p"
+    ~y_label:"alpha''"
+    [ Series.make "alpha''" points ]
+
+let p_grid = [ 0.05; 0.1; 0.15; 0.2; 0.25; 0.3; 0.35; 0.4; 0.45; 0.5 ]
+
+(* One (deviation, interactions) sample per model run. *)
+let run_model rng model ~n ~p ~samples =
+  match model with
+  | `Mva ->
+    let o = Mva.run_exact ~n ~p in
+    (o.Mva.p0 -. (float_of_int n *. p), o.Mva.interactions)
+  | `Sam ->
+    let o = Mva.run_sampled rng ~n ~p ~samples in
+    (o.Mva.p0 -. (float_of_int n *. p), o.Mva.interactions)
+  | `Discrete strategy ->
+    let o = Discrete.run rng strategy ~n ~p ~samples in
+    ( float_of_int o.Discrete.p0 -. (float_of_int n *. p),
+      float_of_int o.Discrete.interactions )
+
+let models =
+  [
+    ("MVA", `Mva);
+    ("SAM", `Sam);
+    ("AEP", `Discrete Discrete.Aep);
+    ("COR", `Discrete Discrete.Cor);
+    ("AUT", `Discrete Discrete.Autonomous);
+  ]
+
+let fig45_data_uncached ~n ~samples ~reps ~seed =
+  List.map
+    (fun (name, model) ->
+      let dev_pts, int_pts =
+        List.map
+          (fun p ->
+            let rng = Rng.create ~seed in
+            let devs = Moments.create () and ints = Moments.create () in
+            let actual_reps = match model with `Mva -> 1 | _ -> reps in
+            for _ = 1 to actual_reps do
+              let d, i = run_model rng model ~n ~p ~samples in
+              Moments.add devs d;
+              Moments.add ints i
+            done;
+            ((p, Moments.mean devs), (p, Moments.mean ints)))
+          p_grid
+        |> List.split
+      in
+      (name, dev_pts, int_pts))
+    models
+
+let fig45_cache = Hashtbl.create 4
+
+let fig45_data ?(n = 1000) ?(samples = 10) ?(reps = 100) ~seed () =
+  let key = (n, samples, reps, seed) in
+  match Hashtbl.find_opt fig45_cache key with
+  | Some data -> data
+  | None ->
+    let data = fig45_data_uncached ~n ~samples ~reps ~seed in
+    Hashtbl.add fig45_cache key data;
+    data
+
+let fig4 ?n ?samples ?reps ~seed () =
+  let data = fig45_data ?n ?samples ?reps ~seed () in
+  Series.figure ~title:"Figure 4: mean(p0(t) - n p) over repetitions" ~x_label:"p"
+    ~y_label:"deviation from n*p"
+    (List.map (fun (name, dev, _) -> Series.make name dev) data)
+
+let fig5 ?n ?samples ?reps ~seed () =
+  let data = fig45_data ?n ?samples ?reps ~seed () in
+  Series.figure ~title:"Figure 5: mean total number of interactions" ~x_label:"p"
+    ~y_label:"interactions"
+    (List.map (fun (name, _, ints) -> Series.make name ints) data)
+
+type fig6 = {
+  title : string;
+  categories : string list;
+  distributions : string list;
+  values : float array array;
+}
+
+let fig6_table f =
+  let columns = "" :: f.distributions in
+  let rows =
+    List.mapi
+      (fun i cat ->
+        cat :: Array.to_list (Array.map (fun v -> Table.fmt_float v) f.values.(i)))
+      f.categories
+  in
+  Table.render ~title:f.title ~columns ~rows
+
+let paper_distributions = Distribution.paper_set
+let distribution_labels = List.map Distribution.label paper_distributions
+
+(* Construction runs are shared between Figures 6(a), 6(e) and 6(f) (same
+   parameters, different metrics), so cache the outcomes. *)
+let round_cache : (Round.params * Distribution.spec * int, Round.outcome) Hashtbl.t =
+  Hashtbl.create 64
+
+let round_run ~seed ~params ~spec =
+  let key = (params, spec, seed) in
+  match Hashtbl.find_opt round_cache key with
+  | Some o -> o
+  | None ->
+    let o = Round.run (Rng.create ~seed) params ~spec in
+    Hashtbl.add round_cache key o;
+    o
+
+(* Average a Round-engine measurement over repetitions. *)
+let round_metric ~reps ~seed ~params ~spec metric =
+  let m = Moments.create () in
+  for r = 0 to reps - 1 do
+    Moments.add m (metric (round_run ~seed:(seed + (1000 * r)) ~params ~spec))
+  done;
+  Moments.mean m
+
+let fig6_grid ~title ~categories ~reps ~seed ~params_of metric =
+  let values =
+    Array.of_list
+      (List.mapi
+         (fun ci _ ->
+           Array.of_list
+             (List.map
+                (fun spec ->
+                  round_metric ~reps ~seed ~params:(params_of ci) ~spec metric)
+                paper_distributions))
+         categories)
+  in
+  { title; categories; distributions = distribution_labels; values }
+
+let deviation (o : Round.outcome) = o.Round.deviation
+
+let fig6a ?(reps = 5) ~seed () =
+  let sizes = [ 256; 512; 1024 ] in
+  fig6_grid
+    ~title:
+      "Figure 6(a): deviation vs population (d_max = 10 n_min, n_min = 5, 10 \
+       keys/peer)"
+    ~categories:(List.map (fun n -> Printf.sprintf "n=%d" n) sizes)
+    ~reps ~seed
+    ~params_of:(fun ci -> Round.default_params ~peers:(List.nth sizes ci))
+    deviation
+
+let fig6b ?(reps = 5) ~seed () =
+  let n_mins = [ 5; 10; 15; 20; 25 ] in
+  fig6_grid ~title:"Figure 6(b): deviation vs required replication (n = 256)"
+    ~categories:(List.map (fun m -> Printf.sprintf "n_min=%d" m) n_mins)
+    ~reps ~seed
+    ~params_of:(fun ci ->
+      let n_min = List.nth n_mins ci in
+      { (Round.default_params ~peers:256) with n_min; d_max = 10 * n_min })
+    deviation
+
+let fig6c ?(reps = 5) ~seed () =
+  let factors = [ 10; 20; 30 ] in
+  fig6_grid ~title:"Figure 6(c): deviation vs data sample size d_max (n = 256)"
+    ~categories:(List.map (fun f -> Printf.sprintf "d_max=%d n_min" f) factors)
+    ~reps ~seed
+    ~params_of:(fun ci ->
+      let f = List.nth factors ci in
+      { (Round.default_params ~peers:256) with d_max = f * 5 })
+    deviation
+
+let fig6d ?(reps = 5) ~seed () =
+  let cases =
+    [ ("theory n_min=5", Round.Theory, 5); ("heur n_min=5", Round.Heuristic, 5);
+      ("theory n_min=10", Round.Theory, 10); ("heur n_min=10", Round.Heuristic, 10) ]
+  in
+  fig6_grid ~title:"Figure 6(d): theoretical vs heuristic probabilities (n = 256)"
+    ~categories:(List.map (fun (l, _, _) -> l) cases)
+    ~reps ~seed
+    ~params_of:(fun ci ->
+      let _, mode, n_min = List.nth cases ci in
+      { (Round.default_params ~peers:256) with mode; n_min; d_max = 10 * n_min })
+    deviation
+
+let fig6e ?(reps = 5) ~seed () =
+  let sizes = [ 256; 512; 1024 ] in
+  fig6_grid ~title:"Figure 6(e): construction interactions per peer"
+    ~categories:(List.map (fun n -> Printf.sprintf "n=%d" n) sizes)
+    ~reps ~seed
+    ~params_of:(fun ci -> Round.default_params ~peers:(List.nth sizes ci))
+    Round.interactions_per_peer
+
+let fig6f ?(reps = 5) ~seed () =
+  let sizes = [ 256; 512; 1024 ] in
+  fig6_grid ~title:"Figure 6(f): data keys moved per peer (construction bandwidth)"
+    ~categories:(List.map (fun n -> Printf.sprintf "n=%d" n) sizes)
+    ~reps ~seed
+    ~params_of:(fun ci -> Round.default_params ~peers:(List.nth sizes ci))
+    Round.keys_moved_per_peer
+
+(* --- PlanetLab substitute (Figures 7-9, Table 1) ----------------------- *)
+
+let planetlab_cache : (int * int, Net_engine.outcome) Hashtbl.t = Hashtbl.create 4
+
+let planetlab_run ?(peers = 296) ~seed () =
+  match Hashtbl.find_opt planetlab_cache (peers, seed) with
+  | Some o -> o
+  | None ->
+    let rng = Rng.create ~seed in
+    let params = Net_engine.default_params ~peers in
+    let o = Net_engine.run rng params ~spec:Distribution.paper_text in
+    Hashtbl.add planetlab_cache (peers, seed) o;
+    o
+
+let fig7 ?peers ~seed () =
+  let o = planetlab_run ?peers ~seed () in
+  Series.figure ~title:"Figure 7: number of participating peers" ~x_label:"minutes"
+    ~y_label:"online peers"
+    [
+      Series.make "peers"
+        (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series);
+    ]
+
+let fig8 ?peers ~seed () =
+  let o = planetlab_run ?peers ~seed () in
+  Series.figure ~title:"Figure 8: aggregate bandwidth consumption per peer"
+    ~x_label:"minutes" ~y_label:"bytes/second"
+    [
+      Series.make "maintenance" o.Net_engine.maintenance_bw;
+      Series.make "queries" o.Net_engine.query_bw;
+    ]
+
+let fig9 ?peers ~seed () =
+  let o = planetlab_run ?peers ~seed () in
+  let mean = List.map (fun (t, m, _) -> (t, m)) o.Net_engine.latency_series in
+  let std = List.map (fun (t, _, s) -> (t, s)) o.Net_engine.latency_series in
+  Series.figure ~title:"Figure 9: query latency" ~x_label:"minutes"
+    ~y_label:"seconds"
+    [ Series.make "average" mean; Series.make "stddev" std ]
+
+let table1 ?peers ~seed () =
+  let o = planetlab_run ?peers ~seed () in
+  let qs = o.Net_engine.query_stats in
+  let st = o.Net_engine.stats in
+  let success_rate =
+    100. *. float_of_int qs.Net_engine.succeeded /. float_of_int (max 1 qs.Net_engine.issued)
+  in
+  let columns = [ "statistic"; "paper"; "measured" ] in
+  let rows =
+    [
+      [ "load-balance deviation"; "0.38 (sim) / 0.39 (experiment)";
+        Table.fmt_float o.Net_engine.deviation ];
+      [ "mean path length"; "slightly below 6";
+        Table.fmt_float st.Pgrid_core.Overlay.mean_path_length ];
+      [ "mean query hops"; "~3 (half the mean path)";
+        Table.fmt_float qs.Net_engine.mean_hops ];
+      [ "hops / log2(partitions)"; "~0.5";
+        Table.fmt_float
+          (qs.Net_engine.mean_hops
+          /. (log (float_of_int (max 2 st.Pgrid_core.Overlay.partitions)) /. log 2.)) ];
+      [ "mean replication factor"; "5";
+        Table.fmt_float st.Pgrid_core.Overlay.mean_replication ];
+      [ "query success rate"; "95-100%"; Table.fmt_float success_rate ^ "%" ];
+      [ "peers"; "296"; string_of_int st.Pgrid_core.Overlay.peers ];
+      [ "partitions"; "-"; string_of_int st.Pgrid_core.Overlay.partitions ];
+    ]
+  in
+  (columns, rows)
+
+(* --- ablations ---------------------------------------------------------- *)
+
+let ablation_sequential ?(sizes = [ 64; 128; 256; 512 ]) ~seed () =
+  let columns =
+    [ "n"; "seq msgs"; "seq latency (serial RTTs)"; "par msgs";
+      "par latency (rounds)"; "seq dev"; "par dev" ]
+  in
+  let rows =
+    List.map
+      (fun n ->
+        let rng = Rng.create ~seed in
+        let seq = Sequential.run rng (Sequential.default_params ~peers:n)
+            ~spec:Distribution.Uniform
+        in
+        let rng2 = Rng.create ~seed in
+        let par = Round.run rng2 (Round.default_params ~peers:n)
+            ~spec:Distribution.Uniform
+        in
+        [
+          string_of_int n;
+          string_of_int seq.Sequential.messages;
+          string_of_int seq.Sequential.serial_latency;
+          string_of_int par.Round.interactions;
+          string_of_int par.Round.rounds;
+          Table.fmt_float seq.Sequential.deviation;
+          Table.fmt_float par.Round.deviation;
+        ])
+      sizes
+  in
+  (columns, rows)
+
+let ablation_cost ?(sizes = [ 250; 500; 1000; 2000 ]) ?(reps = 20) ~seed () =
+  let columns =
+    [ "n"; "eager/n"; "ln 2"; "AUT/n"; "2 ln 2"; "AEP/n (p=0.3)"; "t_lambda/n (p=0.3)" ]
+  in
+  let ln2 = log 2. in
+  let rows =
+    List.map
+      (fun n ->
+        let mean strategy p =
+          let rng = Rng.create ~seed in
+          let m = Moments.create () in
+          for _ = 1 to reps do
+            let o = Discrete.run rng strategy ~n ~p ~samples:10 in
+            Moments.add m (float_of_int o.Discrete.interactions /. float_of_int n)
+          done;
+          Moments.mean m
+        in
+        [
+          string_of_int n;
+          Table.fmt_float (mean Discrete.Eager 0.5);
+          Table.fmt_float ln2;
+          Table.fmt_float (mean Discrete.Autonomous 0.5);
+          Table.fmt_float (2. *. ln2);
+          Table.fmt_float (mean Discrete.Oracle 0.3);
+          Table.fmt_float (Aep_math.t_lambda ~n ~p:0.3 /. float_of_int n);
+        ])
+      sizes
+  in
+  (columns, rows)
+
+let ablation_correction ?(n = 1000) ?(samples = 10) ?(reps = 50) ~seed () =
+  let columns = [ "p"; "AEP (none)"; "COR-T (Eqs. 9-10)"; "COR (calibrated)" ] in
+  let rows =
+    List.map
+      (fun p ->
+        let mean strategy =
+          let rng = Rng.create ~seed in
+          let m = Moments.create () in
+          for _ = 1 to reps do
+            let o = Discrete.run rng strategy ~n ~p ~samples in
+            Moments.add m (float_of_int o.Discrete.p0 -. (float_of_int n *. p))
+          done;
+          Moments.mean m
+        in
+        [
+          Table.fmt_float ~decimals:2 p;
+          Table.fmt_float (mean Discrete.Aep);
+          Table.fmt_float (mean Discrete.CorTaylor);
+          Table.fmt_float (mean Discrete.Cor);
+        ])
+      [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 ]
+  in
+  (columns, rows)
+
+(* --- X4: order-preserving overlay vs PHT-over-DHT ----------------------- *)
+
+let ablation_pht ?(peers = 256) ?(keys = 2560) ~seed () =
+  let rng = Rng.create ~seed in
+  let key_pop = Distribution.generate rng Distribution.Uniform ~n:keys in
+  let overlay =
+    Pgrid_core.Builder.index rng ~peers ~keys:key_pop ~d_max:50 ~n_min:5
+      ~refs_per_level:2
+  in
+  let dht = Pgrid_baseline.Hash_dht.create rng ~nodes:peers in
+  let pht = Pgrid_baseline.Pht.create dht ~block:50 in
+  Array.iter
+    (fun k ->
+      ignore (Pgrid_baseline.Pht.insert pht ~from:(Rng.int rng peers) k "v"))
+    key_pop;
+  let columns =
+    [ "range width"; "P-Grid partitions"; "P-Grid hops"; "PHT node accesses";
+      "PHT hops" ]
+  in
+  let row width =
+    let stats = Moments.create () and parts = Moments.create () in
+    let pht_hops = Moments.create () and pht_accesses = Moments.create () in
+    for _ = 1 to 30 do
+      let start = Rng.float rng *. (1. -. width) in
+      let lo = Pgrid_keyspace.Key.of_float start in
+      let hi = Pgrid_keyspace.Key.of_float (start +. width) in
+      let from = Rng.int rng peers in
+      let r = Pgrid_core.Overlay.range_search overlay ~from ~lo ~hi in
+      Moments.add stats (float_of_int r.Pgrid_core.Overlay.total_hops);
+      Moments.add parts (float_of_int (List.length r.Pgrid_core.Overlay.visited));
+      let _, c = Pgrid_baseline.Pht.range pht ~from ~lo ~hi in
+      Moments.add pht_hops (float_of_int c.Pgrid_baseline.Pht.hops);
+      Moments.add pht_accesses (float_of_int c.Pgrid_baseline.Pht.dht_lookups)
+    done;
+    [
+      Table.fmt_float ~decimals:2 width;
+      Table.fmt_float ~decimals:1 (Moments.mean parts);
+      Table.fmt_float ~decimals:1 (Moments.mean stats);
+      Table.fmt_float ~decimals:1 (Moments.mean pht_accesses);
+      Table.fmt_float ~decimals:1 (Moments.mean pht_hops);
+    ]
+  in
+  (columns, List.map row [ 0.01; 0.05; 0.1; 0.2 ])
+
+(* --- X5: merging independently created indices --------------------------- *)
+
+let ablation_merge ?(peers = 128) ~seed () =
+  let half = peers / 2 in
+  let params = Round.default_params ~peers:half in
+  let build s =
+    Round.run (Rng.create ~seed:s) params ~spec:Distribution.Uniform
+  in
+  let a = build seed and b = build (seed + 7) in
+  let config =
+    {
+      Pgrid_construction.Engine.n_min = params.Round.n_min;
+      d_max = params.Round.d_max;
+      max_fruitless = params.Round.max_fruitless;
+      refer_hops = params.Round.refer_hops;
+      mode = Pgrid_construction.Engine.Theory;
+    }
+  in
+  let merged =
+    Pgrid_construction.Merge.overlays (Rng.create ~seed:(seed + 13)) ~config
+      ~max_rounds:500 a.Round.overlay b.Round.overlay
+  in
+  let fresh = Round.run (Rng.create ~seed:(seed + 21)) { params with Round.peers } ~spec:Distribution.Uniform in
+  let columns = [ "configuration"; "peers"; "rounds"; "interactions"; "deviation" ] in
+  let rows =
+    [
+      [ "community A alone"; string_of_int half; string_of_int a.Round.rounds;
+        string_of_int a.Round.interactions; Table.fmt_float a.Round.deviation ];
+      [ "community B alone"; string_of_int half; string_of_int b.Round.rounds;
+        string_of_int b.Round.interactions; Table.fmt_float b.Round.deviation ];
+      [ "merge of A and B"; string_of_int peers;
+        string_of_int merged.Pgrid_construction.Merge.rounds;
+        string_of_int
+          merged.Pgrid_construction.Merge.counters.Pgrid_construction.Engine.interactions;
+        Table.fmt_float merged.Pgrid_construction.Merge.deviation ];
+      [ "fresh build over union"; string_of_int peers; string_of_int fresh.Round.rounds;
+        string_of_int fresh.Round.interactions; Table.fmt_float fresh.Round.deviation ];
+    ]
+  in
+  (columns, rows)
+
+(* --- X6: maintenance after churn ------------------------------------------ *)
+
+let ablation_maintenance ?(peers = 200) ~seed () =
+  let rng = Rng.create ~seed in
+  let o = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = o.Round.overlay in
+  let keys =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter
+        (fun k -> Hashtbl.replace tbl k ())
+        (Pgrid_core.Node.keys (Pgrid_core.Overlay.node overlay i))
+    done;
+    Array.of_list (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])
+  in
+  let success () =
+    let s = Pgrid_query.Query.lookup_batch (Rng.create ~seed:(seed + 3)) overlay ~keys ~count:400 in
+    100. *. float_of_int s.Pgrid_query.Query.routed /. 400.
+  in
+  let rows = ref [] in
+  let record step value = rows := [ step; value ] :: !rows in
+  record "query success, healthy" (Printf.sprintf "%.1f%%" (success ()));
+  (* 30%% of the population leaves gracefully. *)
+  let leavers =
+    Rng.sample_without_replacement rng ~k:(3 * peers / 10) ~n:peers
+  in
+  let handed =
+    Array.fold_left
+      (fun acc id -> acc + Pgrid_core.Maintenance.leave rng overlay id)
+      0 leavers
+  in
+  record "graceful leaves (30% of peers)"
+    (Printf.sprintf "%d payload copies handed over" handed);
+  record "query success, degraded" (Printf.sprintf "%.1f%%" (success ()));
+  let rep = Pgrid_core.Maintenance.repair rng overlay ~redundancy:2 in
+  record "repair"
+    (Printf.sprintf "%d dead refs dropped, %d added, %d unfixable"
+       rep.Pgrid_core.Maintenance.dead_refs_dropped
+       rep.Pgrid_core.Maintenance.refs_added
+       rep.Pgrid_core.Maintenance.unfixable_levels);
+  record "query success, repaired" (Printf.sprintf "%.1f%%" (success ()));
+  let rejoined = ref 0 in
+  Array.iter
+    (fun id ->
+      let entry =
+        let rec pick () =
+          let e = Rng.int rng peers in
+          if (Pgrid_core.Overlay.node overlay e).Pgrid_core.Node.online then e else pick ()
+        in
+        pick ()
+      in
+      match Pgrid_core.Maintenance.join rng overlay id ~entry with
+      | Some _ -> incr rejoined
+      | None -> ())
+    leavers;
+  record "re-joins" (Printf.sprintf "%d of %d back" !rejoined (Array.length leavers));
+  let bal = Pgrid_core.Maintenance.rebalance rng overlay ~n_min:5 ~max_rounds:200 in
+  record "replication rebalance"
+    (Printf.sprintf "%d migrations, spread %.2f" bal.Pgrid_core.Maintenance.migrations
+       bal.Pgrid_core.Maintenance.final_spread);
+  record "query success, final" (Printf.sprintf "%.1f%%" (success ()));
+  ([ "step"; "result" ], List.rev !rows)

@@ -1,0 +1,108 @@
+(** Generators for every table and figure of the paper's evaluation.
+
+    Each function recomputes one artifact from scratch (deterministically
+    for a given seed) and returns printable data; the bench harness
+    renders them into [bench_output.txt].  Paper-expected shapes are
+    documented per function and summarized in EXPERIMENTS.md. *)
+
+(** Figure 3: the second derivative [alpha''(p)] over (0, 0.3]; blows up
+    for small [p] (the regime where sampling errors hurt most). *)
+val fig3 : unit -> Pgrid_stats.Series.figure
+
+(** Figures 4 and 5: one bisection at [n] peers, [samples]-key estimates,
+    [reps] repetitions per point over the paper's p grid
+    (0.05 ... 0.5).  [fig4] reports the mean deviation [p0 - n*p]
+    (SAM/AEP biased up, COR and AUT near zero); [fig5] the mean total
+    number of interactions (AEP family below AUT, all rising as p falls;
+    MVA as the deterministic baseline). *)
+val fig4 :
+  ?n:int -> ?samples:int -> ?reps:int -> seed:int -> unit -> Pgrid_stats.Series.figure
+
+val fig5 :
+  ?n:int -> ?samples:int -> ?reps:int -> seed:int -> unit -> Pgrid_stats.Series.figure
+
+(** A Figure-6-style aggregate: label of the x-category, then one value
+    per distribution (U, P0.5, P1.0, P1.5, N, A). *)
+type fig6 = {
+  title : string;
+  categories : string list;  (** row labels, e.g. "n=256" *)
+  distributions : string list;  (** column labels *)
+  values : float array array;  (** values.(row).(column) *)
+}
+
+val fig6_table : fig6 -> string
+
+(** Figure 6(a): deviation for n = 256/512/1024 (stable across sizes,
+    increasing with skew). *)
+val fig6a : ?reps:int -> seed:int -> unit -> fig6
+
+(** Figure 6(b): deviation for n_min = 5..25 at n = 256 (degrades for
+    strongly skewed distributions at large n_min). *)
+val fig6b : ?reps:int -> seed:int -> unit -> fig6
+
+(** Figure 6(c): deviation for d_max = 10/20/30 * n_min (no systematic
+    influence — small samples suffice). *)
+val fig6c : ?reps:int -> seed:int -> unit -> fig6
+
+(** Figure 6(d): theoretical vs heuristic decision probabilities for
+    n_min = 5, 10 (heuristics degrade load balance substantially). *)
+val fig6d : ?reps:int -> seed:int -> unit -> fig6
+
+(** Figure 6(e): construction interactions per peer (grows gracefully
+    with network size). *)
+val fig6e : ?reps:int -> seed:int -> unit -> fig6
+
+(** Figure 6(f): data keys moved per peer during construction (grows
+    gracefully; skew increases bandwidth). *)
+val fig6f : ?reps:int -> seed:int -> unit -> fig6
+
+(** The PlanetLab-substitute run shared by Figures 7-9 and Table 1
+    (memoized per (peers, seed)). *)
+val planetlab_run :
+  ?peers:int -> seed:int -> unit -> Pgrid_construction.Net_engine.outcome
+
+(** Figure 7: online peers over the 500-minute timeline (ramp, plateau,
+    churn dip). *)
+val fig7 : ?peers:int -> seed:int -> unit -> Pgrid_stats.Series.figure
+
+(** Figure 8: aggregate bandwidth per peer, maintenance vs queries
+    (construction peak, then decay). *)
+val fig8 : ?peers:int -> seed:int -> unit -> Pgrid_stats.Series.figure
+
+(** Figure 9: query latency mean and standard deviation over time (flat,
+    then elevated and noisy under churn). *)
+val fig9 : ?peers:int -> seed:int -> unit -> Pgrid_stats.Series.figure
+
+(** Table 1 (in-text statistics of Section 5.2): paper value vs measured
+    value rows. *)
+val table1 : ?peers:int -> seed:int -> unit -> string list * string list list
+
+(** Ablation X1 (Section 4.3): sequential joins vs parallel construction —
+    messages comparable, serialized latency vs flat round count. *)
+val ablation_sequential : ?sizes:int list -> seed:int -> unit -> string list * string list list
+
+(** Ablation X2 (Section 3 cost claims): measured eager and AUT cost per
+    peer at p = 1/2 against ln 2 and 2 ln 2. *)
+val ablation_cost : ?sizes:int list -> ?reps:int -> seed:int -> unit -> string list * string list list
+
+(** Ablation X3: the three sampling-bias corrections (none / Taylor
+    Eqs. 9-10 / response calibration) on the single-bisection deviation. *)
+val ablation_correction :
+  ?n:int -> ?samples:int -> ?reps:int -> seed:int -> unit -> string list * string list list
+
+(** Ablation X4 (paper Section 6 / reference [22]): range queries on the
+    order-preserving overlay vs. a Prefix Hash Tree layered over a
+    uniform-hashing DHT, message costs side by side. *)
+val ablation_pht :
+  ?peers:int -> ?keys:int -> seed:int -> unit -> string list * string list list
+
+(** Ablation X5 (paper Section 1): fusing two independently constructed
+    overlays with the same interaction protocol, against a from-scratch
+    build over the union. *)
+val ablation_merge : ?peers:int -> seed:int -> unit -> string list * string list list
+
+(** Ablation X6 (paper Sections 1/6 maintenance model): graceful leaves,
+    routing repair, re-joins and replication re-balancing on a
+    constructed overlay, with query success measured at each step. *)
+val ablation_maintenance :
+  ?peers:int -> seed:int -> unit -> string list * string list list

@@ -1,0 +1,1 @@
+lib/keyspace/codec.ml: Char Key Path String

@@ -1,0 +1,1 @@
+lib/keyspace/codec.mli: Key Path

@@ -1,0 +1,1 @@
+lib/keyspace/dyadic.ml: Key List Path

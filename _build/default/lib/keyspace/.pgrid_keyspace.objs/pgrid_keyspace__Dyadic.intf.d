@@ -1,0 +1,1 @@
+lib/keyspace/dyadic.mli: Key Path

@@ -1,0 +1,1 @@
+lib/keyspace/key.ml: Format Int Pgrid_prng Printf String

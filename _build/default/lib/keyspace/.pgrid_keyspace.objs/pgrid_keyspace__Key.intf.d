@@ -1,0 +1,1 @@
+lib/keyspace/key.mli: Format Pgrid_prng

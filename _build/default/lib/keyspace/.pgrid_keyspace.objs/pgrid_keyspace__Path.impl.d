@@ -1,0 +1,1 @@
+lib/keyspace/path.ml: Format Int Key List String

@@ -1,0 +1,1 @@
+lib/keyspace/path.mli: Format Key

@@ -1,0 +1,39 @@
+let of_string s =
+  (* Pack bytes big-endian: 7 full bytes (56 bits) plus the top bits of
+     the 8th byte fill the key width. *)
+  let byte i = if i < String.length s then Char.code s.[i] else 0 in
+  let acc = ref 0 in
+  for i = 0 to 6 do
+    acc := (!acc lsl 8) lor byte i
+  done;
+  let rest = Key.bits - 56 in
+  acc := (!acc lsl rest) lor (byte 7 lsr (8 - rest));
+  Key.of_int !acc
+
+let of_term s =
+  (* Base-26 fraction over the lowercased letters: key = sum rank_i / 26^(i+1).
+     Dense (log2 26 ~ 4.7 bits per letter instead of 8), fully
+     order-preserving for alphabetic terms; non-letters clamp to the
+     nearest letter rank. *)
+  let rank c =
+    let c = Char.lowercase_ascii c in
+    if c < 'a' then 0 else if c > 'z' then 25 else Char.code c - Char.code 'a'
+  in
+  let acc = ref 0. and scale = ref (1. /. 26.) in
+  String.iter
+    (fun c ->
+      if !scale > 1e-18 then begin
+        acc := !acc +. (float_of_int (rank c) *. !scale);
+        scale := !scale /. 26.
+      end)
+    s;
+  Key.of_float !acc
+
+let of_float_in ~lo ~hi x =
+  if not (lo < hi) then invalid_arg "Codec.of_float_in: lo must be < hi";
+  Key.of_float ((x -. lo) /. (hi -. lo))
+
+let prefix_of_string_range ~lo ~hi =
+  let klo = of_string lo and khi = of_string hi in
+  let plo = Path.key_prefix klo Key.bits and phi = Path.key_prefix khi Key.bits in
+  Path.prefix plo (Path.common_prefix_length plo phi)

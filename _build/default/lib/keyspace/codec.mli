@@ -1,0 +1,29 @@
+(** Order-preserving encoding of application identifiers into keys.
+
+    Data-oriented overlays must preserve key order so that range predicates
+    map to contiguous partitions (the paper's motivation for not hashing).
+    [of_string] embeds byte strings into [0, 1) such that
+    [s1 <= s2] (byte-lexicographically) implies
+    [Key.compare (of_string s1) (of_string s2) <= 0]. *)
+
+(** [of_string s] packs the first bytes of [s] big-endian into the 62 key
+    bits. Strings sharing their first 7 bytes may collide (the order is
+    then weakly preserved). *)
+val of_string : string -> Key.t
+
+(** [of_term s] encodes a lowercased alphabetic term as a base-26
+    fraction (about 4.7 key bits per letter — the densest
+    order-preserving embedding for a-z strings); non-letter characters
+    clamp to the nearest letter rank.  This is the encoding used for
+    inverted-file terms in the information-retrieval examples. *)
+val of_term : string -> Key.t
+
+(** [of_float_in ~lo ~hi x] rescales [x] from [lo, hi] into the unit
+    interval — the encoding for numeric attributes (range indexes).
+    Requires [lo < hi]; values are clamped. *)
+val of_float_in : lo:float -> hi:float -> float -> Key.t
+
+(** [prefix_of_string_range ~lo ~hi] returns the longest partition path
+    that covers all keys of strings in the byte range [lo, hi]: the common
+    prefix of the two encoded keys. *)
+val prefix_of_string_range : lo:string -> hi:string -> Path.t

@@ -1,0 +1,19 @@
+let cover ?(max_depth = Key.bits) ~lo ~hi () =
+  if Key.compare lo hi > 0 then invalid_arg "Dyadic.cover: lo must be <= hi";
+  if max_depth < 0 || max_depth > Key.bits then invalid_arg "Dyadic.cover: bad depth";
+  let lo_i = Key.to_int lo and hi_i = Key.to_int hi in
+  (* Emit [path] if fully inside the range or at the depth limit; recurse
+     into intersecting children otherwise. *)
+  let rec walk path acc =
+    let plo, phi = Path.interval_keys path in
+    if phi <= lo_i || plo > hi_i then acc
+    else if (plo >= lo_i && phi - 1 <= hi_i) || Path.length path >= max_depth then
+      path :: acc
+    else begin
+      let acc = walk (Path.extend path 0) acc in
+      walk (Path.extend path 1) acc
+    end
+  in
+  List.rev (walk Path.root [])
+
+let covers_key paths k = List.exists (fun p -> Path.matches_key p k) paths

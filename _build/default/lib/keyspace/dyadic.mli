@@ -1,0 +1,16 @@
+(** Minimal dyadic covers of key ranges.
+
+    A range predicate [lo <= k <= hi] maps onto the trie overlay as the
+    minimal set of partitions (dyadic intervals) covering the range — the
+    basis of range-query routing in an order-preserving overlay. *)
+
+(** [cover ?max_depth ~lo ~hi ()] is the minimal list of paths, in key
+    order, whose intervals exactly tile the smallest dyadic-aligned
+    superset of [[lo, hi]] at granularity [max_depth] (default
+    {!Key.bits}): every returned path interval intersects [[lo, hi]], and
+    their union contains it.  At most [2 * max_depth + 1] paths are
+    returned. Requires [Key.compare lo hi <= 0]. *)
+val cover : ?max_depth:int -> lo:Key.t -> hi:Key.t -> unit -> Path.t list
+
+(** [covers_key paths k] tests whether some path in [paths] matches [k]. *)
+val covers_key : Path.t list -> Key.t -> bool

@@ -1,0 +1,36 @@
+type t = int
+
+(* 60 bits keeps every interval bound (up to 2^bits inclusive) well inside
+   OCaml's 63-bit native int, including the exclusive upper bound of the
+   root interval. *)
+let bits = 60
+let upper = 1 lsl bits
+let zero = 0
+
+let of_int i =
+  if i < 0 || i >= upper then invalid_arg "Key.of_int: out of range";
+  i
+
+let to_int k = k
+
+let of_float x =
+  let scaled = int_of_float (x *. float_of_int upper) in
+  if scaled < 0 then 0 else if scaled >= upper then upper - 1 else scaled
+
+let to_float k = float_of_int k /. float_of_int upper
+let bit k i =
+  if i < 0 || i >= bits then invalid_arg "Key.bit: index out of range";
+  (k lsr (bits - 1 - i)) land 1
+
+let compare = Int.compare
+let equal = Int.equal
+
+let random rng =
+  (* Two 30-bit draws concatenated give the 60 key bits. *)
+  let hi = Pgrid_prng.Rng.int rng (1 lsl 30) in
+  let lo = Pgrid_prng.Rng.int rng (1 lsl 30) in
+  (hi lsl 30) lor lo
+
+let to_string k = String.init bits (fun i -> if bit k i = 1 then '1' else '0')
+let to_hex k = Printf.sprintf "%016x" k
+let pp fmt k = Format.pp_print_string fmt (to_hex k)

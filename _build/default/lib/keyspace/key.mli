@@ -1,0 +1,47 @@
+(** Data keys: fixed-point binary fractions in the unit interval [0, 1).
+
+    The paper's key space is the interval [0, 1) bisected recursively; a key
+    here is a 60-bit fixed-point fraction, so bit extraction (the basis of
+    prefix routing) is exact and key order matches numeric order. *)
+
+type t = private int
+
+(** Number of significant bits in a key. *)
+val bits : int
+
+(** [zero] is the key 0.000... *)
+val zero : t
+
+(** [of_int i] validates [0 <= i < 2^bits].
+    @raise Invalid_argument otherwise. *)
+val of_int : int -> t
+
+(** [to_int k] is the raw fixed-point integer. *)
+val to_int : t -> int
+
+(** [of_float x] converts from [0, 1); values are clamped into range. *)
+val of_float : float -> t
+
+(** [to_float k] is the key as a float in [0, 1). *)
+val to_float : t -> float
+
+(** [bit k i] is the i-th bit of the binary expansion, [i = 0] being the
+    most significant (the first bisection decision). Requires
+    [0 <= i < bits]. *)
+val bit : t -> int -> int
+
+(** [compare] is numeric order (which equals bitwise lexicographic order). *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [random rng] draws a uniform key. *)
+val random : Pgrid_prng.Rng.t -> t
+
+(** [to_string k] is the full [bits]-character bit string; [to_hex k] a compact
+    hexadecimal form for logs. *)
+val to_string : t -> string
+
+val to_hex : t -> string
+
+val pp : Format.formatter -> t -> unit

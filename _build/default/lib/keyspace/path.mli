@@ -1,0 +1,86 @@
+(** Trie paths: the bit string identifying a key-space partition.
+
+    Recursively bisecting [0, 1) induces a binary trie; a partition is
+    identified by the sequence of left/right (0/1) decisions from the root.
+    A peer's [path] in P-Grid is exactly such a bit string.  Paths are
+    packed into a single int (max {!Key.bits} bits), so comparisons and
+    prefix tests are O(1). *)
+
+type t
+
+(** The root path (empty bit string), denoting the whole key space. *)
+val root : t
+
+(** [length p] is the number of bits. *)
+val length : t -> int
+
+(** [extend p b] appends bit [b] (0 or 1).
+    @raise Invalid_argument if [b] is not a bit or the path is full. *)
+val extend : t -> int -> t
+
+(** [bit p i] is the i-th bit, [i = 0] first. Requires [0 <= i < length p]. *)
+val bit : t -> int -> int
+
+(** [parent p] drops the last bit. @raise Invalid_argument on [root]. *)
+val parent : t -> t
+
+(** [prefix p n] is the first [n] bits. Requires [0 <= n <= length p]. *)
+val prefix : t -> int -> t
+
+(** [sibling p] flips the last bit. @raise Invalid_argument on [root]. *)
+val sibling : t -> t
+
+(** [complement_at p level] is [prefix p (level+1)] with its last bit
+    flipped: the partition a level-[level] routing reference must point
+    into. Requires [0 <= level < length p]. *)
+val complement_at : t -> int -> t
+
+(** [is_prefix_of ~prefix p] tests bit-string prefix containment
+    (every path is a prefix of itself). *)
+val is_prefix_of : prefix:t -> t -> bool
+
+(** [common_prefix_length a b] is the length of the longest shared prefix. *)
+val common_prefix_length : t -> t -> int
+
+(** [matches_key p k] tests whether key [k] lies in partition [p], i.e. [p]
+    is a prefix of [k]'s binary expansion. *)
+val matches_key : t -> Key.t -> bool
+
+(** [key_prefix k n] is the partition given by the first [n] bits of [k]. *)
+val key_prefix : Key.t -> int -> t
+
+(** [interval p] is the dyadic interval ([lo] inclusive, [hi] exclusive)
+    covered by [p], as floats; [interval_keys p] the same as keys, where
+    [hi] is the exclusive upper bound ([Key.to_int hi] may equal 2^bits,
+    hence plain ints are returned). *)
+val interval : t -> float * float
+
+val interval_keys : t -> int * int
+
+(** [width p] is the measure of [interval p], i.e. 2^-length. *)
+val width : t -> float
+
+(** [overlap_fraction ~of_:q k] is |I(q) ∩ I(k)| / |I(q)|: 1 when [k] is a
+    prefix of [q]; 2^(length q − length k) when [q] is a strict prefix of
+    [k]; 0 when disjoint. *)
+val overlap_fraction : of_:t -> t -> float
+
+(** [mid p] is the key at the midpoint of [p]'s interval (the next
+    bisection point). *)
+val mid : t -> Key.t
+
+(** Lexicographic order on bit strings with the prefix ordered first. *)
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+(** [of_string s] parses a string of ['0']/['1'].
+    @raise Invalid_argument on other characters or overlong strings. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** [enumerate_leaves depth] lists all 2^depth paths of length [depth] in
+    key order — handy for exhaustive tests. *)
+val enumerate_leaves : int -> t list

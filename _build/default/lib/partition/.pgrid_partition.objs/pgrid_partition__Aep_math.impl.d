@@ -1,0 +1,1 @@
+lib/partition/aep_math.ml: Float Hashtbl

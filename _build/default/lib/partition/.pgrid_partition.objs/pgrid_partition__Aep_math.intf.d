@@ -1,0 +1,1 @@
+lib/partition/aep_math.mli:

@@ -1,0 +1,1 @@
+lib/partition/calibration.ml: Aep_math Array Float Hashtbl Mva

@@ -1,0 +1,1 @@
+lib/partition/calibration.mli: Aep_math

@@ -1,0 +1,1 @@
+lib/partition/discrete.ml: Aep_math Array Calibration Pgrid_prng

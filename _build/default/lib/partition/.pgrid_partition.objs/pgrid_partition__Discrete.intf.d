@@ -1,0 +1,1 @@
+lib/partition/discrete.mli: Pgrid_prng

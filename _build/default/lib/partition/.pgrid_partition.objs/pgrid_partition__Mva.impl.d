@@ -1,0 +1,1 @@
+lib/partition/mva.ml: Aep_math Array Float Pgrid_prng

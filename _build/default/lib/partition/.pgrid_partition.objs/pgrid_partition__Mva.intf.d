@@ -1,0 +1,1 @@
+lib/partition/mva.mli: Aep_math Pgrid_prng

@@ -1,0 +1,1 @@
+lib/partition/reference.ml: Array Float Format List Pgrid_keyspace

@@ -1,0 +1,1 @@
+lib/partition/reference.mli: Format Pgrid_keyspace

@@ -1,0 +1,151 @@
+let ln2 = log 2.
+let p_boundary = 1. -. ln2
+
+let p_of_beta beta =
+  if not (beta > 0. && beta <= 1.) then invalid_arg "Aep_math.p_of_beta";
+  if beta < 1e-6 then
+    (* (1 - 2^-b)/b = ln2 - ln2^2 b/2 + ln2^3 b^2/6 - ... *)
+    1. -. (ln2 -. (ln2 *. ln2 *. beta /. 2.) +. (ln2 *. ln2 *. ln2 *. beta *. beta /. 6.))
+  else 1. -. ((1. -. Float.pow 2. (-.beta)) /. beta)
+
+let p_of_alpha alpha =
+  if not (alpha > 0. && alpha <= 1.) then invalid_arg "Aep_math.p_of_alpha";
+  let eps = (2. *. alpha) -. 1. in
+  if Float.abs eps < 1e-3 then
+    (* (eps - ln(1+eps))/eps^2 = 1/2 - eps/3 + eps^2/4 - eps^3/5 + ... *)
+    alpha
+    *. (0.5 -. (eps /. 3.) +. (eps *. eps /. 4.) -. (eps *. eps *. eps /. 5.))
+  else alpha *. (eps -. log (2. *. alpha)) /. (eps *. eps)
+
+(* Monotone bisection solve of [f x = target] on (lo, hi]. *)
+let invert f ~lo ~hi target =
+  let rec go lo hi iters =
+    if iters = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if f mid < target then go mid hi (iters - 1) else go lo mid (iters - 1)
+    end
+  in
+  go lo hi 100
+
+let beta_of_p p =
+  if not (p >= p_boundary -. 1e-12 && p <= 0.5 +. 1e-12) then
+    invalid_arg "Aep_math.beta_of_p: p outside [1 - ln 2, 1/2]";
+  if p >= 0.5 then 1.
+  else if p <= p_boundary then 1e-12
+  else invert p_of_beta ~lo:1e-12 ~hi:1. p
+
+let alpha_of_p p =
+  if not (p > 0. && p <= p_boundary +. 1e-12) then
+    invalid_arg "Aep_math.alpha_of_p: p outside (0, 1 - ln 2]";
+  if p >= p_boundary then 1. else invert p_of_alpha ~lo:1e-12 ~hi:1. p
+
+type probabilities = { alpha : float; beta : float }
+
+let probabilities ~p =
+  if not (p > 0. && p <= 0.5) then invalid_arg "Aep_math.probabilities: need 0 < p <= 1/2";
+  if p >= p_boundary then { alpha = 1.; beta = beta_of_p p }
+  else { alpha = alpha_of_p p; beta = 0. }
+
+let second_derivative f x ~h ~lo ~hi =
+  (* Central difference, shifting the stencil inside the domain. *)
+  let x = Float.max (lo +. h) (Float.min (hi -. h) x) in
+  (f (x +. h) -. (2. *. f x) +. f (x -. h)) /. (h *. h)
+
+let alpha_second_derivative p =
+  if p >= p_boundary then 0.
+  else
+    (* Smaller p means steeper alpha; shrink the stencil accordingly. *)
+    let h = Float.min 1e-4 (p /. 10.) in
+    second_derivative alpha_of_p p ~h ~lo:1e-9 ~hi:p_boundary
+
+let beta_second_derivative p =
+  if p < p_boundary then 0.
+  else
+    let h = 1e-4 in
+    second_derivative beta_of_p p ~h ~lo:p_boundary ~hi:0.5
+
+let clamp01 x = Float.max 0. (Float.min 1. x)
+
+let corrected ~p ~samples =
+  if samples < 1 then invalid_arg "Aep_math.corrected: samples must be >= 1";
+  let base = probabilities ~p in
+  let variance = p *. (1. -. p) /. float_of_int samples in
+  if p >= p_boundary then
+    { base with beta = clamp01 (base.beta -. (0.5 *. beta_second_derivative p *. variance)) }
+  else
+    { base with alpha = clamp01 (base.alpha -. (0.5 *. alpha_second_derivative p *. variance)) }
+
+let clamp_estimate ~samples p_hat =
+  if samples < 1 then invalid_arg "Aep_math.clamp_estimate: samples must be >= 1";
+  let floor_p = 0.5 /. float_of_int (samples + 1) in
+  Float.max floor_p (Float.min (1. -. floor_p) p_hat)
+
+let normalize p = if p <= 0.5 then (p, false) else (1. -. p, true)
+
+(* Binomial(n, p) probability mass at k, computed in log space. *)
+let binomial_pmf ~n ~p k =
+  if p <= 0. then if k = 0 then 1. else 0.
+  else if p >= 1. then if k = n then 1. else 0.
+  else begin
+    let log_choose =
+      let rec lg acc i =
+        if i > k then acc
+        else lg (acc +. log (float_of_int (n - k + i)) -. log (float_of_int i)) (i + 1)
+      in
+      lg 0. 1
+    in
+    exp
+      (log_choose
+      +. (float_of_int k *. log p)
+      +. (float_of_int (n - k) *. log (1. -. p)))
+  end
+
+let calibrated_cache : (int * int, probabilities) Hashtbl.t = Hashtbl.create 64
+
+let corrected_calibrated ~p ~samples =
+  if samples < 1 then invalid_arg "Aep_math.corrected_calibrated: samples must be >= 1";
+  (* Estimates live on the grid {0, 1/s, ..., 1}; cache on the nearest
+     grid point (exact for estimates that came from actual samples). *)
+  let scaled = p *. float_of_int samples in
+  let on_grid = Float.abs (scaled -. Float.round scaled) < 1e-9 in
+  let key = (samples, int_of_float (Float.round scaled)) in
+  match if on_grid then Hashtbl.find_opt calibrated_cache key else None with
+  | Some probs -> probs
+  | None ->
+    let base = probabilities ~p in
+    let exp_alpha = ref 0. and exp_beta = ref 0. in
+    for k = 0 to samples do
+      let weight = binomial_pmf ~n:samples ~p k in
+      let estimate =
+        clamp_estimate ~samples (float_of_int k /. float_of_int samples)
+      in
+      let p_eff, _flipped = normalize estimate in
+      let probs_k = probabilities ~p:p_eff in
+      exp_alpha := !exp_alpha +. (weight *. probs_k.alpha);
+      exp_beta := !exp_beta +. (weight *. probs_k.beta)
+    done;
+    let probs =
+      {
+        alpha = clamp01 ((2. *. base.alpha) -. !exp_alpha);
+        beta = clamp01 ((2. *. base.beta) -. !exp_beta);
+      }
+    in
+    if on_grid then Hashtbl.add calibrated_cache key probs;
+    probs
+
+let heuristic ~p =
+  if not (p > 0. && p <= 0.5) then invalid_arg "Aep_math.heuristic: need 0 < p <= 1/2";
+  { alpha = Float.min 1. (1. /. (2. *. (1. -. p))); beta = Float.min 1. (2. *. p) }
+
+let t_lambda ~n ~p =
+  if n < 1 then invalid_arg "Aep_math.t_lambda: n must be >= 1";
+  let fn = float_of_int n in
+  if p >= p_boundary then fn *. ln2
+  else begin
+    let alpha = alpha_of_p p in
+    let eps = (2. *. alpha) -. 1. in
+    if Float.abs eps < 1e-6 then fn (* lim ln(1+eps)/eps = 1 *)
+    else fn *. log (2. *. alpha) /. eps
+  end
+

@@ -1,0 +1,93 @@
+(** Mathematics of Adaptive Eager Partitioning (paper Section 3).
+
+    One key-space partition with load fraction [p] on side 0 (w.l.o.g.
+    [0 < p <= 1/2]) must be split so that a fraction [p] of peers decides
+    for side 0.  AEP steers the decentralized decisions with two
+    probabilities:
+
+    - [alpha p]: probability that two undecided peers perform a balanced
+      split when they meet;
+    - [beta p]: probability that an undecided peer meeting a 1-decided peer
+      decides for 0 (otherwise it decides 1 and copies a 0-reference).
+
+    The mean-value Markov analysis yields the closed forms
+
+    - regime A ([p >= 1 - ln 2], [alpha = 1]):
+      [p = 1 - (1 - 2^(-beta)) / beta]                      (paper Eq. 2)
+    - regime B ([p < 1 - ln 2], [beta = 0]):
+      [p = alpha (2 alpha - 1 - ln (2 alpha)) / (2 alpha - 1)^2]  (Eq. 4)
+
+    with termination step count [t_lambda = n ln 2] (Eq. 1, independent of
+    p) resp. [n ln (2 alpha) / (2 alpha - 1)] (Eq. 3).  This module
+    numerically inverts both equations, differentiates them for the
+    sampling-error corrections (Eqs. 9-10), and exposes the heuristic
+    probabilities of the Figure 6(d) ablation. *)
+
+(** [p_boundary = 1 - ln 2 ~ 0.3069]: the load fraction separating the two
+    regimes. *)
+val p_boundary : float
+
+(** [p_of_beta beta] evaluates Eq. 2 for [beta] in (0, 1]; series expansion
+    near 0 keeps it stable. Monotone increasing, range (1 - ln 2, 1/2]. *)
+val p_of_beta : float -> float
+
+(** [p_of_alpha alpha] evaluates Eq. 4 for [alpha] in (0, 1]; series
+    expansion near alpha = 1/2 removes the removable singularity.
+    Monotone increasing, range (0, 1 - ln 2]. *)
+val p_of_alpha : float -> float
+
+(** [beta_of_p p] inverts Eq. 2 on [p_boundary, 1/2] by bisection
+    (absolute tolerance 1e-12). *)
+val beta_of_p : float -> float
+
+(** [alpha_of_p p] inverts Eq. 4 on (0, p_boundary] by bisection. *)
+val alpha_of_p : float -> float
+
+(** The pair of decision probabilities for one load fraction. *)
+type probabilities = { alpha : float; beta : float }
+
+(** [probabilities ~p] selects the regime: requires [0 < p <= 1/2]. *)
+val probabilities : p:float -> probabilities
+
+(** [alpha''], [beta'']: numerical second derivatives (central differences)
+    of the inverted functions — the quantities plotted in Figure 3 and
+    needed by the corrections. Defined on their respective regimes; 0 on
+    the other regime (where the function is constant). *)
+val alpha_second_derivative : float -> float
+
+val beta_second_derivative : float -> float
+
+(** [corrected ~p ~samples] applies the sampling-error compensation of
+    Eqs. 9-10: [f_corr p = f p - (1/2) f''(p) p (1-p) / samples], clamped
+    into [0, 1]. Requires [samples >= 1]. *)
+val corrected : p:float -> samples:int -> probabilities
+
+(** [corrected_calibrated ~p ~samples] compensates the sampling bias
+    exactly rather than by the Taylor form: it returns
+    [2 f(p) - E(f(p'))] where [p' = clamp(Binomial(samples, p)/samples)],
+    clamped into [0, 1].  The Taylor expansion of [E(f(p')) - f(p)] is
+    exactly the Eq. 9-10 term, but the exact expectation stays accurate
+    where [f''] varies quickly (small [p]), which the Eq. 9-10 form does
+    not (see DESIGN.md).  Results are memoized per [(samples, p)] grid
+    point. *)
+val corrected_calibrated : p:float -> samples:int -> probabilities
+
+(** [heuristic ~p] is the Figure 6(d) strawman: qualitatively-similar
+    probabilities chosen without the theory —
+    [alpha = min 1 (1 / (2 (1 - p)))] and [beta = min 1 (2 p)]. *)
+val heuristic : p:float -> probabilities
+
+(** [t_lambda ~n ~p] is the expected total number of interactions to
+    partition [n+1] peers (Eqs. 1 and 3, continuous approximation). *)
+val t_lambda : n:int -> p:float -> float
+
+(** [clamp_estimate ~samples p_hat] maps a raw sample mean into the open
+    interval: 0 becomes [0.5/(samples+1)], 1 becomes [1 - 0.5/(samples+1)].
+    Peers whose local sample is one-sided would otherwise derive degenerate
+    probabilities (alpha = 0 deadlocks the process). *)
+val clamp_estimate : samples:int -> float -> float
+
+(** [normalize p] folds an estimate into the canonical side: returns
+    [(p_eff, flipped)] with [p_eff <= 1/2]; [flipped] tells the caller to
+    swap the roles of the partitions in the decision rules. *)
+val normalize : float -> float * bool

@@ -1,0 +1,87 @@
+let grid_points = 50
+let model_n = 1000
+let refinement_iterations = 3
+
+type map = { qs : float array; adj : float array }
+
+let cache : (int, map) Hashtbl.t = Hashtbl.create 8
+
+(* Piecewise-linear interpolation of ys over xs at x, linear toward the
+   origin below the grid and clamped above it. *)
+let interp xs ys x =
+  let n = Array.length xs in
+  if x <= xs.(0) then if xs.(0) > 0. then x *. ys.(0) /. xs.(0) else ys.(0)
+  else if x >= xs.(n - 1) then ys.(n - 1)
+  else begin
+    let rec find i = if xs.(i + 1) >= x then i else find (i + 1) in
+    let i = find 0 in
+    let dx = xs.(i + 1) -. xs.(i) in
+    if dx <= 0. then ys.(i)
+    else begin
+      let t = (x -. xs.(i)) /. dx in
+      ys.(i) +. (t *. (ys.(i + 1) -. ys.(i)))
+    end
+  end
+
+let monotonize fs =
+  for i = 1 to Array.length fs - 1 do
+    if fs.(i) < fs.(i - 1) then fs.(i) <- fs.(i - 1)
+  done
+
+let build samples =
+  let qs =
+    Array.init grid_points (fun i ->
+        0.5 *. float_of_int (i + 1) /. float_of_int grid_points)
+  in
+  (* [adj] maps a peer's estimate to the value plugged into the alpha/beta
+     formulas; iteratively refined until the achieved fraction of the
+     class-mixture mean-value model matches the true one. *)
+  let adj = ref (Array.copy qs) in
+  for _ = 1 to refinement_iterations do
+    let current = !adj in
+    let adjust x = interp qs current x in
+    let achieved =
+      Array.map
+        (fun q ->
+          let o = Mva.run_mixture_with ~n:model_n ~p:q ~samples ~adjust in
+          o.Mva.p0 /. (o.Mva.p0 +. o.Mva.p1))
+        qs
+    in
+    monotonize achieved;
+    (* adj_{k+1}(q) = adj_k(h_k^-1(q)) where h_k is the achieved map. *)
+    let next =
+      Array.map
+        (fun q ->
+          let pre = interp achieved qs q in
+          interp qs current pre)
+        qs
+    in
+    monotonize next;
+    adj := next
+  done;
+  { qs; adj = !adj }
+
+let get samples =
+  match Hashtbl.find_opt cache samples with
+  | Some m -> m
+  | None ->
+    let m = build samples in
+    Hashtbl.add cache samples m;
+    m
+
+let check_args ~samples p =
+  if samples < 1 then invalid_arg "Calibration: samples must be >= 1";
+  if not (p > 0. && p <= 0.5) then invalid_arg "Calibration: need 0 < p <= 1/2"
+
+let response ~samples p =
+  check_args ~samples p;
+  let o = Mva.run_mixture ~n:model_n ~p ~samples in
+  o.Mva.p0 /. (o.Mva.p0 +. o.Mva.p1)
+
+let inverse ~samples p_hat =
+  check_args ~samples p_hat;
+  let m = get samples in
+  Float.max 1e-9 (Float.min 0.5 (interp m.qs m.adj p_hat))
+
+let corrected_probabilities ~p ~samples =
+  Aep_math.probabilities ~p:(inverse ~samples p)

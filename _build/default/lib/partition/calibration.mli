@@ -1,0 +1,31 @@
+(** Response-map calibration for the COR strategy.
+
+    The sampling noise of peers' local estimates biases the decentralized
+    bisection: running AEP with estimates from [samples] Bernoulli draws at
+    true load fraction [p] yields an expected fraction [F(p) > p] of
+    0-decided peers (Jensen bias through the convex alpha/beta curves plus
+    regime switching and estimate flipping).  The paper compensates with a
+    Taylor term (Eqs. 9-10); that form degrades where [alpha''] changes
+    quickly, so the repository's COR instead inverts the empirical response
+    map: every peer passes its estimate through [F^-1] before deriving its
+    probabilities.  [F] is pure precomputed mathematics (like alpha and
+    beta themselves), so the scheme remains fully decentralized.
+
+    The map is computed once per sample size from deterministic simulation
+    runs of the uncorrected process and cached. *)
+
+(** [response ~samples p] is the calibrated response [F p]: the expected
+    0-fraction produced by uncorrected AEP at true fraction [p]
+    (monotone piecewise-linear interpolation of simulated grid points).
+    Requires [0 < p <= 1/2]. *)
+val response : samples:int -> float -> float
+
+(** [inverse ~samples p_hat] maps an estimate back: the [q] with
+    [response ~samples q = p_hat] (clamped to the calibrated range).
+    Monotone in [p_hat]. *)
+val inverse : samples:int -> float -> float
+
+(** [corrected_probabilities ~p ~samples] is
+    [Aep_math.probabilities ~p:(inverse ~samples p)] — the COR peer's
+    decision probabilities for (normalized) estimate [p]. *)
+val corrected_probabilities : p:float -> samples:int -> Aep_math.probabilities

@@ -1,0 +1,195 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+
+type strategy = Eager | Autonomous | Aep | Cor | CorTaylor | Heuristic | Oracle
+
+let strategy_label = function
+  | Eager -> "EAGER"
+  | Autonomous -> "AUT"
+  | Aep -> "AEP"
+  | Cor -> "COR"
+  | CorTaylor -> "COR-T"
+  | Heuristic -> "HEUR"
+  | Oracle -> "MVA*"
+
+type result = {
+  p0 : int;
+  p1 : int;
+  interactions : int;
+  referential_ok : bool;
+  stalled : bool;
+}
+
+type peer = {
+  mutable side : int;  (** -1 undecided, 0 or 1 decided *)
+  mutable opposite_ref : int;  (** index of a peer decided for the other side, -1 none *)
+  alpha : float;
+  beta : float;
+  flipped : bool;  (** this peer believes side 1 is the minority *)
+}
+
+let estimate rng ~p ~samples =
+  let hits = Sample.binomial rng ~n:samples ~p in
+  Aep_math.clamp_estimate ~samples (float_of_int hits /. float_of_int samples)
+
+let make_peer rng strategy ~p ~samples =
+  match strategy with
+  | Eager ->
+    { side = -1; opposite_ref = -1; alpha = 1.; beta = 1.; flipped = false }
+  | Oracle ->
+    let p_eff, flipped = Aep_math.normalize p in
+    let { Aep_math.alpha; beta } = Aep_math.probabilities ~p:p_eff in
+    { side = -1; opposite_ref = -1; alpha; beta; flipped }
+  | Aep | Cor | CorTaylor | Heuristic ->
+    let p_eff, flipped = Aep_math.normalize (estimate rng ~p ~samples) in
+    let { Aep_math.alpha; beta } =
+      match strategy with
+      | Aep -> Aep_math.probabilities ~p:p_eff
+      | Cor -> Calibration.corrected_probabilities ~p:p_eff ~samples
+      | CorTaylor -> Aep_math.corrected ~p:p_eff ~samples
+      | Heuristic -> Aep_math.heuristic ~p:p_eff
+      | Eager | Autonomous | Oracle -> assert false
+    in
+    { side = -1; opposite_ref = -1; alpha; beta; flipped }
+  | Autonomous ->
+    (* AUT needs no derived probabilities, so the raw (unclamped) sample
+       mean is the unbiased choice probability. *)
+    let hits = Sample.binomial rng ~n:samples ~p in
+    let p_hat = float_of_int hits /. float_of_int samples in
+    let side = if Rng.bernoulli rng p_hat then 0 else 1 in
+    { side; opposite_ref = -1; alpha = 0.; beta = 0.; flipped = false }
+
+(* Active-set of peer indices supporting O(1) random choice and removal. *)
+module Active = struct
+  type t = { items : int array; pos : int array; mutable size : int }
+
+  let create n =
+    { items = Array.init n (fun i -> i); pos = Array.init n (fun i -> i); size = n }
+
+  let size t = t.size
+
+  let remove t i =
+    let p = t.pos.(i) in
+    if p < t.size then begin
+      let last = t.items.(t.size - 1) in
+      t.items.(p) <- last;
+      t.pos.(last) <- p;
+      t.items.(t.size - 1) <- i;
+      t.pos.(i) <- t.size - 1;
+      t.size <- t.size - 1
+    end
+
+  let pick rng t = t.items.(Rng.int rng t.size)
+end
+
+let run_aep_family rng strategy ~n ~p ~samples =
+  let peers = Array.init n (fun _ -> make_peer rng strategy ~p ~samples) in
+  let undecided = Active.create n in
+  let interactions = ref 0 in
+  let stalled = ref false in
+  let decide i side ref_ =
+    peers.(i).side <- side;
+    peers.(i).opposite_ref <- ref_;
+    Active.remove undecided i
+  in
+  (* Anti-deadlock guard: if the sampling-bias correction zeroed every
+     split probability, no first decision can ever happen.  After a grace
+     period with zero decisions, force the next undecided-undecided meeting
+     to split (see .mli). *)
+  let guard_after = 20 * n in
+  while Active.size undecided > 0 do
+    incr interactions;
+    let i = Active.pick rng undecided in
+    let j =
+      let rec other () =
+        let j = Rng.int rng n in
+        if j = i then other () else j
+      in
+      other ()
+    in
+    let me = peers.(i) in
+    (* The initiator's view: [minority] is the side it believes receives
+       the smaller peer share. *)
+    let minority = if me.flipped then 1 else 0 in
+    let majority = 1 - minority in
+    if peers.(j).side = -1 then begin
+      let force = !interactions > guard_after && n - Active.size undecided = 0 in
+      if force then stalled := true;
+      if force || Rng.bernoulli rng me.alpha then begin
+        (* Balanced split: a fair coin assigns the directions. *)
+        if Rng.bool rng then begin
+          decide i minority j;
+          decide j majority i
+        end
+        else begin
+          decide i majority j;
+          decide j minority i
+        end
+      end
+    end
+    else if peers.(j).side = minority then decide i majority j
+    else if Rng.bernoulli rng me.beta then decide i minority j
+    else
+      (* Decide for the majority side, copying an opposite reference from
+         the contacted peer (it holds one by the AEP invariant). *)
+      decide i majority peers.(j).opposite_ref
+  done;
+  let p0 = Array.fold_left (fun acc q -> if q.side = 0 then acc + 1 else acc) 0 peers in
+  let referential_ok =
+    Array.for_all
+      (fun q -> q.opposite_ref >= 0 && peers.(q.opposite_ref).side = 1 - q.side)
+      peers
+  in
+  {
+    p0;
+    p1 = n - p0;
+    interactions = !interactions;
+    referential_ok;
+    stalled = !stalled;
+  }
+
+let run_autonomous rng ~n ~p ~samples =
+  let peers = Array.init n (fun _ -> make_peer rng Autonomous ~p ~samples) in
+  let unsatisfied = Active.create n in
+  let interactions = ref 0 in
+  let satisfy i ref_ =
+    peers.(i).opposite_ref <- ref_;
+    Active.remove unsatisfied i
+  in
+  (* If every peer pre-decided for the same side no opposite peer exists;
+     flip one peer to restore solvability (vanishingly rare for real n). *)
+  let sides = Array.map (fun q -> q.side) peers in
+  let all_same = Array.for_all (fun s -> s = sides.(0)) sides in
+  if all_same && n > 1 then peers.(0).side <- 1 - peers.(0).side;
+  while Active.size unsatisfied > 0 do
+    incr interactions;
+    let i = Active.pick rng unsatisfied in
+    let j =
+      let rec other () =
+        let j = Rng.int rng n in
+        if j = i then other () else j
+      in
+      other ()
+    in
+    if peers.(j).side <> peers.(i).side then begin
+      satisfy i j;
+      (* The contacted peer learns about the initiator as well. *)
+      if peers.(j).opposite_ref = -1 then satisfy j i
+    end
+  done;
+  let p0 = Array.fold_left (fun acc q -> if q.side = 0 then acc + 1 else acc) 0 peers in
+  let referential_ok =
+    Array.for_all
+      (fun q -> q.opposite_ref >= 0 && peers.(q.opposite_ref).side = 1 - q.side)
+      peers
+  in
+  { p0; p1 = n - p0; interactions = !interactions; referential_ok; stalled = false }
+
+let run rng strategy ~n ~p ~samples =
+  if n < 2 then invalid_arg "Discrete.run: n must be >= 2";
+  if not (p > 0. && p < 1.) then invalid_arg "Discrete.run: need 0 < p < 1";
+  if samples < 1 then invalid_arg "Discrete.run: samples must be >= 1";
+  match strategy with
+  | Autonomous -> run_autonomous rng ~n ~p ~samples
+  | Eager | Aep | Cor | CorTaylor | Heuristic | Oracle ->
+    run_aep_family rng strategy ~n ~p ~samples

@@ -1,0 +1,43 @@
+(** Discrete, agent-based simulation of one decentralized bisection
+    (the "AEP", "COR" and "AUT" models of paper Section 3.3).
+
+    [n] peers each hold [samples] Bernoulli(p) observations (their local
+    data keys restricted to the partition being split) and derive a fixed
+    private estimate of [p] from them.  Undecided peers then initiate
+    pairwise interactions — one initiator per step, contacting a uniformly
+    random other peer — and apply the AEP decision rules with their private
+    probabilities.  The run records decided counts, initiated interactions,
+    and whether referential integrity held (every peer ends holding a
+    reference to a peer of the opposite partition). *)
+
+type strategy =
+  | Eager  (** alpha = beta = 1; correct only for p = 1/2 *)
+  | Autonomous  (** decide up-front with probability p-hat, then search *)
+  | Aep  (** exact probabilities from the private estimate *)
+  | Cor
+      (** sampling-bias corrected probabilities — exact-expectation
+          calibration ({!Aep_math.corrected_calibrated}) *)
+  | CorTaylor
+      (** the paper's literal Taylor correction (Eqs. 9-10); kept as an
+          ablation — it overshoots where [alpha''] varies quickly *)
+  | Heuristic  (** the Figure 6(d) strawman probabilities *)
+  | Oracle  (** exact probabilities from the true p (no sampling) *)
+
+val strategy_label : strategy -> string
+
+type result = {
+  p0 : int;  (** peers that decided for side 0 *)
+  p1 : int;  (** peers that decided for side 1 *)
+  interactions : int;  (** interactions initiated in total *)
+  referential_ok : bool;
+      (** every decided peer held an opposite-side reference at the end *)
+  stalled : bool;
+      (** the anti-deadlock guard fired (possible for [Cor] at small [p]
+          where the Taylor correction zeroes all split probabilities) *)
+}
+
+(** [run rng strategy ~n ~p ~samples] simulates one bisection with load
+    fraction [p] on side 0. Requires [n >= 2], [0 < p < 1], [samples >= 1].
+    Estimates are clamped per {!Aep_math.clamp_estimate}; estimates above
+    1/2 flip the peer's view of which side is the minority. *)
+val run : Pgrid_prng.Rng.t -> strategy -> n:int -> p:float -> samples:int -> result

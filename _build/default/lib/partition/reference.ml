@@ -1,0 +1,78 @@
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+
+type partition = { path : Path.t; peers : float; keys : int }
+type t = { partitions : partition list; d_max : int; n_min : int }
+
+let compute ~keys ~peers ~d_max ~n_min =
+  if peers < 1 then invalid_arg "Reference.compute: peers must be >= 1";
+  if d_max < 1 then invalid_arg "Reference.compute: d_max must be >= 1";
+  if n_min < 1 then invalid_arg "Reference.compute: n_min must be >= 1";
+  let sorted = Array.copy keys in
+  Array.sort Key.compare sorted;
+  (* [recurse path n lo hi] partitions sorted.(lo..hi-1), which are exactly
+     the keys matching [path]. *)
+  let rec recurse path n lo hi acc =
+    let d = hi - lo in
+    let fn_min = float_of_int n_min in
+    if d <= d_max || n <= fn_min || Path.length path >= Key.bits then
+      { path; peers = n; keys = d } :: acc
+    else begin
+      let mid_key = Key.to_int (Path.mid path) in
+      (* First index whose key is >= the interval midpoint. *)
+      let rec bisect a b =
+        if a >= b then a
+        else begin
+          let m = (a + b) / 2 in
+          if Key.to_int sorted.(m) < mid_key then bisect (m + 1) b else bisect a m
+        end
+      in
+      let cut = bisect lo hi in
+      let dl = cut - lo and dr = hi - cut in
+      (* Empty halves receive no peers and no partition: nobody needs to
+         be responsible for key space that holds no keys (the
+         decentralized protocol descends past such levels the same way). *)
+      if dl = 0 then recurse (Path.extend path 1) n cut hi acc
+      else if dr = 0 then recurse (Path.extend path 0) n lo cut acc
+      else begin
+        let fl = float_of_int dl /. float_of_int d in
+        let nl_prop = n *. fl and nr_prop = n *. (1. -. fl) in
+        let nl, nr =
+          if nl_prop >= fn_min && nr_prop >= fn_min then (nl_prop, nr_prop)
+          else if dl < dr then (fn_min, n -. fn_min)
+          else (n -. fn_min, fn_min)
+        in
+        let acc = recurse (Path.extend path 0) nl lo cut acc in
+        recurse (Path.extend path 1) nr cut hi acc
+      end
+    end
+  in
+  let rev = recurse Path.root (float_of_int peers) 0 (Array.length sorted) [] in
+  (* recurse prepends the left subtree result before descending right, so the
+     accumulator holds partitions in reverse key order. *)
+  { partitions = List.rev rev; d_max; n_min }
+
+let lookup t key =
+  match List.find_opt (fun p -> Path.matches_key p.path key) t.partitions with
+  | Some p -> p
+  | None -> assert false (* leaves tile the key space *)
+
+let max_key_load t = List.fold_left (fun m p -> max m p.keys) 0 t.partitions
+let min_peers t = List.fold_left (fun m p -> Float.min m p.peers) infinity t.partitions
+
+let depth_stats t =
+  let total, deepest, count =
+    List.fold_left
+      (fun (s, m, c) p -> (s + Path.length p.path, max m (Path.length p.path), c + 1))
+      (0, 0, 0) t.partitions
+  in
+  (float_of_int total /. float_of_int (max 1 count), deepest)
+
+let total_peers t = List.fold_left (fun s p -> s +. p.peers) 0. t.partitions
+
+let pp fmt t =
+  List.iter
+    (fun p ->
+      Format.fprintf fmt "%-20s peers=%6.2f keys=%d@." (Path.to_string p.path) p.peers
+        p.keys)
+    t.partitions

@@ -1,0 +1,46 @@
+(** The global partitioning algorithm [Partition(p, n, d)] (paper
+    Algorithm 1) — the "optimal" distribution every decentralized run is
+    measured against.
+
+    The key space is recursively bisected at the interval midpoint.  A
+    partition holding [d] keys and [n] peers splits while [d > d_max] and
+    [n > n_min]; peers are assigned to the halves proportionally to their
+    key loads when both proportional shares reach [n_min], otherwise the
+    lighter half receives exactly [n_min] and the rest goes to the heavier
+    half; a completely *empty* half receives no peers and no partition
+    (matching the decentralized protocol's degenerate descent).  Peer
+    counts are kept fractional during recursion, exactly as the idealized
+    algorithm prescribes. *)
+
+type partition = {
+  path : Pgrid_keyspace.Path.t;  (** the bit string identifying the leaf *)
+  peers : float;  (** fractional number of peers assigned *)
+  keys : int;  (** number of data keys falling in the leaf *)
+}
+
+type t = { partitions : partition list; d_max : int; n_min : int }
+
+(** [compute ~keys ~peers ~d_max ~n_min] runs Algorithm 1 over the multiset
+    [keys]. Partitions are returned in key order. Requires positive
+    arguments; recursion depth is capped at {!Pgrid_keyspace.Key.bits}
+    (degenerate all-equal key sets stop there). *)
+val compute :
+  keys:Pgrid_keyspace.Key.t array -> peers:int -> d_max:int -> n_min:int -> t
+
+(** [lookup t key] is the partition containing [key]. *)
+val lookup : t -> Pgrid_keyspace.Key.t -> partition
+
+(** [max_key_load t] / [min_peers t]: extremes over partitions, for
+    checking the two load-balancing criteria. *)
+val max_key_load : t -> int
+
+val min_peers : t -> float
+
+(** [depth_stats t] is (mean, max) of leaf path lengths. *)
+val depth_stats : t -> float * int
+
+(** [total_peers t] sums fractional peer assignments (= input [peers]). *)
+val total_peers : t -> float
+
+(** [pp] prints one line per partition. *)
+val pp : Format.formatter -> t -> unit

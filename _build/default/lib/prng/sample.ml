@@ -1,0 +1,78 @@
+let uniform rng ~lo ~hi =
+  if not (lo < hi) then invalid_arg "Sample.uniform: lo must be < hi";
+  lo +. ((hi -. lo) *. Rng.float rng)
+
+let normal rng ~mu ~sigma =
+  (* Box-Muller.  Guard the logarithm against u1 = 0. *)
+  let rec nonzero () =
+    let u = Rng.float rng in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = Rng.float rng in
+  let r = sqrt (-2. *. log u1) in
+  mu +. (sigma *. r *. cos (2. *. Float.pi *. u2))
+
+let pareto rng ~alpha ~k =
+  if alpha <= 0. || k <= 0. then invalid_arg "Sample.pareto";
+  let rec nonzero () =
+    let u = Rng.float rng in
+    if u > 0. then u else nonzero ()
+  in
+  k /. Float.pow (nonzero ()) (1. /. alpha)
+
+let exponential rng ~rate =
+  if rate <= 0. then invalid_arg "Sample.exponential";
+  let rec nonzero () =
+    let u = Rng.float rng in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let lognormal rng ~mu ~sigma = exp (normal rng ~mu ~sigma)
+
+let binomial rng ~n ~p =
+  if n < 0 then invalid_arg "Sample.binomial";
+  let count = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng p then incr count
+  done;
+  !count
+
+let geometric rng ~p =
+  if not (p > 0. && p <= 1.) then invalid_arg "Sample.geometric";
+  if p >= 1. then 1
+  else
+    let rec nonzero () =
+      let u = Rng.float rng in
+      if u > 0. then u else nonzero ()
+    in
+    1 + int_of_float (Float.floor (log (nonzero ()) /. log (1. -. p)))
+
+module Zipf = struct
+  type t = { cdf : float array }
+
+  let create ~n ~s =
+    if n < 1 then invalid_arg "Zipf.create: n must be >= 1";
+    if s < 0. then invalid_arg "Zipf.create: s must be >= 0";
+    let cdf = Array.make n 0. in
+    let acc = ref 0. in
+    for r = 1 to n do
+      acc := !acc +. (1. /. Float.pow (float_of_int r) s);
+      cdf.(r - 1) <- !acc
+    done;
+    let total = !acc in
+    Array.iteri (fun i v -> cdf.(i) <- v /. total) cdf;
+    { cdf }
+
+  let support t = Array.length t.cdf
+
+  let draw t rng =
+    let u = Rng.float rng in
+    (* Least index with cdf.(i) > u; the answer is rank i+1. *)
+    let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if t.cdf.(mid) > u then hi := mid else lo := mid + 1
+    done;
+    !lo + 1
+end

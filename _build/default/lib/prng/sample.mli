@@ -1,0 +1,49 @@
+(** Samplers for the probability distributions used across the paper's
+    experiments: uniform, Gaussian, Pareto, exponential, log-normal,
+    binomial, geometric and Zipf.
+
+    All samplers take an explicit {!Rng.t}; none touch global state. *)
+
+(** [uniform rng ~lo ~hi] is uniform on [lo, hi). Requires [lo < hi]. *)
+val uniform : Rng.t -> lo:float -> hi:float -> float
+
+(** [normal rng ~mu ~sigma] draws from the Gaussian N(mu, sigma^2)
+    (Box-Muller; one fresh pair per call, second value discarded to keep the
+    sampler stateless). *)
+val normal : Rng.t -> mu:float -> sigma:float -> float
+
+(** [pareto rng ~alpha ~k] draws from the Pareto distribution with shape
+    [alpha] and scale [k]: density [alpha k^alpha / x^(alpha+1)] on
+    [x >= k]. Requires [alpha > 0] and [k > 0]. *)
+val pareto : Rng.t -> alpha:float -> k:float -> float
+
+(** [exponential rng ~rate] draws from Exp(rate). Requires [rate > 0]. *)
+val exponential : Rng.t -> rate:float -> float
+
+(** [lognormal rng ~mu ~sigma] is [exp] of a Gaussian draw, the standard
+    model for wide-area network round-trip times. *)
+val lognormal : Rng.t -> mu:float -> sigma:float -> float
+
+(** [binomial rng ~n ~p] counts successes among [n] Bernoulli(p) trials.
+    Direct summation: the repository only needs small [n] (key samples). *)
+val binomial : Rng.t -> n:int -> p:float -> int
+
+(** [geometric rng ~p] is the number of Bernoulli(p) trials up to and
+    including the first success (support 1, 2, ...). Requires [0 < p <= 1]. *)
+val geometric : Rng.t -> p:float -> int
+
+(** Precomputed Zipf sampler over ranks [1..n] with exponent [s]:
+    P(rank = r) proportional to [1/r^s]. Used for the synthetic text corpus
+    (distribution "A"). *)
+module Zipf : sig
+  type t
+
+  (** [create ~n ~s] precomputes the CDF table. Requires [n >= 1], [s >= 0]. *)
+  val create : n:int -> s:float -> t
+
+  (** [draw t rng] returns a rank in [1..n] by binary search on the CDF. *)
+  val draw : t -> Rng.t -> int
+
+  (** [support t] is the number of ranks [n]. *)
+  val support : t -> int
+end

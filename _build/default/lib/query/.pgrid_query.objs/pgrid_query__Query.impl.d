@@ -1,0 +1,1 @@
+lib/query/query.ml: Array List Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_stats

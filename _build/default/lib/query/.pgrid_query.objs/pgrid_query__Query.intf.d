@@ -1,0 +1,1 @@
+lib/query/query.mli: Pgrid_core Pgrid_keyspace Pgrid_prng

@@ -1,0 +1,111 @@
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Moments = Pgrid_stats.Moments
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+
+type batch_stats = {
+  issued : int;
+  routed : int;
+  found : int;
+  mean_hops : float;
+  max_hops : int;
+}
+
+let random_online_node rng overlay =
+  let n = Overlay.size overlay in
+  let rec try_ attempts =
+    if attempts = 0 then None
+    else begin
+      let i = Rng.int rng n in
+      if (Overlay.node overlay i).Node.online then Some i else try_ (attempts - 1)
+    end
+  in
+  try_ (4 * n)
+
+let lookup_batch rng overlay ~keys ~count =
+  if Array.length keys = 0 then invalid_arg "Query.lookup_batch: no keys";
+  if count < 1 then invalid_arg "Query.lookup_batch: count must be >= 1";
+  let hops = Moments.create () in
+  let routed = ref 0 and found = ref 0 and max_hops = ref 0 in
+  for _ = 1 to count do
+    match random_online_node rng overlay with
+    | None -> ()
+    | Some origin ->
+      let key = keys.(Rng.int rng (Array.length keys)) in
+      let r = Overlay.search overlay ~from:origin key in
+      (match r.Overlay.responsible with
+      | Some _ ->
+        incr routed;
+        if r.Overlay.key_present then incr found;
+        Moments.add hops (float_of_int r.Overlay.hops);
+        if r.Overlay.hops > !max_hops then max_hops := r.Overlay.hops
+      | None -> ())
+  done;
+  {
+    issued = count;
+    routed = !routed;
+    found = !found;
+    mean_hops = Moments.mean hops;
+    max_hops = !max_hops;
+  }
+
+type range_stats = {
+  ranges : int;
+  mean_partitions : float;
+  mean_hops : float;
+  mean_results : float;
+}
+
+let range_batch rng overlay ~count ~width =
+  if count < 1 then invalid_arg "Query.range_batch: count must be >= 1";
+  if not (width > 0. && width < 1.) then invalid_arg "Query.range_batch: bad width";
+  let partitions = Moments.create () in
+  let hops = Moments.create () in
+  let results = Moments.create () in
+  for _ = 1 to count do
+    match random_online_node rng overlay with
+    | None -> ()
+    | Some origin ->
+      let start = Rng.float rng *. (1. -. width) in
+      let lo = Key.of_float start and hi = Key.of_float (start +. width) in
+      let r = Overlay.range_search overlay ~from:origin ~lo ~hi in
+      Moments.add partitions (float_of_int (List.length r.Overlay.visited));
+      Moments.add hops (float_of_int r.Overlay.total_hops);
+      Moments.add results (float_of_int (List.length r.Overlay.matches))
+  done;
+  {
+    ranges = count;
+    mean_partitions = Moments.mean partitions;
+    mean_hops = Moments.mean hops;
+    mean_results = Moments.mean results;
+  }
+
+type conjunctive_result = {
+  matches : string list;
+  resolved : int;
+  total_hops : int;
+}
+
+let conjunctive overlay ~from keys =
+  if keys = [] then invalid_arg "Query.conjunctive: no keys";
+  let resolved = ref 0 and hops = ref 0 in
+  let postings =
+    List.map
+      (fun k ->
+        let r = Overlay.search overlay ~from k in
+        hops := !hops + r.Overlay.hops;
+        match r.Overlay.responsible with
+        | Some _ ->
+          incr resolved;
+          List.sort_uniq compare r.Overlay.payloads
+        | None -> [])
+      keys
+  in
+  let matches =
+    match postings with
+    | [] -> []
+    | first :: rest ->
+      List.fold_left (fun acc l -> List.filter (fun d -> List.mem d l) acc) first rest
+  in
+  { matches; resolved = !resolved; total_hops = !hops }

@@ -1,0 +1,53 @@
+(** Query workloads and batch measurement over a constructed overlay.
+
+    Used by the examples and the in-text statistics table: issue many
+    lookups from random origins and aggregate hop counts, success rate and
+    recall (did the responsible peer actually hold the key?). *)
+
+type batch_stats = {
+  issued : int;
+  routed : int;  (** responsible peer reached *)
+  found : int;  (** responsible peer held the key *)
+  mean_hops : float;
+  max_hops : int;
+}
+
+(** [lookup_batch rng overlay ~keys ~count] issues [count] lookups for
+    uniformly drawn members of [keys], each from a uniformly drawn online
+    origin. *)
+val lookup_batch :
+  Pgrid_prng.Rng.t ->
+  Pgrid_core.Overlay.t ->
+  keys:Pgrid_keyspace.Key.t array ->
+  count:int ->
+  batch_stats
+
+type range_stats = {
+  ranges : int;
+  mean_partitions : float;  (** responsible partitions visited per range *)
+  mean_hops : float;
+  mean_results : float;
+}
+
+(** [range_batch rng overlay ~count ~width] issues [count] range queries
+    of key-space width [width] (fraction of the unit interval) at uniform
+    positions. *)
+val range_batch :
+  Pgrid_prng.Rng.t -> Pgrid_core.Overlay.t -> count:int -> width:float -> range_stats
+
+type conjunctive_result = {
+  matches : string list;  (** payloads present under every key *)
+  resolved : int;  (** keys whose responsible peer was reached *)
+  total_hops : int;
+}
+
+(** [conjunctive overlay ~from keys] resolves every key from origin
+    [from] and intersects the payload lists — the multi-keyword query of
+    a distributed inverted file (each payload a document id).  Keys whose
+    routing fails contribute nothing (and are not counted in
+    [resolved]). Requires a non-empty key list. *)
+val conjunctive :
+  Pgrid_core.Overlay.t ->
+  from:int ->
+  Pgrid_keyspace.Key.t list ->
+  conjunctive_result

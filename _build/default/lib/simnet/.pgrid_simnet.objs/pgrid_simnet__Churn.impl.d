@@ -1,0 +1,1 @@
+lib/simnet/churn.ml: List Pgrid_prng Sim

@@ -1,0 +1,1 @@
+lib/simnet/churn.mli: Pgrid_prng Sim

@@ -1,0 +1,1 @@
+lib/simnet/latency.mli: Pgrid_prng

@@ -1,0 +1,1 @@
+lib/simnet/unstructured.ml: Array Hashtbl List Pgrid_prng

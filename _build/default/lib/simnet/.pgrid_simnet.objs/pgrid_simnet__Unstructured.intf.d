@@ -1,0 +1,1 @@
+lib/simnet/unstructured.mli: Pgrid_prng

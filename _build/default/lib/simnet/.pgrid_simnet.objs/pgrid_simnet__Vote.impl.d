@@ -1,0 +1,1 @@
+lib/simnet/vote.ml: Float List Unstructured

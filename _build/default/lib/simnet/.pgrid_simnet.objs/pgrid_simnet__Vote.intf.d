@@ -1,0 +1,1 @@
+lib/simnet/vote.mli: Unstructured

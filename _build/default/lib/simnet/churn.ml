@@ -1,0 +1,44 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+
+type params = {
+  start : float;
+  stop : float;
+  off_min : float;
+  off_max : float;
+  period_min : float;
+  period_max : float;
+}
+
+let paper_params ~start ~stop =
+  {
+    start;
+    stop;
+    off_min = 60.;
+    off_max = 300.;
+    period_min = 300.;
+    period_max = 600.;
+  }
+
+let install sim rng params ~node_ids ~set_online =
+  if params.stop < params.start then invalid_arg "Churn.install: stop before start";
+  if params.off_min <= 0. || params.off_max < params.off_min then
+    invalid_arg "Churn.install: bad offline durations";
+  if params.period_min <= 0. || params.period_max < params.period_min then
+    invalid_arg "Churn.install: bad period";
+  let uniform lo hi = Sample.uniform rng ~lo ~hi in
+  List.iter
+    (fun id ->
+      let rec cycle time =
+        if time < params.stop then begin
+          let off_at = time +. uniform params.period_min params.period_max in
+          let off_for = uniform params.off_min params.off_max in
+          if off_at < params.stop then begin
+            Sim.schedule_at sim ~time:off_at (fun () -> set_online id false);
+            Sim.schedule_at sim ~time:(off_at +. off_for) (fun () -> set_online id true);
+            cycle (off_at +. off_for)
+          end
+        end
+      in
+      cycle params.start)
+    node_ids

@@ -1,0 +1,26 @@
+(** Node churn: the final experiment phase has every peer independently
+    going offline for 1-5 minutes every 5-10 minutes (paper Section 5.1). *)
+
+type params = {
+  start : float;  (** churn begins (seconds) *)
+  stop : float;  (** churn ends; nodes finish their current cycle *)
+  off_min : float;  (** minimum offline duration (seconds) *)
+  off_max : float;
+  period_min : float;  (** minimum cycle length between offline periods *)
+  period_max : float;
+}
+
+(** The paper's setting, relative to a churn window [start, stop]. *)
+val paper_params : start:float -> stop:float -> params
+
+(** [install sim rng params ~node_ids ~set_online] schedules the on/off
+    cycles for every listed node. [set_online id v] is called at each
+    transition; nodes are guaranteed to be back online once the cycles
+    stop. *)
+val install :
+  Sim.t ->
+  Pgrid_prng.Rng.t ->
+  params ->
+  node_ids:int list ->
+  set_online:(int -> bool -> unit) ->
+  unit

@@ -1,0 +1,15 @@
+module Sample = Pgrid_prng.Sample
+
+type model =
+  | Fixed of float
+  | Lognormal of { mu : float; sigma : float; floor : float }
+
+let planetlab = Lognormal { mu = log 0.15; sigma = 0.8; floor = 0.01 }
+
+let sample model rng =
+  match model with
+  | Fixed d ->
+    if d < 0. then invalid_arg "Latency.sample: negative fixed delay";
+    d
+  | Lognormal { mu; sigma; floor } ->
+    Float.max floor (Sample.lognormal rng ~mu ~sigma)

@@ -1,0 +1,17 @@
+(** Message latency models.
+
+    PlanetLab's wide-area round-trip times are classically heavy-tailed;
+    a log-normal body with a floor models them well enough to reproduce
+    the paper's latency *shapes* (which is all the substitution needs). *)
+
+type model =
+  | Fixed of float  (** constant one-way delay in seconds *)
+  | Lognormal of { mu : float; sigma : float; floor : float }
+      (** [exp (Normal (mu, sigma))], at least [floor] seconds *)
+
+(** A PlanetLab-ish default: median ~150 ms, heavy tail to seconds,
+    floor 10 ms. *)
+val planetlab : model
+
+(** [sample model rng] draws a one-way latency in seconds (>= 0). *)
+val sample : model -> Pgrid_prng.Rng.t -> float

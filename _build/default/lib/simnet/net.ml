@@ -1,0 +1,79 @@
+module Rng = Pgrid_prng.Rng
+
+type kind = Maintenance | Query
+
+type 'msg t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  node_count : int;
+  latency : Latency.model;
+  loss : float;
+  bucket : float;
+  online : bool array;
+  mutable handler : int -> 'msg -> unit;
+  maintenance : (int, float) Hashtbl.t;  (** bucket index -> bytes *)
+  query : (int, float) Hashtbl.t;
+  mutable sent : int;
+  mutable dropped : int;
+}
+
+let create sim rng ~nodes ~latency ~loss ~bucket =
+  if nodes < 1 then invalid_arg "Net.create: nodes must be >= 1";
+  if loss < 0. || loss >= 1. then invalid_arg "Net.create: loss must be in [0, 1)";
+  if bucket <= 0. then invalid_arg "Net.create: bucket must be positive";
+  {
+    sim;
+    rng;
+    node_count = nodes;
+    latency;
+    loss;
+    bucket;
+    online = Array.make nodes true;
+    handler = (fun _ _ -> ());
+    maintenance = Hashtbl.create 256;
+    query = Hashtbl.create 256;
+    sent = 0;
+    dropped = 0;
+  }
+
+let sim t = t.sim
+let nodes t = t.node_count
+let set_handler t h = t.handler <- h
+let online t i = t.online.(i)
+let set_online t i v = t.online.(i) <- v
+
+let online_count t =
+  Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.online
+
+let table t = function Maintenance -> t.maintenance | Query -> t.query
+
+let account t ~bytes ~kind =
+  let tbl = table t kind in
+  let idx = int_of_float (Sim.now t.sim /. t.bucket) in
+  let existing = Option.value ~default:0. (Hashtbl.find_opt tbl idx) in
+  Hashtbl.replace tbl idx (existing +. float_of_int bytes)
+
+let send t ~src ~dst ~bytes ~kind msg =
+  if src < 0 || src >= t.node_count || dst < 0 || dst >= t.node_count then
+    invalid_arg "Net.send: node id out of range";
+  if t.online.(src) then begin
+    account t ~bytes ~kind;
+    t.sent <- t.sent + 1;
+    if Rng.float t.rng < t.loss then t.dropped <- t.dropped + 1
+    else begin
+      let delay = Latency.sample t.latency t.rng in
+      Sim.schedule t.sim ~delay (fun () ->
+          if t.online.(dst) then t.handler dst msg
+          else t.dropped <- t.dropped + 1)
+    end
+  end
+
+let bandwidth t kind =
+  let tbl = table t kind in
+  Hashtbl.fold (fun idx bytes acc -> (idx, bytes) :: acc) tbl []
+  |> List.sort compare
+  |> List.map (fun (idx, bytes) ->
+         ((float_of_int idx +. 0.5) *. t.bucket, bytes /. t.bucket))
+
+let messages_sent t = t.sent
+let messages_dropped t = t.dropped

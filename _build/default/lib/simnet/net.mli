@@ -1,0 +1,54 @@
+(** Simulated message network: delivery with latency and loss, per-kind
+    bandwidth accounting, and node online state.
+
+    ['msg] is the protocol's message type; the installed handler receives
+    each delivered message.  Bytes are accounted at send time into
+    fixed-width time buckets, split into maintenance vs query traffic
+    exactly as Figure 8 reports them. *)
+
+type kind = Maintenance | Query
+
+type 'msg t
+
+(** [create sim rng ~nodes ~latency ~loss ~bucket] wires a network of
+    [nodes] nodes (ids [0 .. nodes-1], all online) onto [sim]. [loss] is
+    the independent drop probability per message; [bucket] the bandwidth
+    accounting granularity in seconds. *)
+val create :
+  Sim.t ->
+  Pgrid_prng.Rng.t ->
+  nodes:int ->
+  latency:Latency.model ->
+  loss:float ->
+  bucket:float ->
+  'msg t
+
+val sim : 'msg t -> Sim.t
+val nodes : 'msg t -> int
+
+(** [set_handler t h] installs the delivery callback [h dst msg]. *)
+val set_handler : 'msg t -> (int -> 'msg -> unit) -> unit
+
+val online : 'msg t -> int -> bool
+val set_online : 'msg t -> int -> bool -> unit
+val online_count : 'msg t -> int
+
+(** [send t ~src ~dst ~bytes ~kind msg] accounts [bytes] and schedules
+    delivery after a sampled latency; the message is dropped silently when
+    lost in transit or when [dst] is offline at delivery time (the paper's
+    query failures under churn come from exactly this). Sending from an
+    offline node is a no-op. *)
+val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:kind -> 'msg -> unit
+
+(** [account t ~bytes ~kind] records traffic without a message (used for
+    local exchanges abstracted away from the handler level). *)
+val account : 'msg t -> bytes:int -> kind:kind -> unit
+
+(** [bandwidth t kind] is the per-bucket aggregate series:
+    [(bucket midpoint seconds, bytes per second)]. *)
+val bandwidth : 'msg t -> kind -> (float * float) list
+
+(** [messages_sent t] / [messages_dropped t]: totals. *)
+val messages_sent : 'msg t -> int
+
+val messages_dropped : 'msg t -> int

@@ -1,0 +1,88 @@
+(* Binary min-heap of (time, seq, callback). *)
+type event = { time : float; seq : int; run : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : float;
+  mutable next_seq : int;
+}
+
+let dummy = { time = 0.; seq = 0; run = (fun () -> ()) }
+let create () = { heap = Array.make 256 dummy; size = 0; clock = 0.; next_seq = 0 }
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let grown = Array.make (2 * t.size) dummy in
+    Array.blit t.heap 0 grown 0 t.size;
+    t.heap <- grown
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  let top = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  top
+
+let schedule_at t ~time f =
+  let time = Float.max time t.clock in
+  let ev = { time; seq = t.next_seq; run = f } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let schedule t ~delay f =
+  if delay < 0. then invalid_arg "Sim.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let run_until t ~time =
+  let continue = ref true in
+  while !continue && t.size > 0 do
+    if t.heap.(0).time < time then begin
+      let ev = pop t in
+      t.clock <- ev.time;
+      ev.run ()
+    end
+    else continue := false
+  done;
+  t.clock <- Float.max t.clock time
+
+let run t =
+  while t.size > 0 do
+    let ev = pop t in
+    t.clock <- ev.time;
+    ev.run ()
+  done
+
+let pending t = t.size

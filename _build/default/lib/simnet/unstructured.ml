@@ -1,0 +1,57 @@
+module Rng = Pgrid_prng.Rng
+
+type t = { adjacency : int list array }
+
+let create rng ~nodes ~degree =
+  if nodes < 2 then invalid_arg "Unstructured.create: need at least 2 nodes";
+  if degree < 1 || degree >= nodes then invalid_arg "Unstructured.create: bad degree";
+  let adjacency = Array.make nodes [] in
+  let link a b =
+    if not (List.mem b adjacency.(a)) then adjacency.(a) <- b :: adjacency.(a);
+    if not (List.mem a adjacency.(b)) then adjacency.(b) <- a :: adjacency.(b)
+  in
+  for i = 0 to nodes - 1 do
+    let picks = Rng.sample_without_replacement rng ~k:degree ~n:(nodes - 1) in
+    Array.iter (fun raw -> link i (if raw >= i then raw + 1 else raw)) picks
+  done;
+  { adjacency }
+
+let nodes t = Array.length t.adjacency
+let neighbors t i = t.adjacency.(i)
+
+let random_walk t rng ~online ~start ~steps =
+  let rec go cur remaining =
+    if remaining = 0 then cur
+    else begin
+      match List.filter online t.adjacency.(cur) with
+      | [] -> cur
+      | alive -> go (Rng.pick_list rng alive) (remaining - 1)
+    end
+  in
+  go start steps
+
+let flood t ~start ~ttl ~online =
+  let visited = Hashtbl.create 64 in
+  let traversals = ref 0 in
+  let rec bfs frontier depth =
+    if depth < ttl && frontier <> [] then begin
+      let next =
+        List.concat_map
+          (fun i ->
+            List.filter_map
+              (fun j ->
+                incr traversals;
+                if online j && not (Hashtbl.mem visited j) then begin
+                  Hashtbl.add visited j ();
+                  Some j
+                end
+                else None)
+              (neighbors t i))
+          frontier
+      in
+      bfs next (depth + 1)
+    end
+  in
+  if online start then Hashtbl.add visited start ();
+  bfs [ start ] 0;
+  (Hashtbl.fold (fun k () acc -> k :: acc) visited [], !traversals)

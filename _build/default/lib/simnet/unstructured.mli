@@ -1,0 +1,27 @@
+(** The pre-existing unstructured overlay (random graph) the paper assumes
+    for bootstrapping: random-walk peer sampling and flood dissemination
+    both run over it. *)
+
+type t
+
+(** [create rng ~nodes ~degree] links every node to [degree] distinct
+    random neighbors; links are symmetric, so realized degrees average
+    about [2 * degree]. Requires [nodes >= 2] and [1 <= degree < nodes]. *)
+val create : Pgrid_prng.Rng.t -> nodes:int -> degree:int -> t
+
+val nodes : t -> int
+val neighbors : t -> int -> int list
+
+(** [random_walk t rng ~online ~start ~steps] walks [steps] uniform steps
+    over online neighbors and returns the endpoint ([start] itself when it
+    is isolated among offline neighbors).  Long enough walks approximate
+    uniform sampling — the paper's mechanism for "selecting peers
+    uniformly at random". *)
+val random_walk :
+  t -> Pgrid_prng.Rng.t -> online:(int -> bool) -> start:int -> steps:int -> int
+
+(** [flood t ~start ~ttl ~online] returns the set of online nodes reached
+    within [ttl] hops (including [start]) together with the number of
+    edge traversals — the cost model of the Section 4.1 voting flood. *)
+val flood :
+  t -> start:int -> ttl:int -> online:(int -> bool) -> int list * int

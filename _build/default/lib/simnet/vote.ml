@@ -1,0 +1,38 @@
+type ballot = { approve : bool; storage : int; items : int }
+
+type result = {
+  participants : int;
+  yes : int;
+  no : int;
+  storage_total : int;
+  items_total : int;
+  traversals : int;
+}
+
+let run graph ~initiator ~ttl ~online ~ballot_of =
+  let reached, traversals = Unstructured.flood graph ~start:initiator ~ttl ~online in
+  let empty =
+    { participants = 0; yes = 0; no = 0; storage_total = 0; items_total = 0; traversals }
+  in
+  List.fold_left
+    (fun acc peer ->
+      let b = ballot_of peer in
+      {
+        acc with
+        participants = acc.participants + 1;
+        yes = (acc.yes + if b.approve then 1 else 0);
+        no = (acc.no + if b.approve then 0 else 1);
+        storage_total = acc.storage_total + b.storage;
+        items_total = acc.items_total + b.items;
+      })
+    empty reached
+
+let approved r ~quorum =
+  if r.participants = 0 then false
+  else float_of_int r.yes >= quorum *. float_of_int r.participants
+
+let derive_d_max r ~n_min =
+  if n_min < 1 then invalid_arg "Vote.derive_d_max: n_min must be >= 1";
+  if r.participants = 0 then invalid_arg "Vote.derive_d_max: no participants";
+  let d_avg = float_of_int r.items_total /. float_of_int r.participants in
+  max 1 (int_of_float (Float.round (d_avg *. float_of_int n_min *. 2.)))

@@ -1,0 +1,42 @@
+(** Decentralized initiation of the indexing process (paper Section 4.1).
+
+    A peer that locally decides re-indexing would be useful floods a vote
+    over the unstructured overlay; ballots carry each peer's stance plus
+    piggy-backed resource information (local storage offered, local item
+    count).  Replies aggregate along the reverse flood paths; from the
+    aggregate the initiator derives the construction parameters
+    ([d_max], [t_init]) it then floods back. *)
+
+type ballot = {
+  approve : bool;
+  storage : int;  (** storage the peer would contribute (bytes) *)
+  items : int;  (** local data items to index *)
+}
+
+type result = {
+  participants : int;  (** online peers reached by the flood *)
+  yes : int;
+  no : int;
+  storage_total : int;
+  items_total : int;
+  traversals : int;  (** edge traversals of the flood (message cost x2) *)
+}
+
+(** [run graph ~initiator ~ttl ~online ~ballot_of] floods the vote and
+    aggregates the ballots of reached online peers. *)
+val run :
+  Unstructured.t ->
+  initiator:int ->
+  ttl:int ->
+  online:(int -> bool) ->
+  ballot_of:(int -> ballot) ->
+  result
+
+(** [approved r ~quorum] holds when yes-votes reach [quorum] (a fraction
+    of participants, e.g. 0.5). *)
+val approved : result -> quorum:float -> bool
+
+(** [derive_d_max r ~n_min] is the paper's parameter rule
+    [d_max = d_avg * n_min * 2] with [d_avg = items_total /
+    participants]. *)
+val derive_d_max : result -> n_min:int -> int

@@ -1,0 +1,42 @@
+type t = { lo : float; hi : float; w : float array }
+
+let create ~lo ~hi ~bins =
+  if not (lo < hi) then invalid_arg "Histogram.create: lo must be < hi";
+  if bins < 1 then invalid_arg "Histogram.create: bins must be >= 1";
+  { lo; hi; w = Array.make bins 0. }
+
+let bins t = Array.length t.w
+
+let bucket_of t x =
+  let n = Array.length t.w in
+  let raw = int_of_float (float_of_int n *. (x -. t.lo) /. (t.hi -. t.lo)) in
+  if raw < 0 then 0 else if raw >= n then n - 1 else raw
+
+let add_weighted t x w = t.w.(bucket_of t x) <- t.w.(bucket_of t x) +. w
+let add t x = add_weighted t x 1.
+let weight t i = t.w.(i)
+let total t = Array.fold_left ( +. ) 0. t.w
+
+let midpoint t i =
+  let n = float_of_int (Array.length t.w) in
+  t.lo +. ((t.hi -. t.lo) *. (float_of_int i +. 0.5) /. n)
+
+let counts t = Array.copy t.w
+
+let normalized t =
+  let s = total t in
+  if s = 0. then Array.make (Array.length t.w) 0.
+  else Array.map (fun x -> x /. s) t.w
+
+let chi_square_uniform t =
+  let s = total t in
+  let n = Array.length t.w in
+  if s = 0. then 0.
+  else begin
+    let expected = s /. float_of_int n in
+    Array.fold_left
+      (fun acc observed ->
+        let d = observed -. expected in
+        acc +. (d *. d /. expected))
+      0. t.w
+  end

@@ -1,0 +1,44 @@
+(** Fixed-range equal-width histograms.
+
+    Used to bucket key distributions (to check skew classes) and to bucket
+    time series in the network simulator (bandwidth per minute). *)
+
+type t
+
+(** [create ~lo ~hi ~bins] builds an empty histogram over [lo, hi) with
+    [bins] equal-width buckets. Requires [lo < hi] and [bins >= 1]. *)
+val create : lo:float -> hi:float -> bins:int -> t
+
+(** [add t x] increments the bucket containing [x] by one; out-of-range
+    observations are clamped into the first/last bucket. *)
+val add : t -> float -> unit
+
+(** [add_weighted t x w] adds weight [w] to [x]'s bucket. *)
+val add_weighted : t -> float -> float -> unit
+
+(** [bins t] is the number of buckets. *)
+val bins : t -> int
+
+(** [weight t i] is the accumulated weight of bucket [i]. *)
+val weight : t -> int -> float
+
+(** [total t] is the accumulated weight over all buckets. *)
+val total : t -> float
+
+(** [bucket_of t x] is the index of the bucket containing [x] (clamped). *)
+val bucket_of : t -> float -> int
+
+(** [midpoint t i] is the centre abscissa of bucket [i]. *)
+val midpoint : t -> int -> float
+
+(** [counts t] returns a copy of the weight array. *)
+val counts : t -> float array
+
+(** [normalized t] returns bucket weights scaled to sum to 1 (all zeros when
+    empty). *)
+val normalized : t -> float array
+
+(** [chi_square_uniform t] is the chi-square statistic of the bucket weights
+    against the uniform expectation — a cheap uniformity score used in
+    tests of the random-walk sampler. *)
+val chi_square_uniform : t -> float

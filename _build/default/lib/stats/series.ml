@@ -1,0 +1,87 @@
+type t = { name : string; points : (float * float) array }
+
+type figure = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : t list;
+}
+
+let make name points =
+  let arr = Array.of_list points in
+  Array.sort (fun (a, _) (b, _) -> compare a b) arr;
+  { name; points = arr }
+
+let figure ~title ~x_label ~y_label series = { title; x_label; y_label; series }
+
+let distinct_xs fig =
+  let module FSet = Set.Make (Float) in
+  let xs =
+    List.fold_left
+      (fun acc s -> Array.fold_left (fun acc (x, _) -> FSet.add x acc) acc s.points)
+      FSet.empty fig.series
+  in
+  FSet.elements xs
+
+let lookup s x =
+  let found = ref nan in
+  Array.iter (fun (px, py) -> if px = x then found := py) s.points;
+  !found
+
+let to_table fig =
+  let xs = distinct_xs fig in
+  let columns = fig.x_label :: List.map (fun s -> s.name) fig.series in
+  let rows =
+    List.map
+      (fun x ->
+        Table.fmt_float ~decimals:4 x
+        :: List.map (fun s -> Table.fmt_float ~decimals:4 (lookup s x)) fig.series)
+      xs
+  in
+  Table.render ~title:(fig.title ^ "  [y = " ^ fig.y_label ^ "]") ~columns ~rows
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '='; '~' |]
+
+let to_chart ?(width = 64) ?(height = 16) fig =
+  let all_points = List.concat_map (fun s -> Array.to_list s.points) fig.series in
+  let finite = List.filter (fun (_, y) -> Float.is_finite y) all_points in
+  match finite with
+  | [] -> fig.title ^ "\n(no finite data)"
+  | (x0, y0) :: _ ->
+    let fold f init = List.fold_left f init finite in
+    let xmin = fold (fun a (x, _) -> Float.min a x) x0 in
+    let xmax = fold (fun a (x, _) -> Float.max a x) x0 in
+    let ymin = fold (fun a (_, y) -> Float.min a y) y0 in
+    let ymax = fold (fun a (_, y) -> Float.max a y) y0 in
+    let xspan = if xmax > xmin then xmax -. xmin else 1. in
+    let yspan = if ymax > ymin then ymax -. ymin else 1. in
+    let grid = Array.make_matrix height width ' ' in
+    let plot gi (x, y) =
+      if Float.is_finite y then begin
+        let cx = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+        let cy = int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1)) in
+        let row = height - 1 - cy in
+        grid.(row).(cx) <- glyphs.(gi mod Array.length glyphs)
+      end
+    in
+    List.iteri (fun gi s -> Array.iter (plot gi) s.points) fig.series;
+    let buf = Buffer.create 2048 in
+    Buffer.add_string buf (fig.title ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "y: %s  [%.4g .. %.4g]\n" fig.y_label ymin ymax);
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf ("  |" ^ String.init width (Array.get row) ^ "\n"))
+      grid;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   x: %s  [%.4g .. %.4g]\n" fig.x_label xmin xmax);
+    List.iteri
+      (fun gi s ->
+        Buffer.add_string buf
+          (Printf.sprintf "   %c = %s\n" glyphs.(gi mod Array.length glyphs) s.name))
+      fig.series;
+    Buffer.contents buf
+
+let print fig =
+  print_endline (to_table fig);
+  print_endline (to_chart fig)

@@ -1,0 +1,31 @@
+(** Labeled (x, y) data series and ASCII line charts.
+
+    Each reproduced paper figure is represented as a {!figure}: a set of
+    named series over a shared x-axis.  [to_table] gives the exact numbers;
+    [to_chart] gives a rough shape plot so the figure trend is visible
+    directly in [bench_output.txt]. *)
+
+type t = { name : string; points : (float * float) array }
+
+type figure = {
+  title : string;
+  x_label : string;
+  y_label : string;
+  series : t list;
+}
+
+(** [make name points] builds a series, sorted by x. *)
+val make : string -> (float * float) list -> t
+
+(** [figure ~title ~x_label ~y_label series] assembles a figure. *)
+val figure : title:string -> x_label:string -> y_label:string -> t list -> figure
+
+(** [to_table fig] renders one row per distinct x, one column per series. *)
+val to_table : figure -> string
+
+(** [to_chart ?width ?height fig] renders an ASCII line chart; series are
+    drawn with distinct glyphs and listed in a legend. *)
+val to_chart : ?width:int -> ?height:int -> figure -> string
+
+(** [print fig] prints the table followed by the chart. *)
+val print : figure -> unit

@@ -1,0 +1,37 @@
+let fmt_float ?(decimals = 3) x =
+  if Float.is_nan x then "-" else Printf.sprintf "%.*f" decimals x
+
+let pad width s =
+  let n = String.length s in
+  if n >= width then s else s ^ String.make (width - n) ' '
+
+let render ~title ~columns ~rows =
+  let ncols = List.length columns in
+  let normalize row =
+    let len = List.length row in
+    if len >= ncols then row
+    else row @ List.init (ncols - len) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let widths = Array.of_list (List.map String.length columns) in
+  let consider row = List.iteri (fun i cell ->
+    if i < ncols && String.length cell > widths.(i) then
+      widths.(i) <- String.length cell) row
+  in
+  List.iter consider rows;
+  let line cells =
+    "| " ^ String.concat " | " (List.mapi (fun i c -> pad widths.(i) c) cells) ^ " |"
+  in
+  let rule =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (title ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  Buffer.add_string buf (line columns ^ "\n");
+  Buffer.add_string buf (rule ^ "\n");
+  List.iter (fun row -> Buffer.add_string buf (line row ^ "\n")) rows;
+  Buffer.add_string buf rule;
+  Buffer.contents buf
+
+let print ~title ~columns ~rows = print_endline (render ~title ~columns ~rows)

@@ -1,0 +1,15 @@
+(** Plain-text table rendering for the benchmark harness.
+
+    Every reproduced paper table/figure is ultimately printed through this
+    module so that [bench_output.txt] is self-describing. *)
+
+(** [fmt_float ?decimals x] formats with fixed [decimals] (default 3),
+    rendering [nan] as ["-"]. *)
+val fmt_float : ?decimals:int -> float -> string
+
+(** [render ~title ~columns ~rows] draws an aligned ASCII table. Rows
+    shorter than [columns] are padded with empty cells. *)
+val render : title:string -> columns:string list -> rows:string list list -> string
+
+(** [print ~title ~columns ~rows] renders to stdout. *)
+val print : title:string -> columns:string list -> rows:string list list -> unit

@@ -1,0 +1,1 @@
+lib/workload/corpus.ml: Array Char Hashtbl List Pgrid_keyspace Pgrid_prng String

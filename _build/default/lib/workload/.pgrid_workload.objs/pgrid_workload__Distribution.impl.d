@@ -1,0 +1,1 @@
+lib/workload/distribution.ml: Array Corpus Float Pgrid_keyspace Pgrid_prng Printf

@@ -1,0 +1,1 @@
+lib/workload/distribution.mli: Pgrid_keyspace Pgrid_prng

@@ -1,0 +1,60 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+module Codec = Pgrid_keyspace.Codec
+
+type t = { words : string array; zipf : Sample.Zipf.t }
+
+(* Approximate English first-letter frequencies (per mille), so that the
+   induced key distribution clusters realistically: 't', 'a', 's', ... are
+   common, 'x', 'z' rare. *)
+let first_letter_weights =
+  [|
+    (* a *) 110; (* b *) 47; (* c *) 52; (* d *) 32; (* e *) 28; (* f *) 40;
+    (* g *) 16; (* h *) 42; (* i *) 63; (* j *) 6; (* k *) 6; (* l *) 27;
+    (* m *) 44; (* n *) 24; (* o *) 64; (* p *) 43; (* q *) 2; (* r *) 28;
+    (* s *) 78; (* t *) 167; (* u *) 12; (* v *) 8; (* w *) 55; (* x *) 1;
+    (* y *) 16; (* z *) 1;
+  |]
+
+let weighted_letter rng =
+  let total = Array.fold_left ( + ) 0 first_letter_weights in
+  let target = Rng.int rng total in
+  let rec scan i acc =
+    let acc = acc + first_letter_weights.(i) in
+    if target < acc then Char.chr (Char.code 'a' + i) else scan (i + 1) acc
+  in
+  scan 0 0
+
+let random_word rng =
+  let len = 3 + Rng.int rng 8 in
+  String.init len (fun i ->
+      if i = 0 then weighted_letter rng
+      else Char.chr (Char.code 'a' + Rng.int rng 26))
+
+let create rng ~vocabulary ~exponent =
+  if vocabulary < 1 then invalid_arg "Corpus.create: vocabulary must be >= 1";
+  let seen = Hashtbl.create (2 * vocabulary) in
+  let words = Array.make vocabulary "" in
+  let filled = ref 0 in
+  while !filled < vocabulary do
+    let w = random_word rng in
+    if not (Hashtbl.mem seen w) then begin
+      Hashtbl.add seen w ();
+      words.(!filled) <- w;
+      incr filled
+    end
+  done;
+  { words; zipf = Sample.Zipf.create ~n:vocabulary ~s:exponent }
+
+let vocabulary_size t = Array.length t.words
+
+let word t rank =
+  if rank < 1 || rank > Array.length t.words then invalid_arg "Corpus.word: bad rank";
+  t.words.(rank - 1)
+
+let draw_word t rng = word t (Sample.Zipf.draw t.zipf rng)
+let draw_key t rng = Codec.of_term (draw_word t rng)
+
+let document t rng ~length =
+  if length < 0 then invalid_arg "Corpus.document: negative length";
+  List.init length (fun _ -> draw_word t rng)

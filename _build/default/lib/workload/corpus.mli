@@ -1,0 +1,30 @@
+(** Synthetic text corpus standing in for the paper's Alvis collection.
+
+    The construction experiments only depend on the *key distribution* the
+    text induces, so we generate a vocabulary of pseudo-words whose first
+    letters follow English first-letter frequencies and whose usage follows
+    a Zipf law; terms are mapped to keys with the order-preserving
+    {!Pgrid_keyspace.Codec}. The result clusters on common first letters,
+    giving the moderate skew the paper's "A" distribution exhibits. *)
+
+type t
+
+(** [create rng ~vocabulary ~exponent] builds a corpus of [vocabulary]
+    distinct pseudo-words ranked by a Zipf([exponent]) usage law. *)
+val create : Pgrid_prng.Rng.t -> vocabulary:int -> exponent:float -> t
+
+(** [vocabulary_size t] is the number of distinct words. *)
+val vocabulary_size : t -> int
+
+(** [word t rank] is the word with Zipf rank [rank] (1-based). *)
+val word : t -> int -> string
+
+(** [draw_word t rng] samples a word according to the Zipf usage law. *)
+val draw_word : t -> Pgrid_prng.Rng.t -> string
+
+(** [draw_key t rng] is [Codec.of_term (draw_word t rng)]. *)
+val draw_key : t -> Pgrid_prng.Rng.t -> Pgrid_keyspace.Key.t
+
+(** [document t rng ~length] samples a bag of [length] word occurrences —
+    used by the inverted-file example. *)
+val document : t -> Pgrid_prng.Rng.t -> length:int -> string list

@@ -1,0 +1,48 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+module Key = Pgrid_keyspace.Key
+
+type spec =
+  | Uniform
+  | Pareto of float
+  | Normal of { mu : float; sigma : float }
+  | Text of { vocabulary : int; exponent : float }
+
+let label = function
+  | Uniform -> "U"
+  | Pareto shape ->
+    if Float.equal shape (Float.round (shape *. 10.) /. 10.) then
+      Printf.sprintf "P%.1f" shape
+    else Printf.sprintf "P%g" shape
+  | Normal { mu; sigma } ->
+    if Float.equal mu 0.5 && Float.equal sigma 0.05 then "N"
+    else Printf.sprintf "N(%g,%g)" mu sigma
+  | Text _ -> "A"
+
+let paper_normal = Normal { mu = 0.5; sigma = 0.05 }
+let paper_text = Text { vocabulary = 20000; exponent = 0.7 }
+let paper_set = [ Uniform; Pareto 0.5; Pareto 1.0; Pareto 1.5; paper_normal; paper_text ]
+
+(* Fractional part; heavy-tail samples larger than 2^53 lose sub-integer
+   precision, so clamp the result defensively into [0, 1). *)
+let fold_unit x =
+  let f = x -. Float.floor x in
+  if f < 0. || f >= 1. then 0. else f
+
+let sampler spec rng =
+  match spec with
+  | Uniform -> fun () -> Key.random rng
+  | Pareto shape ->
+    fun () -> Key.of_float (fold_unit (Sample.pareto rng ~alpha:shape ~k:1.))
+  | Normal { mu; sigma } -> fun () -> Key.of_float (Sample.normal rng ~mu ~sigma)
+  | Text { vocabulary; exponent } ->
+    let corpus = Corpus.create (Rng.split rng) ~vocabulary ~exponent in
+    fun () -> Corpus.draw_key corpus rng
+
+let generate rng spec ~n =
+  let draw = sampler spec rng in
+  Array.init n (fun _ -> draw ())
+
+let assign_to_peers rng spec ~peers ~keys_per_peer =
+  let draw = sampler spec rng in
+  Array.init peers (fun _ -> Array.init keys_per_peer (fun _ -> draw ()))

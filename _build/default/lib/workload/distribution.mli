@@ -1,0 +1,51 @@
+(** The key distributions of the paper's evaluation (Section 4.4).
+
+    Figure 6 uses a uniform distribution (U), Pareto with shapes 0.5 / 1.0
+    / 1.5 (P0.5, P1.0, P1.5), a Normal with mean 1/2 and small standard
+    deviation (N), and keys from the Alvis text collection (A). Pareto
+    samples live on [1, inf), so they are folded into the unit interval by
+    taking the fractional part, which concentrates mass near 0 the more the
+    shape grows — reproducing the paper's increasing skew order
+    U < P0.5 < P1.0 < P1.5. *)
+
+type spec =
+  | Uniform
+  | Pareto of float  (** shape; scale fixed at 1, folded into [0,1) *)
+  | Normal of { mu : float; sigma : float }  (** clamped to [0,1) *)
+  | Text of { vocabulary : int; exponent : float }
+      (** synthetic corpus via {!Corpus} *)
+
+(** [label spec] is the paper's short name: "U", "P0.5", "P1.0", "P1.5",
+    "N", "A" (any [Text]), or "P<shape>"/"N(mu,sigma)" for other params. *)
+val label : spec -> string
+
+(** The six distributions of Figure 6, in the paper's order. *)
+val paper_set : spec list
+
+(** [paper_normal] is Normal(0.5, 0.05); [paper_text] is the synthetic
+    Alvis substitute: vocabulary 20000, Zipf exponent 0.7.  The flattened
+    exponent models *index* keys — the paper selects terms by
+    discriminative power (inverse document frequency), which removes the
+    stop-word head of the raw usage distribution — and makes per-peer key
+    samples mostly distinct, as real indexing terms are. *)
+val paper_normal : spec
+
+val paper_text : spec
+
+(** A sampler is a ready-to-draw closure; building one may precompute
+    tables (Zipf CDF, corpus vocabulary) from its own deterministic
+    sub-stream of [rng]. *)
+val sampler : spec -> Pgrid_prng.Rng.t -> unit -> Pgrid_keyspace.Key.t
+
+(** [generate rng spec ~n] draws [n] keys. *)
+val generate : Pgrid_prng.Rng.t -> spec -> n:int -> Pgrid_keyspace.Key.t array
+
+(** [assign_to_peers rng spec ~peers ~keys_per_peer] draws an independent
+    key set for every peer — the experiment setup "initially, we randomly
+    assigned 10 keys from the distributions to peers". *)
+val assign_to_peers :
+  Pgrid_prng.Rng.t ->
+  spec ->
+  peers:int ->
+  keys_per_peer:int ->
+  Pgrid_keyspace.Key.t array array

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array List Pgrid_baseline Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_workload Printf

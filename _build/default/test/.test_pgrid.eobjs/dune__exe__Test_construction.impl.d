@@ -1,0 +1,1 @@
+test/test_construction.ml: Alcotest Array Float Hashtbl Lazy List Pgrid_construction Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_query Pgrid_simnet Pgrid_workload

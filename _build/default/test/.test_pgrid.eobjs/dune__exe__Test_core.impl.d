@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float List Pgrid_core Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_workload QCheck QCheck_alcotest Test_util

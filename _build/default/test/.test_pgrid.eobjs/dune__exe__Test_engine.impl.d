@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Pgrid_construction Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_workload

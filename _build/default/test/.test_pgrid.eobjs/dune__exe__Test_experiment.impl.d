@@ -1,0 +1,1 @@
+test/test_experiment.ml: Alcotest Array Float Lazy List Pgrid_experiment Pgrid_stats Test_util

@@ -1,0 +1,1 @@
+test/test_keyspace.ml: Alcotest Float List Pgrid_keyspace Pgrid_prng QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_maintenance.ml: Alcotest Array Hashtbl List Option Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_query Pgrid_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_partition.ml: Alcotest Array Float List Pgrid_keyspace Pgrid_partition Pgrid_prng Pgrid_workload QCheck QCheck_alcotest

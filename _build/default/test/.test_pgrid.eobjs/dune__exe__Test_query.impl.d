@@ -1,0 +1,1 @@
+test/test_query.ml: Alcotest Float Pgrid_core Pgrid_keyspace Pgrid_prng Pgrid_query Pgrid_workload

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array List Pgrid_prng QCheck QCheck_alcotest

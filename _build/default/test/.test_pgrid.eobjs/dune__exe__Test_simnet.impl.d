@@ -1,0 +1,1 @@
+test/test_simnet.ml: Alcotest Array List Pgrid_construction Pgrid_prng Pgrid_simnet Pgrid_stats Pgrid_workload QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float List Pgrid_stats String Test_util

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float Hashtbl List Option Pgrid_keyspace Pgrid_prng Pgrid_workload QCheck QCheck_alcotest

@@ -1,0 +1,127 @@
+(* Tests for Pgrid_baseline: the Chord-style hashing DHT and the Prefix
+   Hash Tree layered over it. *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Distribution = Pgrid_workload.Distribution
+module Dht = Pgrid_baseline.Hash_dht
+module Pht = Pgrid_baseline.Pht
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let make_dht ?(nodes = 128) seed = Dht.create (Rng.create ~seed) ~nodes
+
+let test_dht_lookup_owner () =
+  let dht = make_dht 1 in
+  let rng = Rng.create ~seed:11 in
+  for _ = 1 to 200 do
+    let hash = Key.to_int (Key.random rng) in
+    let from = Rng.int rng (Dht.size dht) in
+    let owner, hops = Dht.lookup dht ~from ~hash in
+    checki "greedy routing reaches the ring owner" (Dht.responsible dht ~hash) owner;
+    checkb "hops bounded by ring bits" true (hops <= Key.bits)
+  done
+
+let test_dht_lookup_self () =
+  let dht = make_dht 2 in
+  (* Looking up a hash owned by the origin costs nothing. *)
+  let rng = Rng.create ~seed:12 in
+  let hash = Key.to_int (Key.random rng) in
+  let owner = Dht.responsible dht ~hash in
+  let _, hops = Dht.lookup dht ~from:owner ~hash in
+  checki "zero hops from the owner" 0 hops
+
+let test_dht_log_hops () =
+  let dht = make_dht 3 ~nodes:256 in
+  let rng = Rng.create ~seed:13 in
+  let mean = Dht.mean_lookup_hops dht ~samples:2000 ~rng in
+  (* Chord: ~ (1/2) log2 n = 4 for n = 256; allow generous slack. *)
+  checkb "mean hops O(log n)" true (mean > 2. && mean < 8.)
+
+let test_dht_hash_deterministic () =
+  checki "string hash stable" (Dht.hash_string "overlay") (Dht.hash_string "overlay");
+  checkb "different inputs differ" true (Dht.hash_string "a" <> Dht.hash_string "b")
+
+let test_dht_single_node () =
+  let dht = make_dht 4 ~nodes:1 in
+  let _, hops = Dht.lookup dht ~from:0 ~hash:12345 in
+  checki "single node owns everything" 0 hops
+
+let make_pht seed =
+  let rng = Rng.create ~seed in
+  let dht = Dht.create rng ~nodes:128 in
+  let pht = Pht.create dht ~block:20 in
+  let keys = Distribution.generate rng Distribution.Uniform ~n:600 in
+  Array.iteri
+    (fun i k ->
+      ignore (Pht.insert pht ~from:(i mod 128) k (Printf.sprintf "v%d" i)))
+    keys;
+  (pht, keys)
+
+let test_pht_splits () =
+  let pht, _ = make_pht 5 in
+  (* 600 keys with block 20: at least 30 leaves. *)
+  checkb "leaves formed" true (Pht.leaves pht >= 30);
+  checkb "depth grew" true (Pht.depth pht >= 4)
+
+let test_pht_lookup () =
+  let pht, keys = make_pht 6 in
+  Array.iteri
+    (fun i k ->
+      if i mod 13 = 0 then begin
+        let payloads, cost = Pht.lookup pht ~from:(i mod 128) k in
+        checkb "payload found" true (List.mem (Printf.sprintf "v%d" i) payloads);
+        checkb "lookups costed" true (cost.Pht.dht_lookups >= 1)
+      end)
+    keys
+
+let test_pht_range_complete () =
+  let pht, keys = make_pht 7 in
+  let lo = Key.of_float 0.25 and hi = Key.of_float 0.5 in
+  let results, cost = Pht.range pht ~from:0 ~lo ~hi in
+  let expected =
+    Array.to_list keys
+    |> List.filter (fun k -> Key.compare lo k <= 0 && Key.compare k hi <= 0)
+    |> List.sort_uniq Key.compare
+  in
+  checki "all range keys found" (List.length expected) (List.length results);
+  checkb "messages counted" true (cost.Pht.hops > 0);
+  let got = List.map fst results in
+  checkb "sorted output" true (List.sort Key.compare got = got)
+
+let test_pht_range_costs_more_than_pgrid () =
+  (* The paper's Section 6 point, as an executable assertion. *)
+  let rng = Rng.create ~seed:8 in
+  let keys = Distribution.generate rng Distribution.Uniform ~n:1500 in
+  let overlay =
+    Pgrid_core.Builder.index rng ~peers:128 ~keys ~d_max:50 ~n_min:5 ~refs_per_level:2
+  in
+  let dht = Dht.create rng ~nodes:128 in
+  let pht = Pht.create dht ~block:50 in
+  Array.iter (fun k -> ignore (Pht.insert pht ~from:(Rng.int rng 128) k "v")) keys;
+  let lo = Key.of_float 0.3 and hi = Key.of_float 0.5 in
+  let pgrid = Pgrid_core.Overlay.range_search overlay ~from:0 ~lo ~hi in
+  let _, pht_cost = Pht.range pht ~from:0 ~lo ~hi in
+  checkb "in-network trie beats PHT-over-DHT on messages" true
+    (pht_cost.Pht.hops > 2 * pgrid.Pgrid_core.Overlay.total_hops)
+
+let test_pht_invalid () =
+  let pht, _ = make_pht 9 in
+  Alcotest.check_raises "bad range" (Invalid_argument "Pht.range: lo must be <= hi")
+    (fun () ->
+      ignore (Pht.range pht ~from:0 ~lo:(Key.of_float 0.9) ~hi:(Key.of_float 0.1)))
+
+let suite =
+  [
+    Alcotest.test_case "dht lookup owner" `Quick test_dht_lookup_owner;
+    Alcotest.test_case "dht lookup from owner" `Quick test_dht_lookup_self;
+    Alcotest.test_case "dht O(log n) hops" `Quick test_dht_log_hops;
+    Alcotest.test_case "dht hash deterministic" `Quick test_dht_hash_deterministic;
+    Alcotest.test_case "dht single node" `Quick test_dht_single_node;
+    Alcotest.test_case "pht splits" `Quick test_pht_splits;
+    Alcotest.test_case "pht lookup" `Quick test_pht_lookup;
+    Alcotest.test_case "pht range complete" `Quick test_pht_range_complete;
+    Alcotest.test_case "pht costs more than p-grid" `Quick test_pht_range_costs_more_than_pgrid;
+    Alcotest.test_case "pht invalid range" `Quick test_pht_invalid;
+  ]

@@ -1,0 +1,315 @@
+(* Tests for Pgrid_core: nodes, the overlay operations, the builder and
+   the deviation metric. *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Reference = Pgrid_partition.Reference
+module Distribution = Pgrid_workload.Distribution
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+module Builder = Pgrid_core.Builder
+module Deviation = Pgrid_core.Deviation
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let key x = Key.of_float x
+
+(* --- Node ------------------------------------------------------------- *)
+
+let test_node_store () =
+  let n = Node.create ~id:1 in
+  checki "empty" 0 (Node.key_count n);
+  Node.insert n (key 0.3) "a";
+  Node.insert n (key 0.3) "b";
+  Node.insert n (key 0.7) "c";
+  checki "distinct keys" 2 (Node.key_count n);
+  Alcotest.check (Alcotest.list Alcotest.string) "payloads accumulate" [ "b"; "a" ]
+    (Node.lookup n (key 0.3));
+  Alcotest.check (Alcotest.list Alcotest.string) "missing key" [] (Node.lookup n (key 0.5))
+
+let test_node_refs () =
+  let n = Node.create ~id:1 in
+  Node.add_ref n ~level:3 42;
+  Node.add_ref n ~level:3 42;
+  Node.add_ref n ~level:3 1;
+  (* self *)
+  Alcotest.check (Alcotest.list Alcotest.int) "dedup and no self" [ 42 ]
+    (Node.refs_at n ~level:3);
+  Alcotest.check (Alcotest.list Alcotest.int) "missing level" [] (Node.refs_at n ~level:9);
+  Node.add_ref n ~level:40 7;
+  Alcotest.check (Alcotest.list Alcotest.int) "table grows" [ 7 ] (Node.refs_at n ~level:40)
+
+let test_node_replicas () =
+  let n = Node.create ~id:1 in
+  Node.add_replica n 2;
+  Node.add_replica n 2;
+  Node.add_replica n 1;
+  Alcotest.check (Alcotest.list Alcotest.int) "dedup and no self" [ 2 ] n.Node.replicas
+
+let test_node_drop_outside () =
+  let n = Node.create ~id:1 in
+  Node.insert n (key 0.2) "x";
+  Node.insert n (key 0.8) "y";
+  Node.set_path n (Path.of_string "0");
+  checki "one key dropped" 1 (Node.drop_keys_outside n n.Node.path);
+  checki "one key left" 1 (Node.key_count n);
+  checkb "responsible for kept key" true (Node.responsible_for n (key 0.2));
+  checkb "not responsible for dropped key" false (Node.responsible_for n (key 0.8))
+
+(* --- Builder + Overlay --------------------------------------------------- *)
+
+let build seed =
+  let rng = Rng.create ~seed in
+  let keys = Distribution.generate rng Distribution.Uniform ~n:2000 in
+  let reference = Reference.compute ~keys ~peers:200 ~d_max:50 ~n_min:5 in
+  (Builder.of_reference rng ~reference ~keys ~refs_per_level:2, reference, keys)
+
+let test_builder_integrity () =
+  let overlay, _, _ = build 1 in
+  checki "no routing violations" 0 (Overlay.integrity_errors overlay);
+  checki "population preserved" 200 (Overlay.size overlay)
+
+let test_builder_deviation_small () =
+  let overlay, reference, _ = build 2 in
+  checkb "near-optimal deviation" true (Deviation.of_overlay ~reference overlay < 0.15)
+
+let test_search_all_keys () =
+  let overlay, _, keys = build 3 in
+  let rng = Rng.create ~seed:33 in
+  Array.iteri
+    (fun i k ->
+      if i mod 7 = 0 then begin
+        let from = Rng.int rng (Overlay.size overlay) in
+        let r = Overlay.search overlay ~from k in
+        match r.Overlay.responsible with
+        | Some id ->
+          checkb "responsible covers key" true
+            (Node.responsible_for (Overlay.node overlay id) k)
+        | None -> Alcotest.fail "search failed on a healthy overlay"
+      end)
+    keys
+
+let test_search_hop_bound () =
+  let overlay, _, keys = build 4 in
+  let stats = Overlay.stats overlay in
+  let r = Overlay.search overlay ~from:0 keys.(17) in
+  checkb "hops bounded by max path" true (r.Overlay.hops <= stats.Overlay.max_path_length)
+
+let test_search_from_offline () =
+  let overlay, _, keys = build 5 in
+  (Overlay.node overlay 0).Node.online <- false;
+  let r = Overlay.search overlay ~from:0 keys.(0) in
+  checkb "offline origin fails" true (r.Overlay.responsible = None);
+  checki "no hops" 0 r.Overlay.hops
+
+let test_search_avoids_offline_refs () =
+  let overlay, _, keys = build 6 in
+  (* Knock out a random third of the network; searches must still mostly
+     succeed thanks to redundant references. *)
+  let rng = Rng.create ~seed:66 in
+  for i = 0 to Overlay.size overlay - 1 do
+    if Rng.float rng < 0.2 then (Overlay.node overlay i).Node.online <- false
+  done;
+  let ok = ref 0 and total = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if i mod 11 = 0 then begin
+        let from = 1 + Rng.int rng (Overlay.size overlay - 1) in
+        if (Overlay.node overlay from).Node.online then begin
+          incr total;
+          let r = Overlay.search overlay ~from k in
+          match r.Overlay.responsible with
+          | Some id ->
+            checkb "responsible online" true (Overlay.node overlay id).Node.online;
+            incr ok
+          | None -> ()
+        end
+      end)
+    keys;
+  checkb "most searches survive 20% failures" true
+    (float_of_int !ok /. float_of_int (max 1 !total) > 0.8)
+
+let test_range_search_complete () =
+  let overlay, _, keys = build 7 in
+  let lo = key 0.42 and hi = key 0.58 in
+  let r = Overlay.range_search overlay ~from:3 ~lo ~hi in
+  let expected =
+    Array.to_list keys
+    |> List.filter (fun k -> Key.compare lo k <= 0 && Key.compare k hi <= 0)
+    |> List.sort_uniq Key.compare
+  in
+  checki "all matches found" (List.length expected) (List.length r.Overlay.matches);
+  let got = List.map fst r.Overlay.matches in
+  checkb "in key order" true (List.sort Key.compare got = got);
+  checkb "several partitions visited" true (List.length r.Overlay.visited > 1)
+
+let test_range_bounds_inclusive () =
+  let overlay, _, keys = build 8 in
+  let k = keys.(5) in
+  let r = Overlay.range_search overlay ~from:0 ~lo:k ~hi:k in
+  checkb "point range finds its key" true (List.exists (fun (k', _) -> Key.equal k k') r.Overlay.matches)
+
+let test_insert_replicates () =
+  let overlay, _, _ = build 9 in
+  let fresh = key 0.512345 in
+  (match Overlay.insert overlay ~from:0 fresh "doc-9" with
+  | None -> Alcotest.fail "insert failed"
+  | Some hops -> checkb "bounded hops" true (hops <= 2 * Key.bits));
+  let r = Overlay.search overlay ~from:7 fresh in
+  Alcotest.check (Alcotest.list Alcotest.string) "payload found" [ "doc-9" ]
+    r.Overlay.payloads;
+  (* Every replica of the responsible partition holds the key. *)
+  (match r.Overlay.responsible with
+  | None -> Alcotest.fail "no responsible"
+  | Some id ->
+    let n = Overlay.node overlay id in
+    List.iter
+      (fun rid ->
+        checkb "replica holds insert" true
+          (Node.lookup (Overlay.node overlay rid) fresh <> []))
+      n.Node.replicas)
+
+let test_anti_entropy () =
+  let rng = Rng.create ~seed:10 in
+  let overlay = Overlay.create rng ~n:3 in
+  let a = Overlay.node overlay 0 and b = Overlay.node overlay 1 and c = Overlay.node overlay 2 in
+  Node.set_path a (Path.of_string "0");
+  Node.set_path b (Path.of_string "0");
+  Node.set_path c (Path.of_string "1");
+  Node.insert a (key 0.1) "x";
+  Node.insert b (key 0.2) "y";
+  Node.insert c (key 0.9) "z";
+  let moved = Overlay.anti_entropy overlay in
+  checki "two copies created" 2 moved;
+  checki "a has both" 2 (Node.key_count a);
+  checki "b has both" 2 (Node.key_count b);
+  checki "c untouched (different path)" 1 (Node.key_count c);
+  checki "second pass is a no-op" 0 (Overlay.anti_entropy overlay)
+
+let test_stats () =
+  let overlay, reference, _ = build 11 in
+  let s = Overlay.stats overlay in
+  checki "peers" 200 s.Overlay.peers;
+  checki "partitions match reference" (List.length reference.Reference.partitions)
+    s.Overlay.partitions;
+  checkb "replication near n/partitions" true
+    (Float.abs (s.Overlay.mean_replication -. (200. /. float_of_int s.Overlay.partitions))
+    < 1e-9)
+
+let test_deviation_perfect_integer () =
+  (* A hand-built reference with integer peer counts reproduced exactly
+     must give deviation 0. *)
+  let keys = Array.init 64 (fun i -> Key.of_float (float_of_int i /. 64.)) in
+  let reference = Reference.compute ~keys ~peers:8 ~d_max:32 ~n_min:4 in
+  let paths =
+    List.concat_map
+      (fun p ->
+        List.init
+          (int_of_float (Float.round p.Reference.peers))
+          (fun _ -> p.Reference.path))
+      reference.Reference.partitions
+  in
+  Alcotest.check (Alcotest.float 1e-9) "zero deviation" 0.
+    (Deviation.of_paths ~reference paths)
+
+let test_deviation_detects_imbalance () =
+  let keys = Array.init 64 (fun i -> Key.of_float (float_of_int i /. 64.)) in
+  let reference = Reference.compute ~keys ~peers:8 ~d_max:32 ~n_min:4 in
+  (* Pile every peer onto one side. *)
+  let lopsided = List.init 8 (fun _ -> Path.of_string "0") in
+  checkb "imbalance scores high" true (Deviation.of_paths ~reference lopsided > 0.5)
+
+let test_ensure_key_and_has_key () =
+  let n = Node.create ~id:1 in
+  checkb "absent" false (Node.has_key n (key 0.4));
+  Node.ensure_key n (key 0.4);
+  checkb "present after ensure" true (Node.has_key n (key 0.4));
+  Alcotest.check (Alcotest.list Alcotest.string) "no payload fabricated" []
+    (Node.lookup n (key 0.4));
+  checki "counts as one key" 1 (Node.key_count n);
+  Node.insert n (key 0.4) "x";
+  Node.ensure_key n (key 0.4);
+  Alcotest.check (Alcotest.list Alcotest.string) "ensure never clobbers payloads"
+    [ "x" ] (Node.lookup n (key 0.4))
+
+let test_search_key_present_flag () =
+  let overlay, _, keys = build 12 in
+  let r = Overlay.search overlay ~from:0 keys.(3) in
+  checkb "indexed key present" true r.Overlay.key_present;
+  (* A fresh key routes fine but is absent. *)
+  let fresh = key 0.123456789 in
+  let r2 = Overlay.search overlay ~from:0 fresh in
+  checkb "routes" true (r2.Overlay.responsible <> None);
+  checkb "absent key reported" true (not r2.Overlay.key_present)
+
+let test_integrity_empty_complement_ok () =
+  let rng = Rng.create ~seed:13 in
+  let overlay = Overlay.create rng ~n:2 in
+  let a = Overlay.node overlay 0 and b = Overlay.node overlay 1 in
+  (* Both peers live in the right half; the left half is uninhabited, so
+     their reference-less level 0 is legitimate. *)
+  Node.set_path a (Path.of_string "10");
+  Node.set_path b (Path.of_string "11");
+  Node.add_ref a ~level:1 1;
+  Node.add_ref b ~level:1 0;
+  checki "no violation for empty complement" 0 (Overlay.integrity_errors overlay);
+  (* Colonize the left half: now the missing level-0 references count. *)
+  Node.set_path b (Path.of_string "0");
+  checkb "violations once inhabited" true (Overlay.integrity_errors overlay > 0)
+
+let test_trie_view () =
+  let overlay, reference, _ = build 14 in
+  let leaves = Pgrid_core.Trie_view.leaves overlay in
+  checki "one leaf per partition" (List.length reference.Reference.partitions)
+    (List.length leaves);
+  (* Every online peer appears exactly once. *)
+  let members = List.concat_map (fun l -> l.Pgrid_core.Trie_view.peers) leaves in
+  checki "all peers listed" 200 (List.length members);
+  checki "no duplicates" 200 (List.length (List.sort_uniq compare members));
+  let rendering = Pgrid_core.Trie_view.render overlay in
+  checkb "header present" true (Test_util.contains rendering "partition trie");
+  (* Elision with a tiny budget. *)
+  let short = Pgrid_core.Trie_view.render ~max_leaves:4 overlay in
+  checkb "elides long tries" true (Test_util.contains short "elided")
+
+let qcheck_builder_integrity =
+  QCheck.Test.make ~name:"builder overlays route every key" ~count:15
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let keys = Distribution.generate rng Distribution.Uniform ~n:400 in
+      let overlay = Builder.index rng ~peers:50 ~keys ~d_max:40 ~n_min:3 ~refs_per_level:2 in
+      Overlay.integrity_errors overlay = 0
+      && Array.for_all
+           (fun k ->
+             match (Overlay.search overlay ~from:0 k).Overlay.responsible with
+             | Some id -> Node.responsible_for (Overlay.node overlay id) k
+             | None -> false)
+           keys)
+
+let suite =
+  [
+    Alcotest.test_case "node store" `Quick test_node_store;
+    Alcotest.test_case "node refs" `Quick test_node_refs;
+    Alcotest.test_case "node replicas" `Quick test_node_replicas;
+    Alcotest.test_case "node drop outside" `Quick test_node_drop_outside;
+    Alcotest.test_case "builder integrity" `Quick test_builder_integrity;
+    Alcotest.test_case "builder deviation" `Quick test_builder_deviation_small;
+    Alcotest.test_case "search finds every key" `Quick test_search_all_keys;
+    Alcotest.test_case "search hop bound" `Quick test_search_hop_bound;
+    Alcotest.test_case "search from offline node" `Quick test_search_from_offline;
+    Alcotest.test_case "search under failures" `Quick test_search_avoids_offline_refs;
+    Alcotest.test_case "range search completeness" `Quick test_range_search_complete;
+    Alcotest.test_case "range bounds inclusive" `Quick test_range_bounds_inclusive;
+    Alcotest.test_case "insert replicates" `Quick test_insert_replicates;
+    Alcotest.test_case "anti-entropy" `Quick test_anti_entropy;
+    Alcotest.test_case "overlay stats" `Quick test_stats;
+    Alcotest.test_case "deviation zero on perfect" `Quick test_deviation_perfect_integer;
+    Alcotest.test_case "deviation detects imbalance" `Quick test_deviation_detects_imbalance;
+    Alcotest.test_case "ensure_key / has_key" `Quick test_ensure_key_and_has_key;
+    Alcotest.test_case "search key_present" `Quick test_search_key_present_flag;
+    Alcotest.test_case "integrity: empty complement" `Quick test_integrity_empty_complement_ok;
+    Alcotest.test_case "trie view" `Quick test_trie_view;
+    QCheck_alcotest.to_alcotest qcheck_builder_integrity;
+  ]

@@ -1,0 +1,426 @@
+(* Tests for Pgrid_partition: the AEP mathematics, Algorithm 1, the
+   mean-value models, the calibration and the discrete simulations. *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Aep_math = Pgrid_partition.Aep_math
+module Reference = Pgrid_partition.Reference
+module Mva = Pgrid_partition.Mva
+module Calibration = Pgrid_partition.Calibration
+module Discrete = Pgrid_partition.Discrete
+module Distribution = Pgrid_workload.Distribution
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let close ?(eps = 1e-9) msg a b = Alcotest.check (Alcotest.float eps) msg a b
+
+(* --- Aep_math ------------------------------------------------------------ *)
+
+let test_boundary_value () = close "1 - ln 2" (1. -. log 2.) Aep_math.p_boundary
+
+let test_eq2_anchors () =
+  close "beta = 1 gives p = 1/2" 0.5 (Aep_math.p_of_beta 1.);
+  close ~eps:1e-6 "beta -> 0 gives the boundary" Aep_math.p_boundary
+    (Aep_math.p_of_beta 1e-9)
+
+let test_eq4_anchors () =
+  close ~eps:1e-12 "alpha = 1 gives the boundary" Aep_math.p_boundary
+    (Aep_math.p_of_alpha 1.);
+  close ~eps:1e-12 "alpha = 1/2 gives exactly 1/4" 0.25 (Aep_math.p_of_alpha 0.5);
+  checkb "alpha -> 0 gives p -> 0" true (Aep_math.p_of_alpha 1e-9 < 1e-6)
+
+let test_probabilities_regimes () =
+  let a = Aep_math.probabilities ~p:0.4 in
+  close "regime A has alpha = 1" 1. a.Aep_math.alpha;
+  checkb "regime A has 0 < beta < 1" true (a.Aep_math.beta > 0. && a.Aep_math.beta < 1.);
+  let b = Aep_math.probabilities ~p:0.1 in
+  close "regime B has beta = 0" 0. b.Aep_math.beta;
+  checkb "regime B has 0 < alpha < 1" true (b.Aep_math.alpha > 0. && b.Aep_math.alpha < 1.)
+
+let test_probabilities_invalid () =
+  Alcotest.check_raises "p = 0 rejected"
+    (Invalid_argument "Aep_math.probabilities: need 0 < p <= 1/2") (fun () ->
+      ignore (Aep_math.probabilities ~p:0.));
+  Alcotest.check_raises "p > 1/2 rejected"
+    (Invalid_argument "Aep_math.probabilities: need 0 < p <= 1/2") (fun () ->
+      ignore (Aep_math.probabilities ~p:0.6))
+
+let test_t_lambda () =
+  close ~eps:1e-6 "regime A cost is n ln 2" (1000. *. log 2.)
+    (Aep_math.t_lambda ~n:1000 ~p:0.5);
+  close ~eps:1e-6 "independent of p inside regime A"
+    (Aep_math.t_lambda ~n:1000 ~p:0.35)
+    (Aep_math.t_lambda ~n:1000 ~p:0.5);
+  checkb "cost grows as p falls below the boundary" true
+    (Aep_math.t_lambda ~n:1000 ~p:0.05 > Aep_math.t_lambda ~n:1000 ~p:0.2);
+  close ~eps:2. "continuous at the boundary"
+    (Aep_math.t_lambda ~n:1000 ~p:(Aep_math.p_boundary -. 1e-6))
+    (Aep_math.t_lambda ~n:1000 ~p:(Aep_math.p_boundary +. 1e-6))
+
+let test_second_derivatives () =
+  checkb "alpha'' positive in regime B" true (Aep_math.alpha_second_derivative 0.1 > 0.);
+  close "alpha'' zero in regime A" 0. (Aep_math.alpha_second_derivative 0.4);
+  checkb "beta'' positive in regime A" true (Aep_math.beta_second_derivative 0.4 > 0.);
+  close "beta'' zero in regime B" 0. (Aep_math.beta_second_derivative 0.1);
+  checkb "alpha'' blows up for small p (Figure 3)" true
+    (Aep_math.alpha_second_derivative 0.002 > Aep_math.alpha_second_derivative 0.02)
+
+let test_corrected_bounds () =
+  List.iter
+    (fun p ->
+      let c = Aep_math.corrected ~p ~samples:10 in
+      checkb "alpha in [0,1]" true (c.Aep_math.alpha >= 0. && c.Aep_math.alpha <= 1.);
+      checkb "beta in [0,1]" true (c.Aep_math.beta >= 0. && c.Aep_math.beta <= 1.))
+    [ 0.02; 0.1; 0.25; 0.35; 0.5 ]
+
+let test_corrected_shrinks () =
+  (* The correction always subtracts (both f'' are positive). *)
+  let base = Aep_math.probabilities ~p:0.4 in
+  let corr = Aep_math.corrected ~p:0.4 ~samples:10 in
+  checkb "beta corrected downward" true (corr.Aep_math.beta < base.Aep_math.beta)
+
+let test_corrected_calibrated_bounds () =
+  List.iter
+    (fun p ->
+      let c = Aep_math.corrected_calibrated ~p ~samples:10 in
+      checkb "alpha in [0,1]" true (c.Aep_math.alpha >= 0. && c.Aep_math.alpha <= 1.);
+      checkb "beta in [0,1]" true (c.Aep_math.beta >= 0. && c.Aep_math.beta <= 1.))
+    [ 0.1; 0.2; 0.3; 0.4; 0.5 ]
+
+let test_heuristic () =
+  let h = Aep_math.heuristic ~p:0.5 in
+  close "alpha(1/2) = 1" 1. h.Aep_math.alpha;
+  close "beta(1/2) = 1" 1. h.Aep_math.beta;
+  let h2 = Aep_math.heuristic ~p:0.1 in
+  checkb "decreasing with p" true
+    (h2.Aep_math.alpha < 1. && h2.Aep_math.beta < h.Aep_math.beta)
+
+let test_clamp_estimate () =
+  close "zero clamps to half-count floor" (0.5 /. 11.) (Aep_math.clamp_estimate ~samples:10 0.);
+  close "one clamps symmetrically" (1. -. (0.5 /. 11.)) (Aep_math.clamp_estimate ~samples:10 1.);
+  close "interior untouched" 0.3 (Aep_math.clamp_estimate ~samples:10 0.3)
+
+let test_normalize () =
+  let p, f = Aep_math.normalize 0.3 in
+  close "below half unchanged" 0.3 p;
+  checkb "not flipped" false f;
+  let p2, f2 = Aep_math.normalize 0.7 in
+  close ~eps:1e-12 "mirrored" 0.3 p2;
+  checkb "flipped" true f2
+
+let qcheck_beta_roundtrip =
+  QCheck.Test.make ~name:"beta_of_p inverts p_of_beta" ~count:200
+    QCheck.(float_range 0.001 1.)
+    (fun beta ->
+      let p = Aep_math.p_of_beta beta in
+      Float.abs (Aep_math.beta_of_p p -. beta) < 1e-8)
+
+let qcheck_alpha_roundtrip =
+  QCheck.Test.make ~name:"alpha_of_p inverts p_of_alpha" ~count:200
+    QCheck.(float_range 0.001 1.)
+    (fun alpha ->
+      let p = Aep_math.p_of_alpha alpha in
+      Float.abs (Aep_math.alpha_of_p p -. alpha) < 1e-8)
+
+(* --- Reference (Algorithm 1) --------------------------------------------- *)
+
+let uniform_keys seed n =
+  Distribution.generate (Rng.create ~seed) Distribution.Uniform ~n
+
+let test_reference_conservation () =
+  let keys = uniform_keys 1 1000 in
+  let r = Reference.compute ~keys ~peers:100 ~d_max:40 ~n_min:5 in
+  close ~eps:1e-6 "total peers conserved" 100. (Reference.total_peers r);
+  let total_keys =
+    List.fold_left (fun acc p -> acc + p.Reference.keys) 0 r.Reference.partitions
+  in
+  checki "total keys conserved" 1000 total_keys
+
+let test_reference_leaf_conditions () =
+  let keys = uniform_keys 2 2000 in
+  let r = Reference.compute ~keys ~peers:200 ~d_max:50 ~n_min:5 in
+  List.iter
+    (fun p ->
+      checkb "leaf is final" true
+        (p.Reference.keys <= 50 || p.Reference.peers <= 5.
+        || Path.length p.Reference.path >= Key.bits))
+    r.Reference.partitions
+
+let test_reference_tiles_space () =
+  let keys = uniform_keys 3 500 in
+  let r = Reference.compute ~keys ~peers:64 ~d_max:30 ~n_min:4 in
+  let rec contiguous previous_hi = function
+    | [] -> previous_hi = 1 lsl Key.bits
+    | p :: rest ->
+      let lo, hi = Path.interval_keys p.Reference.path in
+      lo = previous_hi && contiguous hi rest
+  in
+  checkb "partitions tile [0,1) in order" true (contiguous 0 r.Reference.partitions)
+
+let test_reference_lookup () =
+  let keys = uniform_keys 4 500 in
+  let r = Reference.compute ~keys ~peers:64 ~d_max:30 ~n_min:4 in
+  Array.iter
+    (fun k ->
+      let p = Reference.lookup r k in
+      checkb "lookup partition matches key" true (Path.matches_key p.Reference.path k))
+    keys
+
+let test_reference_min_peers_positive () =
+  let keys = uniform_keys 5 3000 in
+  let r = Reference.compute ~keys ~peers:100 ~d_max:30 ~n_min:5 in
+  checkb "no partition starves" true (Reference.min_peers r > 0.)
+
+let test_reference_degenerate_keys () =
+  (* All keys identical: recursion must stop at the depth cap. *)
+  let keys = Array.make 200 (Key.of_float 0.123) in
+  let r = Reference.compute ~keys ~peers:50 ~d_max:10 ~n_min:5 in
+  checkb "terminates" true (List.length r.Reference.partitions >= 1);
+  let _, deepest = Reference.depth_stats r in
+  checkb "depth capped" true (deepest <= Key.bits)
+
+let test_reference_skew_depth () =
+  let uniform = Reference.compute ~keys:(uniform_keys 6 2000) ~peers:200 ~d_max:50 ~n_min:5 in
+  let skewed_keys =
+    Distribution.generate (Rng.create ~seed:6) Distribution.paper_normal ~n:2000
+  in
+  let skewed = Reference.compute ~keys:skewed_keys ~peers:200 ~d_max:50 ~n_min:5 in
+  let u_mean, _ = Reference.depth_stats uniform in
+  let s_mean, s_max = Reference.depth_stats skewed in
+  ignore s_mean;
+  let _, u_max = Reference.depth_stats uniform in
+  checkb "skew forces deeper partitions" true (s_max > u_max);
+  checkb "uniform depth near log2(keys/d_max)" true (u_mean > 4. && u_mean < 8.)
+
+let test_reference_skips_empty_halves () =
+  (* Every key in the right half: no partition (and no peers) may land in
+     the empty left half, yet peers stay conserved. *)
+  let keys = Array.init 400 (fun i -> Key.of_float (0.5 +. (float_of_int i /. 900.))) in
+  let r = Reference.compute ~keys ~peers:64 ~d_max:30 ~n_min:4 in
+  List.iter
+    (fun p ->
+      checki "first bit is 1" 1 (Path.bit p.Reference.path 0))
+    r.Reference.partitions;
+  close ~eps:1e-6 "peers conserved" 64. (Reference.total_peers r)
+
+let qcheck_reference_conserves =
+  QCheck.Test.make ~name:"Algorithm 1 conserves peers and keys" ~count:40
+    QCheck.(triple small_signed_int (int_range 10 80) (int_range 2 6))
+    (fun (seed, peers, n_min) ->
+      let keys = uniform_keys seed (20 * peers) in
+      let r = Reference.compute ~keys ~peers ~d_max:(10 * n_min) ~n_min in
+      Float.abs (Reference.total_peers r -. float_of_int peers) < 1e-6
+      && List.fold_left (fun acc p -> acc + p.Reference.keys) 0 r.Reference.partitions
+         = 20 * peers)
+
+(* --- Mva ------------------------------------------------------------------ *)
+
+let test_mva_termination () =
+  List.iter
+    (fun p ->
+      let o = Mva.run_exact ~n:1000 ~p in
+      close ~eps:1e-6 "all peers decide" 1001. (o.Mva.p0 +. o.Mva.p1);
+      close ~eps:2. "fraction matches p" (1001. *. p) o.Mva.p0)
+    [ 0.05; 0.2; 0.35; 0.5 ]
+
+let test_mva_cost_matches_theory () =
+  List.iter
+    (fun p ->
+      let o = Mva.run_exact ~n:1000 ~p in
+      let predicted = Aep_math.t_lambda ~n:1000 ~p in
+      checkb "interactions close to t_lambda" true
+        (Float.abs (o.Mva.interactions -. predicted) /. predicted < 0.05))
+    [ 0.1; 0.3; 0.5 ]
+
+let test_mva_sampled_terminates () =
+  let rng = Rng.create ~seed:1 in
+  let o = Mva.run_sampled rng ~n:500 ~p:0.3 ~samples:10 in
+  close ~eps:1e-6 "terminates" 501. (o.Mva.p0 +. o.Mva.p1)
+
+let test_mixture_bias_direction () =
+  List.iter
+    (fun p ->
+      let o = Mva.run_mixture ~n:1000 ~p ~samples:10 in
+      let fraction = o.Mva.p0 /. (o.Mva.p0 +. o.Mva.p1) in
+      checkb "sampling biases the 0-fraction upward" true (fraction >= p -. 1e-6))
+    [ 0.05; 0.15; 0.3; 0.45 ];
+  let half = Mva.run_mixture ~n:1000 ~p:0.5 ~samples:10 in
+  close ~eps:0.01 "symmetric at one half" 0.5 (half.Mva.p0 /. (half.Mva.p0 +. half.Mva.p1))
+
+(* --- Calibration ----------------------------------------------------------- *)
+
+let test_calibration_inverse_monotone () =
+  let inv = Calibration.inverse ~samples:10 in
+  let values = List.map inv [ 0.05; 0.1; 0.2; 0.3; 0.4; 0.5 ] in
+  let rec ascending = function
+    | a :: (b :: _ as rest) -> a <= b +. 1e-12 && ascending rest
+    | _ -> true
+  in
+  checkb "monotone" true (ascending values)
+
+let test_calibration_roundtrip () =
+  List.iter
+    (fun p ->
+      let achieved = Calibration.response ~samples:10 p in
+      let recovered = Calibration.inverse ~samples:10 achieved in
+      checkb "inverse(response(p)) ~ p" true (Float.abs (recovered -. p) < 0.04))
+    [ 0.1; 0.2; 0.3; 0.4 ]
+
+let test_calibration_invalid () =
+  Alcotest.check_raises "p out of range"
+    (Invalid_argument "Calibration: need 0 < p <= 1/2") (fun () ->
+      ignore (Calibration.inverse ~samples:10 0.7))
+
+(* --- Discrete --------------------------------------------------------------- *)
+
+let run_mean strategy ~n ~p ~samples ~reps ~seed metric =
+  let rng = Rng.create ~seed in
+  let acc = ref 0. in
+  for _ = 1 to reps do
+    acc := !acc +. metric (Discrete.run rng strategy ~n ~p ~samples)
+  done;
+  !acc /. float_of_int reps
+
+let test_discrete_totals () =
+  let rng = Rng.create ~seed:2 in
+  List.iter
+    (fun strategy ->
+      let o = Discrete.run rng strategy ~n:300 ~p:0.3 ~samples:10 in
+      checki "everyone decides" 300 (o.Discrete.p0 + o.Discrete.p1);
+      checkb "interactions happened" true (o.Discrete.interactions > 0))
+    [ Discrete.Eager; Discrete.Autonomous; Discrete.Aep; Discrete.Cor;
+      Discrete.CorTaylor; Discrete.Heuristic; Discrete.Oracle ]
+
+let test_referential_integrity () =
+  let rng = Rng.create ~seed:3 in
+  List.iter
+    (fun strategy ->
+      List.iter
+        (fun p ->
+          let o = Discrete.run rng strategy ~n:300 ~p ~samples:10 in
+          checkb "every peer knows the other side" true o.Discrete.referential_ok)
+        [ 0.08; 0.3; 0.5 ])
+    [ Discrete.Eager; Discrete.Autonomous; Discrete.Aep; Discrete.Cor; Discrete.Oracle ]
+
+let test_eager_cost () =
+  let mean =
+    run_mean Discrete.Eager ~n:1000 ~p:0.5 ~samples:10 ~reps:20 ~seed:4 (fun o ->
+        float_of_int o.Discrete.interactions)
+  in
+  (* Theory: n ln 2 = 693. *)
+  checkb "eager cost near n ln 2" true (Float.abs (mean -. 693.) < 60.)
+
+let test_aut_cost () =
+  let mean =
+    run_mean Discrete.Autonomous ~n:1000 ~p:0.5 ~samples:10 ~reps:20 ~seed:5 (fun o ->
+        float_of_int o.Discrete.interactions)
+  in
+  (* Theory: 2 n ln 2 = 1386. *)
+  checkb "AUT cost near 2 n ln 2" true (Float.abs (mean -. 1386.) < 120.)
+
+let test_oracle_unbiased () =
+  List.iter
+    (fun p ->
+      let dev =
+        run_mean Discrete.Oracle ~n:1000 ~p ~samples:10 ~reps:30 ~seed:6 (fun o ->
+            float_of_int o.Discrete.p0 -. (1000. *. p))
+      in
+      checkb "oracle mean deviation small" true (Float.abs dev < 6.))
+    [ 0.1; 0.3; 0.5 ]
+
+let test_aep_bias_and_cor_fix () =
+  let p = 0.2 in
+  let dev strategy seed =
+    run_mean strategy ~n:1000 ~p ~samples:10 ~reps:30 ~seed (fun o ->
+        float_of_int o.Discrete.p0 -. (1000. *. p))
+  in
+  let aep = dev Discrete.Aep 7 in
+  let cor = dev Discrete.Cor 7 in
+  checkb "AEP biased upward by sampling" true (aep > 15.);
+  checkb "COR removes most of the bias" true (Float.abs cor < 8.)
+
+let test_cor_taylor_overshoots () =
+  (* Ablation X3: the literal Eqs. 9-10 correction flips the bias negative
+     at small p (motivating the response-map calibration). *)
+  let dev =
+    run_mean Discrete.CorTaylor ~n:1000 ~p:0.2 ~samples:10 ~reps:20 ~seed:12 (fun o ->
+        float_of_int o.Discrete.p0 -. 200.)
+  in
+  checkb "overshoot is negative and large" true (dev < -30.)
+
+let test_calibration_bias_positive () =
+  (* The uncorrected response lies above the identity: that is the bias
+     COR inverts. *)
+  List.iter
+    (fun p ->
+      checkb "F(p) >= p" true (Calibration.response ~samples:10 p >= p -. 1e-6))
+    [ 0.05; 0.15; 0.3; 0.45 ]
+
+let test_aut_unbiased () =
+  let dev =
+    run_mean Discrete.Autonomous ~n:1000 ~p:0.1 ~samples:10 ~reps:30 ~seed:8 (fun o ->
+        float_of_int o.Discrete.p0 -. 100.)
+  in
+  checkb "AUT unbiased" true (Float.abs dev < 6.)
+
+let test_discrete_invalid () =
+  let rng = Rng.create ~seed:9 in
+  Alcotest.check_raises "n too small" (Invalid_argument "Discrete.run: n must be >= 2")
+    (fun () -> ignore (Discrete.run rng Discrete.Aep ~n:1 ~p:0.3 ~samples:10));
+  Alcotest.check_raises "bad p" (Invalid_argument "Discrete.run: need 0 < p < 1")
+    (fun () -> ignore (Discrete.run rng Discrete.Aep ~n:10 ~p:0. ~samples:10))
+
+let qcheck_discrete_conserves =
+  QCheck.Test.make ~name:"discrete bisection conserves peers" ~count:30
+    QCheck.(triple small_signed_int (int_range 10 200) (float_range 0.05 0.95))
+    (fun (seed, n, p) ->
+      let rng = Rng.create ~seed in
+      let o = Discrete.run rng Discrete.Aep ~n ~p ~samples:5 in
+      o.Discrete.p0 + o.Discrete.p1 = n && o.Discrete.referential_ok)
+
+let suite =
+  [
+    Alcotest.test_case "regime boundary" `Quick test_boundary_value;
+    Alcotest.test_case "Eq. 2 anchors" `Quick test_eq2_anchors;
+    Alcotest.test_case "Eq. 4 anchors" `Quick test_eq4_anchors;
+    Alcotest.test_case "probability regimes" `Quick test_probabilities_regimes;
+    Alcotest.test_case "probability domain" `Quick test_probabilities_invalid;
+    Alcotest.test_case "t_lambda" `Quick test_t_lambda;
+    Alcotest.test_case "second derivatives" `Quick test_second_derivatives;
+    Alcotest.test_case "Taylor correction bounds" `Quick test_corrected_bounds;
+    Alcotest.test_case "Taylor correction direction" `Quick test_corrected_shrinks;
+    Alcotest.test_case "calibrated correction bounds" `Quick test_corrected_calibrated_bounds;
+    Alcotest.test_case "heuristic probabilities" `Quick test_heuristic;
+    Alcotest.test_case "estimate clamping" `Quick test_clamp_estimate;
+    Alcotest.test_case "estimate normalization" `Quick test_normalize;
+    Alcotest.test_case "Algorithm 1 conservation" `Quick test_reference_conservation;
+    Alcotest.test_case "Algorithm 1 leaf conditions" `Quick test_reference_leaf_conditions;
+    Alcotest.test_case "Algorithm 1 tiles the space" `Quick test_reference_tiles_space;
+    Alcotest.test_case "Algorithm 1 lookup" `Quick test_reference_lookup;
+    Alcotest.test_case "Algorithm 1 min peers" `Quick test_reference_min_peers_positive;
+    Alcotest.test_case "Algorithm 1 degenerate keys" `Quick test_reference_degenerate_keys;
+    Alcotest.test_case "Algorithm 1 skew depth" `Quick test_reference_skew_depth;
+    Alcotest.test_case "MVA termination" `Quick test_mva_termination;
+    Alcotest.test_case "MVA cost = t_lambda" `Quick test_mva_cost_matches_theory;
+    Alcotest.test_case "SAM termination" `Quick test_mva_sampled_terminates;
+    Alcotest.test_case "mixture bias direction" `Quick test_mixture_bias_direction;
+    Alcotest.test_case "calibration monotone" `Quick test_calibration_inverse_monotone;
+    Alcotest.test_case "calibration roundtrip" `Quick test_calibration_roundtrip;
+    Alcotest.test_case "calibration domain" `Quick test_calibration_invalid;
+    Alcotest.test_case "discrete totals" `Quick test_discrete_totals;
+    Alcotest.test_case "referential integrity" `Quick test_referential_integrity;
+    Alcotest.test_case "eager cost n ln 2" `Quick test_eager_cost;
+    Alcotest.test_case "AUT cost 2 n ln 2" `Quick test_aut_cost;
+    Alcotest.test_case "oracle unbiased" `Quick test_oracle_unbiased;
+    Alcotest.test_case "AEP bias, COR fix" `Quick test_aep_bias_and_cor_fix;
+    Alcotest.test_case "AUT unbiased" `Quick test_aut_unbiased;
+    Alcotest.test_case "Taylor correction overshoots (X3)" `Quick test_cor_taylor_overshoots;
+    Alcotest.test_case "calibration bias direction" `Quick test_calibration_bias_positive;
+    Alcotest.test_case "Algorithm 1 skips empty halves" `Quick test_reference_skips_empty_halves;
+    Alcotest.test_case "discrete domain" `Quick test_discrete_invalid;
+    QCheck_alcotest.to_alcotest qcheck_beta_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_alpha_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_reference_conserves;
+    QCheck_alcotest.to_alcotest qcheck_discrete_conserves;
+  ]

@@ -1,0 +1,19 @@
+(* Test runner: every library contributes one suite. *)
+
+let () =
+  Alcotest.run "pgrid"
+    [
+      ("prng", Test_rng.suite);
+      ("stats", Test_stats.suite);
+      ("keyspace", Test_keyspace.suite);
+      ("workload", Test_workload.suite);
+      ("partition", Test_partition.suite);
+      ("core", Test_core.suite);
+      ("maintenance", Test_maintenance.suite);
+      ("baseline", Test_baseline.suite);
+      ("simnet", Test_simnet.suite);
+      ("engine", Test_engine.suite);
+      ("construction", Test_construction.suite);
+      ("query", Test_query.suite);
+      ("experiment", Test_experiment.suite);
+    ]

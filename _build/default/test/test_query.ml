@@ -1,0 +1,114 @@
+(* Tests for Pgrid_query: batch lookup and range measurement. *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Distribution = Pgrid_workload.Distribution
+module Builder = Pgrid_core.Builder
+module Overlay = Pgrid_core.Overlay
+module Node = Pgrid_core.Node
+module Query = Pgrid_query.Query
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+
+let build seed =
+  let rng = Rng.create ~seed in
+  let keys = Distribution.generate rng Distribution.Uniform ~n:1500 in
+  let overlay = Builder.index rng ~peers:150 ~keys ~d_max:50 ~n_min:5 ~refs_per_level:2 in
+  (overlay, keys)
+
+let test_lookup_batch () =
+  let overlay, keys = build 1 in
+  let rng = Rng.create ~seed:11 in
+  let s = Query.lookup_batch rng overlay ~keys ~count:300 in
+  checki "all issued" 300 s.Query.issued;
+  checki "all routed on a healthy overlay" 300 s.Query.routed;
+  checki "all found" 300 s.Query.found;
+  checkb "hops positive and bounded" true (s.Query.mean_hops >= 0. && s.Query.max_hops <= 2 * Key.bits)
+
+let test_lookup_hops_law () =
+  (* The paper observes hops ~ half the trie depth. *)
+  let overlay, keys = build 2 in
+  let rng = Rng.create ~seed:12 in
+  let s = Query.lookup_batch rng overlay ~keys ~count:500 in
+  let stats = Overlay.stats overlay in
+  let expectation = stats.Overlay.mean_path_length /. 2. in
+  checkb "mean hops near half the path length" true
+    (Float.abs (s.Query.mean_hops -. expectation) < 1.0)
+
+let test_lookup_under_failures () =
+  (* Extra reference redundancy, as a deployment under churn would use. *)
+  let rng0 = Rng.create ~seed:3 in
+  let all_keys = Distribution.generate rng0 Distribution.Uniform ~n:1500 in
+  let overlay =
+    Builder.index rng0 ~peers:150 ~keys:all_keys ~d_max:50 ~n_min:5 ~refs_per_level:4
+  in
+  let keys = all_keys in
+  let rng = Rng.create ~seed:13 in
+  for i = 0 to Overlay.size overlay - 1 do
+    if Rng.float rng < 0.15 then (Overlay.node overlay i).Node.online <- false
+  done;
+  let s = Query.lookup_batch rng overlay ~keys ~count:300 in
+  checkb "most lookups survive failures" true (s.Query.routed > 240)
+
+let test_lookup_invalid () =
+  let overlay, _ = build 4 in
+  let rng = Rng.create ~seed:14 in
+  Alcotest.check_raises "no keys" (Invalid_argument "Query.lookup_batch: no keys")
+    (fun () -> ignore (Query.lookup_batch rng overlay ~keys:[||] ~count:5))
+
+let test_range_batch () =
+  let overlay, _ = build 5 in
+  let rng = Rng.create ~seed:15 in
+  let s = Query.range_batch rng overlay ~count:50 ~width:0.05 in
+  checki "ranges issued" 50 s.Query.ranges;
+  checkb "visits at least one partition" true (s.Query.mean_partitions >= 1.);
+  (* 5% of 1500 uniform keys is about 75 results. *)
+  checkb "plausible result volume" true
+    (s.Query.mean_results > 40. && s.Query.mean_results < 120.)
+
+let test_range_width_scaling () =
+  let overlay, _ = build 6 in
+  let rng = Rng.create ~seed:16 in
+  let narrow = Query.range_batch rng overlay ~count:40 ~width:0.02 in
+  let wide = Query.range_batch rng overlay ~count:40 ~width:0.2 in
+  checkb "wider ranges touch more partitions" true
+    (wide.Query.mean_partitions > narrow.Query.mean_partitions);
+  checkb "wider ranges return more results" true
+    (wide.Query.mean_results > narrow.Query.mean_results)
+
+let test_range_invalid () =
+  let overlay, _ = build 7 in
+  let rng = Rng.create ~seed:17 in
+  Alcotest.check_raises "bad width" (Invalid_argument "Query.range_batch: bad width")
+    (fun () -> ignore (Query.range_batch rng overlay ~count:5 ~width:0.))
+
+let test_conjunctive () =
+  let overlay, _ = build 8 in
+  let k1 = Key.of_float 0.111 and k2 = Key.of_float 0.777 in
+  ignore (Overlay.insert overlay ~from:0 k1 "doc-a");
+  ignore (Overlay.insert overlay ~from:0 k1 "doc-b");
+  ignore (Overlay.insert overlay ~from:0 k2 "doc-b");
+  ignore (Overlay.insert overlay ~from:0 k2 "doc-c");
+  let r = Query.conjunctive overlay ~from:9 [ k1; k2 ] in
+  Alcotest.check (Alcotest.list Alcotest.string) "intersection" [ "doc-b" ] r.Query.matches;
+  checki "both resolved" 2 r.Query.resolved;
+  checkb "hops accumulated" true (r.Query.total_hops >= 0)
+
+let test_conjunctive_empty_keys () =
+  let overlay, _ = build 9 in
+  Alcotest.check_raises "no keys" (Invalid_argument "Query.conjunctive: no keys")
+    (fun () -> ignore (Query.conjunctive overlay ~from:0 []))
+
+let suite =
+  [
+    Alcotest.test_case "lookup batch" `Quick test_lookup_batch;
+    Alcotest.test_case "hops ~ half path" `Quick test_lookup_hops_law;
+    Alcotest.test_case "lookups under failures" `Quick test_lookup_under_failures;
+    Alcotest.test_case "lookup invalid args" `Quick test_lookup_invalid;
+    Alcotest.test_case "range batch" `Quick test_range_batch;
+    Alcotest.test_case "range width scaling" `Quick test_range_width_scaling;
+    Alcotest.test_case "range invalid args" `Quick test_range_invalid;
+    Alcotest.test_case "conjunctive query" `Quick test_conjunctive;
+    Alcotest.test_case "conjunctive empty" `Quick test_conjunctive_empty_keys;
+  ]

@@ -1,0 +1,232 @@
+(* Tests for Pgrid_prng: generator determinism and sampler statistics. *)
+
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let close ?(eps = 1e-9) msg a b = Alcotest.check (Alcotest.float eps) msg a b
+
+let stream seed n =
+  let rng = Rng.create ~seed in
+  List.init n (fun _ -> Rng.bits64 rng)
+
+let test_determinism () =
+  check (Alcotest.list Alcotest.int64) "same seed, same stream" (stream 42 32)
+    (stream 42 32)
+
+let test_seed_sensitivity () =
+  checkb "different seeds differ" false (stream 1 8 = stream 2 8)
+
+let test_copy_independent () =
+  let rng = Rng.create ~seed:7 in
+  let snapshot = Rng.copy rng in
+  let from_original = List.init 8 (fun _ -> Rng.bits64 rng) in
+  let from_copy = List.init 8 (fun _ -> Rng.bits64 snapshot) in
+  check (Alcotest.list Alcotest.int64) "copy replays the stream" from_original
+    from_copy
+
+let test_split_diverges () =
+  let rng = Rng.create ~seed:7 in
+  let child = Rng.split rng in
+  let a = List.init 8 (fun _ -> Rng.bits64 rng) in
+  let b = List.init 8 (fun _ -> Rng.bits64 child) in
+  checkb "child stream differs from parent" false (a = b)
+
+let test_float_range () =
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng in
+    if x < 0. || x >= 1. then Alcotest.failf "float out of range: %f" x
+  done
+
+let test_int_bounds () =
+  let rng = Rng.create ~seed:4 in
+  List.iter
+    (fun n ->
+      for _ = 1 to 2_000 do
+        let v = Rng.int rng n in
+        if v < 0 || v >= n then Alcotest.failf "int %d out of [0,%d)" v n
+      done)
+    [ 1; 2; 3; 7; 10; 100; 1 lsl 30 ]
+
+let test_int_one () =
+  let rng = Rng.create ~seed:5 in
+  check Alcotest.int "bound 1 is always 0" 0 (Rng.int rng 1)
+
+let test_int_invalid () =
+  let rng = Rng.create ~seed:5 in
+  Alcotest.check_raises "bound 0 rejected" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int rng 0))
+
+let test_int_uniformity () =
+  let rng = Rng.create ~seed:6 in
+  let buckets = Array.make 16 0 in
+  let n = 64_000 in
+  for _ = 1 to n do
+    let v = Rng.int rng 16 in
+    buckets.(v) <- buckets.(v) + 1
+  done;
+  let expected = float_of_int n /. 16. in
+  let chi2 =
+    Array.fold_left
+      (fun acc o ->
+        let d = float_of_int o -. expected in
+        acc +. (d *. d /. expected))
+      0. buckets
+  in
+  (* 15 degrees of freedom: chi2 above 50 is essentially impossible. *)
+  checkb "chi-square sane" true (chi2 < 50.)
+
+let test_bernoulli_extremes () =
+  let rng = Rng.create ~seed:8 in
+  for _ = 1 to 100 do
+    checkb "p=1 always true" true (Rng.bernoulli rng 1.0);
+    checkb "p=0 always false" false (Rng.bernoulli rng 0.0)
+  done
+
+let test_pick_empty () =
+  let rng = Rng.create ~seed:9 in
+  Alcotest.check_raises "empty array" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]));
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.pick_list: empty list")
+    (fun () -> ignore (Rng.pick_list rng []))
+
+let test_shuffle_preserves () =
+  let rng = Rng.create ~seed:10 in
+  let arr = Array.init 100 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "same multiset" (Array.init 100 (fun i -> i))
+    sorted
+
+let test_sample_without_replacement () =
+  let rng = Rng.create ~seed:11 in
+  List.iter
+    (fun (k, n) ->
+      let s = Rng.sample_without_replacement rng ~k ~n in
+      check Alcotest.int "size" k (Array.length s);
+      let distinct = List.sort_uniq compare (Array.to_list s) in
+      check Alcotest.int "distinct" k (List.length distinct);
+      Array.iter (fun v -> checkb "in range" true (v >= 0 && v < n)) s)
+    [ (0, 5); (1, 1); (3, 100); (50, 100); (100, 100); (10, 1000) ]
+
+let mean_of f n =
+  let acc = ref 0. in
+  for _ = 1 to n do
+    acc := !acc +. f ()
+  done;
+  !acc /. float_of_int n
+
+let test_uniform_sampler () =
+  let rng = Rng.create ~seed:12 in
+  let m = mean_of (fun () -> Sample.uniform rng ~lo:2. ~hi:4.) 20_000 in
+  close ~eps:0.05 "uniform mean" 3.0 m
+
+let test_normal_sampler () =
+  let rng = Rng.create ~seed:13 in
+  let m = mean_of (fun () -> Sample.normal rng ~mu:5. ~sigma:2.) 20_000 in
+  close ~eps:0.1 "normal mean" 5.0 m
+
+let test_pareto_support () =
+  let rng = Rng.create ~seed:14 in
+  for _ = 1 to 5_000 do
+    checkb "pareto >= k" true (Sample.pareto rng ~alpha:1.5 ~k:2. >= 2.)
+  done
+
+let test_exponential_mean () =
+  let rng = Rng.create ~seed:15 in
+  let m = mean_of (fun () -> Sample.exponential rng ~rate:4.) 40_000 in
+  close ~eps:0.02 "exponential mean 1/rate" 0.25 m
+
+let test_binomial_mean () =
+  let rng = Rng.create ~seed:16 in
+  let m =
+    mean_of (fun () -> float_of_int (Sample.binomial rng ~n:10 ~p:0.3)) 20_000
+  in
+  close ~eps:0.1 "binomial mean np" 3.0 m
+
+let test_binomial_bounds () =
+  let rng = Rng.create ~seed:17 in
+  for _ = 1 to 1_000 do
+    let v = Sample.binomial rng ~n:10 ~p:0.5 in
+    checkb "in [0,n]" true (v >= 0 && v <= 10)
+  done
+
+let test_geometric_mean () =
+  let rng = Rng.create ~seed:18 in
+  let m = mean_of (fun () -> float_of_int (Sample.geometric rng ~p:0.25)) 40_000 in
+  close ~eps:0.15 "geometric mean 1/p" 4.0 m
+
+let test_lognormal_positive () =
+  let rng = Rng.create ~seed:19 in
+  for _ = 1 to 2_000 do
+    checkb "positive" true (Sample.lognormal rng ~mu:0. ~sigma:1. > 0.)
+  done
+
+let test_zipf () =
+  let rng = Rng.create ~seed:20 in
+  let z = Sample.Zipf.create ~n:100 ~s:1.0 in
+  Alcotest.check Alcotest.int "support" 100 (Sample.Zipf.support z);
+  let counts = Array.make 101 0 in
+  for _ = 1 to 50_000 do
+    let r = Sample.Zipf.draw z rng in
+    checkb "rank in range" true (r >= 1 && r <= 100);
+    counts.(r) <- counts.(r) + 1
+  done;
+  checkb "rank 1 dominates rank 50" true (counts.(1) > 5 * counts.(50))
+
+let test_zipf_uniform_exponent () =
+  let rng = Rng.create ~seed:21 in
+  let z = Sample.Zipf.create ~n:10 ~s:0. in
+  let counts = Array.make 11 0 in
+  for _ = 1 to 20_000 do
+    counts.(Sample.Zipf.draw z rng) <- counts.(Sample.Zipf.draw z rng) + 1
+  done;
+  checkb "s=0 is roughly uniform" true
+    (Array.for_all (fun c -> c = 0 || (c > 1_200 && c < 2_800)) counts)
+
+let qcheck_float_unit =
+  QCheck.Test.make ~name:"Rng.float stays in [0,1)" ~count:500
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let x = Rng.float rng in
+      x >= 0. && x < 1.)
+
+let qcheck_int_in_bounds =
+  QCheck.Test.make ~name:"Rng.int in [0,n)" ~count:500
+    QCheck.(pair small_signed_int (int_range 1 10_000))
+    (fun (seed, n) ->
+      let rng = Rng.create ~seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split diverges" `Quick test_split_diverges;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int bound one" `Quick test_int_one;
+    Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+    Alcotest.test_case "int uniformity" `Quick test_int_uniformity;
+    Alcotest.test_case "bernoulli extremes" `Quick test_bernoulli_extremes;
+    Alcotest.test_case "pick empty" `Quick test_pick_empty;
+    Alcotest.test_case "shuffle preserves multiset" `Quick test_shuffle_preserves;
+    Alcotest.test_case "sampling w/o replacement" `Quick test_sample_without_replacement;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_sampler;
+    Alcotest.test_case "normal mean" `Quick test_normal_sampler;
+    Alcotest.test_case "pareto support" `Quick test_pareto_support;
+    Alcotest.test_case "exponential mean" `Quick test_exponential_mean;
+    Alcotest.test_case "binomial mean" `Quick test_binomial_mean;
+    Alcotest.test_case "binomial bounds" `Quick test_binomial_bounds;
+    Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+    Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+    Alcotest.test_case "zipf skew" `Quick test_zipf;
+    Alcotest.test_case "zipf uniform exponent" `Quick test_zipf_uniform_exponent;
+    QCheck_alcotest.to_alcotest qcheck_float_unit;
+    QCheck_alcotest.to_alcotest qcheck_int_in_bounds;
+  ]

@@ -1,0 +1,353 @@
+(* Tests for Pgrid_simnet: the event queue, latency models, the network,
+   the unstructured overlay, churn and the vote protocol. *)
+
+module Rng = Pgrid_prng.Rng
+module Sim = Pgrid_simnet.Sim
+module Latency = Pgrid_simnet.Latency
+module Net = Pgrid_simnet.Net
+module Unstructured = Pgrid_simnet.Unstructured
+module Churn = Pgrid_simnet.Churn
+module Vote = Pgrid_simnet.Vote
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let close ?(eps = 1e-9) msg a b = Alcotest.check (Alcotest.float eps) msg a b
+
+(* --- Sim --------------------------------------------------------------- *)
+
+let test_sim_order () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:3. (fun () -> log := 3 :: !log);
+  Sim.schedule sim ~delay:1. (fun () -> log := 1 :: !log);
+  Sim.schedule sim ~delay:2. (fun () -> log := 2 :: !log);
+  Sim.run sim;
+  Alcotest.check (Alcotest.list Alcotest.int) "time order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_sim_tie_break () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  for i = 1 to 5 do
+    Sim.schedule sim ~delay:1. (fun () -> log := i :: !log)
+  done;
+  Sim.run sim;
+  Alcotest.check (Alcotest.list Alcotest.int) "FIFO at equal times" [ 1; 2; 3; 4; 5 ]
+    (List.rev !log)
+
+let test_sim_clock () =
+  let sim = Sim.create () in
+  let seen = ref 0. in
+  Sim.schedule sim ~delay:5. (fun () -> seen := Sim.now sim);
+  Sim.run sim;
+  close "clock advances to event" 5. !seen;
+  close "clock stays" 5. (Sim.now sim)
+
+let test_sim_run_until () =
+  let sim = Sim.create () in
+  let fired = ref [] in
+  List.iter
+    (fun d -> Sim.schedule sim ~delay:d (fun () -> fired := d :: !fired))
+    [ 1.; 2.; 3.; 4. ];
+  Sim.run_until sim ~time:3.;
+  Alcotest.check (Alcotest.list (Alcotest.float 0.)) "only events strictly before"
+    [ 1.; 2. ] (List.rev !fired);
+  close "clock set to boundary" 3. (Sim.now sim);
+  checki "two still pending" 2 (Sim.pending sim)
+
+let test_sim_nested_schedule () =
+  let sim = Sim.create () in
+  let log = ref [] in
+  Sim.schedule sim ~delay:1. (fun () ->
+      log := "outer" :: !log;
+      Sim.schedule sim ~delay:1. (fun () -> log := "inner" :: !log));
+  Sim.run sim;
+  Alcotest.check (Alcotest.list Alcotest.string) "nested events fire"
+    [ "outer"; "inner" ] (List.rev !log);
+  close "final time" 2. (Sim.now sim)
+
+let test_sim_negative_delay () =
+  let sim = Sim.create () in
+  Alcotest.check_raises "negative rejected" (Invalid_argument "Sim.schedule: negative delay")
+    (fun () -> Sim.schedule sim ~delay:(-1.) (fun () -> ()))
+
+let test_sim_many_events () =
+  let sim = Sim.create () in
+  let count = ref 0 in
+  let rng = Rng.create ~seed:1 in
+  for _ = 1 to 10_000 do
+    Sim.schedule sim ~delay:(Rng.float rng) (fun () -> incr count)
+  done;
+  Sim.run sim;
+  checki "all fired" 10_000 !count
+
+(* --- Latency ------------------------------------------------------------ *)
+
+let test_latency_fixed () =
+  let rng = Rng.create ~seed:2 in
+  close "fixed" 0.25 (Latency.sample (Latency.Fixed 0.25) rng)
+
+let test_latency_floor () =
+  let rng = Rng.create ~seed:3 in
+  let model = Latency.Lognormal { mu = log 0.001; sigma = 0.1; floor = 0.05 } in
+  for _ = 1 to 200 do
+    checkb "floored" true (Latency.sample model rng >= 0.05)
+  done
+
+let test_latency_planetlab_positive () =
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 500 do
+    checkb "positive" true (Latency.sample Latency.planetlab rng > 0.)
+  done
+
+(* --- Net ----------------------------------------------------------------- *)
+
+let make_net ?(nodes = 4) ?(loss = 0.) () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:5 in
+  let net = Net.create sim rng ~nodes ~latency:(Latency.Fixed 0.1) ~loss ~bucket:1. in
+  (sim, net)
+
+let test_net_delivery () =
+  let sim, net = make_net () in
+  let received = ref [] in
+  Net.set_handler net (fun dst msg -> received := (dst, msg, Sim.now sim) :: !received);
+  Net.send net ~src:0 ~dst:1 ~bytes:100 ~kind:Net.Maintenance "hello";
+  Sim.run sim;
+  match !received with
+  | [ (1, "hello", t) ] -> close "arrives after latency" 0.1 t
+  | _ -> Alcotest.fail "expected exactly one delivery"
+
+let test_net_offline_drop () =
+  let sim, net = make_net () in
+  let received = ref 0 in
+  Net.set_handler net (fun _ _ -> incr received);
+  Net.set_online net 1 false;
+  Net.send net ~src:0 ~dst:1 ~bytes:10 ~kind:Net.Maintenance "x";
+  (* Offline sender is a silent no-op. *)
+  Net.set_online net 2 false;
+  Net.send net ~src:2 ~dst:0 ~bytes:10 ~kind:Net.Maintenance "y";
+  Sim.run sim;
+  checki "nothing delivered" 0 !received;
+  checki "one drop recorded" 1 (Net.messages_dropped net);
+  checki "only the online sender sent" 1 (Net.messages_sent net)
+
+let test_net_loss () =
+  let sim, net = make_net ~loss:0.5 () in
+  let received = ref 0 in
+  Net.set_handler net (fun _ _ -> incr received);
+  for _ = 1 to 2000 do
+    Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Query "m"
+  done;
+  Sim.run sim;
+  checkb "about half delivered" true (!received > 800 && !received < 1200)
+
+let test_net_bandwidth_accounting () =
+  let sim, net = make_net () in
+  Net.send net ~src:0 ~dst:1 ~bytes:300 ~kind:Net.Maintenance "a";
+  Sim.run_until sim ~time:2.5;
+  Net.account net ~bytes:600 ~kind:Net.Query;
+  let maint = Net.bandwidth net Net.Maintenance in
+  let query = Net.bandwidth net Net.Query in
+  (match maint with
+  | [ (t, bps) ] ->
+    close "bucket midpoint" 0.5 t;
+    close "bytes per second" 300. bps
+  | _ -> Alcotest.fail "one maintenance bucket expected");
+  match query with
+  | [ (t, bps) ] ->
+    close "query bucket midpoint" 2.5 t;
+    close "query Bps" 600. bps
+  | _ -> Alcotest.fail "one query bucket expected"
+
+let test_net_online_count () =
+  let _, net = make_net ~nodes:5 () in
+  checki "all online" 5 (Net.online_count net);
+  Net.set_online net 0 false;
+  Net.set_online net 3 false;
+  checki "two offline" 3 (Net.online_count net)
+
+(* --- Unstructured --------------------------------------------------------- *)
+
+let test_unstructured_degree () =
+  let rng = Rng.create ~seed:6 in
+  let g = Unstructured.create rng ~nodes:50 ~degree:4 in
+  checki "nodes" 50 (Unstructured.nodes g);
+  for i = 0 to 49 do
+    checkb "at least degree links" true (List.length (Unstructured.neighbors g i) >= 4)
+  done
+
+let test_unstructured_symmetric () =
+  let rng = Rng.create ~seed:7 in
+  let g = Unstructured.create rng ~nodes:30 ~degree:3 in
+  for i = 0 to 29 do
+    List.iter
+      (fun j -> checkb "symmetric" true (List.mem i (Unstructured.neighbors g j)))
+      (Unstructured.neighbors g i)
+  done
+
+let test_random_walk_reaches_online () =
+  let rng = Rng.create ~seed:8 in
+  let g = Unstructured.create rng ~nodes:40 ~degree:4 in
+  let offline = [ 3; 7; 11 ] in
+  let online i = not (List.mem i offline) in
+  for _ = 1 to 200 do
+    let e = Unstructured.random_walk g rng ~online ~start:0 ~steps:8 in
+    checkb "endpoint online" true (online e)
+  done
+
+let test_random_walk_isolated () =
+  let rng = Rng.create ~seed:9 in
+  let g = Unstructured.create rng ~nodes:10 ~degree:2 in
+  (* Everyone else offline: the walk cannot move. *)
+  let online i = i = 0 in
+  checki "stays at start" 0 (Unstructured.random_walk g rng ~online ~start:0 ~steps:5)
+
+let test_random_walk_spread () =
+  let rng = Rng.create ~seed:10 in
+  let g = Unstructured.create rng ~nodes:64 ~degree:5 in
+  let h = Pgrid_stats.Histogram.create ~lo:0. ~hi:64. ~bins:8 in
+  for _ = 1 to 8_000 do
+    let e =
+      Unstructured.random_walk g rng ~online:(fun _ -> true) ~start:0 ~steps:12
+    in
+    Pgrid_stats.Histogram.add h (float_of_int e)
+  done;
+  (* Long walks approximate the (degree-weighted) stationary distribution:
+     every 8-node bucket should hold a reasonable share. *)
+  let n = Pgrid_stats.Histogram.normalized h in
+  Array.iter (fun share -> checkb "no empty region" true (share > 0.04)) n
+
+let test_flood_reaches_all () =
+  let rng = Rng.create ~seed:11 in
+  let g = Unstructured.create rng ~nodes:40 ~degree:4 in
+  let reached, traversals = Unstructured.flood g ~start:0 ~ttl:10 ~online:(fun _ -> true) in
+  checki "all reached" 40 (List.length reached);
+  checkb "cost recorded" true (traversals > 0)
+
+let test_flood_ttl_limits () =
+  let rng = Rng.create ~seed:12 in
+  let g = Unstructured.create rng ~nodes:200 ~degree:2 in
+  let one_hop, _ = Unstructured.flood g ~start:0 ~ttl:1 ~online:(fun _ -> true) in
+  checkb "ttl 1 reaches only neighbors" true
+    (List.length one_hop <= 1 + List.length (Unstructured.neighbors g 0))
+
+let test_flood_offline_start () =
+  let rng = Rng.create ~seed:13 in
+  let g = Unstructured.create rng ~nodes:10 ~degree:2 in
+  let reached, _ = Unstructured.flood g ~start:0 ~ttl:3 ~online:(fun i -> i <> 0) in
+  checkb "offline start reaches nobody... but itself is excluded" true
+    (not (List.mem 0 reached))
+
+(* --- Churn ------------------------------------------------------------------ *)
+
+let test_churn_cycles () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:14 in
+  let online = Array.make 10 true in
+  let transitions = ref 0 in
+  Churn.install sim rng
+    {
+      Churn.start = 0.;
+      stop = 3000.;
+      off_min = 10.;
+      off_max = 20.;
+      period_min = 50.;
+      period_max = 100.;
+    }
+    ~node_ids:(List.init 10 (fun i -> i))
+    ~set_online:(fun i v ->
+      online.(i) <- v;
+      incr transitions);
+  Sim.run sim;
+  checkb "transitions happened" true (!transitions > 10);
+  checkb "everyone back online at the end" true (Array.for_all (fun v -> v) online)
+
+let test_churn_offline_periods () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:15 in
+  let offline_seen = ref false in
+  let online = Array.make 5 true in
+  Churn.install sim rng
+    (Churn.paper_params ~start:0. ~stop:3600.)
+    ~node_ids:[ 0; 1; 2; 3; 4 ]
+    ~set_online:(fun i v ->
+      online.(i) <- v;
+      if not v then offline_seen := true);
+  Sim.run sim;
+  checkb "nodes actually go offline" true !offline_seen
+
+(* --- Vote --------------------------------------------------------------------- *)
+
+let test_vote_aggregation () =
+  let rng = Rng.create ~seed:16 in
+  let g = Unstructured.create rng ~nodes:20 ~degree:4 in
+  let ballot_of i =
+    { Vote.approve = i mod 4 <> 0; storage = 100; items = 10 }
+  in
+  let r = Vote.run g ~initiator:0 ~ttl:10 ~online:(fun _ -> true) ~ballot_of in
+  checki "all participate" 20 r.Vote.participants;
+  checki "items aggregated" 200 r.Vote.items_total;
+  checki "storage aggregated" 2000 r.Vote.storage_total;
+  checki "votes partitioned" 20 (r.Vote.yes + r.Vote.no);
+  checkb "majority approves" true (Vote.approved r ~quorum:0.5);
+  checkb "unanimity fails" true (not (Vote.approved r ~quorum:0.99))
+
+let test_vote_derive_d_max () =
+  let r =
+    {
+      Vote.participants = 10;
+      yes = 10;
+      no = 0;
+      storage_total = 0;
+      items_total = 100;
+      traversals = 0;
+    }
+  in
+  (* d_avg = 10, n_min = 5: d_max = 10 * 5 * 2 = 100. *)
+  checki "paper parameter rule" 100 (Vote.derive_d_max r ~n_min:5)
+
+let qcheck_net_engine_determinism =
+  QCheck.Test.make ~name:"construction runs are seed-deterministic" ~count:4
+    QCheck.small_signed_int (fun seed ->
+      let run () =
+        let rng = Rng.create ~seed in
+        let o =
+          Pgrid_construction.Round.run rng
+            (Pgrid_construction.Round.default_params ~peers:48)
+            ~spec:Pgrid_workload.Distribution.Uniform
+        in
+        (o.Pgrid_construction.Round.deviation, o.Pgrid_construction.Round.interactions)
+      in
+      run () = run ())
+
+let suite =
+  [
+    Alcotest.test_case "event order" `Quick test_sim_order;
+    Alcotest.test_case "tie break FIFO" `Quick test_sim_tie_break;
+    Alcotest.test_case "clock" `Quick test_sim_clock;
+    Alcotest.test_case "run_until boundary" `Quick test_sim_run_until;
+    Alcotest.test_case "nested scheduling" `Quick test_sim_nested_schedule;
+    Alcotest.test_case "negative delay" `Quick test_sim_negative_delay;
+    Alcotest.test_case "many events" `Quick test_sim_many_events;
+    Alcotest.test_case "fixed latency" `Quick test_latency_fixed;
+    Alcotest.test_case "latency floor" `Quick test_latency_floor;
+    Alcotest.test_case "planetlab model" `Quick test_latency_planetlab_positive;
+    Alcotest.test_case "net delivery" `Quick test_net_delivery;
+    Alcotest.test_case "net offline drop" `Quick test_net_offline_drop;
+    Alcotest.test_case "net loss" `Quick test_net_loss;
+    Alcotest.test_case "net bandwidth buckets" `Quick test_net_bandwidth_accounting;
+    Alcotest.test_case "net online count" `Quick test_net_online_count;
+    Alcotest.test_case "unstructured degree" `Quick test_unstructured_degree;
+    Alcotest.test_case "unstructured symmetric" `Quick test_unstructured_symmetric;
+    Alcotest.test_case "walk reaches online" `Quick test_random_walk_reaches_online;
+    Alcotest.test_case "walk isolated" `Quick test_random_walk_isolated;
+    Alcotest.test_case "walk spreads" `Quick test_random_walk_spread;
+    Alcotest.test_case "flood reaches all" `Quick test_flood_reaches_all;
+    Alcotest.test_case "flood ttl" `Quick test_flood_ttl_limits;
+    Alcotest.test_case "flood offline start" `Quick test_flood_offline_start;
+    Alcotest.test_case "churn cycles" `Quick test_churn_cycles;
+    Alcotest.test_case "churn goes offline" `Quick test_churn_offline_periods;
+    Alcotest.test_case "vote aggregation" `Quick test_vote_aggregation;
+    Alcotest.test_case "vote parameter rule" `Quick test_vote_derive_d_max;
+    QCheck_alcotest.to_alcotest qcheck_net_engine_determinism;
+  ]

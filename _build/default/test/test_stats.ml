@@ -1,0 +1,175 @@
+(* Tests for Pgrid_stats: moments, histograms, tables and series. *)
+
+module Moments = Pgrid_stats.Moments
+module Histogram = Pgrid_stats.Histogram
+module Table = Pgrid_stats.Table
+module Series = Pgrid_stats.Series
+
+let checkb = Alcotest.check Alcotest.bool
+let close ?(eps = 1e-9) msg a b = Alcotest.check (Alcotest.float eps) msg a b
+
+let test_moments_known () =
+  let m = Moments.of_list [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ] in
+  Alcotest.check Alcotest.int "count" 8 (Moments.count m);
+  close "mean" 5.0 (Moments.mean m);
+  close "variance (unbiased)" (32. /. 7.) (Moments.variance m);
+  close "min" 2. (Moments.min m);
+  close "max" 9. (Moments.max m);
+  close "total" 40. (Moments.total m)
+
+let test_moments_empty () =
+  let m = Moments.create () in
+  Alcotest.check Alcotest.int "count" 0 (Moments.count m);
+  close "mean" 0. (Moments.mean m);
+  close "variance" 0. (Moments.variance m);
+  checkb "min is nan" true (Float.is_nan (Moments.min m))
+
+let test_moments_single () =
+  let m = Moments.of_list [ 3.5 ] in
+  close "mean" 3.5 (Moments.mean m);
+  close "variance" 0. (Moments.variance m);
+  close "stddev" 0. (Moments.stddev m)
+
+let test_moments_merge () =
+  let a = Moments.of_list [ 1.; 2.; 3. ] in
+  let b = Moments.of_list [ 10.; 20. ] in
+  let merged = Moments.merge a b in
+  let direct = Moments.of_list [ 1.; 2.; 3.; 10.; 20. ] in
+  Alcotest.check Alcotest.int "count" (Moments.count direct) (Moments.count merged);
+  close ~eps:1e-9 "mean" (Moments.mean direct) (Moments.mean merged);
+  close ~eps:1e-9 "variance" (Moments.variance direct) (Moments.variance merged);
+  close "min" (Moments.min direct) (Moments.min merged);
+  close "max" (Moments.max direct) (Moments.max merged)
+
+let test_moments_merge_empty () =
+  let a = Moments.of_list [ 1.; 2. ] in
+  let e = Moments.create () in
+  close "merge right empty" (Moments.mean a) (Moments.mean (Moments.merge a e));
+  close "merge left empty" (Moments.mean a) (Moments.mean (Moments.merge e a))
+
+let test_moments_stability () =
+  (* Large offset: naive sum-of-squares would lose precision. *)
+  let m = Moments.create () in
+  for i = 1 to 1000 do
+    Moments.add m (1e9 +. float_of_int (i mod 2))
+  done;
+  close ~eps:1e-3 "variance around huge mean" 0.2502502502 (Moments.variance m)
+
+let test_histogram_basics () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:10 in
+  Alcotest.check Alcotest.int "bins" 10 (Histogram.bins h);
+  Histogram.add h 0.05;
+  Histogram.add h 0.15;
+  Histogram.add h 0.15;
+  close "bucket 0" 1. (Histogram.weight h 0);
+  close "bucket 1" 2. (Histogram.weight h 1);
+  close "total" 3. (Histogram.total h)
+
+let test_histogram_clamping () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Histogram.add h (-5.);
+  Histogram.add h 17.;
+  close "below clamps to first" 1. (Histogram.weight h 0);
+  close "above clamps to last" 1. (Histogram.weight h 3)
+
+let test_histogram_bucket_of () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  Alcotest.check Alcotest.int "0 -> 0" 0 (Histogram.bucket_of h 0.);
+  Alcotest.check Alcotest.int "1.99 -> 0" 0 (Histogram.bucket_of h 1.99);
+  Alcotest.check Alcotest.int "2 -> 1" 1 (Histogram.bucket_of h 2.);
+  Alcotest.check Alcotest.int "9.99 -> 4" 4 (Histogram.bucket_of h 9.99)
+
+let test_histogram_midpoint () =
+  let h = Histogram.create ~lo:0. ~hi:10. ~bins:5 in
+  close "first midpoint" 1. (Histogram.midpoint h 0);
+  close "last midpoint" 9. (Histogram.midpoint h 4)
+
+let test_histogram_normalized () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:2 in
+  Histogram.add_weighted h 0.1 3.;
+  Histogram.add_weighted h 0.9 1.;
+  let n = Histogram.normalized h in
+  close "first" 0.75 n.(0);
+  close "second" 0.25 n.(1)
+
+let test_histogram_chi_square () =
+  let h = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  List.iter (Histogram.add h) [ 0.1; 0.3; 0.6; 0.9 ];
+  close "uniform weights give 0" 0. (Histogram.chi_square_uniform h);
+  Histogram.add h 0.1;
+  checkb "imbalance is positive" true (Histogram.chi_square_uniform h > 0.)
+
+let test_histogram_invalid () =
+  Alcotest.check_raises "lo >= hi" (Invalid_argument "Histogram.create: lo must be < hi")
+    (fun () -> ignore (Histogram.create ~lo:1. ~hi:1. ~bins:3))
+
+let test_table_render () =
+  let s =
+    Table.render ~title:"T" ~columns:[ "a"; "bb" ]
+      ~rows:[ [ "1"; "2" ]; [ "333" ] ]
+  in
+  checkb "has title" true (String.length s > 0 && s.[0] = 'T');
+  checkb "contains widened cell" true (Test_util.contains s "333")
+
+let test_table_padding () =
+  let s = Table.render ~title:"t" ~columns:[ "x"; "y" ] ~rows:[ [ "only" ] ] in
+  (* A short row is padded; rendering must not raise and must keep both
+     column separators. *)
+  let bars = String.fold_left (fun acc c -> if c = '|' then acc + 1 else acc) 0 s in
+  checkb "enough separators" true (bars >= 6)
+
+let test_fmt_float () =
+  Alcotest.check Alcotest.string "default decimals" "1.500" (Table.fmt_float 1.5);
+  Alcotest.check Alcotest.string "custom decimals" "1.50" (Table.fmt_float ~decimals:2 1.5);
+  Alcotest.check Alcotest.string "nan" "-" (Table.fmt_float Float.nan)
+
+let test_series_table () =
+  let fig =
+    Series.figure ~title:"f" ~x_label:"x" ~y_label:"y"
+      [ Series.make "a" [ (1., 10.); (2., 20.) ]; Series.make "b" [ (2., 5.) ] ]
+  in
+  let s = Series.to_table fig in
+  checkb "mentions series a" true (Test_util.contains s "a");
+  checkb "missing point renders dash" true (Test_util.contains s "-")
+
+let test_series_chart () =
+  let fig =
+    Series.figure ~title:"f" ~x_label:"x" ~y_label:"y"
+      [ Series.make "a" [ (0., 0.); (1., 1.) ] ]
+  in
+  let chart = Series.to_chart ~width:20 ~height:5 fig in
+  checkb "chart has legend" true (Test_util.contains chart "* = a")
+
+let test_series_chart_empty () =
+  let fig = Series.figure ~title:"f" ~x_label:"x" ~y_label:"y" [ Series.make "a" [] ] in
+  checkb "no data message" true
+    (Test_util.contains (Series.to_chart fig) "no finite data")
+
+let test_series_sorted () =
+  let s = Series.make "s" [ (3., 1.); (1., 2.); (2., 3.) ] in
+  let xs = Array.to_list (Array.map fst s.Series.points) in
+  Alcotest.check (Alcotest.list (Alcotest.float 0.)) "sorted by x" [ 1.; 2.; 3. ] xs
+
+let suite =
+  [
+    Alcotest.test_case "moments known values" `Quick test_moments_known;
+    Alcotest.test_case "moments empty" `Quick test_moments_empty;
+    Alcotest.test_case "moments single" `Quick test_moments_single;
+    Alcotest.test_case "moments merge" `Quick test_moments_merge;
+    Alcotest.test_case "moments merge empty" `Quick test_moments_merge_empty;
+    Alcotest.test_case "moments numerical stability" `Quick test_moments_stability;
+    Alcotest.test_case "histogram basics" `Quick test_histogram_basics;
+    Alcotest.test_case "histogram clamping" `Quick test_histogram_clamping;
+    Alcotest.test_case "histogram bucket_of" `Quick test_histogram_bucket_of;
+    Alcotest.test_case "histogram midpoint" `Quick test_histogram_midpoint;
+    Alcotest.test_case "histogram normalized" `Quick test_histogram_normalized;
+    Alcotest.test_case "histogram chi-square" `Quick test_histogram_chi_square;
+    Alcotest.test_case "histogram invalid args" `Quick test_histogram_invalid;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table padding" `Quick test_table_padding;
+    Alcotest.test_case "fmt_float" `Quick test_fmt_float;
+    Alcotest.test_case "series table" `Quick test_series_table;
+    Alcotest.test_case "series chart" `Quick test_series_chart;
+    Alcotest.test_case "series chart empty" `Quick test_series_chart_empty;
+    Alcotest.test_case "series sorted" `Quick test_series_sorted;
+  ]

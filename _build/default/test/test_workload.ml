@@ -1,0 +1,147 @@
+(* Tests for Pgrid_workload: distributions and the synthetic corpus. *)
+
+module Rng = Pgrid_prng.Rng
+module Key = Pgrid_keyspace.Key
+module Distribution = Pgrid_workload.Distribution
+module Corpus = Pgrid_workload.Corpus
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+let test_labels () =
+  checks "uniform" "U" (Distribution.label Distribution.Uniform);
+  checks "pareto .5" "P0.5" (Distribution.label (Distribution.Pareto 0.5));
+  checks "pareto 1.5" "P1.5" (Distribution.label (Distribution.Pareto 1.5));
+  checks "paper normal" "N" (Distribution.label Distribution.paper_normal);
+  checks "text" "A" (Distribution.label Distribution.paper_text)
+
+let test_paper_set () =
+  checki "six distributions" 6 (List.length Distribution.paper_set);
+  Alcotest.check (Alcotest.list Alcotest.string) "paper order"
+    [ "U"; "P0.5"; "P1.0"; "P1.5"; "N"; "A" ]
+    (List.map Distribution.label Distribution.paper_set)
+
+let test_generate_count () =
+  let rng = Rng.create ~seed:1 in
+  checki "n keys" 500 (Array.length (Distribution.generate rng Distribution.Uniform ~n:500))
+
+let test_uniform_mean () =
+  let rng = Rng.create ~seed:2 in
+  let keys = Distribution.generate rng Distribution.Uniform ~n:20_000 in
+  let mean =
+    Array.fold_left (fun acc k -> acc +. Key.to_float k) 0. keys
+    /. float_of_int (Array.length keys)
+  in
+  Alcotest.check (Alcotest.float 0.02) "mean 1/2" 0.5 mean
+
+let test_normal_concentration () =
+  let rng = Rng.create ~seed:3 in
+  let keys = Distribution.generate rng Distribution.paper_normal ~n:5_000 in
+  let near =
+    Array.fold_left
+      (fun acc k -> if Float.abs (Key.to_float k -. 0.5) < 0.15 then acc + 1 else acc)
+      0 keys
+  in
+  (* 0.15 is three standard deviations. *)
+  checkb "nearly all mass within 3 sigma of 1/2" true (near > 4_950)
+
+let mass_below threshold keys =
+  Array.fold_left (fun acc k -> if Key.to_float k < threshold then acc + 1 else acc) 0 keys
+
+let test_pareto_skew_ordering () =
+  let sample alpha =
+    let rng = Rng.create ~seed:4 in
+    Distribution.generate rng (Distribution.Pareto alpha) ~n:10_000
+  in
+  (* Folding Pareto([1,inf)) into [0,1) concentrates mass near 0, more so
+     for larger shapes: P(key < 0.1) is ~0.11 for shape 0.5 and ~0.16 for
+     shape 1.5 (uniform would give 0.10). *)
+  let light = mass_below 0.1 (sample 0.5) in
+  let heavy = mass_below 0.1 (sample 1.5) in
+  checkb "larger shape concentrates more mass near 0" true (heavy > light + 200);
+  checkb "P1.5 is clearly above uniform" true (heavy > 1_300)
+
+let test_text_determinism () =
+  let gen seed = Distribution.generate (Rng.create ~seed) Distribution.paper_text ~n:50 in
+  checkb "same seed, same keys" true (gen 7 = gen 7);
+  checkb "different seeds differ" true (gen 7 <> gen 8)
+
+let test_assign_to_peers () =
+  let rng = Rng.create ~seed:5 in
+  let a = Distribution.assign_to_peers rng Distribution.Uniform ~peers:12 ~keys_per_peer:7 in
+  checki "peers" 12 (Array.length a);
+  Array.iter (fun ks -> checki "keys per peer" 7 (Array.length ks)) a
+
+let test_corpus_vocabulary () =
+  let rng = Rng.create ~seed:6 in
+  let c = Corpus.create rng ~vocabulary:200 ~exponent:1.0 in
+  checki "size" 200 (Corpus.vocabulary_size c);
+  let words = List.init 200 (fun i -> Corpus.word c (i + 1)) in
+  checki "all distinct" 200 (List.length (List.sort_uniq compare words))
+
+let test_corpus_rank_bounds () =
+  let rng = Rng.create ~seed:7 in
+  let c = Corpus.create rng ~vocabulary:10 ~exponent:1.0 in
+  Alcotest.check_raises "rank 0" (Invalid_argument "Corpus.word: bad rank") (fun () ->
+      ignore (Corpus.word c 0));
+  Alcotest.check_raises "rank 11" (Invalid_argument "Corpus.word: bad rank") (fun () ->
+      ignore (Corpus.word c 11))
+
+let test_corpus_zipf_usage () =
+  let rng = Rng.create ~seed:8 in
+  let c = Corpus.create rng ~vocabulary:500 ~exponent:1.0 in
+  let top = Corpus.word c 1 in
+  let counts = Hashtbl.create 64 in
+  for _ = 1 to 20_000 do
+    let w = Corpus.draw_word c rng in
+    Hashtbl.replace counts w (1 + Option.value ~default:0 (Hashtbl.find_opt counts w))
+  done;
+  let top_count = Option.value ~default:0 (Hashtbl.find_opt counts top) in
+  let rank100_count =
+    Option.value ~default:0 (Hashtbl.find_opt counts (Corpus.word c 100))
+  in
+  checkb "rank 1 much more frequent than rank 100" true (top_count > 5 * rank100_count)
+
+let test_corpus_document () =
+  let rng = Rng.create ~seed:9 in
+  let c = Corpus.create rng ~vocabulary:50 ~exponent:1.0 in
+  checki "document length" 25 (List.length (Corpus.document c rng ~length:25));
+  checki "empty document" 0 (List.length (Corpus.document c rng ~length:0))
+
+let test_corpus_key_consistency () =
+  let rng = Rng.create ~seed:10 in
+  let c = Corpus.create rng ~vocabulary:50 ~exponent:1.0 in
+  (* Keys drawn from the corpus must equal the codec encoding of words. *)
+  let k = Corpus.draw_key c rng in
+  let all_word_keys =
+    List.init 50 (fun i -> Pgrid_keyspace.Codec.of_term (Corpus.word c (i + 1)))
+  in
+  checkb "drawn key is a vocabulary key" true (List.exists (Key.equal k) all_word_keys)
+
+let qcheck_keys_in_unit_interval =
+  QCheck.Test.make ~name:"all distributions stay inside [0,1)" ~count:60
+    QCheck.(pair small_signed_int (int_bound 4))
+    (fun (seed, which) ->
+      let spec = List.nth Distribution.paper_set which in
+      let rng = Rng.create ~seed in
+      let keys = Distribution.generate rng spec ~n:50 in
+      Array.for_all (fun k -> Key.to_float k >= 0. && Key.to_float k < 1.) keys)
+
+let suite =
+  [
+    Alcotest.test_case "labels" `Quick test_labels;
+    Alcotest.test_case "paper set" `Quick test_paper_set;
+    Alcotest.test_case "generate count" `Quick test_generate_count;
+    Alcotest.test_case "uniform mean" `Quick test_uniform_mean;
+    Alcotest.test_case "normal concentration" `Quick test_normal_concentration;
+    Alcotest.test_case "pareto skew ordering" `Quick test_pareto_skew_ordering;
+    Alcotest.test_case "text determinism" `Quick test_text_determinism;
+    Alcotest.test_case "assignment shape" `Quick test_assign_to_peers;
+    Alcotest.test_case "corpus vocabulary" `Quick test_corpus_vocabulary;
+    Alcotest.test_case "corpus rank bounds" `Quick test_corpus_rank_bounds;
+    Alcotest.test_case "corpus zipf usage" `Quick test_corpus_zipf_usage;
+    Alcotest.test_case "corpus documents" `Quick test_corpus_document;
+    Alcotest.test_case "corpus key consistency" `Quick test_corpus_key_consistency;
+    QCheck_alcotest.to_alcotest qcheck_keys_in_unit_interval;
+  ]
