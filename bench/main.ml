@@ -5,7 +5,10 @@
      dune exec bench/main.exe            -- everything, in order
      dune exec bench/main.exe fig4       -- one artifact
      dune exec bench/main.exe fig6a 10   -- override repetitions
-     dune exec bench/main.exe micro      -- Bechamel micro-benchmarks *)
+     dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+
+   --trace FILE.jsonl and --metrics (anywhere on the command line) route
+   every experiment's telemetry to a JSONL file / a summary table. *)
 
 module Figures = Pgrid_experiment.Figures
 module Series = Pgrid_stats.Series
@@ -210,14 +213,53 @@ let targets =
     ("micro", micro);
   ]
 
+(* Pull --trace FILE / --metrics out of argv before positional parsing. *)
+let split_telemetry_flags argv =
+  let rec go trace metrics acc = function
+    | [] -> (trace, metrics, List.rev acc)
+    | "--trace" :: path :: rest -> go (Some path) metrics acc rest
+    | "--metrics" :: rest -> go trace true acc rest
+    | a :: rest -> go trace metrics (a :: acc) rest
+  in
+  go None false [] argv
+
+let with_telemetry ~trace ~metrics f =
+  let module Telemetry = Pgrid_telemetry.Telemetry in
+  if trace = None && not metrics then f ()
+  else begin
+    let tel = Telemetry.create () in
+    Option.iter
+      (fun path ->
+        match Pgrid_telemetry.Sink.jsonl_file path with
+        | sink -> Telemetry.add_sink tel sink
+        | exception Sys_error reason ->
+          Printf.eprintf "bench: cannot open trace file: %s\n" reason;
+          exit 1)
+      trace;
+    Pgrid_telemetry.Global.set tel;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.close tel;
+        Pgrid_telemetry.Global.reset ())
+      (fun () ->
+        f ();
+        if metrics then Pgrid_telemetry.Summary.print tel;
+        Option.iter
+          (fun path ->
+            Printf.printf "trace: %d events written to %s\n"
+              (Telemetry.events_recorded tel) path)
+          trace)
+  end
+
 let () =
-  let args = Array.to_list Sys.argv in
+  let trace, metrics, args = split_telemetry_flags (Array.to_list Sys.argv) in
   let target, reps =
     match args with
     | _ :: name :: reps :: _ -> (Some name, int_of_string_opt reps)
     | [ _; name ] -> (Some name, None)
     | _ -> (None, None)
   in
+  with_telemetry ~trace ~metrics @@ fun () ->
   match target with
   | None ->
     print_endline "P-Grid reproduction bench harness -- all artifacts";

@@ -5,7 +5,11 @@
      bisect    -- simulate one key-space bisection with a chosen strategy
      planetlab -- run the full simulated deployment (Figures 7-9)
      reference -- print the Algorithm 1 partitioning for a workload
-     figure    -- regenerate one of the paper's figures/tables *)
+     figure    -- regenerate one of the paper's figures/tables
+     trace     -- replay a JSON-Lines telemetry trace into a summary
+
+   Experiment subcommands accept --trace FILE.jsonl (write every
+   telemetry event) and --metrics (print the metrics summary). *)
 
 open Cmdliner
 
@@ -19,11 +23,55 @@ module Overlay = Pgrid_core.Overlay
 module Round = Pgrid_construction.Round
 module Net_engine = Pgrid_construction.Net_engine
 module Figures = Pgrid_experiment.Figures
+module Telemetry = Pgrid_telemetry.Telemetry
+module Sink = Pgrid_telemetry.Sink
+module Summary = Pgrid_telemetry.Summary
 
 (* --- shared arguments ---------------------------------------------------- *)
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"PRNG seed.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:"Write every telemetry event to $(docv) (JSON Lines).")
+
+let metrics_arg =
+  Arg.(
+    value & flag
+    & info [ "metrics" ] ~doc:"Print the telemetry metrics summary after the run.")
+
+(* Build a telemetry handle from the flags, install it as the process
+   default (so nested layers pick it up), run, then summarize/close. *)
+let with_telemetry ~trace ~metrics f =
+  if trace = None && not metrics then f Telemetry.disabled
+  else begin
+    let tel = Telemetry.create () in
+    Option.iter
+      (fun path ->
+        match Sink.jsonl_file path with
+        | sink -> Telemetry.add_sink tel sink
+        | exception Sys_error reason ->
+          Printf.eprintf "pgrid: cannot open trace file: %s\n" reason;
+          exit 1)
+      trace;
+    Pgrid_telemetry.Global.set tel;
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.close tel;
+        Pgrid_telemetry.Global.reset ())
+      (fun () ->
+        f tel;
+        if metrics then Summary.print tel;
+        Option.iter
+          (fun path ->
+            Printf.printf "trace: %d events written to %s\n"
+              (Telemetry.events_recorded tel) path)
+          trace)
+  end
 
 let peers_arg default =
   Arg.(value & opt int default & info [ "peers"; "n" ] ~docv:"N" ~doc:"Number of peers.")
@@ -57,10 +105,11 @@ let keys_per_peer_arg =
 
 (* --- construct ------------------------------------------------------------ *)
 
-let construct seed peers spec n_min d_max keys_per_peer show_trie =
+let construct seed peers spec n_min d_max keys_per_peer show_trie trace metrics =
+  with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
   let params = { (Round.default_params ~peers) with Round.n_min; d_max; keys_per_peer } in
-  let o = Round.run rng params ~spec in
+  let o = Round.run ~telemetry rng params ~spec in
   let s = Overlay.stats o.Round.overlay in
   Table.print ~title:(Printf.sprintf "decentralized construction (%s keys)" (Distribution.label spec))
     ~columns:[ "metric"; "value" ]
@@ -88,7 +137,7 @@ let construct_cmd =
   Cmd.v (Cmd.info "construct" ~doc)
     Term.(
       const construct $ seed_arg $ peers_arg 256 $ distribution_arg $ n_min_arg
-      $ d_max_arg $ keys_per_peer_arg $ trie_arg)
+      $ d_max_arg $ keys_per_peer_arg $ trie_arg $ trace_arg $ metrics_arg)
 
 (* --- bisect ----------------------------------------------------------------- *)
 
@@ -155,9 +204,10 @@ let bisect_cmd =
 
 (* --- planetlab ---------------------------------------------------------------- *)
 
-let planetlab seed peers spec =
+let planetlab seed peers spec trace metrics =
+  with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
-  let o = Net_engine.run rng (Net_engine.default_params ~peers) ~spec in
+  let o = Net_engine.run ~telemetry rng (Net_engine.default_params ~peers) ~spec in
   let qs = o.Net_engine.query_stats in
   let s = o.Net_engine.stats in
   Table.print ~title:"simulated deployment (paper Section 5 timeline)"
@@ -183,7 +233,8 @@ let planetlab seed peers spec =
 let planetlab_cmd =
   let doc = "run the full simulated deployment (join, replicate, construct, query, churn)" in
   Cmd.v (Cmd.info "planetlab" ~doc)
-    Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg)
+    Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg $ trace_arg
+          $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -223,7 +274,9 @@ let figure_name_arg =
               table1 ablation-seq ablation-cost ablation-cor ablation-pht \
               ablation-merge ablation-maintain.")
 
-let figure seed name reps =
+let figure seed name reps trace metrics =
+  with_telemetry ~trace ~metrics @@ fun _telemetry ->
+  (* Figures picks the handle up through Pgrid_telemetry.Global. *)
   let print_fig6 f = print_endline (Figures.fig6_table f) in
   let print_table title (columns, rows) = Table.print ~title ~columns ~rows in
   match name with
@@ -254,7 +307,35 @@ let figure_cmd =
   let reps_opt =
     Arg.(value & opt (some int) None & info [ "reps" ] ~docv:"R" ~doc:"Repetitions.")
   in
-  Cmd.v (Cmd.info "figure" ~doc) Term.(const figure $ seed_arg $ figure_name_arg $ reps_opt)
+  Cmd.v (Cmd.info "figure" ~doc)
+    Term.(const figure $ seed_arg $ figure_name_arg $ reps_opt $ trace_arg $ metrics_arg)
+
+(* --- trace ----------------------------------------------------------------------- *)
+
+let trace_replay path =
+  match Sink.read_jsonl path with
+  | Error (line, reason) ->
+    Printf.eprintf "%s:%d: %s\n" path line reason;
+    exit 1
+  | Ok events ->
+    let tel = Summary.replay events in
+    (match events with
+    | [] -> Printf.printf "%s: empty trace\n" path
+    | first :: _ ->
+      let last = List.nth events (List.length events - 1) in
+      Printf.printf "%s: %d events, t=%.3f..%.3f\n" path (List.length events)
+        first.Pgrid_telemetry.Event.time last.Pgrid_telemetry.Event.time);
+    Summary.print ~title:(Printf.sprintf "replay of %s" path) tel
+
+let trace_cmd =
+  let doc = "replay a JSON-Lines telemetry trace into a metrics summary" in
+  let path_arg =
+    Arg.(
+      required
+      & pos 0 (some file) None
+      & info [] ~docv:"FILE.jsonl" ~doc:"Trace written by --trace.")
+  in
+  Cmd.v (Cmd.info "trace" ~doc) Term.(const trace_replay $ path_arg)
 
 (* --- main ------------------------------------------------------------------------ *)
 
@@ -264,4 +345,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ construct_cmd; bisect_cmd; planetlab_cmd; reference_cmd; figure_cmd ]))
+          [ construct_cmd; bisect_cmd; planetlab_cmd; reference_cmd; figure_cmd;
+            trace_cmd ]))

@@ -4,6 +4,8 @@ module Path = Pgrid_keyspace.Path
 module Aep_math = Pgrid_partition.Aep_math
 module Node = Pgrid_core.Node
 module Overlay = Pgrid_core.Overlay
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
 
 type mode = Theory | Heuristic
 
@@ -43,6 +45,7 @@ type t = {
   config : config;
   net : Overlay.t;
   hooks : hooks;
+  tel : Telemetry.t;
   active : bool array;
   fruitless : int array;
   (* Per-peer smoothed overlap estimates for the current partition (reset
@@ -61,13 +64,14 @@ type t = {
   mutable refer_steps : int;
 }
 
-let create rng config net hooks =
+let create ?(telemetry = Pgrid_telemetry.Global.get ()) rng config net hooks =
   let n = Overlay.size net in
   {
     rng;
     config;
     net;
     hooks;
+    tel = telemetry;
     active = Array.make n true;
     fruitless = Array.make n 0;
     obs_count = Array.make n 0;
@@ -98,6 +102,42 @@ let counters t =
     descents = t.descents;
     refer_steps = t.refer_steps;
   }
+
+(* The single accounting path: every countable protocol operation goes
+   through exactly one of these helpers, which update the lifetime
+   counters, fire the caller's hook and emit the telemetry event
+   together — the round driver and the network engine cannot diverge in
+   what they count. *)
+
+let note_contact t ~src ~dst =
+  t.interactions <- t.interactions + 1;
+  t.hooks.on_contact ~src ~dst;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Interaction { src; dst })
+
+let note_refer t ~src ~dst ~level =
+  t.refer_steps <- t.refer_steps + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Refer { src; dst; level })
+
+let note_key_moved t ~src ~dst =
+  t.keys_moved <- t.keys_moved + 1;
+  t.hooks.on_key_moved ~src ~dst;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Key_move { src; dst })
+
+let note_split t ~a ~b ~level =
+  t.splits <- t.splits + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Split { a; b; level })
+
+let note_follow t ~peer ~level =
+  t.follows <- t.follows + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Follow { peer; level })
+
+let note_merge t ~a ~b =
+  t.merges <- t.merges + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Replicate { a; b })
+
+let note_descent t ~a ~b ~level =
+  t.descents <- t.descents + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Descent { a; b; level })
 
 let reset_estimates t i =
   t.obs_count.(i) <- 0;
@@ -153,8 +193,7 @@ let deliver t ~at key payloads =
     mark_useful t i
   in
   let rec hop prev i budget =
-    t.keys_moved <- t.keys_moved + 1;
-    t.hooks.on_key_moved ~src:prev ~dst:i;
+    note_key_moved t ~src:prev ~dst:i;
     let n = node t i in
     if Path.matches_key n.Node.path key || budget = 0 then ingest i
     else begin
@@ -209,7 +248,7 @@ let do_split t i j =
   nj.Node.replicas <- [];
   reset_estimates t i;
   reset_estimates t j;
-  t.splits <- t.splits + 1;
+  note_split t ~a:i ~b:j ~level;
   mark_useful t i;
   mark_useful t j
 
@@ -263,7 +302,7 @@ let same_partition t i j =
       Node.set_path nj (Path.extend nj.Node.path bit);
       reset_estimates t i;
       reset_estimates t j;
-      t.descents <- t.descents + 1;
+      note_descent t ~a:i ~b:j ~level;
       mark_useful t i;
       mark_useful t j
     end
@@ -301,8 +340,7 @@ let same_partition t i j =
             (fun p -> if not (List.mem p existing) then Node.insert d k p)
             payloads;
           if fresh then begin
-            t.keys_moved <- t.keys_moved + 1;
-            t.hooks.on_key_moved ~src ~dst;
+            note_key_moved t ~src ~dst;
             (* Only new distinct keys count as progress; payload-level
                reconciliation must not keep peers active forever. *)
             gained := true
@@ -332,7 +370,7 @@ let same_partition t i j =
     (* Exchange (partial) replica lists, paper Figure 2. *)
     List.iter (fun r -> if r <> j then Node.add_replica nj r) ni.Node.replicas;
     List.iter (fun r -> if r <> i then Node.add_replica ni r) nj.Node.replicas;
-    t.merges <- t.merges + 1;
+    note_merge t ~a:i ~b:j;
     if !gained || new_replica then begin
       mark_useful t i;
       mark_useful t j
@@ -360,7 +398,7 @@ let follow_decided t i j =
     Node.set_path ni (Path.extend ni.Node.path j_side_raw);
     ni.Node.replicas <- [];
     reset_estimates t i;
-    t.follows <- t.follows + 1;
+    note_follow t ~peer:i ~level;
     mark_useful t i
   end
   else begin
@@ -384,7 +422,7 @@ let follow_decided t i j =
       if Path.bit (node t other).Node.path level <> side then other else j
     in
     hand_over t ~src:i ~dst:recipient;
-    t.follows <- t.follows + 1;
+    note_follow t ~peer:i ~level;
     mark_useful t i;
     mark_useful t recipient
   in
@@ -404,8 +442,7 @@ let follow_decided t i j =
 (* Locate an interaction partner: walk refer recommendations until the
    contacted peer's partition is compatible (equal or prefix-related). *)
 let rec locate t i j hops =
-  t.interactions <- t.interactions + 1;
-  t.hooks.on_contact ~src:i ~dst:j;
+  note_contact t ~src:i ~dst:j;
   if not (node t j).Node.online then None
   else begin
     let pi = (node t i).Node.path and pj = (node t j).Node.path in
@@ -415,7 +452,7 @@ let rec locate t i j hops =
     else begin
       (* Divergent: exchange routing references at the divergence level,
          then follow a recommendation from [j]'s table. *)
-      t.refer_steps <- t.refer_steps + 1;
+      note_refer t ~src:i ~dst:j ~level:cpl;
       Node.add_ref (node t i) ~level:cpl j;
       Node.add_ref (node t j) ~level:cpl i;
       let candidates =

@@ -25,14 +25,28 @@ type hooks = {
   on_reactivate : int -> unit;  (** peer flipped from passive to active *)
 }
 
-(** Hooks that do nothing (the round engine's defaults). *)
+(** Hooks that do nothing — the default for drivers that only need the
+    telemetry-backed accounting. Counting itself does not live in hooks:
+    every countable operation flows through one shared accounting path
+    that updates {!counters}, fires the hook and emits the
+    {!Pgrid_telemetry.Event} together, so the round driver and the
+    network engine always agree on what was counted. *)
 val no_hooks : hooks
 
 type t
 
-(** [create rng config overlay hooks] starts with every peer active. The
-    engine only mutates peers through the given overlay. *)
-val create : Pgrid_prng.Rng.t -> config -> Pgrid_core.Overlay.t -> hooks -> t
+(** [create ?telemetry rng config overlay hooks] starts with every peer
+    active. The engine only mutates peers through the given overlay.
+    [telemetry] (default {!Pgrid_telemetry.Global.get}) receives one
+    typed event per interaction, refer step, split, follow, replicate,
+    descent and key movement. *)
+val create :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  config ->
+  Pgrid_core.Overlay.t ->
+  hooks ->
+  t
 
 val overlay : t -> Pgrid_core.Overlay.t
 val config : t -> config

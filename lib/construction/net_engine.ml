@@ -13,6 +13,8 @@ module Net = Pgrid_simnet.Net
 module Latency = Pgrid_simnet.Latency
 module Unstructured = Pgrid_simnet.Unstructured
 module Churn = Pgrid_simnet.Churn
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
 
 type phases = {
   join_end : float;
@@ -111,14 +113,17 @@ type outcome = {
 
 type query_record = { at : float; latency : float; hops : int; success : bool }
 
-let run rng params ~spec =
+let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   if params.peers < 8 then invalid_arg "Net_engine.run: need at least 8 peers";
   let ph = params.phases in
   let sim = Sim.create () in
+  let tel = telemetry in
+  (* Telemetry timestamps are simulated seconds for the whole run. *)
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
   (* The network carries unit messages: interactions are executed on
      shared state, so only accounting and timing flow through it. *)
-  let net = Net.create sim (Rng.split rng) ~nodes:params.peers ~latency:params.latency
-      ~loss:params.loss ~bucket:params.bucket
+  let net = Net.create ~telemetry:tel sim (Rng.split rng) ~nodes:params.peers
+      ~latency:params.latency ~loss:params.loss ~bucket:params.bucket
   in
   let overlay = Overlay.create (Rng.split rng) ~n:params.peers in
   let assignments =
@@ -133,21 +138,26 @@ let run rng params ~spec =
     assignments;
   let graph = Unstructured.create (Rng.split rng) ~nodes:params.peers ~degree:params.degree in
   let set_online i v =
+    let was = (Overlay.node overlay i).Node.online in
     (Overlay.node overlay i).Node.online <- v;
-    Net.set_online net i v
+    Net.set_online net i v;
+    if was <> v && Telemetry.active tel then
+      Telemetry.emit tel
+        (if v then Event.Churn_online { peer = i } else Event.Churn_offline { peer = i })
   in
   Array.iteri (fun i _ -> Net.set_online net i false) assignments;
   let online i = (Overlay.node overlay i).Node.online in
-  let account ~bytes ~kind = Net.account net ~bytes ~kind in
+  let account ?src ?dst ~bytes ~kind () = Net.account ?src ?dst net ~bytes ~kind in
   (* --- construction engine wiring ------------------------------------ *)
   let engine = ref None in
   let schedule_initiation = ref (fun _ -> ()) in
   let hooks =
     {
       Engine.on_contact =
-        (fun ~src:_ ~dst:_ -> account ~bytes:(2 * params.header_bytes) ~kind:Net.Maintenance);
+        (fun ~src ~dst ->
+          account ~src ~dst ~bytes:(2 * params.header_bytes) ~kind:Net.Maintenance ());
       on_key_moved =
-        (fun ~src:_ ~dst:_ -> account ~bytes:params.key_bytes ~kind:Net.Maintenance);
+        (fun ~src ~dst -> account ~src ~dst ~bytes:params.key_bytes ~kind:Net.Maintenance ());
       on_reactivate = (fun i -> !schedule_initiation i);
     }
   in
@@ -160,7 +170,7 @@ let run rng params ~spec =
       mode = params.mode;
     }
   in
-  let eng = Engine.create (Rng.split rng) engine_config overlay hooks in
+  let eng = Engine.create ~telemetry:tel (Rng.split rng) engine_config overlay hooks in
   engine := Some eng;
   let scheduled = Array.make params.peers false in
   let rec initiation_loop i () =
@@ -193,7 +203,7 @@ let run rng params ~spec =
       Sim.schedule_at sim ~time:join_at (fun () ->
           set_online i true;
           (* Bootstrap handshake. *)
-          account ~bytes:(3 * params.header_bytes) ~kind:Net.Maintenance))
+          account ~src:i ~bytes:(3 * params.header_bytes) ~kind:Net.Maintenance ()))
     assignments;
   (* --- replication phase ---------------------------------------------- *)
   Array.iteri
@@ -217,11 +227,11 @@ let run rng params ~spec =
             done;
             Hashtbl.iter
               (fun target () ->
-                account
+                account ~src:i ~dst:target
                   ~bytes:
                     ((params.walk_steps * params.header_bytes)
                     + (Array.length own * params.key_bytes))
-                  ~kind:Net.Maintenance;
+                  ~kind:Net.Maintenance ();
                 let nt = Overlay.node overlay target in
                 Array.iter (Node.ensure_key nt) own)
               seen
@@ -241,7 +251,7 @@ let run rng params ~spec =
     (fun i _ ->
       let rec ping () =
         if Sim.now sim < ph.end_time then begin
-          if online i then account ~bytes:params.header_bytes ~kind:Net.Maintenance;
+          if online i then account ~src:i ~bytes:params.header_bytes ~kind:Net.Maintenance ();
           Sim.schedule sim ~delay:params.ping_interval ping
         end
       in
@@ -255,13 +265,17 @@ let run rng params ~spec =
     |> Array.of_list
   in
   let query_log = ref [] in
+  let next_qid = ref 0 in
   let issue_query origin =
     let key = all_keys.(Rng.int rng (Array.length all_keys)) in
     let issued_at = Sim.now sim in
+    let qid = !next_qid in
+    incr next_qid;
+    if Telemetry.active tel then Telemetry.emit tel (Event.Query_issue { qid; origin });
     let latency_total = ref 0. in
     let hops = ref 0 in
-    let send_msg () =
-      account ~bytes:params.header_bytes ~kind:Net.Query;
+    let send_msg ?src ?dst () =
+      account ?src ?dst ~bytes:params.header_bytes ~kind:Net.Query ();
       latency_total := !latency_total +. Latency.sample params.latency rng
     in
     (* Route hop by hop; dead references cost a timeout and a retry. *)
@@ -284,7 +298,9 @@ let run rng params ~spec =
             if idx >= Array.length refs then false
             else begin
               let next = refs.(idx) in
-              send_msg ();
+              send_msg ~src:cur ~dst:next ();
+              if Telemetry.active tel then
+                Telemetry.emit tel (Event.Query_hop { qid; src = cur; dst = next });
               incr hops;
               if online next then route next (budget - 1)
               else begin
@@ -300,8 +316,12 @@ let run rng params ~spec =
     let success = route origin (4 * Key.bits) in
     if success then begin
       (* Response travels straight back to the origin. *)
-      send_msg ()
+      send_msg ~dst:origin ()
     end;
+    if Telemetry.active tel then
+      Telemetry.emit tel
+        (Event.Query_complete
+           { qid; origin; hops = !hops; latency = !latency_total; success });
     query_log :=
       { at = issued_at; latency = !latency_total; hops = !hops; success } :: !query_log
   in

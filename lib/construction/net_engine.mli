@@ -77,7 +77,15 @@ type outcome = {
   messages_dropped : int;
 }
 
-(** [run rng params ~spec] executes the full timeline. Deterministic for a
-    given seed. *)
+(** [run ?telemetry rng params ~spec] executes the full timeline.
+    Deterministic for a given seed. [telemetry] (default
+    {!Pgrid_telemetry.Global.get}) observes the whole run with
+    simulated-time stamps: engine operations (via {!Engine}), per-kind
+    message traffic (via {!Pgrid_simnet.Net}), churn transitions and the
+    query lifecycle (issue / hop / complete, correlated by query id). *)
 val run :
-  Pgrid_prng.Rng.t -> params -> spec:Pgrid_workload.Distribution.spec -> outcome
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  params ->
+  spec:Pgrid_workload.Distribution.spec ->
+  outcome

@@ -84,7 +84,7 @@ let replication_phase rng params overlay assignments =
     assignments;
   !copies
 
-let run_with_keys rng params ~assignments =
+let run_with_keys ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~assignments =
   if Array.length assignments <> params.peers then
     invalid_arg "Round.run_with_keys: one key set per peer required";
   if params.peers < 2 then invalid_arg "Round.run_with_keys: need at least 2 peers";
@@ -95,7 +95,7 @@ let run_with_keys rng params ~assignments =
       Array.iter (Node.ensure_key n) own)
     assignments;
   let replication_keys = replication_phase rng params overlay assignments in
-  let engine = Engine.create rng (engine_config params) overlay Engine.no_hooks in
+  let engine = Engine.create ~telemetry rng (engine_config params) overlay Engine.no_hooks in
   let order = Array.init params.peers (fun i -> i) in
   let rounds = ref 0 in
   while Engine.any_active engine && !rounds < params.max_rounds do
@@ -128,9 +128,9 @@ let run_with_keys rng params ~assignments =
     refer_steps = c.Engine.refer_steps;
   }
 
-let run rng params ~spec =
+let run ?telemetry rng params ~spec =
   let assignments =
     Distribution.assign_to_peers rng spec ~peers:params.peers
       ~keys_per_peer:params.keys_per_peer
   in
-  run_with_keys rng params ~assignments
+  run_with_keys ?telemetry rng params ~assignments

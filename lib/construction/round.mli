@@ -70,16 +70,23 @@ val interactions_per_peer : outcome -> float
 
 val keys_moved_per_peer : outcome -> float
 
-(** [run rng params ~spec] draws per-peer keys from [spec] and executes
-    the protocol. The outcome overlay can be queried with
-    {!Pgrid_core.Overlay} functions. *)
+(** [run ?telemetry rng params ~spec] draws per-peer keys from [spec]
+    and executes the protocol; [telemetry] (default
+    {!Pgrid_telemetry.Global.get}) observes every engine operation. The
+    outcome overlay can be queried with {!Pgrid_core.Overlay}
+    functions. *)
 val run :
-  Pgrid_prng.Rng.t -> params -> spec:Pgrid_workload.Distribution.spec -> outcome
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  params ->
+  spec:Pgrid_workload.Distribution.spec ->
+  outcome
 
 (** [run_with_keys rng params ~assignments] runs on a fixed key
     assignment (peer [i] owns [assignments.(i)]); used by tests and by
     re-indexing examples. Requires [Array.length assignments = peers]. *)
 val run_with_keys :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Pgrid_prng.Rng.t ->
   params ->
   assignments:Pgrid_keyspace.Key.t array array ->

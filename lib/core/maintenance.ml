@@ -1,6 +1,8 @@
 module Rng = Pgrid_prng.Rng
 module Key = Pgrid_keyspace.Key
 module Path = Pgrid_keyspace.Path
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
 
 let node = Overlay.node
 
@@ -125,7 +127,7 @@ let richest_partition overlay ~excluding =
 
 (* --- leave ------------------------------------------------------------------ *)
 
-let leave rng overlay id =
+let leave ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay id =
   let n = node overlay id in
   if not n.Node.online then 0
   else begin
@@ -169,12 +171,16 @@ let leave rng overlay id =
     (* Departure announcement: replicas forget the leaver. *)
     farewell overlay id;
     n.Node.online <- false;
+    if Telemetry.active telemetry then begin
+      Telemetry.emit telemetry (Event.Peer_leave { peer = id; pushed = !pushed });
+      Telemetry.emit telemetry (Event.Churn_offline { peer = id })
+    end;
     !pushed
   end
 
 (* --- join ------------------------------------------------------------------- *)
 
-let join rng overlay id ~entry =
+let join ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay id ~entry =
   let n = node overlay id in
   if n.Node.online then invalid_arg "Maintenance.join: node already online";
   let anchor = Key.random rng in
@@ -185,6 +191,10 @@ let join rng overlay id ~entry =
     adopt overlay ~host_id ~peer:id;
     n.Node.online <- true;
     purge_stale_refs rng overlay id;
+    if Telemetry.active telemetry then begin
+      Telemetry.emit telemetry (Event.Peer_join { peer = id; hops = probe.Overlay.hops });
+      Telemetry.emit telemetry (Event.Churn_online { peer = id })
+    end;
     Some probe.Overlay.hops
 
 (* --- repair ------------------------------------------------------------------ *)
@@ -195,7 +205,7 @@ type repair_report = {
   unfixable_levels : int;
 }
 
-let repair rng overlay ~redundancy =
+let repair ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~redundancy =
   if redundancy < 1 then invalid_arg "Maintenance.repair: redundancy must be >= 1";
   let dropped = ref 0 and added = ref 0 and unfixable = ref 0 in
   for i = 0 to Overlay.size overlay - 1 do
@@ -236,6 +246,9 @@ let repair rng overlay ~redundancy =
         end
       done
   done;
+  if Telemetry.active telemetry then
+    Telemetry.emit telemetry
+      (Event.Repair { dropped = !dropped; added = !added; unfixable = !unfixable });
   { dead_refs_dropped = !dropped; refs_added = !added; unfixable_levels = !unfixable }
 
 (* --- rebalance ----------------------------------------------------------------- *)
@@ -262,7 +275,7 @@ let spread census =
     let mx = List.fold_left max 1 sizes and mn = List.fold_left min max_int sizes in
     float_of_int mx /. float_of_int (max 1 mn)
 
-let rebalance rng overlay ~n_min ~max_rounds =
+let rebalance ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~n_min ~max_rounds =
   if n_min < 1 then invalid_arg "Maintenance.rebalance: n_min must be >= 1";
   if max_rounds < 0 then invalid_arg "Maintenance.rebalance: negative rounds";
   let migrations = ref 0 in
@@ -287,4 +300,6 @@ let rebalance rng overlay ~n_min ~max_rounds =
       incr migrations
     | _ -> continue := false
   done;
+  if Telemetry.active telemetry then
+    Telemetry.emit telemetry (Event.Rebalance { migrations = !migrations; rounds = !rounds });
   { migrations = !migrations; rounds = !rounds; final_spread = spread (partition_census overlay) }

@@ -7,7 +7,11 @@
     These operations run on a *constructed* overlay: churn repair keeps
     routing tables alive, graceful leaves keep data alive, joins restore
     replication, and rebalancing migrates peers from over- to
-    under-replicated partitions. *)
+    under-replicated partitions.
+
+    Every operation reports to its [?telemetry] handle (default
+    {!Pgrid_telemetry.Global.get}): [Peer_leave]/[Peer_join] with churn
+    transitions, and [Repair]/[Rebalance] outcome events. *)
 
 (** [leave rng overlay id] performs a graceful departure: the node pushes
     any payload-bearing keys its online replicas are missing, announces
@@ -17,7 +21,12 @@
     partition — and no data — dies with it.  Returns the number of
     (key, payload) copies pushed. No-op (returning 0) when the node is
     already offline. *)
-val leave : Pgrid_prng.Rng.t -> Overlay.t -> Node.id -> int
+val leave :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  Node.id ->
+  int
 
 (** [join rng overlay id ~entry] integrates the offline node [id] back:
     starting from online peer [entry], it routes to a partition chosen by
@@ -26,7 +35,12 @@ val leave : Pgrid_prng.Rng.t -> Overlay.t -> Node.id -> int
     Returns the routing hop count, or [None] when no host is
     reachable. @raise Invalid_argument if [id] is online. *)
 val join :
-  Pgrid_prng.Rng.t -> Overlay.t -> Node.id -> entry:Node.id -> int option
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  Node.id ->
+  entry:Node.id ->
+  int option
 
 type repair_report = {
   dead_refs_dropped : int;
@@ -41,7 +55,12 @@ type repair_report = {
     [redundancy] references with online peers of the complement (the
     global index stands in for the lookup-based discovery a deployment
     would use — "correction on use"). *)
-val repair : Pgrid_prng.Rng.t -> Overlay.t -> redundancy:int -> repair_report
+val repair :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  redundancy:int ->
+  repair_report
 
 type rebalance_report = {
   migrations : int;
@@ -58,6 +77,7 @@ type rebalance_report = {
     "balls move themselves" dynamic of the paper's balls-into-bins
     discussion). *)
 val rebalance :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Pgrid_prng.Rng.t ->
   Overlay.t ->
   n_min:int ->

@@ -3,6 +3,8 @@ module Key = Pgrid_keyspace.Key
 module Moments = Pgrid_stats.Moments
 module Node = Pgrid_core.Node
 module Overlay = Pgrid_core.Overlay
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
 
 type batch_stats = {
   issued : int;
@@ -23,17 +25,24 @@ let random_online_node rng overlay =
   in
   try_ (4 * n)
 
-let lookup_batch rng overlay ~keys ~count =
+let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~keys ~count =
   if Array.length keys = 0 then invalid_arg "Query.lookup_batch: no keys";
   if count < 1 then invalid_arg "Query.lookup_batch: count must be >= 1";
   let hops = Moments.create () in
   let routed = ref 0 and found = ref 0 and max_hops = ref 0 in
-  for _ = 1 to count do
+  for qid = 1 to count do
     match random_online_node rng overlay with
     | None -> ()
     | Some origin ->
       let key = keys.(Rng.int rng (Array.length keys)) in
+      if Telemetry.active telemetry then
+        Telemetry.emit telemetry (Event.Query_issue { qid; origin });
       let r = Overlay.search overlay ~from:origin key in
+      let success = r.Overlay.responsible <> None in
+      if Telemetry.active telemetry then
+        Telemetry.emit telemetry
+          (Event.Query_complete
+             { qid; origin; hops = r.Overlay.hops; latency = 0.; success });
       (match r.Overlay.responsible with
       | Some _ ->
         incr routed;
@@ -57,19 +66,26 @@ type range_stats = {
   mean_results : float;
 }
 
-let range_batch rng overlay ~count ~width =
+let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~count ~width =
   if count < 1 then invalid_arg "Query.range_batch: count must be >= 1";
   if not (width > 0. && width < 1.) then invalid_arg "Query.range_batch: bad width";
   let partitions = Moments.create () in
   let hops = Moments.create () in
   let results = Moments.create () in
-  for _ = 1 to count do
+  for qid = 1 to count do
     match random_online_node rng overlay with
     | None -> ()
     | Some origin ->
       let start = Rng.float rng *. (1. -. width) in
       let lo = Key.of_float start and hi = Key.of_float (start +. width) in
+      if Telemetry.active telemetry then
+        Telemetry.emit telemetry (Event.Query_issue { qid; origin });
       let r = Overlay.range_search overlay ~from:origin ~lo ~hi in
+      if Telemetry.active telemetry then
+        Telemetry.emit telemetry
+          (Event.Query_complete
+             { qid; origin; hops = r.Overlay.total_hops; latency = 0.;
+               success = r.Overlay.visited <> [] });
       Moments.add partitions (float_of_int (List.length r.Overlay.visited));
       Moments.add hops (float_of_int r.Overlay.total_hops);
       Moments.add results (float_of_int (List.length r.Overlay.matches))
@@ -87,14 +103,21 @@ type conjunctive_result = {
   total_hops : int;
 }
 
-let conjunctive overlay ~from keys =
+let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys =
   if keys = [] then invalid_arg "Query.conjunctive: no keys";
   let resolved = ref 0 and hops = ref 0 in
   let postings =
-    List.map
-      (fun k ->
+    List.mapi
+      (fun qid k ->
+        if Telemetry.active telemetry then
+          Telemetry.emit telemetry (Event.Query_issue { qid; origin = from });
         let r = Overlay.search overlay ~from k in
         hops := !hops + r.Overlay.hops;
+        if Telemetry.active telemetry then
+          Telemetry.emit telemetry
+            (Event.Query_complete
+               { qid; origin = from; hops = r.Overlay.hops; latency = 0.;
+                 success = r.Overlay.responsible <> None });
         match r.Overlay.responsible with
         | Some _ ->
           incr resolved;

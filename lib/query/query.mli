@@ -2,7 +2,12 @@
 
     Used by the examples and the in-text statistics table: issue many
     lookups from random origins and aggregate hop counts, success rate and
-    recall (did the responsible peer actually hold the key?). *)
+    recall (did the responsible peer actually hold the key?).
+
+    Every batch reports per-query [Query_issue]/[Query_complete] events
+    to its [?telemetry] handle (default {!Pgrid_telemetry.Global.get});
+    latencies are 0 because these batches run on the static overlay, not
+    the simulated network. *)
 
 type batch_stats = {
   issued : int;
@@ -16,6 +21,7 @@ type batch_stats = {
     uniformly drawn members of [keys], each from a uniformly drawn online
     origin. *)
 val lookup_batch :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Pgrid_prng.Rng.t ->
   Pgrid_core.Overlay.t ->
   keys:Pgrid_keyspace.Key.t array ->
@@ -33,7 +39,12 @@ type range_stats = {
     of key-space width [width] (fraction of the unit interval) at uniform
     positions. *)
 val range_batch :
-  Pgrid_prng.Rng.t -> Pgrid_core.Overlay.t -> count:int -> width:float -> range_stats
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  Pgrid_core.Overlay.t ->
+  count:int ->
+  width:float ->
+  range_stats
 
 type conjunctive_result = {
   matches : string list;  (** payloads present under every key *)
@@ -47,6 +58,7 @@ type conjunctive_result = {
     routing fails contribute nothing (and are not counted in
     [resolved]). Requires a non-empty key list. *)
 val conjunctive :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Pgrid_core.Overlay.t ->
   from:int ->
   Pgrid_keyspace.Key.t list ->

@@ -1,4 +1,6 @@
 module Rng = Pgrid_prng.Rng
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
 
 type kind = Maintenance | Query
 
@@ -10,6 +12,7 @@ type 'msg t = {
   loss : float;
   bucket : float;
   online : bool array;
+  tel : Telemetry.t;
   mutable handler : int -> 'msg -> unit;
   maintenance : (int, float) Hashtbl.t;  (** bucket index -> bytes *)
   query : (int, float) Hashtbl.t;
@@ -17,7 +20,8 @@ type 'msg t = {
   mutable dropped : int;
 }
 
-let create sim rng ~nodes ~latency ~loss ~bucket =
+let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency ~loss
+    ~bucket =
   if nodes < 1 then invalid_arg "Net.create: nodes must be >= 1";
   if loss < 0. || loss >= 1. then invalid_arg "Net.create: loss must be in [0, 1)";
   if bucket <= 0. then invalid_arg "Net.create: bucket must be positive";
@@ -29,6 +33,7 @@ let create sim rng ~nodes ~latency ~loss ~bucket =
     loss;
     bucket;
     online = Array.make nodes true;
+    tel = telemetry;
     handler = (fun _ _ -> ());
     maintenance = Hashtbl.create 256;
     query = Hashtbl.create 256;
@@ -46,25 +51,36 @@ let online_count t =
   Array.fold_left (fun acc v -> if v then acc + 1 else acc) 0 t.online
 
 let table t = function Maintenance -> t.maintenance | Query -> t.query
+let traffic = function Maintenance -> Event.Maintenance | Query -> Event.Query
 
-let account t ~bytes ~kind =
+let account ?(src = -1) ?(dst = -1) t ~bytes ~kind =
   let tbl = table t kind in
   let idx = int_of_float (Sim.now t.sim /. t.bucket) in
   let existing = Option.value ~default:0. (Hashtbl.find_opt tbl idx) in
-  Hashtbl.replace tbl idx (existing +. float_of_int bytes)
+  Hashtbl.replace tbl idx (existing +. float_of_int bytes);
+  if Telemetry.active t.tel then
+    Telemetry.emit t.tel (Event.Msg_send { src; dst; bytes; traffic = traffic kind })
+
+let note_drop t ~src ~dst =
+  t.dropped <- t.dropped + 1;
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Msg_drop { src; dst })
 
 let send t ~src ~dst ~bytes ~kind msg =
   if src < 0 || src >= t.node_count || dst < 0 || dst >= t.node_count then
     invalid_arg "Net.send: node id out of range";
   if t.online.(src) then begin
-    account t ~bytes ~kind;
+    account ~src ~dst t ~bytes ~kind;
     t.sent <- t.sent + 1;
-    if Rng.float t.rng < t.loss then t.dropped <- t.dropped + 1
+    if Rng.float t.rng < t.loss then note_drop t ~src ~dst
     else begin
       let delay = Latency.sample t.latency t.rng in
       Sim.schedule t.sim ~delay (fun () ->
-          if t.online.(dst) then t.handler dst msg
-          else t.dropped <- t.dropped + 1)
+          if t.online.(dst) then begin
+            if Telemetry.active t.tel then
+              Telemetry.emit t.tel (Event.Msg_recv { src; dst });
+            t.handler dst msg
+          end
+          else note_drop t ~src ~dst)
     end
   end
 

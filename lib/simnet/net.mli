@@ -10,11 +10,15 @@ type kind = Maintenance | Query
 
 type 'msg t
 
-(** [create sim rng ~nodes ~latency ~loss ~bucket] wires a network of
-    [nodes] nodes (ids [0 .. nodes-1], all online) onto [sim]. [loss] is
-    the independent drop probability per message; [bucket] the bandwidth
-    accounting granularity in seconds. *)
+(** [create ?telemetry sim rng ~nodes ~latency ~loss ~bucket] wires a
+    network of [nodes] nodes (ids [0 .. nodes-1], all online) onto
+    [sim]. [loss] is the independent drop probability per message;
+    [bucket] the bandwidth accounting granularity in seconds.
+    [telemetry] (default {!Pgrid_telemetry.Global.get}) receives a
+    [Msg_send] per accounted transmission and [Msg_recv]/[Msg_drop] per
+    delivery outcome, stamped with the message kind. *)
 val create :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Sim.t ->
   Pgrid_prng.Rng.t ->
   nodes:int ->
@@ -40,9 +44,11 @@ val online_count : 'msg t -> int
     offline node is a no-op. *)
 val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:kind -> 'msg -> unit
 
-(** [account t ~bytes ~kind] records traffic without a message (used for
-    local exchanges abstracted away from the handler level). *)
-val account : 'msg t -> bytes:int -> kind:kind -> unit
+(** [account ?src ?dst t ~bytes ~kind] records traffic without a
+    message (used for local exchanges abstracted away from the handler
+    level); [src]/[dst] (default [-1], "unattributed") only tag the
+    telemetry event. *)
+val account : ?src:int -> ?dst:int -> 'msg t -> bytes:int -> kind:kind -> unit
 
 (** [bandwidth t kind] is the per-bucket aggregate series:
     [(bucket midpoint seconds, bytes per second)]. *)

@@ -1,0 +1,312 @@
+type traffic = Maintenance | Query
+
+type kind =
+  | Interaction of { src : int; dst : int }
+  | Refer of { src : int; dst : int; level : int }
+  | Split of { a : int; b : int; level : int }
+  | Follow of { peer : int; level : int }
+  | Replicate of { a : int; b : int }
+  | Descent of { a : int; b : int; level : int }
+  | Key_move of { src : int; dst : int }
+  | Msg_send of { src : int; dst : int; bytes : int; traffic : traffic }
+  | Msg_recv of { src : int; dst : int }
+  | Msg_drop of { src : int; dst : int }
+  | Query_issue of { qid : int; origin : int }
+  | Query_hop of { qid : int; src : int; dst : int }
+  | Query_complete of {
+      qid : int;
+      origin : int;
+      hops : int;
+      latency : float;
+      success : bool;
+    }
+  | Churn_offline of { peer : int }
+  | Churn_online of { peer : int }
+  | Peer_leave of { peer : int; pushed : int }
+  | Peer_join of { peer : int; hops : int }
+  | Repair of { dropped : int; added : int; unfixable : int }
+  | Rebalance of { migrations : int; rounds : int }
+
+type t = { time : float; kind : kind }
+
+let tag_count = 19
+
+let tag = function
+  | Interaction _ -> 0
+  | Refer _ -> 1
+  | Split _ -> 2
+  | Follow _ -> 3
+  | Replicate _ -> 4
+  | Descent _ -> 5
+  | Key_move _ -> 6
+  | Msg_send _ -> 7
+  | Msg_recv _ -> 8
+  | Msg_drop _ -> 9
+  | Query_issue _ -> 10
+  | Query_hop _ -> 11
+  | Query_complete _ -> 12
+  | Churn_offline _ -> 13
+  | Churn_online _ -> 14
+  | Peer_leave _ -> 15
+  | Peer_join _ -> 16
+  | Repair _ -> 17
+  | Rebalance _ -> 18
+
+let labels =
+  [|
+    "interaction"; "refer"; "split"; "follow"; "replicate"; "descent"; "key_move";
+    "msg_send"; "msg_recv"; "msg_drop"; "query_issue"; "query_hop";
+    "query_complete"; "churn_offline"; "churn_online"; "peer_leave"; "peer_join";
+    "repair"; "rebalance";
+  |]
+
+let label k = labels.(tag k)
+
+let label_of_tag i =
+  if i < 0 || i >= tag_count then invalid_arg "Event.label_of_tag";
+  labels.(i)
+
+let traffic_label = function Maintenance -> "maintenance" | Query -> "query"
+
+(* %.17g round trips every float through decimal exactly. *)
+let fnum x =
+  if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.17g" x
+
+let to_json { time; kind } =
+  let b = Buffer.create 96 in
+  Buffer.add_string b "{\"t\":";
+  Buffer.add_string b (fnum time);
+  Buffer.add_string b ",\"ev\":\"";
+  Buffer.add_string b (label kind);
+  Buffer.add_char b '"';
+  let int name v =
+    Buffer.add_string b (Printf.sprintf ",\"%s\":%d" name v)
+  in
+  let flt name v = Buffer.add_string b (Printf.sprintf ",\"%s\":%s" name (fnum v)) in
+  let str name v = Buffer.add_string b (Printf.sprintf ",\"%s\":\"%s\"" name v) in
+  let bool name v =
+    Buffer.add_string b (Printf.sprintf ",\"%s\":%s" name (if v then "true" else "false"))
+  in
+  (match kind with
+  | Interaction { src; dst } | Key_move { src; dst } ->
+    int "src" src;
+    int "dst" dst
+  | Refer { src; dst; level } ->
+    int "src" src;
+    int "dst" dst;
+    int "level" level
+  | Split { a; b = b'; level } | Descent { a; b = b'; level } ->
+    int "a" a;
+    int "b" b';
+    int "level" level
+  | Follow { peer; level } ->
+    int "peer" peer;
+    int "level" level
+  | Replicate { a; b = b' } ->
+    int "a" a;
+    int "b" b'
+  | Msg_send { src; dst; bytes; traffic } ->
+    int "src" src;
+    int "dst" dst;
+    int "bytes" bytes;
+    str "traffic" (traffic_label traffic)
+  | Msg_recv { src; dst } | Msg_drop { src; dst } ->
+    int "src" src;
+    int "dst" dst
+  | Query_issue { qid; origin } ->
+    int "qid" qid;
+    int "origin" origin
+  | Query_hop { qid; src; dst } ->
+    int "qid" qid;
+    int "src" src;
+    int "dst" dst
+  | Query_complete { qid; origin; hops; latency; success } ->
+    int "qid" qid;
+    int "origin" origin;
+    int "hops" hops;
+    flt "latency" latency;
+    bool "success" success
+  | Churn_offline { peer } | Churn_online { peer } -> int "peer" peer
+  | Peer_leave { peer; pushed } ->
+    int "peer" peer;
+    int "pushed" pushed
+  | Peer_join { peer; hops } ->
+    int "peer" peer;
+    int "hops" hops
+  | Repair { dropped; added; unfixable } ->
+    int "dropped" dropped;
+    int "added" added;
+    int "unfixable" unfixable
+  | Rebalance { migrations; rounds } ->
+    int "migrations" migrations;
+    int "rounds" rounds);
+  Buffer.add_char b '}';
+  Buffer.contents b
+
+(* --- minimal flat-object JSON parser ----------------------------------- *)
+
+type jv = Num of float | Str of string | Bool of bool
+
+exception Bad of string
+
+let parse_object line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then line.[!pos] else raise (Bad "unexpected end") in
+  let advance () = incr pos in
+  let skip_ws () =
+    while !pos < n && (match line.[!pos] with ' ' | '\t' | '\r' | '\n' -> true | _ -> false) do
+      advance ()
+    done
+  in
+  let expect c =
+    skip_ws ();
+    if peek () <> c then raise (Bad (Printf.sprintf "expected '%c' at %d" c !pos));
+    advance ()
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | '"' -> advance ()
+      | '\\' ->
+        advance ();
+        let c = peek () in
+        advance ();
+        (match c with
+        | '"' | '\\' | '/' -> Buffer.add_char b c
+        | 'n' -> Buffer.add_char b '\n'
+        | 't' -> Buffer.add_char b '\t'
+        | _ -> raise (Bad "unsupported escape"));
+        go ()
+      | c ->
+        advance ();
+        Buffer.add_char b c;
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_value () =
+    skip_ws ();
+    match peek () with
+    | '"' -> Str (parse_string ())
+    | 't' ->
+      if !pos + 4 <= n && String.sub line !pos 4 = "true" then begin
+        pos := !pos + 4;
+        Bool true
+      end
+      else raise (Bad "bad literal")
+    | 'f' ->
+      if !pos + 5 <= n && String.sub line !pos 5 = "false" then begin
+        pos := !pos + 5;
+        Bool false
+      end
+      else raise (Bad "bad literal")
+    | _ ->
+      let start = !pos in
+      while
+        !pos < n
+        && (match line.[!pos] with
+           | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+           | _ -> false)
+      do
+        advance ()
+      done;
+      if !pos = start then raise (Bad (Printf.sprintf "expected value at %d" start));
+      (match float_of_string_opt (String.sub line start (!pos - start)) with
+      | Some x -> Num x
+      | None -> raise (Bad "bad number"))
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = '}' then advance ()
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      let v = parse_value () in
+      fields := (key, v) :: !fields;
+      skip_ws ();
+      match peek () with
+      | ',' ->
+        advance ();
+        members ()
+      | '}' -> advance ()
+      | c -> raise (Bad (Printf.sprintf "expected ',' or '}', got '%c'" c))
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then raise (Bad "trailing garbage");
+  !fields
+
+let of_json line =
+  try
+    let fields = parse_object line in
+    let get name =
+      match List.assoc_opt name fields with
+      | Some v -> v
+      | None -> raise (Bad (Printf.sprintf "missing field %S" name))
+    in
+    let num name =
+      match get name with Num x -> x | _ -> raise (Bad (name ^ ": expected number"))
+    in
+    let int name =
+      let x = num name in
+      if Float.is_integer x then int_of_float x
+      else raise (Bad (name ^ ": expected integer"))
+    in
+    let str name =
+      match get name with Str s -> s | _ -> raise (Bad (name ^ ": expected string"))
+    in
+    let bool name =
+      match get name with Bool v -> v | _ -> raise (Bad (name ^ ": expected bool"))
+    in
+    let traffic name =
+      match str name with
+      | "maintenance" -> Maintenance
+      | "query" -> Query
+      | other -> raise (Bad ("unknown traffic kind " ^ other))
+    in
+    let kind =
+      match str "ev" with
+      | "interaction" -> Interaction { src = int "src"; dst = int "dst" }
+      | "refer" -> Refer { src = int "src"; dst = int "dst"; level = int "level" }
+      | "split" -> Split { a = int "a"; b = int "b"; level = int "level" }
+      | "follow" -> Follow { peer = int "peer"; level = int "level" }
+      | "replicate" -> Replicate { a = int "a"; b = int "b" }
+      | "descent" -> Descent { a = int "a"; b = int "b"; level = int "level" }
+      | "key_move" -> Key_move { src = int "src"; dst = int "dst" }
+      | "msg_send" ->
+        Msg_send
+          { src = int "src"; dst = int "dst"; bytes = int "bytes";
+            traffic = traffic "traffic" }
+      | "msg_recv" -> Msg_recv { src = int "src"; dst = int "dst" }
+      | "msg_drop" -> Msg_drop { src = int "src"; dst = int "dst" }
+      | "query_issue" -> Query_issue { qid = int "qid"; origin = int "origin" }
+      | "query_hop" -> Query_hop { qid = int "qid"; src = int "src"; dst = int "dst" }
+      | "query_complete" ->
+        Query_complete
+          { qid = int "qid"; origin = int "origin"; hops = int "hops";
+            latency = num "latency"; success = bool "success" }
+      | "churn_offline" -> Churn_offline { peer = int "peer" }
+      | "churn_online" -> Churn_online { peer = int "peer" }
+      | "peer_leave" -> Peer_leave { peer = int "peer"; pushed = int "pushed" }
+      | "peer_join" -> Peer_join { peer = int "peer"; hops = int "hops" }
+      | "repair" ->
+        Repair { dropped = int "dropped"; added = int "added"; unfixable = int "unfixable" }
+      | "rebalance" -> Rebalance { migrations = int "migrations"; rounds = int "rounds" }
+      | other -> raise (Bad ("unknown event kind " ^ other))
+    in
+    Ok { time = num "t"; kind }
+  with
+  | Bad reason -> Error reason
+  | Invalid_argument reason -> Error reason
+
+let equal a b = a = b
+let pp fmt t = Format.pp_print_string fmt (to_json t)

@@ -1,0 +1,74 @@
+(** Typed, timestamped telemetry events.
+
+    One constructor per observable operation of the system: construction
+    interactions and their outcomes (split / follow / replicate /
+    descent), key movement, simulated network traffic, query lifecycle
+    and churn / maintenance transitions.  Peer ids are plain ints (the
+    overlay's node ids); [time] is whatever clock the emitting
+    {!Telemetry} handle was given — simulated seconds inside the network
+    engine, process time elsewhere.
+
+    Events serialize to single-line JSON objects (JSON Lines) and parse
+    back, so a trace file can be replayed long after the run. *)
+
+type traffic = Maintenance | Query
+
+type kind =
+  | Interaction of { src : int; dst : int }  (** one pairwise contact *)
+  | Refer of { src : int; dst : int; level : int }
+      (** refer-walk recommendation step at divergence [level] *)
+  | Split of { a : int; b : int; level : int }
+      (** balanced split of a same-path pair at [level] *)
+  | Follow of { peer : int; level : int }
+      (** [peer] extended one bit at [level] behind a decided partner *)
+  | Replicate of { a : int; b : int }  (** same-partition reconciliation *)
+  | Descent of { a : int; b : int; level : int }
+      (** degenerate bisection: the pair descended into the occupied half *)
+  | Key_move of { src : int; dst : int }  (** one key, one hop *)
+  | Msg_send of { src : int; dst : int; bytes : int; traffic : traffic }
+      (** bytes put on the wire; [src]/[dst] are [-1] when unattributed *)
+  | Msg_recv of { src : int; dst : int }
+  | Msg_drop of { src : int; dst : int }
+  | Query_issue of { qid : int; origin : int }
+  | Query_hop of { qid : int; src : int; dst : int }
+  | Query_complete of {
+      qid : int;
+      origin : int;
+      hops : int;
+      latency : float;
+      success : bool;
+    }
+  | Churn_offline of { peer : int }
+  | Churn_online of { peer : int }
+  | Peer_leave of { peer : int; pushed : int }
+      (** graceful departure; [pushed] key copies handed to replicas *)
+  | Peer_join of { peer : int; hops : int }
+  | Repair of { dropped : int; added : int; unfixable : int }
+  | Rebalance of { migrations : int; rounds : int }
+
+type t = { time : float; kind : kind }
+
+(** Number of distinct event kinds; {!tag} is a dense index in
+    [0, tag_count). *)
+val tag_count : int
+
+val tag : kind -> int
+
+(** [label kind] is the snake_case name used as the JSON ["ev"] field. *)
+val label : kind -> string
+
+(** [label_of_tag i] is the label of the kind with {!tag} [i]. *)
+val label_of_tag : int -> string
+
+val traffic_label : traffic -> string
+
+(** [to_json t] is a single-line JSON object (no trailing newline). *)
+val to_json : t -> string
+
+(** [of_json line] parses what {!to_json} produced; [Error] carries a
+    human-readable reason. Round trip is exact (times are printed with
+    17 significant digits). *)
+val of_json : string -> (t, string) result
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

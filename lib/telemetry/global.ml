@@ -1,0 +1,4 @@
+let current = ref Telemetry.disabled
+let get () = !current
+let set t = current := t
+let reset () = current := Telemetry.disabled

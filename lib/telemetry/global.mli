@@ -1,0 +1,14 @@
+(** The process-wide default telemetry handle.
+
+    Instrumented layers ({!Pgrid_construction.Engine},
+    {!Pgrid_construction.Net_engine}, maintenance, queries) default
+    their [?telemetry] argument to [Global.get ()], so a front end (the
+    CLI's [--trace]/[--metrics] flags, the bench harness) can observe
+    any experiment without threading a handle through every layer.
+    Defaults to {!Telemetry.disabled}. *)
+
+val get : unit -> Telemetry.t
+val set : Telemetry.t -> unit
+
+(** Back to {!Telemetry.disabled}. *)
+val reset : unit -> unit

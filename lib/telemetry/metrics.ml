@@ -1,0 +1,62 @@
+module Histogram = Pgrid_stats.Histogram
+module Moments = Pgrid_stats.Moments
+
+type counter = { mutable count : int }
+type gauge = { mutable value : float }
+type histogram = { buckets : Histogram.t; moments : Moments.t }
+type item = C of counter | G of gauge | H of histogram
+type t = { items : (string, item) Hashtbl.t }
+
+let create () = { items = Hashtbl.create 32 }
+
+let kind_error name =
+  invalid_arg (Printf.sprintf "Metrics: %S already registered with another kind" name)
+
+let counter t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (C c) -> c
+  | Some _ -> kind_error name
+  | None ->
+    let c = { count = 0 } in
+    Hashtbl.add t.items name (C c);
+    c
+
+let incr ?(by = 1) c = c.count <- c.count + by
+let counter_value c = c.count
+
+let gauge t name =
+  match Hashtbl.find_opt t.items name with
+  | Some (G g) -> g
+  | Some _ -> kind_error name
+  | None ->
+    let g = { value = 0. } in
+    Hashtbl.add t.items name (G g);
+    g
+
+let set_gauge g v = g.value <- v
+let gauge_value g = g.value
+
+let histogram t name ~lo ~hi ~bins =
+  match Hashtbl.find_opt t.items name with
+  | Some (H h) -> h
+  | Some _ -> kind_error name
+  | None ->
+    let h = { buckets = Histogram.create ~lo ~hi ~bins; moments = Moments.create () } in
+    Hashtbl.add t.items name (H h);
+    h
+
+let observe h x =
+  Histogram.add h.buckets x;
+  Moments.add h.moments x
+
+let histogram_data h = h.buckets
+let histogram_moments h = h.moments
+
+let sorted_fold t f =
+  Hashtbl.fold (fun name item acc -> match f item with Some v -> (name, v) :: acc | None -> acc)
+    t.items []
+  |> List.sort compare
+
+let counters t = sorted_fold t (function C c -> Some c.count | _ -> None)
+let gauges t = sorted_fold t (function G g -> Some g.value | _ -> None)
+let histograms t = sorted_fold t (function H h -> Some h | _ -> None)

@@ -1,0 +1,44 @@
+(** Registry of named counters, gauges and fixed-bucket histograms.
+
+    Instruments are resolved by name once, at registration; the returned
+    handle is a bare mutable cell, so hot-path updates ({!incr},
+    {!set_gauge}, {!observe}) are O(1) and never hash. Registering a name
+    twice returns the existing instrument (the kind must match). *)
+
+type t
+
+type counter
+type gauge
+type histogram
+
+val create : unit -> t
+
+(** [counter t name] registers (or finds) the counter [name].
+    @raise Invalid_argument if [name] exists with a different kind. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** [histogram t name ~lo ~hi ~bins] registers a fixed-bucket histogram
+    (see {!Pgrid_stats.Histogram}: out-of-range observations clamp into
+    the edge buckets). A second registration of [name] returns the
+    existing histogram, ignoring the new bounds. *)
+val histogram : t -> string -> lo:float -> hi:float -> bins:int -> histogram
+
+val observe : histogram -> float -> unit
+
+val histogram_data : histogram -> Pgrid_stats.Histogram.t
+
+(** Streaming moments of everything {!observe}d (exact, not bucketed). *)
+val histogram_moments : histogram -> Pgrid_stats.Moments.t
+
+(** Snapshots for rendering, sorted by name. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * float) list
+val histograms : t -> (string * histogram) list

@@ -1,0 +1,35 @@
+type 'a t = {
+  buf : 'a option array;
+  mutable next : int;  (* slot for the next add *)
+  mutable length : int;
+  mutable added : int;
+}
+
+let create ~capacity =
+  if capacity < 1 then invalid_arg "Ring.create: capacity must be >= 1";
+  { buf = Array.make capacity None; next = 0; length = 0; added = 0 }
+
+let capacity t = Array.length t.buf
+let length t = t.length
+let added t = t.added
+let dropped t = t.added - t.length
+
+let add t x =
+  t.buf.(t.next) <- Some x;
+  t.next <- (t.next + 1) mod Array.length t.buf;
+  if t.length < Array.length t.buf then t.length <- t.length + 1;
+  t.added <- t.added + 1
+
+let to_list t =
+  let cap = Array.length t.buf in
+  let start = (t.next - t.length + cap) mod cap in
+  List.init t.length (fun i ->
+      match t.buf.((start + i) mod cap) with
+      | Some x -> x
+      | None -> assert false)
+
+let clear t =
+  Array.fill t.buf 0 (Array.length t.buf) None;
+  t.next <- 0;
+  t.length <- 0;
+  t.added <- 0

@@ -1,0 +1,27 @@
+(** Bounded in-memory ring buffer: keeps the most recent [capacity]
+    elements, overwriting the oldest on overflow.  The telemetry ring
+    sink stores events here so a run can expose its recent history
+    without unbounded memory. *)
+
+type 'a t
+
+(** @raise Invalid_argument when [capacity < 1]. *)
+val create : capacity:int -> 'a t
+
+val capacity : 'a t -> int
+
+(** Elements currently held (at most [capacity]). *)
+val length : 'a t -> int
+
+(** Total elements ever added. *)
+val added : 'a t -> int
+
+(** Elements overwritten because the buffer was full. *)
+val dropped : 'a t -> int
+
+val add : 'a t -> 'a -> unit
+
+(** Held elements, oldest first. *)
+val to_list : 'a t -> 'a list
+
+val clear : 'a t -> unit

@@ -1,0 +1,38 @@
+type jsonl = { chan : out_channel; owned : bool; mutable lines : int }
+type t = Null | Ring of Event.t Ring.t | Jsonl of jsonl
+
+let null = Null
+let ring r = Ring r
+let jsonl_file path = Jsonl { chan = open_out path; owned = true; lines = 0 }
+let jsonl_channel chan = Jsonl { chan; owned = false; lines = 0 }
+
+let emit t ev =
+  match t with
+  | Null -> ()
+  | Ring r -> Ring.add r ev
+  | Jsonl j ->
+    output_string j.chan (Event.to_json ev);
+    output_char j.chan '\n';
+    j.lines <- j.lines + 1
+
+let lines_written = function Null | Ring _ -> 0 | Jsonl j -> j.lines
+
+let close = function
+  | Null | Ring _ -> ()
+  | Jsonl j -> if j.owned then close_out j.chan else flush j.chan
+
+let read_jsonl path =
+  let chan = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in chan)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line chan with
+        | exception End_of_file -> Ok (List.rev acc)
+        | line when String.trim line = "" -> go (lineno + 1) acc
+        | line -> (
+          match Event.of_json line with
+          | Ok ev -> go (lineno + 1) (ev :: acc)
+          | Error reason -> Error (lineno, reason))
+      in
+      go 1 [])

@@ -1,0 +1,33 @@
+(** Pluggable event sinks.
+
+    - {!null}: drops everything (the zero-overhead default);
+    - {!ring}: keeps the most recent events in memory;
+    - {!jsonl_file} / {!jsonl_channel}: one {!Event.to_json} line per
+      event (JSON Lines), replayable with {!read_jsonl}. *)
+
+type t
+
+val null : t
+
+(** [ring r] stores every event into [r] (caller keeps the handle to
+    read it back). *)
+val ring : Event.t Ring.t -> t
+
+(** [jsonl_file path] opens/truncates [path]; {!close} flushes and
+    closes it. @raise Sys_error on open failure. *)
+val jsonl_file : string -> t
+
+(** [jsonl_channel chan] writes to a channel the caller owns; {!close}
+    only flushes. *)
+val jsonl_channel : out_channel -> t
+
+val emit : t -> Event.t -> unit
+
+(** Lines written so far (0 for non-JSONL sinks). *)
+val lines_written : t -> int
+
+val close : t -> unit
+
+(** [read_jsonl path] parses a trace file back into events, in order.
+    [Error (line_number, reason)] on the first unparsable line. *)
+val read_jsonl : string -> (Event.t list, int * string) result

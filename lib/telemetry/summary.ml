@@ -1,0 +1,58 @@
+module Table = Pgrid_stats.Table
+module Histogram = Pgrid_stats.Histogram
+module Moments = Pgrid_stats.Moments
+
+let metrics_table t =
+  let m = Telemetry.metrics t in
+  let counter_rows =
+    List.filter_map
+      (fun (name, v) -> if v = 0 then None else Some [ name; string_of_int v ])
+      (Metrics.counters m)
+  in
+  let gauge_rows =
+    List.map (fun (name, v) -> [ name; Table.fmt_float v ]) (Metrics.gauges m)
+  in
+  ( [ "metric"; "value" ],
+    ([ "events recorded"; string_of_int (Telemetry.events_recorded t) ]
+     :: counter_rows)
+    @ gauge_rows )
+
+let histogram_table name h =
+  let buckets = Metrics.histogram_data h in
+  let m = Metrics.histogram_moments h in
+  let bucket_rows =
+    List.filter_map
+      (fun i ->
+        let w = Histogram.weight buckets i in
+        if w = 0. then None
+        else
+          Some
+            [ Printf.sprintf "bucket %.3g" (Histogram.midpoint buckets i);
+              Table.fmt_float ~decimals:0 w ])
+      (List.init (Histogram.bins buckets) (fun i -> i))
+  in
+  ( [ name; "count" ],
+    bucket_rows
+    @ [
+        [ "observations"; string_of_int (Moments.count m) ];
+        [ "mean"; Table.fmt_float (Moments.mean m) ];
+        [ "stddev"; Table.fmt_float (Moments.stddev m) ];
+        [ "min"; Table.fmt_float (Moments.min m) ];
+        [ "max"; Table.fmt_float (Moments.max m) ];
+      ] )
+
+let print ?(title = "telemetry metrics") t =
+  let columns, rows = metrics_table t in
+  Table.print ~title ~columns ~rows;
+  List.iter
+    (fun (name, h) ->
+      if Moments.count (Metrics.histogram_moments h) > 0 then begin
+        let columns, rows = histogram_table name h in
+        Table.print ~title:name ~columns ~rows
+      end)
+    (Metrics.histograms (Telemetry.metrics t))
+
+let replay events =
+  let t = Telemetry.create () in
+  List.iter (Telemetry.record t) events;
+  t

@@ -1,0 +1,22 @@
+(** Render a telemetry handle's metrics as the repo's standard ASCII
+    tables ({!Pgrid_stats.Table}), and replay trace files back into a
+    handle so a finished run can be summarized from its event log
+    alone. *)
+
+(** [metrics_table t] is the counters/gauges table: one row per non-zero
+    counter (sorted by name) and per gauge, headed by the total event
+    count. *)
+val metrics_table : Telemetry.t -> string list * string list list
+
+(** [histogram_table name h] tabulates the non-empty buckets of [h] plus
+    count/mean/stddev/min/max summary rows. *)
+val histogram_table :
+  string -> Metrics.histogram -> string list * string list list
+
+(** [print ?title t] prints the metrics table and every non-empty
+    histogram. *)
+val print : ?title:string -> Telemetry.t -> unit
+
+(** [replay events] folds a decoded trace into a fresh (sink-less)
+    handle, recomputing every built-in aggregate. *)
+val replay : Event.t list -> Telemetry.t

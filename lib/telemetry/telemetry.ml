@@ -1,0 +1,61 @@
+type t = {
+  enabled : bool;
+  metrics : Metrics.t;
+  mutable sinks : Sink.t list;
+  mutable clock : unit -> float;
+  kind_counters : Metrics.counter array;
+  bytes_maintenance : Metrics.counter;
+  bytes_query : Metrics.counter;
+  query_latency : Metrics.histogram;
+  query_hops : Metrics.histogram;
+  mutable events : int;
+}
+
+let make ~enabled ~clock =
+  let metrics = Metrics.create () in
+  {
+    enabled;
+    metrics;
+    sinks = [];
+    clock;
+    kind_counters =
+      Array.init Event.tag_count (fun i ->
+          Metrics.counter metrics ("events." ^ Event.label_of_tag i));
+    bytes_maintenance = Metrics.counter metrics "net.bytes.maintenance";
+    bytes_query = Metrics.counter metrics "net.bytes.query";
+    query_latency = Metrics.histogram metrics "query.latency_s" ~lo:0. ~hi:20. ~bins:40;
+    query_hops = Metrics.histogram metrics "query.hops" ~lo:0. ~hi:40. ~bins:40;
+    events = 0;
+  }
+
+let create ?(clock = Sys.time) () = make ~enabled:true ~clock
+let disabled = make ~enabled:false ~clock:(fun () -> 0.)
+let active t = t.enabled
+let metrics t = t.metrics
+let add_sink t sink = if t.enabled then t.sinks <- t.sinks @ [ sink ]
+let sinks t = t.sinks
+let set_clock t clock = if t.enabled then t.clock <- clock
+
+let record t ev =
+  if t.enabled then begin
+    t.events <- t.events + 1;
+    Metrics.incr t.kind_counters.(Event.tag ev.Event.kind);
+    (match ev.Event.kind with
+    | Event.Msg_send { bytes; traffic; _ } ->
+      Metrics.incr ~by:bytes
+        (match traffic with
+        | Event.Maintenance -> t.bytes_maintenance
+        | Event.Query -> t.bytes_query)
+    | Event.Query_complete { hops; latency; success; _ } ->
+      if success then begin
+        Metrics.observe t.query_latency latency;
+        Metrics.observe t.query_hops (float_of_int hops)
+      end
+    | _ -> ());
+    List.iter (fun s -> Sink.emit s ev) t.sinks
+  end
+
+let emit t kind = if t.enabled then record t { Event.time = t.clock (); kind }
+let events_recorded t = t.events
+let count_of_tag t i = Metrics.counter_value t.kind_counters.(i)
+let close t = List.iter Sink.close t.sinks

@@ -1,0 +1,45 @@
+(** The telemetry handle: a clock, a metrics registry and a list of
+    sinks.
+
+    Instrumented code guards its hot paths with {!active} and reports
+    through {!emit}; a single {!emit} stamps the event with the handle's
+    clock, folds it into the built-in aggregates (per-kind event
+    counters, traffic byte counters, query latency/hop histograms) and
+    fans it out to every sink.  The {!disabled} handle makes all of that
+    a single branch — instrumentation costs nothing when nobody is
+    listening. *)
+
+type t
+
+(** [create ?clock ()] builds an active handle. [clock] supplies event
+    timestamps (default [Sys.time]; the network engine installs
+    simulated time via {!set_clock}). *)
+val create : ?clock:(unit -> float) -> unit -> t
+
+(** The shared inert handle: {!active} is [false]; {!emit}, {!record},
+    {!set_clock} and {!add_sink} are no-ops. *)
+val disabled : t
+
+val active : t -> bool
+val metrics : t -> Metrics.t
+val add_sink : t -> Sink.t -> unit
+val sinks : t -> Sink.t list
+
+(** Replace the timestamp source (no-op on {!disabled}). *)
+val set_clock : t -> (unit -> float) -> unit
+
+(** [emit t kind] stamps and records one event. *)
+val emit : t -> Event.kind -> unit
+
+(** [record t ev] records an already-stamped event — the replay path for
+    trace files. *)
+val record : t -> Event.t -> unit
+
+(** Events recorded over the handle's lifetime. *)
+val events_recorded : t -> int
+
+(** Events recorded for one kind (by {!Event.tag}). *)
+val count_of_tag : t -> int -> int
+
+(** Flush and close every sink. *)
+val close : t -> unit

@@ -15,5 +15,6 @@ let () =
       ("engine", Test_engine.suite);
       ("construction", Test_construction.suite);
       ("query", Test_query.suite);
+      ("telemetry", Test_telemetry.suite);
       ("experiment", Test_experiment.suite);
     ]

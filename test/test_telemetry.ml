@@ -1,0 +1,331 @@
+(* Tests for Pgrid_telemetry: metrics registry, ring buffer, event JSON
+   round trip, JSONL sink, and consistency of the events emitted by a
+   full network-engine run against the engine's own counters. *)
+
+module Rng = Pgrid_prng.Rng
+module Distribution = Pgrid_workload.Distribution
+module Net_engine = Pgrid_construction.Net_engine
+module Engine = Pgrid_construction.Engine
+module Event = Pgrid_telemetry.Event
+module Metrics = Pgrid_telemetry.Metrics
+module Ring = Pgrid_telemetry.Ring
+module Sink = Pgrid_telemetry.Sink
+module Telemetry = Pgrid_telemetry.Telemetry
+module Summary = Pgrid_telemetry.Summary
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let close ?(eps = 1e-9) msg a b = Alcotest.check (Alcotest.float eps) msg a b
+
+(* --- Metrics ------------------------------------------------------------ *)
+
+let test_metrics_counter () =
+  let m = Metrics.create () in
+  let c = Metrics.counter m "a" in
+  Metrics.incr c;
+  Metrics.incr ~by:41 c;
+  checki "count" 42 (Metrics.counter_value c);
+  (* same name resolves to the same cell *)
+  Metrics.incr (Metrics.counter m "a");
+  checki "shared" 43 (Metrics.counter_value c);
+  Alcotest.check
+    Alcotest.(list (pair string int))
+    "snapshot" [ ("a", 43) ] (Metrics.counters m)
+
+let test_metrics_gauge () =
+  let m = Metrics.create () in
+  let g = Metrics.gauge m "depth" in
+  close "initial" 0. (Metrics.gauge_value g);
+  Metrics.set_gauge g 3.5;
+  close "set" 3.5 (Metrics.gauge_value g)
+
+let test_metrics_histogram () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" ~lo:0. ~hi:10. ~bins:10 in
+  List.iter (Metrics.observe h) [ 0.5; 1.5; 1.6; 25. (* clamps *) ];
+  let moments = Metrics.histogram_moments h in
+  checki "observations" 4 (Pgrid_stats.Moments.count moments);
+  close "mean keeps exact values" ((0.5 +. 1.5 +. 1.6 +. 25.) /. 4.)
+    (Pgrid_stats.Moments.mean moments);
+  (* re-registration returns the same histogram, ignoring new bounds *)
+  Metrics.observe (Metrics.histogram m "lat" ~lo:0. ~hi:1. ~bins:2) 2.;
+  checki "shared" 5 (Pgrid_stats.Moments.count (Metrics.histogram_moments h))
+
+let test_metrics_kind_clash () =
+  let m = Metrics.create () in
+  ignore (Metrics.counter m "x");
+  checkb "gauge over counter raises" true
+    (try
+       ignore (Metrics.gauge m "x");
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Ring --------------------------------------------------------------- *)
+
+let test_ring_basic () =
+  let r = Ring.create ~capacity:4 in
+  checki "empty" 0 (Ring.length r);
+  Ring.add r 1;
+  Ring.add r 2;
+  Alcotest.(check (list int)) "partial" [ 1; 2 ] (Ring.to_list r)
+
+let test_ring_wraparound () =
+  let r = Ring.create ~capacity:4 in
+  for i = 1 to 10 do
+    Ring.add r i
+  done;
+  checki "length capped" 4 (Ring.length r);
+  checki "added" 10 (Ring.added r);
+  checki "dropped" 6 (Ring.dropped r);
+  Alcotest.(check (list int)) "keeps newest, oldest first" [ 7; 8; 9; 10 ]
+    (Ring.to_list r);
+  Ring.clear r;
+  checki "cleared" 0 (Ring.length r);
+  Ring.add r 11;
+  Alcotest.(check (list int)) "usable after clear" [ 11 ] (Ring.to_list r)
+
+let test_ring_invalid () =
+  checkb "capacity 0 raises" true
+    (try
+       ignore (Ring.create ~capacity:0);
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Event JSON --------------------------------------------------------- *)
+
+let sample_events =
+  [
+    Event.Interaction { src = 3; dst = 7 };
+    Event.Refer { src = 1; dst = 2; level = 4 };
+    Event.Split { a = 0; b = 9; level = 2 };
+    Event.Follow { peer = 5; level = 1 };
+    Event.Replicate { a = 4; b = 6 };
+    Event.Descent { a = 2; b = 3; level = 0 };
+    Event.Key_move { src = 8; dst = 1 };
+    Event.Msg_send { src = 1; dst = 2; bytes = 180; traffic = Event.Maintenance };
+    Event.Msg_send { src = -1; dst = -1; bytes = 40; traffic = Event.Query };
+    Event.Msg_recv { src = 1; dst = 2 };
+    Event.Msg_drop { src = 2; dst = 1 };
+    Event.Query_issue { qid = 17; origin = 3 };
+    Event.Query_hop { qid = 17; src = 3; dst = 9 };
+    Event.Query_complete
+      { qid = 17; origin = 3; hops = 2; latency = 0.731; success = true };
+    Event.Query_complete
+      { qid = 18; origin = 4; hops = 0; latency = 0.; success = false };
+    Event.Churn_offline { peer = 12 };
+    Event.Churn_online { peer = 12 };
+    Event.Peer_leave { peer = 7; pushed = 30 };
+    Event.Peer_join { peer = 7; hops = 3 };
+    Event.Repair { dropped = 2; added = 5; unfixable = 1 };
+    Event.Rebalance { migrations = 4; rounds = 2 };
+  ]
+  |> List.mapi (fun i kind ->
+         { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      let line = Event.to_json ev in
+      match Event.of_json line with
+      | Error reason -> Alcotest.failf "%s: %s" line reason
+      | Ok ev' ->
+        checkb (Printf.sprintf "round trip %s" line) true (Event.equal ev ev'))
+    sample_events
+
+let test_event_json_errors () =
+  List.iter
+    (fun line ->
+      checkb (Printf.sprintf "rejects %s" line) true
+        (Result.is_error (Event.of_json line)))
+    [
+      "";
+      "not json";
+      "{}";
+      {|{"t":1.0}|};
+      {|{"t":1.0,"ev":"no_such_event"}|};
+      {|{"t":1.0,"ev":"split","a":1,"b":2}|} (* missing level *);
+      {|{"ev":"interaction","src":1,"dst":2}|} (* missing time *);
+    ]
+
+let test_event_tags () =
+  checki "tag_count" Event.tag_count
+    (List.length
+       (List.sort_uniq compare
+          (List.map (fun e -> Event.tag e.Event.kind) sample_events)));
+  List.iter
+    (fun e ->
+      Alcotest.(check string)
+        "label_of_tag inverts tag" (Event.label e.Event.kind)
+        (Event.label_of_tag (Event.tag e.Event.kind)))
+    sample_events
+
+(* --- Sinks and handle --------------------------------------------------- *)
+
+let test_jsonl_sink_roundtrip () =
+  let path = Filename.temp_file "pgrid_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let sink = Sink.jsonl_file path in
+      List.iter (Sink.emit sink) sample_events;
+      checki "lines written" (List.length sample_events) (Sink.lines_written sink);
+      Sink.close sink;
+      match Sink.read_jsonl path with
+      | Error (line, reason) -> Alcotest.failf "line %d: %s" line reason
+      | Ok events ->
+        checki "count" (List.length sample_events) (List.length events);
+        List.iter2
+          (fun a b -> checkb "event preserved" true (Event.equal a b))
+          sample_events events)
+
+let test_jsonl_bad_line () =
+  let path = Filename.temp_file "pgrid_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc
+        ({|{"t":1,"ev":"interaction","src":1,"dst":2}|} ^ "\n\ngarbage\n");
+      close_out oc;
+      match Sink.read_jsonl path with
+      | Ok _ -> Alcotest.fail "garbage accepted"
+      | Error (line, _) -> checki "blank lines skipped, error on line 3" 3 line)
+
+let test_handle_aggregates () =
+  let now = ref 0. in
+  let tel = Telemetry.create ~clock:(fun () -> !now) () in
+  let ring = Ring.create ~capacity:8 in
+  Telemetry.add_sink tel (Sink.ring ring);
+  now := 1.5;
+  Telemetry.emit tel (Event.Interaction { src = 0; dst = 1 });
+  Telemetry.emit tel (Event.Msg_send { src = 0; dst = 1; bytes = 100; traffic = Event.Maintenance });
+  Telemetry.emit tel (Event.Msg_send { src = 1; dst = 0; bytes = 25; traffic = Event.Query });
+  Telemetry.emit tel
+    (Event.Query_complete { qid = 1; origin = 0; hops = 3; latency = 0.5; success = true });
+  Telemetry.emit tel
+    (Event.Query_complete { qid = 2; origin = 0; hops = 9; latency = 9.; success = false });
+  checki "events recorded" 5 (Telemetry.events_recorded tel);
+  checki "per-kind count" 2
+    (Telemetry.count_of_tag tel (Event.tag (Event.Query_complete { qid = 0; origin = 0; hops = 0; latency = 0.; success = true })));
+  let metrics = Metrics.counters (Telemetry.metrics tel) in
+  checki "maintenance bytes" 100 (List.assoc "net.bytes.maintenance" metrics);
+  checki "query bytes" 25 (List.assoc "net.bytes.query" metrics);
+  (* only successful queries feed the latency/hops histograms *)
+  let hist = List.assoc "query.latency_s" (Metrics.histograms (Telemetry.metrics tel)) in
+  checki "latency observations" 1 (Pgrid_stats.Moments.count (Metrics.histogram_moments hist));
+  (match Ring.to_list ring with
+  | { Event.time; _ } :: _ -> close "clock stamps events" 1.5 time
+  | [] -> Alcotest.fail "ring empty");
+  checki "ring saw everything" 5 (Ring.length ring)
+
+let test_disabled_handle () =
+  let tel = Telemetry.disabled in
+  checkb "inactive" false (Telemetry.active tel);
+  Telemetry.add_sink tel (Sink.ring (Ring.create ~capacity:4));
+  Telemetry.set_clock tel (fun () -> 99.);
+  Telemetry.emit tel (Event.Interaction { src = 0; dst = 1 });
+  checki "emit is a no-op" 0 (Telemetry.events_recorded tel);
+  Alcotest.(check (list pass)) "no sinks attach" [] (Telemetry.sinks tel)
+
+let test_summary_replay () =
+  let tel = Summary.replay sample_events in
+  checki "all events replayed" (List.length sample_events)
+    (Telemetry.events_recorded tel);
+  checki "kind counts survive" 2
+    (Telemetry.count_of_tag tel
+       (Event.tag (Event.Msg_send { src = 0; dst = 0; bytes = 0; traffic = Event.Query })))
+
+(* --- End to end: network engine run vs its own counters ----------------- *)
+
+let fast_params peers =
+  {
+    (Net_engine.default_params ~peers) with
+    Net_engine.phases =
+      {
+        Net_engine.join_end = 60.;
+        replicate_start = 30.;
+        construct_start = 60.;
+        construct_end = 240.;
+        query_start = 240.;
+        churn_start = 300.;
+        end_time = 360.;
+      };
+    initiate_mean = 2.;
+    query_min = 5.;
+    query_max = 10.;
+    ping_interval = 10.;
+    churn = None;
+  }
+
+let test_net_engine_consistency () =
+  let tel = Telemetry.create () in
+  let rng = Rng.create ~seed:15 in
+  let o = Net_engine.run ~telemetry:tel rng (fast_params 32) ~spec:Distribution.Uniform in
+  let c = o.Net_engine.counters in
+  let count kind = Telemetry.count_of_tag tel (Event.tag kind) in
+  checki "split events match engine counter" c.Engine.splits
+    (count (Event.Split { a = 0; b = 0; level = 0 }));
+  checki "follow events match" c.Engine.follows
+    (count (Event.Follow { peer = 0; level = 0 }));
+  checki "replicate events match merges" c.Engine.merges
+    (count (Event.Replicate { a = 0; b = 0 }));
+  checki "interaction events match" c.Engine.interactions
+    (count (Event.Interaction { src = 0; dst = 0 }));
+  checki "drop events match the network's counter" o.Net_engine.messages_dropped
+    (count (Event.Msg_drop { src = 0; dst = 0 }));
+  let issued = count (Event.Query_issue { qid = 0; origin = 0 }) in
+  checki "every issued query completes" issued
+    (count (Event.Query_complete { qid = 0; origin = 0; hops = 0; latency = 0.; success = true }));
+  checki "queries issued match the engine's stats" o.Net_engine.query_stats.Net_engine.issued issued;
+  checkb "some construction happened" true (c.Engine.splits > 0);
+  checkb "simulated timestamps" true (Telemetry.events_recorded tel > 0)
+
+let test_net_engine_trace_replay () =
+  let path = Filename.temp_file "pgrid_run" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let tel = Telemetry.create () in
+      Telemetry.add_sink tel (Sink.jsonl_file path);
+      let rng = Rng.create ~seed:7 in
+      ignore (Net_engine.run ~telemetry:tel rng (fast_params 24) ~spec:Distribution.Uniform);
+      Telemetry.close tel;
+      match Sink.read_jsonl path with
+      | Error (line, reason) -> Alcotest.failf "line %d: %s" line reason
+      | Ok events ->
+        checki "every event written and parsed"
+          (Telemetry.events_recorded tel) (List.length events);
+        let replayed = Summary.replay events in
+        for tag = 0 to Event.tag_count - 1 do
+          checki
+            (Printf.sprintf "replayed count for %s" (Event.label_of_tag tag))
+            (Telemetry.count_of_tag tel tag)
+            (Telemetry.count_of_tag replayed tag)
+        done;
+        checkb "timestamps are monotone (simulated clock)" true
+          (fst
+             (List.fold_left
+                (fun (ok, prev) e -> (ok && e.Event.time >= prev, e.Event.time))
+                (true, neg_infinity) events)))
+
+let suite =
+  [
+    Alcotest.test_case "metrics: counter" `Quick test_metrics_counter;
+    Alcotest.test_case "metrics: gauge" `Quick test_metrics_gauge;
+    Alcotest.test_case "metrics: histogram" `Quick test_metrics_histogram;
+    Alcotest.test_case "metrics: kind clash" `Quick test_metrics_kind_clash;
+    Alcotest.test_case "ring: basics" `Quick test_ring_basic;
+    Alcotest.test_case "ring: wraparound" `Quick test_ring_wraparound;
+    Alcotest.test_case "ring: invalid capacity" `Quick test_ring_invalid;
+    Alcotest.test_case "event: json round trip" `Quick test_event_json_roundtrip;
+    Alcotest.test_case "event: json errors" `Quick test_event_json_errors;
+    Alcotest.test_case "event: tags and labels" `Quick test_event_tags;
+    Alcotest.test_case "sink: jsonl round trip" `Quick test_jsonl_sink_roundtrip;
+    Alcotest.test_case "sink: bad line reported" `Quick test_jsonl_bad_line;
+    Alcotest.test_case "handle: aggregates" `Quick test_handle_aggregates;
+    Alcotest.test_case "handle: disabled is inert" `Quick test_disabled_handle;
+    Alcotest.test_case "summary: replay" `Quick test_summary_replay;
+    Alcotest.test_case "net engine: events match counters" `Slow
+      test_net_engine_consistency;
+    Alcotest.test_case "net engine: trace replay" `Slow test_net_engine_trace_replay;
+  ]
