@@ -1,0 +1,128 @@
+(* Diff two bench reports produced by `bench/main.exe --json`.
+
+   Usage:
+     dune exec bench/compare.exe -- BASELINE.json CANDIDATE.json [--threshold PCT]
+
+   Matches wall-clock targets and micro kernels by name, prints the
+   old/new numbers with the relative change, and exits non-zero when any
+   kernel or target slowed down by more than the threshold (default 10%). *)
+
+module Table = Pgrid_stats.Table
+
+type row = { name : string; old_v : float; new_v : float; floor : float }
+
+(* [floor] is an absolute-delta noise floor: changes smaller than it are
+   never flagged, whatever the relative change.  Wall-clock targets use
+   50ms — a cached sub-millisecond target can easily "double" on timer
+   jitter alone.  Micro kernels use 0 (their values are OLS estimates
+   over many runs, already statistical). *)
+let wall_floor = 0.05
+
+let pct { old_v; new_v; _ } =
+  if old_v = 0. then 0. else 100. *. ((new_v -. old_v) /. old_v)
+
+let flagged ~threshold r =
+  pct r > threshold && Float.abs (r.new_v -. r.old_v) > r.floor
+
+let collect_walls doc =
+  Json.member "targets" doc
+  |> Option.value ~default:(Json.Arr [])
+  |> Json.to_list
+  |> List.filter_map (fun t ->
+         match (Json.str_member "name" t, Json.num_member "seconds" t) with
+         | Some name, Some seconds -> Some (name, seconds)
+         | _ -> None)
+
+let collect_micros doc =
+  Json.member "micro" doc
+  |> Option.value ~default:(Json.Arr [])
+  |> Json.to_list
+  |> List.filter_map (fun t ->
+         match (Json.str_member "name" t, Json.num_member "ns_per_run" t) with
+         | Some name, Some ns -> Some (name, ns)
+         | _ -> None)
+
+let paired ~floor old_entries new_entries =
+  List.filter_map
+    (fun (name, old_v) ->
+      Option.map
+        (fun new_v -> { name; old_v; new_v; floor })
+        (List.assoc_opt name new_entries))
+    old_entries
+
+let verdict ~threshold r =
+  if flagged ~threshold r then "REGRESSION"
+  else if pct r < -.threshold && Float.abs (r.new_v -. r.old_v) > r.floor then
+    "improved"
+  else "ok"
+
+let print_section ~title ~unit ~threshold rows =
+  if rows <> [] then
+    Table.print ~title
+      ~columns:[ "name"; "old " ^ unit; "new " ^ unit; "change"; "verdict" ]
+      ~rows:
+        (List.map
+           (fun r ->
+             [
+               r.name;
+               Table.fmt_float ~decimals:3 r.old_v;
+               Table.fmt_float ~decimals:3 r.new_v;
+               Printf.sprintf "%+.1f%%" (pct r);
+               verdict ~threshold r;
+             ])
+           rows)
+
+let () =
+  let threshold = ref 10. in
+  let positional = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t > 0. -> threshold := t
+      | _ ->
+        prerr_endline "compare: --threshold expects a positive number";
+        exit 2);
+      parse rest
+    | a :: rest ->
+      positional := a :: !positional;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let old_path, new_path =
+    match List.rev !positional with
+    | [ a; b ] -> (a, b)
+    | _ ->
+      prerr_endline "usage: compare BASELINE.json CANDIDATE.json [--threshold PCT]";
+      exit 2
+  in
+  let load path =
+    try Json.of_file path with
+    | Sys_error e ->
+      Printf.eprintf "compare: %s\n" e;
+      exit 2
+    | Json.Parse_error e ->
+      Printf.eprintf "compare: %s: %s\n" path e;
+      exit 2
+  in
+  let old_doc = load old_path and new_doc = load new_path in
+  let walls =
+    paired ~floor:wall_floor (collect_walls old_doc) (collect_walls new_doc)
+  in
+  let micros = paired ~floor:0. (collect_micros old_doc) (collect_micros new_doc) in
+  if walls = [] && micros = [] then begin
+    prerr_endline "compare: no common targets or kernels between the two reports";
+    exit 2
+  end;
+  print_section ~title:"wall-clock targets" ~unit:"s" ~threshold:!threshold walls;
+  print_section ~title:"micro kernels" ~unit:"ns" ~threshold:!threshold micros;
+  let regressions =
+    List.filter (flagged ~threshold:!threshold) (walls @ micros)
+  in
+  if regressions <> [] then begin
+    Printf.printf "\n%d regression(s) beyond +%.0f%%:\n" (List.length regressions)
+      !threshold;
+    List.iter (fun r -> Printf.printf "  %s: %+.1f%%\n" r.name (pct r)) regressions;
+    exit 1
+  end
+  else Printf.printf "\nno regressions beyond +%.0f%%\n" !threshold

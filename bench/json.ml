@@ -1,0 +1,242 @@
+(* Minimal JSON reader/writer for the bench reports (no external JSON
+   dependency is available in the build image).  Supports exactly the
+   subset the reports use: objects, arrays, strings, numbers, booleans
+   and null. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* --- printing ----------------------------------------------------------- *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let num_to_string x =
+  (* JSON has no nan/inf literals; write them as null. *)
+  if not (Float.is_finite x) then "null"
+  else if Float.is_integer x && Float.abs x < 1e15 then Printf.sprintf "%.0f" x
+  else Printf.sprintf "%.6g" x
+
+let rec write buf ~indent v =
+  let pad n = String.make n ' ' in
+  match v with
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Num x -> Buffer.add_string buf (num_to_string x)
+  | Str s ->
+    Buffer.add_char buf '"';
+    Buffer.add_string buf (escape s);
+    Buffer.add_char buf '"'
+  | Arr [] -> Buffer.add_string buf "[]"
+  | Arr items ->
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i item ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        write buf ~indent:(indent + 2) item)
+      items;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf ']'
+  | Obj [] -> Buffer.add_string buf "{}"
+  | Obj fields ->
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, item) ->
+        if i > 0 then Buffer.add_string buf ",\n";
+        Buffer.add_string buf (pad (indent + 2));
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape k);
+        Buffer.add_string buf "\": ";
+        write buf ~indent:(indent + 2) item)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (pad indent);
+    Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 4096 in
+  write buf ~indent:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let to_file path v =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_string v))
+
+(* --- parsing ------------------------------------------------------------ *)
+
+exception Parse_error of string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance ();
+      skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word
+    then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else fail (Printf.sprintf "expected '%s'" word)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' ->
+        advance ();
+        (match peek () with
+        | Some 'n' -> Buffer.add_char b '\n'; advance ()
+        | Some 't' -> Buffer.add_char b '\t'; advance ()
+        | Some 'r' -> Buffer.add_char b '\r'; advance ()
+        | Some ('"' | '\\' | '/') ->
+          Buffer.add_char b (Option.get (peek ()));
+          advance ()
+        | Some 'u' ->
+          advance ();
+          if !pos + 4 > n then fail "truncated \\u escape";
+          let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+          pos := !pos + 4;
+          (* The reports only ever escape control characters (< U+0080). *)
+          Buffer.add_char b (Char.chr (code land 0x7f))
+        | _ -> fail "bad escape");
+        go ()
+      | Some c ->
+        Buffer.add_char b c;
+        advance ();
+        go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while !pos < n && is_num_char s.[!pos] do
+      advance ()
+    done;
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some x -> x
+    | None -> fail "malformed number"
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let rec fields acc =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields ((k, v) :: acc)
+          | Some '}' ->
+            advance ();
+            Obj (List.rev ((k, v) :: acc))
+          | _ -> fail "expected ',' or '}'"
+        in
+        fields []
+      end
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        Arr []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            Arr (List.rev (v :: acc))
+          | _ -> fail "expected ',' or ']'"
+        in
+        items []
+      end
+    | Some '"' -> Str (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (parse_number ())
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> parse (really_input_string ic (in_channel_length ic)))
+
+(* --- accessors ---------------------------------------------------------- *)
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Arr items -> items | _ -> []
+let to_num = function Num x -> Some x | _ -> None
+let to_str = function Str s -> Some s | _ -> None
+
+let num_member key v = Option.bind (member key v) to_num
+let str_member key v = Option.bind (member key v) to_str

@@ -2,11 +2,16 @@
    evaluation (see DESIGN.md section 4 and EXPERIMENTS.md).
 
    Usage:
-     dune exec bench/main.exe            -- everything, in order
-     dune exec bench/main.exe fig4       -- one artifact
-     dune exec bench/main.exe fig6a 10   -- override repetitions
-     dune exec bench/main.exe micro      -- Bechamel micro-benchmarks
+     dune exec bench/main.exe                    -- everything, in order
+     dune exec bench/main.exe fig4               -- one artifact
+     dune exec bench/main.exe fig6a 10           -- override repetitions
+     dune exec bench/main.exe fig6a fig6e micro  -- several artifacts
+     dune exec bench/main.exe micro              -- Bechamel micro-benchmarks
 
+   --json FILE writes a machine-readable report (wall-clock seconds per
+   target, fig6 metric values, Bechamel ns/run for the micro kernels)
+   for `bench/compare.exe` to diff against a baseline.
+   --quota MS shortens the Bechamel per-kernel time quota (default 500).
    --trace FILE.jsonl and --metrics (anywhere on the command line) route
    every experiment's telemetry to a JSONL file / a summary table. *)
 
@@ -15,6 +20,8 @@ module Series = Pgrid_stats.Series
 module Table = Pgrid_stats.Table
 
 let seed = 20050830 (* VLDB 2005, Trondheim: August 30 *)
+let report : Report.t option ref = ref None
+let micro_quota_ms = ref 500.
 
 let banner title =
   let line = String.make 72 '=' in
@@ -138,6 +145,14 @@ let micro _reps =
       ~refs_per_level:2
   in
   let probe_key = keys.(0) in
+  let codec_terms =
+    [|
+      "a"; "term"; "Benchmark"; "distributed"; "overlay-network";
+      "capture-recapture-estimation"; "p-grid"; "Indexing";
+      "data-oriented"; "zebra"; "Quorum"; "xylophone"; "m"; "range";
+      "prefix-routing"; "anti-entropy";
+    |]
+  in
   let sim_burst () =
     let s = Pgrid_simnet.Sim.create () in
     for i = 1 to 1000 do
@@ -162,10 +177,23 @@ let micro _reps =
                ignore (Pgrid_core.Overlay.search overlay ~from:0 probe_key)));
         Test.make ~name:"sim-1000-events" (Staged.stage sim_burst);
         Test.make ~name:"codec-of-term"
-          (Staged.stage (fun () -> Pgrid_keyspace.Codec.of_term "Benchmark"));
+          (* A single ~80ns call is dominated by call overhead and GC
+             pacing from unrelated fixtures; a batch over varied term
+             lengths keeps the estimate about the codec itself. *)
+          (Staged.stage (fun () ->
+               Array.iter
+                 (fun t -> ignore (Pgrid_keyspace.Codec.of_term t))
+                 codec_terms));
       ]
   in
-  let cfg = Benchmark.cfg ~limit:500 ~quota:(Time.second 0.5) ~kde:None () in
+  let cfg =
+    Benchmark.cfg ~limit:500 ~quota:(Time.second (!micro_quota_ms /. 1000.))
+      ~kde:None ()
+  in
+  (* Wall-clock targets run before us can leave a large major heap behind;
+     without a compaction the kernel timings become GC-dominated (visible as
+     negative OLS r^2).  Compact once so every run starts from a clean heap. *)
+  Gc.compact ();
   let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
   let ols =
     Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
@@ -174,17 +202,24 @@ let micro _reps =
   let rows = ref [] in
   Hashtbl.iter
     (fun name ols ->
+      let estimate =
+        match Analyze.OLS.estimates ols with Some [ t ] -> Some t | _ -> None
+      in
+      let r2 = Analyze.OLS.r_square ols in
+      Option.iter
+        (fun rep ->
+          match estimate with
+          | Some ns ->
+            Report.add_micro rep { Report.kernel = name; ns_per_run = ns; r_square = r2 }
+          | None -> ())
+        !report;
       let ns =
-        match Analyze.OLS.estimates ols with
-        | Some [ t ] -> Table.fmt_float ~decimals:1 t
-        | _ -> "-"
+        match estimate with Some t -> Table.fmt_float ~decimals:1 t | None -> "-"
       in
-      let r2 =
-        match Analyze.OLS.r_square ols with
-        | Some r -> Table.fmt_float ~decimals:4 r
-        | None -> "-"
+      let r2s =
+        match r2 with Some r -> Table.fmt_float ~decimals:4 r | None -> "-"
       in
-      rows := [ name; ns; r2 ] :: !rows)
+      rows := [ name; ns; r2s ] :: !rows)
     results;
   Table.print ~title:"hot kernels" ~columns:[ "benchmark"; "ns/run"; "r^2" ]
     ~rows:(List.sort compare !rows)
@@ -213,15 +248,90 @@ let targets =
     ("micro", micro);
   ]
 
-(* Pull --trace FILE / --metrics out of argv before positional parsing. *)
-let split_telemetry_flags argv =
-  let rec go trace metrics acc = function
-    | [] -> (trace, metrics, List.rev acc)
-    | "--trace" :: path :: rest -> go (Some path) metrics acc rest
-    | "--metrics" :: rest -> go trace true acc rest
-    | a :: rest -> go trace metrics (a :: acc) rest
+(* Machine-readable metric values for the report: the fig6 grids flatten
+   to one named value per (category, distribution) cell.  The figure
+   functions cache their construction runs, so re-asking for the grid
+   after the target printed it costs nothing. *)
+let fig6_values f =
+  List.concat
+    (List.mapi
+       (fun i cat ->
+         List.map2
+           (fun dist v -> (cat ^ "/" ^ dist, v))
+           f.Figures.distributions
+           (Array.to_list f.Figures.values.(i)))
+       f.Figures.categories)
+
+let values_of name reps =
+  match name with
+  | "fig6a" -> fig6_values (Figures.fig6a ?reps ~seed ())
+  | "fig6b" -> fig6_values (Figures.fig6b ?reps ~seed ())
+  | "fig6c" -> fig6_values (Figures.fig6c ?reps ~seed ())
+  | "fig6d" -> fig6_values (Figures.fig6d ?reps ~seed ())
+  | "fig6e" -> fig6_values (Figures.fig6e ?reps ~seed ())
+  | "fig6f" -> fig6_values (Figures.fig6f ?reps ~seed ())
+  | _ -> []
+
+let run_target (name, f) reps =
+  let t0 = Unix.gettimeofday () in
+  f reps;
+  let seconds = Unix.gettimeofday () -. t0 in
+  Option.iter
+    (fun rep ->
+      Report.add_wall rep { Report.name; reps; seconds; values = values_of name reps })
+    !report
+
+(* Pull --trace FILE / --metrics / --json FILE / --quota MS out of argv
+   before positional parsing. *)
+type flags = {
+  trace : string option;
+  metrics : bool;
+  json : string option;
+  positional : string list;
+}
+
+let usage_error fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "bench: %s\n" msg;
+      Printf.eprintf "available targets: %s\n" (String.concat ", " (List.map fst targets));
+      exit 2)
+    fmt
+
+let split_flags argv =
+  let rec go acc = function
+    | [] -> { acc with positional = List.rev acc.positional }
+    | "--trace" :: path :: rest -> go { acc with trace = Some path } rest
+    | "--metrics" :: rest -> go { acc with metrics = true } rest
+    | "--json" :: path :: rest -> go { acc with json = Some path } rest
+    | "--quota" :: ms :: rest ->
+      (match float_of_string_opt ms with
+      | Some q when q > 0. -> micro_quota_ms := q
+      | _ -> usage_error "--quota expects a positive duration in milliseconds, got %S" ms);
+      go acc rest
+    | ("--trace" | "--json" | "--quota") :: [] ->
+      usage_error "flag is missing its argument"
+    | a :: rest -> go { acc with positional = a :: acc.positional } rest
   in
-  go None false [] argv
+  go { trace = None; metrics = false; json = None; positional = [] } argv
+
+(* Positional arguments: any number of target names plus at most one
+   repetitions count.  Anything else is an error — a malformed
+   repetitions argument must not silently fall back to the default. *)
+let parse_positional args =
+  let chosen, reps =
+    List.fold_left
+      (fun (chosen, reps) a ->
+        if List.mem_assoc a targets then (a :: chosen, reps)
+        else
+          match int_of_string_opt a with
+          | Some r when r >= 1 && reps = None -> (chosen, Some r)
+          | Some r when r < 1 -> usage_error "repetitions must be >= 1, got %d" r
+          | Some _ -> usage_error "more than one repetitions argument"
+          | None -> usage_error "unknown target or malformed repetitions argument %S" a)
+      ([], None) args
+  in
+  (List.rev chosen, reps)
 
 let with_telemetry ~trace ~metrics f =
   let module Telemetry = Pgrid_telemetry.Telemetry in
@@ -252,22 +362,18 @@ let with_telemetry ~trace ~metrics f =
   end
 
 let () =
-  let trace, metrics, args = split_telemetry_flags (Array.to_list Sys.argv) in
-  let target, reps =
-    match args with
-    | _ :: name :: reps :: _ -> (Some name, int_of_string_opt reps)
-    | [ _; name ] -> (Some name, None)
-    | _ -> (None, None)
-  in
-  with_telemetry ~trace ~metrics @@ fun () ->
-  match target with
-  | None ->
-    print_endline "P-Grid reproduction bench harness -- all artifacts";
-    List.iter (fun (_, f) -> f reps) targets
-  | Some name -> (
-    match List.assoc_opt name targets with
-    | Some f -> f reps
-    | None ->
-      Printf.eprintf "unknown target %s; available: %s\n" name
-        (String.concat ", " (List.map fst targets));
-      exit 1)
+  let flags = split_flags (List.tl (Array.to_list Sys.argv)) in
+  let chosen, reps = parse_positional flags.positional in
+  Option.iter (fun _ -> report := Some (Report.create ())) flags.json;
+  with_telemetry ~trace:flags.trace ~metrics:flags.metrics (fun () ->
+      (match chosen with
+      | [] ->
+        print_endline "P-Grid reproduction bench harness -- all artifacts";
+        List.iter (fun t -> run_target t reps) targets
+      | names ->
+        List.iter
+          (fun name -> run_target (name, List.assoc name targets) reps)
+          names));
+  match (flags.json, !report) with
+  | Some path, Some rep -> Report.write rep ~path ~seed
+  | _ -> ()

@@ -170,6 +170,26 @@ let mark_fruitless t i =
   t.fruitless.(i) <- t.fruitless.(i) + 1;
   if t.fruitless.(i) >= t.config.max_fruitless then t.active.(i) <- false
 
+(* One uniform draw over the online references at [level], skipping
+   [excluding]: count the eligible entries, then scan to the drawn rank.
+   No intermediate list — reference picking sits on every routing hop. *)
+let pick_online_ref t n ~level ~excluding =
+  let eligible r = r <> excluding && (node t r).Node.online in
+  let count =
+    Node.refs_fold n ~level (fun acc r -> if eligible r then acc + 1 else acc) 0
+  in
+  if count = 0 then None
+  else begin
+    let target = Rng.int t.rng count in
+    let seen = ref 0 and chosen = ref (-1) in
+    Node.refs_iter n ~level (fun r ->
+        if eligible r then begin
+          if !seen = target then chosen := r;
+          incr seen
+        end);
+    Some !chosen
+  end
+
 let probabilities t ~p_hat ~samples =
   let clamped = Aep_math.clamp_estimate ~samples:(max 1 samples) p_hat in
   let p_eff, flipped = Aep_math.normalize clamped in
@@ -188,8 +208,7 @@ let deliver t ~at key payloads =
   let ingest i =
     let n = node t i in
     Node.ensure_key n key;
-    let existing = Node.lookup n key in
-    List.iter (fun p -> if not (List.mem p existing) then Node.insert n key p) payloads;
+    List.iter (fun p -> Node.insert n key p) payloads;
     mark_useful t i
   in
   let rec hop prev i budget =
@@ -206,11 +225,9 @@ let deliver t ~at key payloads =
       match diverge 0 with
       | None -> ingest i
       | Some l ->
-        (match
-           List.filter (fun r -> (node t r).Node.online) (Node.refs_at n ~level:l)
-         with
-        | [] -> ingest i
-        | refs -> hop i (Rng.pick_list t.rng refs) (budget - 1))
+        (match pick_online_ref t n ~level:l ~excluding:(-1) with
+        | None -> ingest i
+        | Some r -> hop i r (budget - 1))
     end
   in
   hop at at t.config.refer_hops
@@ -227,7 +244,7 @@ let hand_over t ~src ~dst =
   in
   List.iter
     (fun (k, payloads) ->
-      Hashtbl.remove s.Node.store k;
+      Node.remove_key s k;
       deliver t ~at:dst k payloads)
     doomed
 
@@ -244,8 +261,8 @@ let do_split t i j =
   Node.add_ref nj ~level i;
   (* Replica lists referred to the parent partition; they are rebuilt at
      the new level through replicate interactions. *)
-  ni.Node.replicas <- [];
-  nj.Node.replicas <- [];
+  Node.clear_replicas ni;
+  Node.clear_replicas nj;
   reset_estimates t i;
   reset_estimates t j;
   note_split t ~a:i ~b:j ~level;
@@ -256,9 +273,21 @@ let do_split t i j =
    of the overlap estimates (paper Section 4.2). *)
 let same_partition t i j =
   let ni = node t i and nj = node t j in
-  let keys_i = Node.keys ni and keys_j = Node.keys nj in
-  let d1 = List.length keys_i and d2 = List.length keys_j in
-  let overlap = List.length (List.filter (Node.has_key nj) keys_i) in
+  let d1 = Node.key_count ni and d2 = Node.key_count nj in
+  let level = Path.length ni.Node.path in
+  (* One pass over the smaller store yields the shared-key count and — for
+     the degenerate-bisection check below — how many shared keys have bit
+     0 at this level; no key list is ever materialized or sorted. *)
+  let small, big = if d1 <= d2 then (ni, nj) else (nj, ni) in
+  let shared = ref 0 and shared_zeros = ref 0 in
+  Hashtbl.iter
+    (fun k _ ->
+      if Node.has_key big k then begin
+        incr shared;
+        if level < Key.bits && Key.bit k level = 0 then incr shared_zeros
+      end)
+    small.Node.store;
+  let overlap = !shared in
   let distinct_obs = Estimate.distinct_keys ~d1 ~d2 ~overlap in
   let replicas_obs = Estimate.replicas ~n_min:t.config.n_min ~d1 ~d2 ~overlap in
   let replicas_capped =
@@ -272,10 +301,9 @@ let same_partition t i j =
      copies; hand-overs consolidate copies, so it can undercount a large
      partition.  The replica lists give a hard lower bound. *)
   let known_peers =
-    float_of_int (2 + max (List.length ni.Node.replicas) (List.length nj.Node.replicas))
+    float_of_int (2 + max (Node.replica_count ni) (Node.replica_count nj))
   in
   let replicas = Float.max ((t.r_ema.(i) +. t.r_ema.(j)) /. 2.) known_peers in
-  let level = Path.length ni.Node.path in
   Logs.debug (fun m ->
       m "meet level=%d d1=%d d2=%d overlap=%d K^=%.0f r^=%.1f obs=%d" level d1 d2
         overlap distinct replicas obs);
@@ -287,11 +315,12 @@ let same_partition t i j =
     && level < Key.bits
   in
   if overloaded && obs >= 2 then begin
-    let union = List.sort_uniq Key.compare (keys_i @ keys_j) in
-    let zeros =
-      List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 union
-    in
-    if union <> [] && (zeros = 0 || zeros = List.length union) then begin
+    (* Union statistics by inclusion-exclusion over the incremental
+       per-node counters: |U| = d1 + d2 - overlap, and likewise for the
+       zero-bit counts (both nodes share the path, hence the level). *)
+    let union_total = d1 + d2 - overlap in
+    let zeros = Node.zero_count ni + Node.zero_count nj - !shared_zeros in
+    if union_total > 0 && (zeros = 0 || zeros = union_total) then begin
       (* Degenerate bisection: the sample says one half is empty (e.g.
          ASCII term keys share their leading bits).  Dispersing peers into
          empty key space would strand them, so the pair descends together
@@ -307,9 +336,9 @@ let same_partition t i j =
       mark_useful t j
     end
     else begin
-      let p_hat = Estimate.load_fraction union ~level in
+      let p_hat = Estimate.load_fraction_counts ~zeros ~total:union_total in
       let { Aep_math.alpha; _ }, _flipped =
-        probabilities t ~p_hat ~samples:(List.length union)
+        probabilities t ~p_hat ~samples:union_total
       in
       if Rng.bernoulli t.rng alpha then do_split t i j
       else begin
@@ -335,10 +364,7 @@ let same_partition t i j =
         (fun k payloads ->
           let fresh = not (Node.has_key d k) in
           Node.ensure_key d k;
-          let existing = Node.lookup d k in
-          List.iter
-            (fun p -> if not (List.mem p existing) then Node.insert d k p)
-            payloads;
+          List.iter (fun p -> Node.insert d k p) payloads;
           if fresh then begin
             note_key_moved t ~src ~dst;
             (* Only new distinct keys count as progress; payload-level
@@ -355,21 +381,21 @@ let same_partition t i j =
     let exchange_refs a b =
       let na = node t a and nb = node t b in
       for level = 0 to Path.length na.Node.path - 1 do
-        List.iter
-          (fun r -> if r <> b then Node.add_ref nb ~level r)
-          (Node.refs_at na ~level)
+        Node.union_refs nb ~level ~from:na
       done
     in
     exchange_refs i j;
     exchange_refs j i;
     let new_replica =
-      (not (List.mem j ni.Node.replicas)) || not (List.mem i nj.Node.replicas)
+      (not (Pgrid_core.Intset.mem ni.Node.replicas j))
+      || not (Pgrid_core.Intset.mem nj.Node.replicas i)
     in
     Node.add_replica ni j;
     Node.add_replica nj i;
-    (* Exchange (partial) replica lists, paper Figure 2. *)
-    List.iter (fun r -> if r <> j then Node.add_replica nj r) ni.Node.replicas;
-    List.iter (fun r -> if r <> i then Node.add_replica ni r) nj.Node.replicas;
+    (* Exchange (partial) replica lists, paper Figure 2 — one linear merge
+       per direction instead of a List.mem per element. *)
+    Node.absorb_replicas nj ni.Node.replicas;
+    Node.absorb_replicas ni nj.Node.replicas;
     note_merge t ~a:i ~b:j;
     if !gained || new_replica then begin
       mark_useful t i;
@@ -383,28 +409,29 @@ let same_partition t i j =
 let follow_decided t i j =
   let ni = node t i and nj = node t j in
   let level = Path.length ni.Node.path in
-  let own_keys = Node.keys ni in
-  let zeros =
-    List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 own_keys
-  in
+  (* [ni]'s zero-bit counter is maintained at exactly this level, so the
+     degenerate-descent test and the load fraction are O(1) reads. *)
+  let total = Node.key_count ni in
+  let zeros = Node.zero_count ni in
   let j_side_raw = Path.bit nj.Node.path level in
-  if own_keys <> [] && (zeros = 0 || zeros = List.length own_keys)
+  if total > 0
+     && (zeros = 0 || zeros = total)
      && j_side_raw = (if zeros = 0 then 1 else 0)
-     && Node.refs_at nj ~level = []
+     && Node.refs_count nj ~level = 0
   then begin
     (* The peer's whole sample lies on the side [j] descended to, and [j]
        itself knows nobody on the other side: follow the degenerate
        descent (no complement peer exists to reference). *)
     Node.set_path ni (Path.extend ni.Node.path j_side_raw);
-    ni.Node.replicas <- [];
+    Node.clear_replicas ni;
     reset_estimates t i;
     note_follow t ~peer:i ~level;
     mark_useful t i
   end
   else begin
-  let p_hat = Estimate.load_fraction (Node.keys ni) ~level in
+  let p_hat = Estimate.load_fraction_counts ~zeros ~total in
   let { Aep_math.alpha = _; beta }, flipped =
-    probabilities t ~p_hat ~samples:(Node.key_count ni)
+    probabilities t ~p_hat ~samples:total
   in
   let minority = if flipped then 1 else 0 in
   let majority = 1 - minority in
@@ -416,7 +443,7 @@ let follow_decided t i j =
        an empty table at this level if the side was believed empty). *)
     if Path.bit (node t other).Node.path level <> side then
       Node.add_ref (node t other) ~level i;
-    ni.Node.replicas <- [];
+    Node.clear_replicas ni;
     reset_estimates t i;
     let recipient =
       if Path.bit (node t other).Node.path level <> side then other else j
@@ -431,11 +458,9 @@ let follow_decided t i j =
   else begin
     (* Copy a minority-side reference from [j] (AEP invariant: it holds
        one from its own decision at this level). *)
-    match
-      List.filter (fun r -> (node t r).Node.online) (Node.refs_at nj ~level)
-    with
-    | [] -> mark_fruitless t i
-    | refs -> decide majority (Rng.pick_list t.rng refs)
+    match pick_online_ref t nj ~level ~excluding:(-1) with
+    | None -> mark_fruitless t i
+    | Some r -> decide majority r
   end
   end
 
@@ -455,14 +480,9 @@ let rec locate t i j hops =
       note_refer t ~src:i ~dst:j ~level:cpl;
       Node.add_ref (node t i) ~level:cpl j;
       Node.add_ref (node t j) ~level:cpl i;
-      let candidates =
-        List.filter
-          (fun r -> r <> i && (node t r).Node.online)
-          (Node.refs_at (node t j) ~level:cpl)
-      in
-      match candidates with
-      | [] -> None
-      | _ -> locate t i (Rng.pick_list t.rng candidates) (hops + 1)
+      match pick_online_ref t (node t j) ~level:cpl ~excluding:i with
+      | None -> None
+      | Some r -> locate t i r (hops + 1)
     end
   end
 
@@ -483,11 +503,23 @@ let interact t i =
     let first =
       (* Prefer known replicas half of the time (peers keep the references
          gathered after splits); otherwise a random-walk peer. *)
-      let online_replicas =
-        List.filter (fun r -> (node t r).Node.online) ni.Node.replicas
+      let online =
+        Pgrid_core.Intset.fold
+          (fun acc r -> if (node t r).Node.online then acc + 1 else acc)
+          0 ni.Node.replicas
       in
-      if online_replicas <> [] && Rng.bool t.rng then
-        Some (Rng.pick_list t.rng online_replicas)
+      if online > 0 && Rng.bool t.rng then begin
+        let target = Rng.int t.rng online in
+        let seen = ref 0 and chosen = ref (-1) in
+        Pgrid_core.Intset.iter
+          (fun r ->
+            if (node t r).Node.online then begin
+              if !seen = target then chosen := r;
+              incr seen
+            end)
+          ni.Node.replicas;
+        Some !chosen
+      end
       else random_online_peer t ~excluding:i
     in
     match first with

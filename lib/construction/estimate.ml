@@ -29,3 +29,8 @@ let load_fraction keys ~level =
   | _ ->
     let zeros = List.fold_left (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc) 0 keys in
     float_of_int zeros /. float_of_int (List.length keys)
+
+let load_fraction_counts ~zeros ~total =
+  if zeros < 0 || total < 0 || zeros > total then
+    invalid_arg "Estimate.load_fraction_counts: bad counts";
+  if total = 0 then 0.5 else float_of_int zeros /. float_of_int total

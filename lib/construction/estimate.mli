@@ -27,3 +27,9 @@ val replicas : n_min:int -> d1:int -> d2:int -> overlap:int -> float
     [level] is 0 — the estimate of the left child's load share [p].
     Returns 0.5 on an empty list. *)
 val load_fraction : Pgrid_keyspace.Key.t list -> level:int -> float
+
+(** [load_fraction_counts ~zeros ~total] is {!load_fraction} computed from
+    pre-counted statistics (the nodes' incremental zero-bit counters)
+    instead of a materialized key list.  Returns 0.5 when [total = 0].
+    Requires [0 <= zeros <= total]. *)
+val load_fraction_counts : zeros:int -> total:int -> float

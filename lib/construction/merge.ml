@@ -23,9 +23,11 @@ let copy_into ~offset src dst =
       List.iter (Node.insert dst k) payloads)
     src.Node.store;
   for level = 0 to Path.length src.Node.path - 1 do
-    List.iter (fun r -> Node.add_ref dst ~level (r + offset)) (Node.refs_at src ~level)
+    Node.refs_iter src ~level (fun r -> Node.add_ref dst ~level (r + offset))
   done;
-  List.iter (fun r -> Node.add_replica dst (r + offset)) src.Node.replicas;
+  Pgrid_core.Intset.iter
+    (fun r -> Node.add_replica dst (r + offset))
+    src.Node.replicas;
   dst.Node.online <- src.Node.online
 
 let overlays rng ~config ~max_rounds a b =

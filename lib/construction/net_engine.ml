@@ -292,7 +292,7 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
         match diverge 0 with
         | None -> true (* responsible peer reached *)
         | Some level ->
-          let refs = Array.of_list (Node.refs_at n ~level) in
+          let refs = Node.refs_array n ~level in
           Rng.shuffle rng refs;
           let rec try_refs idx =
             if idx >= Array.length refs then false

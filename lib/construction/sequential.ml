@@ -101,8 +101,7 @@ let join st i =
       Hashtbl.iter
         (fun k payloads ->
           Node.ensure_key d k;
-          let existing = Node.lookup d k in
-          List.iter (fun p -> if not (List.mem p existing) then Node.insert d k p) payloads)
+          List.iter (fun p -> Node.insert d k p) payloads)
         s.Node.store
     in
     List.iter
@@ -131,7 +130,7 @@ let join st i =
         (fun rank j ->
           let nj = node st j in
           Node.set_path nj (Path.extend host_path (side_of rank));
-          nj.Node.replicas <- [];
+          Node.clear_replicas nj;
           st.messages <- st.messages + 1)
         group;
       List.iteri
@@ -142,7 +141,7 @@ let join st i =
           List.iteri
             (fun rank' j' ->
               if side_of rank' <> side_of rank then begin
-                if List.length (Node.refs_at nj ~level) < st.params.refs_per_level then
+                if Node.refs_count nj ~level < st.params.refs_per_level then
                   Node.add_ref nj ~level j'
               end
               else if j' <> j then Node.add_replica nj j')
@@ -159,13 +158,10 @@ let join st i =
     in
     List.iter
       (fun (k, payloads) ->
-        Hashtbl.remove ni.Node.store k;
+        Node.remove_key ni k;
         let target = node st (route st i k) in
         Node.ensure_key target k;
-        let existing = Node.lookup target k in
-        List.iter
-          (fun p -> if not (List.mem p existing) then Node.insert target k p)
-          payloads;
+        List.iter (fun p -> Node.insert target k p) payloads;
         st.messages <- st.messages + 1;
         st.latency <- st.latency + 1)
       outside;

@@ -1,0 +1,110 @@
+(* Deduplicating set of non-negative integers (peer ids), stored as a
+   sorted dynamic array.  Membership is a binary search, insertion and
+   removal shift the tail, iteration is a zero-allocation array walk in
+   ascending order.  Reference lists and replica lists are small (a
+   handful of entries per routing level), so the O(k) shift on mutation
+   is cheaper in practice than a hashed set and keeps iteration order
+   deterministic, which the seeded experiments rely on. *)
+
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 4) () = { data = Array.make (max 1 capacity) 0; len = 0 }
+let cardinal t = t.len
+let is_empty t = t.len = 0
+
+(* Index of [x] if present, otherwise [lnot insertion_point]. *)
+let rank t x =
+  let lo = ref 0 and hi = ref t.len and found = ref (-1) in
+  while !found < 0 && !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    let v = t.data.(mid) in
+    if v = x then found := mid else if v < x then lo := mid + 1 else hi := mid
+  done;
+  if !found >= 0 then !found else lnot !lo
+
+let mem t x = rank t x >= 0
+
+let add t x =
+  let r = rank t x in
+  if r < 0 then begin
+    let at = lnot r in
+    if t.len = Array.length t.data then begin
+      let grown = Array.make (2 * t.len) 0 in
+      Array.blit t.data 0 grown 0 t.len;
+      t.data <- grown
+    end;
+    Array.blit t.data at t.data (at + 1) (t.len - at);
+    t.data.(at) <- x;
+    t.len <- t.len + 1
+  end
+
+let remove t x =
+  let r = rank t x in
+  if r >= 0 then begin
+    Array.blit t.data (r + 1) t.data r (t.len - r - 1);
+    t.len <- t.len - 1
+  end
+
+let clear t = t.len <- 0
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.data.(i)
+  done
+
+let fold f acc t =
+  let acc = ref acc in
+  for i = 0 to t.len - 1 do
+    acc := f !acc t.data.(i)
+  done;
+  !acc
+
+let exists p t =
+  let rec go i = i < t.len && (p t.data.(i) || go (i + 1)) in
+  go 0
+
+let elements t = List.init t.len (fun i -> t.data.(i))
+let to_array t = Array.sub t.data 0 t.len
+
+let of_list xs =
+  let t = create ~capacity:(max 1 (List.length xs)) () in
+  List.iter (add t) xs;
+  t
+
+(* Linear two-pointer merge of two sorted arrays — this is what makes the
+   merge-time replica/ref exchange O(n + m) instead of the quadratic
+   List.mem-per-element scheme it replaces. *)
+let union_into ~into src =
+  if src.len > 0 then begin
+    let merged = Array.make (into.len + src.len) 0 in
+    let i = ref 0 and j = ref 0 and k = ref 0 in
+    while !i < into.len && !j < src.len do
+      let a = into.data.(!i) and b = src.data.(!j) in
+      if a < b then begin
+        merged.(!k) <- a;
+        incr i
+      end
+      else if b < a then begin
+        merged.(!k) <- b;
+        incr j
+      end
+      else begin
+        merged.(!k) <- a;
+        incr i;
+        incr j
+      end;
+      incr k
+    done;
+    while !i < into.len do
+      merged.(!k) <- into.data.(!i);
+      incr i;
+      incr k
+    done;
+    while !j < src.len do
+      merged.(!k) <- src.data.(!j);
+      incr j;
+      incr k
+    done;
+    into.data <- merged;
+    into.len <- !k
+  end

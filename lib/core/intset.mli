@@ -1,0 +1,38 @@
+(** Deduplicating set of integers (peer ids) backed by a sorted dynamic
+    array: O(log k) membership, O(k) insert/remove shift, allocation-free
+    ascending iteration.  Sized for routing-table levels and replica
+    lists, where k stays small and deterministic iteration order keeps
+    the seeded experiments reproducible. *)
+
+type t
+
+(** [create ()] is an empty set; [capacity] pre-sizes the backing array. *)
+val create : ?capacity:int -> unit -> t
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val mem : t -> int -> bool
+
+(** [add t x] inserts [x]; duplicates are ignored. *)
+val add : t -> int -> unit
+
+(** [remove t x] deletes [x] if present. *)
+val remove : t -> int -> unit
+
+val clear : t -> unit
+
+(** Ascending-order iteration. *)
+val iter : (int -> unit) -> t -> unit
+
+val fold : ('a -> int -> 'a) -> 'a -> t -> 'a
+val exists : (int -> bool) -> t -> bool
+
+(** [elements t] is the sorted member list. *)
+val elements : t -> int list
+
+val to_array : t -> int array
+val of_list : int list -> t
+
+(** [union_into ~into src] adds every member of [src] to [into] with one
+    linear two-pointer merge. *)
+val union_into : into:t -> t -> unit

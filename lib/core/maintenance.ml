@@ -37,7 +37,7 @@ let partition_members overlay path ~excluding =
 (* Refill one emptied routing level with a random complement peer. *)
 let refill_level rng overlay i level =
   let n = node overlay i in
-  if level < Path.length n.Node.path && Node.refs_at n ~level = [] then begin
+  if level < Path.length n.Node.path && Node.refs_count n ~level = 0 then begin
     let prefix = Path.complement_at n.Node.path level in
     match complement_candidates overlay prefix ~excluding:i with
     | [] -> ()
@@ -53,7 +53,7 @@ let purge_stale_refs rng overlay id =
     if i <> id then begin
       let n = node overlay i in
       for level = 0 to Array.length n.Node.refs - 1 do
-        if List.mem id n.Node.refs.(level) then begin
+        if Node.has_ref n ~level id then begin
           let consistent =
             level < Path.length n.Node.path
             &&
@@ -62,7 +62,7 @@ let purge_stale_refs rng overlay id =
             && Path.is_prefix_of ~prefix moved.Node.path
           in
           if not consistent then begin
-            n.Node.refs.(level) <- List.filter (fun r -> r <> id) n.Node.refs.(level);
+            Node.remove_ref n ~level id;
             refill_level rng overlay i level
           end
         end
@@ -76,9 +76,9 @@ let purge_stale_refs rng overlay id =
 let adopt overlay ~host_id ~peer =
   let host = node overlay host_id in
   let n = node overlay peer in
-  Hashtbl.reset n.Node.store;
-  n.Node.refs <- Array.make (max 8 (Path.length host.Node.path)) [];
-  n.Node.replicas <- [];
+  Node.clear_store n;
+  Node.reset_refs n ~capacity:(Path.length host.Node.path);
+  Node.clear_replicas n;
   Node.set_path n host.Node.path;
   Hashtbl.iter
     (fun k payloads ->
@@ -86,25 +86,24 @@ let adopt overlay ~host_id ~peer =
       List.iter (Node.insert n k) payloads)
     host.Node.store;
   for level = 0 to Path.length host.Node.path - 1 do
-    List.iter
-      (fun r -> if r <> peer then Node.add_ref n ~level r)
-      (Node.refs_at host ~level)
+    Node.refs_iter host ~level (fun r -> if r <> peer then Node.add_ref n ~level r)
   done;
   Node.add_replica n host_id;
-  List.iter (fun r -> Node.add_replica n r) host.Node.replicas;
-  List.iter
-    (fun rid ->
-      let r = node overlay rid in
-      if r.Node.online then Node.add_replica r peer)
-    (host_id :: host.Node.replicas)
+  Node.absorb_replicas n host.Node.replicas;
+  let register rid =
+    let r = node overlay rid in
+    if r.Node.online then Node.add_replica r peer
+  in
+  register host_id;
+  Intset.iter register host.Node.replicas
 
 (* Remove [id] from its group's replica lists. *)
 let farewell overlay id =
   let n = node overlay id in
-  List.iter
+  Intset.iter
     (fun rid ->
       let r = node overlay rid in
-      r.Node.replicas <- List.filter (fun x -> x <> id) r.Node.replicas)
+      Intset.remove r.Node.replicas id)
     n.Node.replicas
 
 (* The member list of the partition with the most online peers. *)
@@ -147,7 +146,10 @@ let leave ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay id =
       | _ -> ()
     end;
     let online_replicas =
-      List.filter (fun r -> (node overlay r).Node.online) n.Node.replicas
+      List.rev
+        (Intset.fold
+           (fun acc r -> if (node overlay r).Node.online then r :: acc else acc)
+           [] n.Node.replicas)
     in
     (* Push payload-bearing keys the replicas are missing. *)
     Hashtbl.iter
@@ -157,13 +159,8 @@ let leave ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay id =
             let r = node overlay rid in
             if Node.responsible_for r k then begin
               Node.ensure_key r k;
-              let existing = Node.lookup r k in
               List.iter
-                (fun p ->
-                  if not (List.mem p existing) then begin
-                    Node.insert r k p;
-                    incr pushed
-                  end)
+                (fun p -> if Node.insert_new r k p then incr pushed)
                 payloads
             end)
           online_replicas)
@@ -223,8 +220,7 @@ let repair ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~redundancy 
         in
         let alive, dead = List.partition valid (Node.refs_at n ~level) in
         dropped := !dropped + List.length dead;
-        (* Levels past the allocated table have no refs to prune. *)
-        if level < Array.length n.Node.refs then n.Node.refs.(level) <- alive;
+        if dead <> [] then Node.set_refs n ~level alive;
         if List.length alive < redundancy then begin
           match
             List.filter

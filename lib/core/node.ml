@@ -6,56 +6,142 @@ type id = int
 type t = {
   id : id;
   mutable path : Path.t;
-  mutable refs : id list array;
+  mutable refs : Intset.t array;
   store : (Key.t, string list) Hashtbl.t;
-  mutable replicas : id list;
+  replicas : Intset.t;
   mutable online : bool;
+  mutable zero_keys : int;
 }
 
 let create ~id =
   {
     id;
     path = Path.root;
-    refs = Array.make 8 [];
+    refs = Array.init 8 (fun _ -> Intset.create ());
     store = Hashtbl.create 32;
-    replicas = [];
+    replicas = Intset.create ();
     online = true;
+    zero_keys = 0;
   }
 
-let insert t key payload =
-  let existing = Option.value ~default:[] (Hashtbl.find_opt t.store key) in
-  Hashtbl.replace t.store key (payload :: existing)
+(* zero_keys counts the distinct stored keys whose bit at the node's
+   current path level is 0; every store mutation below keeps it exact so
+   the construction engine never has to re-scan the store to estimate
+   load fractions. *)
+let level_bit_is_zero t key =
+  let level = Path.length t.path in
+  level < Key.bits && Key.bit key level = 0
+
+let note_added t key = if level_bit_is_zero t key then t.zero_keys <- t.zero_keys + 1
+let note_removed t key = if level_bit_is_zero t key then t.zero_keys <- t.zero_keys - 1
+
+let insert_new t key payload =
+  match Hashtbl.find_opt t.store key with
+  | None ->
+    Hashtbl.replace t.store key [ payload ];
+    note_added t key;
+    true
+  | Some existing ->
+    if List.mem payload existing then false
+    else begin
+      Hashtbl.replace t.store key (payload :: existing);
+      true
+    end
+
+let insert t key payload = ignore (insert_new t key payload)
 
 let ensure_key t key =
-  if not (Hashtbl.mem t.store key) then Hashtbl.replace t.store key []
+  if not (Hashtbl.mem t.store key) then begin
+    Hashtbl.replace t.store key [];
+    note_added t key
+  end
+
+let remove_key t key =
+  if Hashtbl.mem t.store key then begin
+    Hashtbl.remove t.store key;
+    note_removed t key
+  end
+
+let clear_store t =
+  Hashtbl.reset t.store;
+  t.zero_keys <- 0
 
 let has_key t key = Hashtbl.mem t.store key
 let lookup t key = Option.value ~default:[] (Hashtbl.find_opt t.store key)
 let keys t = Hashtbl.fold (fun k _ acc -> k :: acc) t.store []
 let key_count t = Hashtbl.length t.store
+let zero_count t = t.zero_keys
+
+let recount_zeros t =
+  let level = Path.length t.path in
+  t.zero_keys <-
+    (if level >= Key.bits then 0
+     else
+       Hashtbl.fold
+         (fun k _ acc -> if Key.bit k level = 0 then acc + 1 else acc)
+         t.store 0)
+
+let set_path t path =
+  if not (Path.equal t.path path) then begin
+    t.path <- path;
+    recount_zeros t
+  end
 
 let ensure_capacity t level =
   let n = Array.length t.refs in
   if level >= n then begin
-    let grown = Array.make (max (level + 1) (2 * n)) [] in
-    Array.blit t.refs 0 grown 0 n;
+    let grown =
+      Array.init
+        (max (level + 1) (2 * n))
+        (fun i -> if i < n then t.refs.(i) else Intset.create ())
+    in
     t.refs <- grown
   end
 
 let add_ref t ~level peer =
   if level < 0 then invalid_arg "Node.add_ref: negative level";
   ensure_capacity t level;
-  if peer <> t.id && not (List.mem peer t.refs.(level)) then
-    t.refs.(level) <- peer :: t.refs.(level)
+  if peer <> t.id then Intset.add t.refs.(level) peer
 
-let refs_at t ~level =
-  if level < 0 || level >= Array.length t.refs then [] else t.refs.(level)
+let in_range t level = level >= 0 && level < Array.length t.refs
+let refs_at t ~level = if in_range t level then Intset.elements t.refs.(level) else []
+let refs_count t ~level = if in_range t level then Intset.cardinal t.refs.(level) else 0
+let refs_array t ~level = if in_range t level then Intset.to_array t.refs.(level) else [||]
 
-let set_path t path = t.path <- path
+let refs_iter t ~level f =
+  if in_range t level then Intset.iter f t.refs.(level)
 
-let add_replica t peer =
-  if peer <> t.id && not (List.mem peer t.replicas) then
-    t.replicas <- peer :: t.replicas
+let refs_fold t ~level f acc =
+  if in_range t level then Intset.fold f acc t.refs.(level) else acc
+
+let has_ref t ~level peer = in_range t level && Intset.mem t.refs.(level) peer
+let remove_ref t ~level peer = if in_range t level then Intset.remove t.refs.(level) peer
+
+let set_refs t ~level peers =
+  if level < 0 then invalid_arg "Node.set_refs: negative level";
+  ensure_capacity t level;
+  Intset.clear t.refs.(level);
+  List.iter (fun p -> if p <> t.id then Intset.add t.refs.(level) p) peers
+
+let union_refs t ~level ~from =
+  if in_range from level && not (Intset.is_empty from.refs.(level)) then begin
+    ensure_capacity t level;
+    Intset.union_into ~into:t.refs.(level) from.refs.(level);
+    Intset.remove t.refs.(level) t.id
+  end
+
+let reset_refs t ~capacity =
+  t.refs <- Array.init (max 8 capacity) (fun _ -> Intset.create ())
+
+let add_replica t peer = if peer <> t.id then Intset.add t.replicas peer
+
+let absorb_replicas t src =
+  Intset.union_into ~into:t.replicas src;
+  Intset.remove t.replicas t.id
+
+let replica_list t = Intset.elements t.replicas
+let replica_count t = Intset.cardinal t.replicas
+let clear_replicas t = Intset.clear t.replicas
 
 let drop_keys_outside t path =
   let doomed =
@@ -63,7 +149,7 @@ let drop_keys_outside t path =
       (fun k _ acc -> if Path.matches_key path k then acc else k :: acc)
       t.store []
   in
-  List.iter (Hashtbl.remove t.store) doomed;
+  List.iter (remove_key t) doomed;
   List.length doomed
 
 let responsible_for t key = Path.matches_key t.path key

@@ -5,32 +5,59 @@
     every bit position [l] of the node's path it holds one or more
     references to peers whose paths branch to the complementary subtree at
     [l].  Multiple references per level provide the redundancy that makes
-    routing resilient under churn. *)
+    routing resilient under churn.
+
+    Refs and replicas are deduplicating sorted integer sets ({!Intset}),
+    so membership is O(log k) and merge-time exchange is linear.  The
+    node additionally maintains an incremental count of stored keys whose
+    bit at the current path level is 0 ({!zero_count}), which the
+    construction engine uses to compute load fractions and the
+    degenerate-bisection check without materializing key lists.
+
+    The [store] field is exposed for read-only traversal ([Hashtbl.iter]
+    / [find_opt] / [length]); all mutations must go through {!insert},
+    {!ensure_key}, {!remove_key}, {!clear_store} or {!drop_keys_outside},
+    otherwise the zero-bit counter desynchronizes. *)
 
 type id = int
 
 type t = {
   id : id;
   mutable path : Pgrid_keyspace.Path.t;
-  mutable refs : id list array;
+  mutable refs : Intset.t array;
       (** [refs.(l)]: peers in the complement at level [l]; the array has
           at least [Path.length path] used slots *)
   store : (Pgrid_keyspace.Key.t, string list) Hashtbl.t;
-      (** key -> payloads (e.g. posting lists); multiple payloads per key *)
-  mutable replicas : id list;  (** known peers sharing this node's path *)
+      (** key -> payloads (e.g. posting lists); multiple payloads per key.
+          Read-only outside this module — mutate via the functions below. *)
+  replicas : Intset.t;  (** known peers sharing this node's path *)
   mutable online : bool;
+  mutable zero_keys : int;
+      (** distinct stored keys with bit 0 at level [Path.length path];
+          maintained incrementally, read via {!zero_count} *)
 }
 
 (** [create ~id] starts at the root path with an empty store. *)
 val create : id:id -> t
 
-(** [insert t key payload] appends a payload under [key]. *)
+(** [insert t key payload] records [payload] under [key]; duplicate
+    payloads under the same key are ignored. *)
 val insert : t -> Pgrid_keyspace.Key.t -> string -> unit
+
+(** [insert_new t key payload] is {!insert} but reports whether the
+    payload was actually new (callers count transferred payloads). *)
+val insert_new : t -> Pgrid_keyspace.Key.t -> string -> bool
 
 (** [ensure_key t key] records [key] in the store (with no payload) if it
     is absent — construction moves keys around without touching
     application payloads. *)
 val ensure_key : t -> Pgrid_keyspace.Key.t -> unit
+
+(** [remove_key t key] deletes [key] and its payloads if present. *)
+val remove_key : t -> Pgrid_keyspace.Key.t -> unit
+
+(** [clear_store t] empties the store. *)
+val clear_store : t -> unit
 
 (** [has_key t key] tests presence regardless of payloads. *)
 val has_key : t -> Pgrid_keyspace.Key.t -> bool
@@ -44,19 +71,59 @@ val keys : t -> Pgrid_keyspace.Key.t list
 (** [key_count t] is the number of distinct keys stored. *)
 val key_count : t -> int
 
+(** [zero_count t] is the number of distinct stored keys whose bit at
+    level [Path.length t.path] is 0 (0 when the path exhausts the key
+    width).  O(1); kept exact by the mutators above and {!set_path}. *)
+val zero_count : t -> int
+
 (** [add_ref t ~level peer] records a routing reference, growing the table
-    as needed; duplicates are ignored. Requires [level >= 0]. *)
+    as needed; duplicates and self-references are ignored. Requires
+    [level >= 0]. *)
 val add_ref : t -> level:int -> id -> unit
 
-(** [refs_at t ~level] is the (possibly empty) reference list at [level]. *)
+(** [refs_at t ~level] is the sorted (possibly empty) reference list at
+    [level].  Allocates; hot paths should use {!refs_fold}/{!refs_iter}. *)
 val refs_at : t -> level:int -> id list
 
-(** [set_path t path] updates the node's partition path. *)
+val refs_count : t -> level:int -> int
+
+(** [refs_array t ~level] is a fresh array of the references at [level]
+    (callers may permute it freely). *)
+val refs_array : t -> level:int -> id array
+val refs_iter : t -> level:int -> (id -> unit) -> unit
+val refs_fold : t -> level:int -> ('a -> id -> 'a) -> 'a -> 'a
+val has_ref : t -> level:int -> id -> bool
+val remove_ref : t -> level:int -> id -> unit
+
+(** [set_refs t ~level peers] replaces the reference set at [level]
+    (self-references are dropped). *)
+val set_refs : t -> level:int -> id list -> unit
+
+(** [union_refs t ~level ~from] adds all of [from]'s references at
+    [level] to [t]'s with one linear merge (self-references dropped). *)
+val union_refs : t -> level:int -> from:t -> unit
+
+(** [reset_refs t ~capacity] discards the whole routing table, leaving
+    at least [capacity] empty levels. *)
+val reset_refs : t -> capacity:int -> unit
+
+(** [set_path t path] updates the node's partition path and recounts the
+    zero-bit statistic for the new level. *)
 val set_path : t -> Pgrid_keyspace.Path.t -> unit
 
 (** [add_replica t peer] records a same-partition replica (idempotent,
     never records the node itself). *)
 val add_replica : t -> id -> unit
+
+(** [absorb_replicas t src] unions [src] into [t]'s replica set with one
+    linear merge (and never records [t] itself). *)
+val absorb_replicas : t -> Intset.t -> unit
+
+(** [replica_list t] is the sorted replica list. *)
+val replica_list : t -> id list
+
+val replica_count : t -> int
+val clear_replicas : t -> unit
 
 (** [drop_keys_outside t path] removes stored keys not matching [path]
     (performed after a split hands the complement's keys over) and returns

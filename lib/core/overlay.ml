@@ -33,17 +33,28 @@ let divergence_level path key =
   go 0
 
 (* Forward one step toward [key]: choose a random online reference at the
-   divergence level. *)
+   divergence level.  Count-then-scan over the reference set keeps this
+   allocation-free (one uniform draw, no intermediate list). *)
 let forward t cur key =
   match divergence_level cur.Node.path key with
   | None -> `Responsible
   | Some level ->
-    let candidates =
-      List.filter (fun id -> (node t id).Node.online) (Node.refs_at cur ~level)
+    let online =
+      Node.refs_fold cur ~level
+        (fun acc id -> if (node t id).Node.online then acc + 1 else acc)
+        0
     in
-    (match candidates with
-    | [] -> `Dead_end
-    | _ -> `Next (Rng.pick_list t.rng candidates))
+    if online = 0 then `Dead_end
+    else begin
+      let target = Rng.int t.rng online in
+      let seen = ref 0 and chosen = ref (-1) in
+      Node.refs_iter cur ~level (fun id ->
+          if (node t id).Node.online then begin
+            if !seen = target then chosen := id;
+            incr seen
+          end);
+      `Next !chosen
+    end
 
 let max_hops = 2 * Key.bits
 
@@ -109,7 +120,7 @@ let insert t ~from key payload =
   | Some id ->
     let peer = node t id in
     Node.insert peer key payload;
-    List.iter
+    Intset.iter
       (fun rid ->
         let replica = node t rid in
         if replica.Node.online && Node.responsible_for replica key then
@@ -148,13 +159,8 @@ let anti_entropy t =
           (fun n ->
             Hashtbl.iter
               (fun k payloads ->
-                let mine = Node.lookup n k in
                 List.iter
-                  (fun p ->
-                    if not (List.mem p mine) then begin
-                      Node.insert n k p;
-                      incr moved
-                    end)
+                  (fun p -> if Node.insert_new n k p then incr moved)
                   payloads)
               union)
           members)

@@ -17,13 +17,18 @@ let p_of_alpha alpha =
     *. (0.5 -. (eps /. 3.) +. (eps *. eps /. 4.) -. (eps *. eps *. eps /. 5.))
   else alpha *. (eps -. log (2. *. alpha)) /. (eps *. eps)
 
-(* Monotone bisection solve of [f x = target] on (lo, hi]. *)
+(* Monotone bisection solve of [f x = target] on (lo, hi].  Stops as soon
+   as the midpoint can no longer move (the interval has collapsed to
+   adjacent floats, after ~53 halvings) — the remaining iterations of a
+   fixed-count loop would return the exact same value, so the early exit
+   is bit-identical and roughly halves the cost. *)
 let invert f ~lo ~hi target =
   let rec go lo hi iters =
     if iters = 0 then (lo +. hi) /. 2.
     else begin
       let mid = (lo +. hi) /. 2. in
-      if f mid < target then go mid hi (iters - 1) else go lo mid (iters - 1)
+      if mid <= lo || mid >= hi then mid
+      else if f mid < target then go mid hi (iters - 1) else go lo mid (iters - 1)
     end
   in
   go lo hi 100
@@ -42,10 +47,27 @@ let alpha_of_p p =
 
 type probabilities = { alpha : float; beta : float }
 
+(* Callers resolve the same load fractions over and over: clamped sample
+   estimates live on the grid {k/s}, and the construction engine re-derives
+   p from small integer count pairs.  Memoizing on the exact float keeps
+   each bisection solve to one evaluation per distinct p.  The table is
+   bounded as a safety valve; within the bound hits return the exact same
+   values the solve would, so results are unchanged. *)
+let probabilities_memo : (float, probabilities) Hashtbl.t = Hashtbl.create 256
+let memo_limit = 1 lsl 16
+
 let probabilities ~p =
   if not (p > 0. && p <= 0.5) then invalid_arg "Aep_math.probabilities: need 0 < p <= 1/2";
-  if p >= p_boundary then { alpha = 1.; beta = beta_of_p p }
-  else { alpha = alpha_of_p p; beta = 0. }
+  match Hashtbl.find_opt probabilities_memo p with
+  | Some probs -> probs
+  | None ->
+    let probs =
+      if p >= p_boundary then { alpha = 1.; beta = beta_of_p p }
+      else { alpha = alpha_of_p p; beta = 0. }
+    in
+    if Hashtbl.length probabilities_memo < memo_limit then
+      Hashtbl.add probabilities_memo p probs;
+    probs
 
 let second_derivative f x ~h ~lo ~hi =
   (* Central difference, shifting the stencil inside the domain. *)

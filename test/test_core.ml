@@ -27,6 +27,12 @@ let test_node_store () =
   checki "distinct keys" 2 (Node.key_count n);
   Alcotest.check (Alcotest.list Alcotest.string) "payloads accumulate" [ "b"; "a" ]
     (Node.lookup n (key 0.3));
+  Node.insert n (key 0.3) "a";
+  Alcotest.check (Alcotest.list Alcotest.string) "duplicate payload ignored"
+    [ "b"; "a" ]
+    (Node.lookup n (key 0.3));
+  checkb "insert_new reports duplicates" false (Node.insert_new n (key 0.3) "b");
+  checkb "insert_new reports fresh payloads" true (Node.insert_new n (key 0.3) "d");
   Alcotest.check (Alcotest.list Alcotest.string) "missing key" [] (Node.lookup n (key 0.5))
 
 let test_node_refs () =
@@ -46,7 +52,8 @@ let test_node_replicas () =
   Node.add_replica n 2;
   Node.add_replica n 2;
   Node.add_replica n 1;
-  Alcotest.check (Alcotest.list Alcotest.int) "dedup and no self" [ 2 ] n.Node.replicas
+  Alcotest.check (Alcotest.list Alcotest.int) "dedup and no self" [ 2 ]
+    (Node.replica_list n)
 
 let test_node_drop_outside () =
   let n = Node.create ~id:1 in
@@ -169,7 +176,7 @@ let test_insert_replicates () =
       (fun rid ->
         checkb "replica holds insert" true
           (Node.lookup (Overlay.node overlay rid) fresh <> []))
-      n.Node.replicas)
+      (Node.replica_list n))
 
 let test_anti_entropy () =
   let rng = Rng.create ~seed:10 in
@@ -274,6 +281,37 @@ let test_trie_view () =
   let short = Pgrid_core.Trie_view.render ~max_leaves:4 overlay in
   checkb "elides long tries" true (Test_util.contains short "elided")
 
+(* The incremental zero-bit counter must track a from-scratch recount
+   through any interleaving of inserts, removals (hand-overs), path
+   extensions and drop_keys_outside. *)
+let qcheck_zero_counter =
+  QCheck.Test.make ~name:"incremental zero-bit counter matches recount" ~count:100
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let n = Node.create ~id:0 in
+      let recount () =
+        let level = Path.length n.Node.path in
+        if level >= Key.bits then 0
+        else
+          List.fold_left
+            (fun acc k -> if Key.bit k level = 0 then acc + 1 else acc)
+            0 (Node.keys n)
+      in
+      let ok = ref true in
+      for step = 1 to 200 do
+        (match Rng.int rng 6 with
+        | 0 | 1 -> Node.insert n (Key.random rng) (string_of_int step)
+        | 2 -> Node.ensure_key n (Key.random rng)
+        | 3 -> (
+          match Node.keys n with [] -> () | k :: _ -> Node.remove_key n k)
+        | 4 ->
+          if Path.length n.Node.path < 8 then
+            Node.set_path n (Path.extend n.Node.path (Rng.int rng 2))
+        | _ -> ignore (Node.drop_keys_outside n n.Node.path));
+        if Node.zero_count n <> recount () then ok := false
+      done;
+      !ok)
+
 let qcheck_builder_integrity =
   QCheck.Test.make ~name:"builder overlays route every key" ~count:15
     QCheck.small_signed_int (fun seed ->
@@ -311,5 +349,6 @@ let suite =
     Alcotest.test_case "search key_present" `Quick test_search_key_present_flag;
     Alcotest.test_case "integrity: empty complement" `Quick test_integrity_empty_complement_ok;
     Alcotest.test_case "trie view" `Quick test_trie_view;
+    QCheck_alcotest.to_alcotest qcheck_zero_counter;
     QCheck_alcotest.to_alcotest qcheck_builder_integrity;
   ]

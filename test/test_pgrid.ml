@@ -8,6 +8,7 @@ let () =
       ("keyspace", Test_keyspace.suite);
       ("workload", Test_workload.suite);
       ("partition", Test_partition.suite);
+      ("intset", Test_intset.suite);
       ("core", Test_core.suite);
       ("maintenance", Test_maintenance.suite);
       ("baseline", Test_baseline.suite);

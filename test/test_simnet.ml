@@ -306,6 +306,47 @@ let test_vote_derive_d_max () =
   (* d_avg = 10, n_min = 5: d_max = 10 * 5 * 2 = 100. *)
   checki "paper parameter rule" 100 (Vote.derive_d_max r ~n_min:5)
 
+(* run_until processes strictly-before events only: anything scheduled
+   exactly at [time] stays queued, whatever the mix of delays. *)
+let qcheck_run_until_boundary =
+  QCheck.Test.make ~name:"run_until excludes events at the boundary" ~count:200
+    QCheck.(list (int_bound 10))
+    (fun delays ->
+      let sim = Sim.create () in
+      let boundary = 5. in
+      let fired = ref [] in
+      List.iter
+        (fun d ->
+          let d = float_of_int d in
+          Sim.schedule sim ~delay:d (fun () -> fired := d :: !fired))
+        delays;
+      Sim.run_until sim ~time:boundary;
+      let expect_fired = List.filter (fun d -> float_of_int d < boundary) delays in
+      List.length !fired = List.length expect_fired
+      && Sim.pending sim = List.length delays - List.length expect_fired
+      && Sim.now sim = boundary
+      && List.for_all (fun d -> d < boundary) !fired)
+
+(* Heap pops are a stable sort: ascending time, scheduling order within
+   equal timestamps.  int_bound 3 forces heavy timestamp collisions. *)
+let qcheck_equal_time_fifo =
+  QCheck.Test.make ~name:"equal timestamps pop in scheduling order" ~count:200
+    QCheck.(list (int_bound 3))
+    (fun delays ->
+      let sim = Sim.create () in
+      let fired = ref [] in
+      List.iteri
+        (fun i d ->
+          Sim.schedule sim ~delay:(float_of_int d) (fun () ->
+              fired := (d, i) :: !fired))
+        delays;
+      Sim.run sim;
+      let expected =
+        List.mapi (fun i d -> (d, i)) delays
+        |> List.stable_sort (fun (d1, _) (d2, _) -> compare d1 d2)
+      in
+      List.rev !fired = expected)
+
 let qcheck_net_engine_determinism =
   QCheck.Test.make ~name:"construction runs are seed-deterministic" ~count:4
     QCheck.small_signed_int (fun seed ->
@@ -349,5 +390,7 @@ let suite =
     Alcotest.test_case "churn goes offline" `Quick test_churn_offline_periods;
     Alcotest.test_case "vote aggregation" `Quick test_vote_aggregation;
     Alcotest.test_case "vote parameter rule" `Quick test_vote_derive_d_max;
+    QCheck_alcotest.to_alcotest qcheck_run_until_boundary;
+    QCheck_alcotest.to_alcotest qcheck_equal_time_fifo;
     QCheck_alcotest.to_alcotest qcheck_net_engine_determinism;
   ]
