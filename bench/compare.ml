@@ -42,7 +42,22 @@ let collect_micros doc =
          | Some name, Some ns -> Some (name, ns)
          | _ -> None)
 
-let paired ~floor old_entries new_entries =
+(* Entries present in only one report are skipped, but silently losing a
+   target (a rename, a dropped kernel) is exactly what a baseline diff
+   should surface — warn on stderr, non-fatally, in both directions. *)
+let warn_one_sided ~kind old_entries new_entries =
+  let missing_from other = List.filter (fun (n, _) -> not (List.mem_assoc n other)) in
+  List.iter
+    (fun (name, _) ->
+      Printf.eprintf "compare: warning: %s %S only in baseline report\n" kind name)
+    (missing_from new_entries old_entries);
+  List.iter
+    (fun (name, _) ->
+      Printf.eprintf "compare: warning: %s %S only in candidate report\n" kind name)
+    (missing_from old_entries new_entries)
+
+let paired ~kind ~floor old_entries new_entries =
+  warn_one_sided ~kind old_entries new_entries;
   List.filter_map
     (fun (name, old_v) ->
       Option.map
@@ -107,9 +122,13 @@ let () =
   in
   let old_doc = load old_path and new_doc = load new_path in
   let walls =
-    paired ~floor:wall_floor (collect_walls old_doc) (collect_walls new_doc)
+    paired ~kind:"target" ~floor:wall_floor (collect_walls old_doc)
+      (collect_walls new_doc)
   in
-  let micros = paired ~floor:0. (collect_micros old_doc) (collect_micros new_doc) in
+  let micros =
+    paired ~kind:"kernel" ~floor:0. (collect_micros old_doc)
+      (collect_micros new_doc)
+  in
   if walls = [] && micros = [] then begin
     prerr_endline "compare: no common targets or kernels between the two reports";
     exit 2

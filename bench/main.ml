@@ -99,6 +99,14 @@ let table1 _reps =
   banner "Table 1 -- in-text statistics of Section 5.2";
   print_table (Figures.table1 ~seed ()) ~title:"paper vs measured"
 
+let resilience _reps =
+  banner "Resilience -- construction and queries under injected faults";
+  note "bursty loss + partition + crash-restart, scaled by severity; \
+        severity 0 = hardened fault-free baseline";
+  note "expected: deviation within 2x baseline and success >= 80% at severity 0.5";
+  let columns, rows = Figures.resilience_table (Figures.resilience ~seed ()) in
+  Table.print ~title:"fault-severity sweep" ~columns ~rows
+
 let ablation_seq _reps =
   banner "Ablation X1 -- sequential joins vs parallel construction (Sec 4.3)";
   note "paper claim: messages comparable; latency O(n log n) vs O(log^2 n)";
@@ -239,6 +247,7 @@ let targets =
     ("fig8", fig8);
     ("fig9", fig9);
     ("table1", table1);
+    ("resilience", resilience);
     ("ablation-seq", ablation_seq);
     ("ablation-cost", ablation_cost);
     ("ablation-cor", ablation_cor);
@@ -262,8 +271,30 @@ let fig6_values f =
            (Array.to_list f.Figures.values.(i)))
        f.Figures.categories)
 
+(* The resilience sweep flattens to one named value per (severity,
+   metric) cell, so CI and compare.exe can watch the robustness numbers
+   drift.  The sweep is memoized, so re-asking after the target printed
+   it costs nothing. *)
+let resilience_values () =
+  List.concat_map
+    (fun r ->
+      let v name value = (Printf.sprintf "s%.1f/%s" r.Figures.severity name, value) in
+      [
+        v "deviation" r.Figures.deviation;
+        v "success_pct" r.Figures.success_pct;
+        v "mean_latency" r.Figures.mean_latency;
+        v "issued" (float_of_int r.Figures.issued);
+        v "timeouts" (float_of_int r.Figures.timeouts);
+        v "retries" (float_of_int r.Figures.retries);
+        v "give_ups" (float_of_int r.Figures.give_ups);
+        v "evictions" (float_of_int r.Figures.evictions);
+        v "crashes" (float_of_int r.Figures.crashes);
+      ])
+    (Figures.resilience ~seed ())
+
 let values_of name reps =
   match name with
+  | "resilience" -> resilience_values ()
   | "fig6a" -> fig6_values (Figures.fig6a ?reps ~seed ())
   | "fig6b" -> fig6_values (Figures.fig6b ?reps ~seed ())
   | "fig6c" -> fig6_values (Figures.fig6c ?reps ~seed ())

@@ -204,28 +204,85 @@ let bisect_cmd =
 
 (* --- planetlab ---------------------------------------------------------------- *)
 
-let planetlab seed peers spec trace metrics =
+let fault_plan_arg =
+  let parse s =
+    match Pgrid_simnet.Fault.parse s with
+    | Ok plan -> Ok plan
+    | Error reason -> Error (`Msg reason)
+  in
+  let print fmt plan = Format.pp_print_string fmt (Pgrid_simnet.Fault.to_string plan) in
+  Arg.(
+    value
+    & opt (conv (parse, print)) []
+    & info [ "fault-plan" ] ~docv:"PLAN"
+        ~doc:
+          "Inject faults during the run: semicolon-separated specs from the \
+           mini-language burst/partition/crash/latency/dup, times in seconds \
+           (see DESIGN.md section 9). A non-empty plan switches the query \
+           path to the hardened request/response tracker.")
+
+let robust_arg =
+  Arg.(
+    value & flag
+    & info [ "robust" ]
+        ~doc:
+          "Use the hardened request/response tracker (liveness pings, \
+           timeouts, retries with backoff, stale-reference eviction) even \
+           without a fault plan.")
+
+let planetlab seed peers spec fault_plan robust trace metrics =
   with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
-  let o = Net_engine.run ~telemetry rng (Net_engine.default_params ~peers) ~spec in
+  let params =
+    {
+      (Net_engine.default_params ~peers) with
+      Net_engine.fault_plan;
+      fault_seed = seed + 7;
+      robust = (if robust then Some Net_engine.default_robust else None);
+    }
+  in
+  let o = Net_engine.run ~telemetry rng params ~spec in
   let qs = o.Net_engine.query_stats in
+  let rs = o.Net_engine.robust_stats in
   let s = o.Net_engine.stats in
+  let hardened_rows =
+    if robust || fault_plan <> [] then
+      [
+        [ "timeouts / retries";
+          Printf.sprintf "%d / %d" rs.Net_engine.timeouts rs.Net_engine.retries ];
+        [ "give-ups / evictions";
+          Printf.sprintf "%d / %d" rs.Net_engine.give_ups rs.Net_engine.evictions ];
+      ]
+    else []
+  in
+  let fault_rows =
+    match o.Net_engine.fault_stats with
+    | None -> []
+    | Some f ->
+      [
+        [ "fault crashes"; string_of_int f.Pgrid_simnet.Fault.crashes ];
+        [ "fault drops (loss / cut)";
+          Printf.sprintf "%d / %d" f.Pgrid_simnet.Fault.loss_drops
+            f.Pgrid_simnet.Fault.partition_drops ];
+      ]
+  in
   Table.print ~title:"simulated deployment (paper Section 5 timeline)"
     ~columns:[ "metric"; "value" ]
     ~rows:
-      [
-        [ "peers"; string_of_int s.Overlay.peers ];
-        [ "partitions"; string_of_int s.Overlay.partitions ];
-        [ "mean path length"; Table.fmt_float s.Overlay.mean_path_length ];
-        [ "mean replication"; Table.fmt_float s.Overlay.mean_replication ];
-        [ "deviation"; Table.fmt_float o.Net_engine.deviation ];
-        [ "queries issued"; string_of_int qs.Net_engine.issued ];
-        [ "query success";
-          Printf.sprintf "%.1f%%"
-            (100. *. float_of_int qs.Net_engine.succeeded /. float_of_int (max 1 qs.Net_engine.issued)) ];
-        [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
-        [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
-      ];
+      ([
+         [ "peers"; string_of_int s.Overlay.peers ];
+         [ "partitions"; string_of_int s.Overlay.partitions ];
+         [ "mean path length"; Table.fmt_float s.Overlay.mean_path_length ];
+         [ "mean replication"; Table.fmt_float s.Overlay.mean_replication ];
+         [ "deviation"; Table.fmt_float o.Net_engine.deviation ];
+         [ "queries issued"; string_of_int qs.Net_engine.issued ];
+         [ "query success";
+           Printf.sprintf "%.1f%%"
+             (100. *. float_of_int qs.Net_engine.succeeded /. float_of_int (max 1 qs.Net_engine.issued)) ];
+         [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
+         [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
+       ]
+      @ hardened_rows @ fault_rows);
   Series.print
     (Series.figure ~title:"online peers" ~x_label:"minutes" ~y_label:"peers"
        [ Series.make "peers" (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series) ])
@@ -233,8 +290,8 @@ let planetlab seed peers spec trace metrics =
 let planetlab_cmd =
   let doc = "run the full simulated deployment (join, replicate, construct, query, churn)" in
   Cmd.v (Cmd.info "planetlab" ~doc)
-    Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg $ trace_arg
-          $ metrics_arg)
+    Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg
+          $ fault_plan_arg $ robust_arg $ trace_arg $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -271,7 +328,7 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 ablation-seq ablation-cost ablation-cor ablation-pht \
+              table1 resilience ablation-seq ablation-cost ablation-cor ablation-pht \
               ablation-merge ablation-maintain.")
 
 let figure seed name reps trace metrics =
@@ -293,6 +350,9 @@ let figure seed name reps trace metrics =
   | "fig8" -> Series.print (Figures.fig8 ~seed ())
   | "fig9" -> Series.print (Figures.fig9 ~seed ())
   | "table1" -> print_table "in-text statistics" (Figures.table1 ~seed ())
+  | "resilience" ->
+    print_table "fault-severity sweep"
+      (Figures.resilience_table (Figures.resilience ~seed ()))
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

@@ -21,6 +21,7 @@ type hooks = {
   on_contact : src:int -> dst:int -> unit;
   on_key_moved : src:int -> dst:int -> unit;
   on_reactivate : int -> unit;
+  contact_ok : src:int -> dst:int -> bool;
 }
 
 let no_hooks =
@@ -28,6 +29,7 @@ let no_hooks =
     on_contact = (fun ~src:_ ~dst:_ -> ());
     on_key_moved = (fun ~src:_ ~dst:_ -> ());
     on_reactivate = ignore;
+    contact_ok = (fun ~src:_ ~dst:_ -> true);
   }
 
 type counters = {
@@ -165,6 +167,15 @@ let mark_useful t i =
   end
 
 let note_useful = mark_useful
+
+(* A crash-restarted peer keeps its path and store (persistent) but loses
+   the volatile interaction state: overlap estimates and the fruitless
+   counter start over. *)
+let note_crash t i =
+  t.fruitless.(i) <- 0;
+  t.obs_count.(i) <- 0;
+  t.k_ema.(i) <- 0.;
+  t.r_ema.(i) <- 0.
 
 let mark_fruitless t i =
   t.fruitless.(i) <- t.fruitless.(i) + 1;
@@ -468,7 +479,7 @@ let follow_decided t i j =
    contacted peer's partition is compatible (equal or prefix-related). *)
 let rec locate t i j hops =
   note_contact t ~src:i ~dst:j;
-  if not (node t j).Node.online then None
+  if not ((node t j).Node.online && t.hooks.contact_ok ~src:i ~dst:j) then None
   else begin
     let pi = (node t i).Node.path and pj = (node t j).Node.path in
     let cpl = Path.common_prefix_length pi pj in

@@ -23,6 +23,11 @@ type hooks = {
   on_contact : src:int -> dst:int -> unit;  (** one pairwise contact *)
   on_key_moved : src:int -> dst:int -> unit;  (** one key, one hop *)
   on_reactivate : int -> unit;  (** peer flipped from passive to active *)
+  contact_ok : src:int -> dst:int -> bool;
+      (** veto on each contact attempt — a fault layer returns [false]
+          when the exchange is lost (partition cut, bursty loss); the
+          contact is still counted and the initiator goes fruitless.
+          The default always admits. *)
 }
 
 (** Hooks that do nothing — the default for drivers that only need the
@@ -65,6 +70,11 @@ val any_active : t -> bool
 (** [note_useful t i] resets peer [i]'s fruitless counter, re-activating
     it (e.g. after it received new data from outside the engine). *)
 val note_useful : t -> int -> unit
+
+(** [note_crash t i] models a crash of peer [i]: the volatile interaction
+    state (overlap estimates, fruitless counter) is wiped, while the
+    persistent path and store — which live in the overlay — survive. *)
+val note_crash : t -> int -> unit
 
 (** Counters over the engine's lifetime. *)
 type counters = {

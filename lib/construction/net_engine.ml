@@ -8,11 +8,13 @@ module Node = Pgrid_core.Node
 module Overlay = Pgrid_core.Overlay
 module Deviation = Pgrid_core.Deviation
 module Moments = Pgrid_stats.Moments
+module Maintenance = Pgrid_core.Maintenance
 module Sim = Pgrid_simnet.Sim
 module Net = Pgrid_simnet.Net
 module Latency = Pgrid_simnet.Latency
 module Unstructured = Pgrid_simnet.Unstructured
 module Churn = Pgrid_simnet.Churn
+module Fault = Pgrid_simnet.Fault
 module Telemetry = Pgrid_telemetry.Telemetry
 module Event = Pgrid_telemetry.Event
 
@@ -39,6 +41,29 @@ let paper_phases =
     end_time = minutes 500.;
   }
 
+(* Liveness probes of the hardened request/response tracker.  [rid]
+   correlates a Ping with its Pong; a reply proves the target is up and
+   routable before the query hops to it. *)
+type wire = Ping of { rid : int; reply_to : int } | Pong of { rid : int }
+
+type robust = {
+  req_timeout : float;
+  backoff : float;
+  jitter : float;
+  max_retries : int;
+  evict_after : int;
+}
+
+let default_robust =
+  { req_timeout = 2.; backoff = 2.; jitter = 0.2; max_retries = 3; evict_after = 2 }
+
+type robust_stats = {
+  timeouts : int;
+  retries : int;
+  give_ups : int;
+  evictions : int;
+}
+
 type params = {
   peers : int;
   keys_per_peer : int;
@@ -61,6 +86,9 @@ type params = {
   mode : Engine.mode;
   phases : phases;
   churn : Churn.params option;
+  robust : robust option;
+  fault_plan : Fault.plan;
+  fault_seed : int;
 }
 
 let default_params ~peers =
@@ -86,6 +114,9 @@ let default_params ~peers =
     mode = Engine.Theory;
     phases = paper_phases;
     churn = None;
+    robust = None;
+    fault_plan = [];
+    fault_seed = 0;
   }
 
 type query_stats = {
@@ -109,6 +140,8 @@ type outcome = {
   counters : Engine.counters;
   messages_sent : int;
   messages_dropped : int;
+  robust_stats : robust_stats;
+  fault_stats : Fault.stats option;
 }
 
 type query_record = { at : float; latency : float; hops : int; success : bool }
@@ -122,7 +155,8 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   Telemetry.set_clock tel (fun () -> Sim.now sim);
   (* The network carries unit messages: interactions are executed on
      shared state, so only accounting and timing flow through it. *)
-  let net = Net.create ~telemetry:tel sim (Rng.split rng) ~nodes:params.peers
+  let net : wire Net.t =
+    Net.create ~telemetry:tel sim (Rng.split rng) ~nodes:params.peers
       ~latency:params.latency ~loss:params.loss ~bucket:params.bucket
   in
   let overlay = Overlay.create (Rng.split rng) ~n:params.peers in
@@ -151,6 +185,9 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   (* --- construction engine wiring ------------------------------------ *)
   let engine = ref None in
   let schedule_initiation = ref (fun _ -> ()) in
+  (* Filled in once the fault plan (if any) is installed below; until
+     then every contact is admitted, exactly as before. *)
+  let fault_ref = ref None in
   let hooks =
     {
       Engine.on_contact =
@@ -159,6 +196,11 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
       on_key_moved =
         (fun ~src ~dst -> account ~src ~dst ~bytes:params.key_bytes ~kind:Net.Maintenance ());
       on_reactivate = (fun i -> !schedule_initiation i);
+      contact_ok =
+        (fun ~src ~dst ->
+          match !fault_ref with
+          | None -> true
+          | Some f -> Fault.admits f ~src ~dst);
     }
   in
   let engine_config =
@@ -172,6 +214,52 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   in
   let eng = Engine.create ~telemetry:tel (Rng.split rng) engine_config overlay hooks in
   engine := Some eng;
+  (* --- hardened protocol mode ------------------------------------------ *)
+  (* Anything below that touches RNG state is gated: a legacy run (no
+     robust config, no fault plan) must consume exactly the same draw
+     sequence as before this mode existed. *)
+  let hardened = params.robust <> None || params.fault_plan <> [] in
+  let rcfg = Option.value params.robust ~default:default_robust in
+  let robust_rng = if hardened then Some (Rng.split rng) else None in
+  let timeouts = ref 0
+  and retries = ref 0
+  and give_ups = ref 0
+  and evictions = ref 0 in
+  let fault =
+    if params.fault_plan = [] then None
+    else
+      Some
+        (Fault.install ~telemetry:tel
+           ~on_crash:(fun i ->
+             Engine.note_crash eng i;
+             set_online i false)
+           ~on_restart:(fun i ->
+             set_online i true;
+             (* Fresh volatile state: the peer re-enters construction. *)
+             Engine.note_useful eng i)
+           net ~seed:params.fault_seed params.fault_plan)
+  in
+  fault_ref := fault;
+  (* Request/response tracker: rid -> continuation to run on the Pong. *)
+  let pending : (int, unit -> unit) Hashtbl.t = Hashtbl.create 64 in
+  let next_rid = ref 0 in
+  (* Consecutive liveness failures per (holder, reference) link; reaching
+     [evict_after] triggers correction-on-use. *)
+  let fail_counts : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  if hardened then
+    Net.set_handler net (fun me msg ->
+        match msg with
+        | Ping { rid; reply_to } ->
+          (* Answered from persisted state: even a crash-restarted peer
+             replies, its path and store survive. *)
+          Net.send net ~src:me ~dst:reply_to ~bytes:params.header_bytes
+            ~kind:Net.Query (Pong { rid })
+        | Pong { rid } -> (
+          match Hashtbl.find_opt pending rid with
+          | Some continue ->
+            Hashtbl.remove pending rid;
+            continue ()
+          | None -> (* late or duplicated reply *) ()));
   let scheduled = Array.make params.peers false in
   let rec initiation_loop i () =
     scheduled.(i) <- false;
@@ -325,6 +413,117 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
     query_log :=
       { at = issued_at; latency = !latency_total; hops = !hops; success } :: !query_log
   in
+  (* Hardened variant: every hop is gated by a Ping/Pong liveness round
+     trip through the real network, with per-request timeouts, bounded
+     retries under exponential backoff with jitter, and correction-on-use
+     eviction of references that keep timing out.  Latency is genuinely
+     elapsed simulated time. *)
+  let issue_query_robust origin =
+    let rrng = Option.get robust_rng in
+    let key = all_keys.(Rng.int rrng (Array.length all_keys)) in
+    let issued_at = Sim.now sim in
+    let qid = !next_qid in
+    incr next_qid;
+    if Telemetry.active tel then Telemetry.emit tel (Event.Query_issue { qid; origin });
+    let hops = ref 0 in
+    let finish success =
+      let latency = Sim.now sim -. issued_at in
+      if Telemetry.active tel then
+        Telemetry.emit tel
+          (Event.Query_complete { qid; origin; hops = !hops; latency; success });
+      query_log :=
+        { at = issued_at; latency; hops = !hops; success } :: !query_log
+    in
+    let diverge n =
+      let len = Path.length n.Node.path in
+      let rec go l =
+        if l >= len then None
+        else if Path.bit n.Node.path l <> Key.bit key l then Some l
+        else go (l + 1)
+      in
+      go 0
+    in
+    let snapshot cur level =
+      let refs = Node.refs_array (Overlay.node overlay cur) ~level in
+      Rng.shuffle rrng refs;
+      Array.to_list refs
+    in
+    let rec route cur budget =
+      if budget = 0 then finish false
+      else begin
+        match diverge (Overlay.node overlay cur) with
+        | None ->
+          (* Responsible peer reached; the response flows back. *)
+          account ~src:cur ~dst:origin ~bytes:params.header_bytes ~kind:Net.Query ();
+          finish true
+        | Some level ->
+          try_refs cur level budget ~refreshed:false (snapshot cur level)
+      end
+    and try_refs cur level budget ~refreshed = function
+      | [] ->
+        if refreshed then finish false
+        else
+          (* An eviction may just have refilled this level: take one
+             fresh snapshot before declaring the dead end. *)
+          try_refs cur level budget ~refreshed:true (snapshot cur level)
+      | target :: rest -> attempt cur level budget ~refreshed rest target 0
+    and attempt cur level budget ~refreshed rest target k =
+      let rid = !next_rid in
+      incr next_rid;
+      Hashtbl.replace pending rid (fun () ->
+          Hashtbl.remove fail_counts (cur, target);
+          incr hops;
+          if Telemetry.active tel then
+            Telemetry.emit tel (Event.Query_hop { qid; src = cur; dst = target });
+          route target (budget - 1));
+      Net.send net ~src:cur ~dst:target ~bytes:params.header_bytes ~kind:Net.Query
+        (Ping { rid; reply_to = cur });
+      let timeout =
+        rcfg.req_timeout
+        *. (rcfg.backoff ** float_of_int k)
+        *. (1. +. (rcfg.jitter *. Rng.float rrng))
+      in
+      Sim.schedule sim ~delay:timeout (fun () ->
+          if Hashtbl.mem pending rid then begin
+            Hashtbl.remove pending rid;
+            incr timeouts;
+            if Telemetry.active tel then
+              Telemetry.emit tel
+                (Event.Timeout { rid; src = cur; dst = target; attempt = k });
+            let fails =
+              1 + Option.value ~default:0 (Hashtbl.find_opt fail_counts (cur, target))
+            in
+            Hashtbl.replace fail_counts (cur, target) fails;
+            let evicted =
+              fails >= rcfg.evict_after
+              && begin
+                   Hashtbl.remove fail_counts (cur, target);
+                   let n =
+                     Maintenance.correct_on_use ~telemetry:tel ~dead:target rrng
+                       overlay ~peer:cur ~level
+                   in
+                   evictions := !evictions + n;
+                   n > 0
+                 end
+            in
+            if (not evicted) && k < rcfg.max_retries then begin
+              incr retries;
+              if Telemetry.active tel then
+                Telemetry.emit tel
+                  (Event.Retry { rid; src = cur; dst = target; attempt = k + 1 });
+              attempt cur level budget ~refreshed rest target (k + 1)
+            end
+            else begin
+              incr give_ups;
+              if Telemetry.active tel then
+                Telemetry.emit tel (Event.Give_up { rid; src = cur });
+              try_refs cur level budget ~refreshed rest
+            end
+          end)
+    in
+    route origin (4 * Key.bits)
+  in
+  let issue_query = if hardened then issue_query_robust else issue_query in
   Array.iteri
     (fun i _ ->
       let rec loop () =
@@ -415,4 +614,12 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
     counters = Engine.counters eng;
     messages_sent = Net.messages_sent net;
     messages_dropped = Net.messages_dropped net;
+    robust_stats =
+      {
+        timeouts = !timeouts;
+        retries = !retries;
+        give_ups = !give_ups;
+        evictions = !evictions;
+      };
+    fault_stats = Option.map Fault.stats fault;
   }

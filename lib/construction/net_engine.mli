@@ -24,6 +24,33 @@ type phases = {
 (** The paper's timeline in seconds (minutes 0/45/100/300/430/500). *)
 val paper_phases : phases
 
+(** Parameters of the hardened request/response tracker (active whenever
+    a [robust] config or a non-empty [fault_plan] is given): each query
+    hop is preceded by a Ping/Pong liveness round trip with a
+    per-request timeout of
+    [req_timeout * backoff^attempt * (1 + jitter * U\[0,1))] seconds and
+    up to [max_retries] re-sends; [evict_after] consecutive timeouts on
+    the same (holder, reference) link trigger correction-on-use eviction
+    ({!Pgrid_core.Maintenance.correct_on_use}). *)
+type robust = {
+  req_timeout : float;
+  backoff : float;
+  jitter : float;
+  max_retries : int;
+  evict_after : int;
+}
+
+(** 2 s base timeout, factor-2 backoff with 20% jitter, 3 retries,
+    eviction after 2 consecutive timeouts. *)
+val default_robust : robust
+
+type robust_stats = {
+  timeouts : int;
+  retries : int;
+  give_ups : int;  (** requests abandoned (retry budget or eviction) *)
+  evictions : int;  (** references evicted by correction-on-use *)
+}
+
 type params = {
   peers : int;
   keys_per_peer : int;
@@ -47,6 +74,14 @@ type params = {
   phases : phases;
   churn : Pgrid_simnet.Churn.params option;
       (** [None]: the paper's churn cycle over [churn_start, end_time] *)
+  robust : robust option;
+      (** [None] with an empty [fault_plan]: the legacy synchronous query
+          model (dead reference = flat [retry_timeout] penalty), RNG
+          draw sequence bit-identical to pre-fault builds. Otherwise the
+          hardened tracker runs (with {!default_robust} when only a
+          fault plan is given). *)
+  fault_plan : Pgrid_simnet.Fault.plan;  (** [[]]: no fault injection *)
+  fault_seed : int;  (** seed of the fault layer's dedicated RNG *)
 }
 
 (** Paper-like defaults for ~296 peers. *)
@@ -75,6 +110,9 @@ type outcome = {
   counters : Engine.counters;
   messages_sent : int;
   messages_dropped : int;
+  robust_stats : robust_stats;  (** all zero on legacy runs *)
+  fault_stats : Pgrid_simnet.Fault.stats option;
+      (** [Some] iff a fault plan was installed *)
 }
 
 (** [run ?telemetry rng params ~spec] executes the full timeline.

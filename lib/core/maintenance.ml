@@ -247,6 +247,29 @@ let repair ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~redundancy 
       (Event.Repair { dropped = !dropped; added = !added; unfixable = !unfixable });
   { dead_refs_dropped = !dropped; refs_added = !added; unfixable_levels = !unfixable }
 
+(* --- correction on use -------------------------------------------------------- *)
+
+let correct_on_use ?(telemetry = Pgrid_telemetry.Global.get ()) ?dead rng overlay
+    ~peer ~level =
+  let n = node overlay peer in
+  if level < 0 || level >= Array.length n.Node.refs then 0
+  else begin
+    let refs = Node.refs_at n ~level in
+    let stale =
+      match dead with
+      | Some d -> if List.mem d refs then [ d ] else []
+      | None -> List.filter (fun r -> not (node overlay r).Node.online) refs
+    in
+    List.iter
+      (fun r ->
+        Node.remove_ref n ~level r;
+        if Telemetry.active telemetry then
+          Telemetry.emit telemetry (Event.Ref_evict { peer; level; target = r }))
+      stale;
+    refill_level rng overlay peer level;
+    List.length stale
+  end
+
 (* --- rebalance ----------------------------------------------------------------- *)
 
 type rebalance_report = { migrations : int; rounds : int; final_spread : float }

@@ -62,6 +62,23 @@ val repair :
   redundancy:int ->
   repair_report
 
+(** [correct_on_use ?dead rng overlay ~peer ~level] is the paper's
+    correction-on-use repair, triggered by an actual routing failure
+    rather than a global sweep: evict [dead] from [peer]'s level-[level]
+    references (or, without [dead], every currently-offline reference at
+    that level), emit a [Ref_evict] event per eviction, and refill the
+    level with a random online complement peer if it was left empty.
+    Returns the number of references evicted; out-of-range levels are a
+    no-op. *)
+val correct_on_use :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?dead:Node.id ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  peer:Node.id ->
+  level:int ->
+  int
+
 type rebalance_report = {
   migrations : int;
   rounds : int;

@@ -20,6 +20,7 @@ type search_result = {
   hops : int;
   key_present : bool;
   payloads : string list;
+  dead_end : (Node.id * int) option;
 }
 
 (* First level at which [path] disagrees with [key], if any. *)
@@ -44,7 +45,7 @@ let forward t cur key =
         (fun acc id -> if (node t id).Node.online then acc + 1 else acc)
         0
     in
-    if online = 0 then `Dead_end
+    if online = 0 then `Dead_end level
     else begin
       let target = Rng.int t.rng online in
       let seen = ref 0 and chosen = ref (-1) in
@@ -59,7 +60,9 @@ let forward t cur key =
 let max_hops = 2 * Key.bits
 
 let search t ~from key =
-  let fail hops = { responsible = None; hops; key_present = false; payloads = [] } in
+  let fail ?at hops =
+    { responsible = None; hops; key_present = false; payloads = []; dead_end = at }
+  in
   let rec go cur hops =
     if hops > max_hops then fail hops
     else begin
@@ -70,8 +73,9 @@ let search t ~from key =
           hops;
           key_present = Node.has_key cur key;
           payloads = Node.lookup cur key;
+          dead_end = None;
         }
-      | `Dead_end -> fail hops
+      | `Dead_end level -> fail ~at:(cur.Node.id, level) hops
       | `Next id -> go (node t id) (hops + 1)
     end
   in

@@ -24,6 +24,9 @@ type search_result = {
   hops : int;  (** number of forwardings *)
   key_present : bool;  (** the responsible peer stores the key *)
   payloads : string list;  (** data found at the responsible peer *)
+  dead_end : (Node.id * int) option;
+      (** on failure: the peer whose reference level had no online entry
+          (the trigger for correction-on-use repair) *)
 }
 
 (** [search t ~from key] routes bit-by-bit from [from]: while the current

@@ -276,6 +276,149 @@ let table1 ?peers ~seed () =
   in
   (columns, rows)
 
+(* --- resilience sweep (construction & queries under faults) ------------- *)
+
+module Fault = Pgrid_simnet.Fault
+module Churn = Pgrid_simnet.Churn
+
+type resilience_row = {
+  severity : float;
+  deviation : float;
+  success_pct : float;
+  mean_latency : float;
+  issued : int;
+  succeeded : int;
+  timeouts : int;
+  retries : int;
+  give_ups : int;
+  evictions : int;
+  crashes : int;
+  loss_drops : int;
+  partition_drops : int;
+}
+
+(* One fixed fault-plan shape scaled by [severity]: a Gilbert-Elliott
+   bursty-loss chain over construction and queries, a partition cutting
+   off a minority during part of the query phase, and Poisson
+   crash-restarts late in the run.  Severity 0 keeps the hardened
+   tracker active but injects nothing — the fault-free baseline the
+   other rows are judged against. *)
+let resilience_plan (phases : Net_engine.phases) severity =
+  if severity <= 0. then []
+  else begin
+    let qs = phases.Net_engine.query_start and te = phases.Net_engine.end_time in
+    let span = te -. qs in
+    [
+      Fault.Bursty_loss
+        {
+          start = phases.Net_engine.construct_start;
+          stop = te;
+          step = 5.;
+          p_gb = 0.02 *. severity;
+          p_bg = 0.2;
+          loss_good = 0.;
+          loss_bad = 0.6 *. severity;
+        };
+      Fault.Partition
+        {
+          start = qs +. (0.25 *. span);
+          stop = qs +. (0.40 *. span);
+          frac = 0.15 *. severity;
+        };
+      Fault.Crash_restart
+        {
+          start = qs +. (0.50 *. span);
+          stop = qs +. (0.85 *. span);
+          rate = severity /. 4000.;
+          down_min = 30.;
+          down_max = 120.;
+        };
+    ]
+  end
+
+let resilience_run ~peers ~seed severity =
+  let rng = Rng.create ~seed in
+  let base = Net_engine.default_params ~peers in
+  let phases = base.Net_engine.phases in
+  (* Churn off (empty window): the sweep isolates the injected faults. *)
+  let no_churn =
+    Churn.paper_params ~start:phases.Net_engine.end_time
+      ~stop:phases.Net_engine.end_time
+  in
+  let params =
+    {
+      base with
+      Net_engine.robust = Some Net_engine.default_robust;
+      fault_plan = resilience_plan phases severity;
+      fault_seed = seed + 7;
+      churn = Some no_churn;
+    }
+  in
+  let o = Net_engine.run rng params ~spec:Distribution.paper_text in
+  let qs = o.Net_engine.query_stats in
+  let rs = o.Net_engine.robust_stats in
+  let crashes, loss_drops, partition_drops =
+    match o.Net_engine.fault_stats with
+    | Some f -> (f.Fault.crashes, f.Fault.loss_drops, f.Fault.partition_drops)
+    | None -> (0, 0, 0)
+  in
+  {
+    severity;
+    deviation = o.Net_engine.deviation;
+    success_pct =
+      100.
+      *. float_of_int qs.Net_engine.succeeded
+      /. float_of_int (max 1 qs.Net_engine.issued);
+    mean_latency = qs.Net_engine.mean_latency;
+    issued = qs.Net_engine.issued;
+    succeeded = qs.Net_engine.succeeded;
+    timeouts = rs.Net_engine.timeouts;
+    retries = rs.Net_engine.retries;
+    give_ups = rs.Net_engine.give_ups;
+    evictions = rs.Net_engine.evictions;
+    crashes;
+    loss_drops;
+    partition_drops;
+  }
+
+let resilience_cache : (int * int, resilience_row list) Hashtbl.t =
+  Hashtbl.create 4
+
+let resilience ?(peers = 128) ?severities ~seed () =
+  match severities with
+  | Some sevs -> List.map (resilience_run ~peers ~seed) sevs
+  | None -> (
+    match Hashtbl.find_opt resilience_cache (peers, seed) with
+    | Some rows -> rows
+    | None ->
+      let rows = List.map (resilience_run ~peers ~seed) [ 0.0; 0.5; 1.0 ] in
+      Hashtbl.add resilience_cache (peers, seed) rows;
+      rows)
+
+let resilience_table rows =
+  let columns =
+    [ "severity"; "deviation"; "success"; "latency"; "issued"; "timeouts";
+      "retries"; "give-ups"; "evictions"; "crashes"; "loss drops"; "cut drops" ]
+  in
+  ( columns,
+    List.map
+      (fun r ->
+        [
+          Printf.sprintf "%.1f" r.severity;
+          Table.fmt_float r.deviation;
+          Table.fmt_float ~decimals:1 r.success_pct ^ "%";
+          Table.fmt_float ~decimals:3 r.mean_latency ^ "s";
+          string_of_int r.issued;
+          string_of_int r.timeouts;
+          string_of_int r.retries;
+          string_of_int r.give_ups;
+          string_of_int r.evictions;
+          string_of_int r.crashes;
+          string_of_int r.loss_drops;
+          string_of_int r.partition_drops;
+        ])
+      rows )
+
 (* --- ablations ---------------------------------------------------------- *)
 
 let ablation_sequential ?(sizes = [ 64; 128; 256; 512 ]) ~seed () =

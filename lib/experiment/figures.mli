@@ -77,6 +77,37 @@ val fig9 : ?peers:int -> seed:int -> unit -> Pgrid_stats.Series.figure
     value rows. *)
 val table1 : ?peers:int -> seed:int -> unit -> string list * string list list
 
+(** One row of the resilience sweep: the full networked timeline rerun
+    with the hardened request/response tracker at one fault severity. *)
+type resilience_row = {
+  severity : float;  (** 0 = hardened but fault-free baseline *)
+  deviation : float;  (** load-balance deviation after construction *)
+  success_pct : float;  (** completed queries that succeeded, percent *)
+  mean_latency : float;  (** seconds, successful queries *)
+  issued : int;
+  succeeded : int;
+  timeouts : int;
+  retries : int;
+  give_ups : int;
+  evictions : int;  (** stale references evicted by correction-on-use *)
+  crashes : int;
+  loss_drops : int;
+  partition_drops : int;
+}
+
+(** [resilience ~seed ()] sweeps fault severity over a fixed
+    bursty-loss + partition + crash-restart plan (see
+    {!Pgrid_simnet.Fault}), scaled by each severity in [severities]
+    (default [0; 0.5; 1]).  Severity 0 runs the hardened tracker with no
+    faults.  Memoized per (peers, seed) for the default severities.
+    Expected: deviation within 2x the severity-0 row and success >= 80%
+    at severity 0.5. *)
+val resilience :
+  ?peers:int -> ?severities:float list -> seed:int -> unit -> resilience_row list
+
+(** Render a sweep as a printable (columns, rows) table. *)
+val resilience_table : resilience_row list -> string list * string list list
+
 (** Ablation X1 (Section 4.3): sequential joins vs parallel construction —
     messages comparable, serialized latency vs flat round count. *)
 val ablation_sequential : ?sizes:int list -> seed:int -> unit -> string list * string list list

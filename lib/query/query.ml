@@ -6,12 +6,16 @@ module Overlay = Pgrid_core.Overlay
 module Telemetry = Pgrid_telemetry.Telemetry
 module Event = Pgrid_telemetry.Event
 
+module Maintenance = Pgrid_core.Maintenance
+
 type batch_stats = {
   issued : int;
   routed : int;
   found : int;
   mean_hops : float;
   max_hops : int;
+  heal_retries : int;
+  evicted_refs : int;
 }
 
 let random_online_node rng overlay =
@@ -25,11 +29,13 @@ let random_online_node rng overlay =
   in
   try_ (4 * n)
 
-let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~keys ~count =
+let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rng
+    overlay ~keys ~count =
   if Array.length keys = 0 then invalid_arg "Query.lookup_batch: no keys";
   if count < 1 then invalid_arg "Query.lookup_batch: count must be >= 1";
   let hops = Moments.create () in
   let routed = ref 0 and found = ref 0 and max_hops = ref 0 in
+  let heal_retries = ref 0 and evicted = ref 0 in
   for qid = 1 to count do
     match random_online_node rng overlay with
     | None -> ()
@@ -37,7 +43,19 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~keys 
       let key = keys.(Rng.int rng (Array.length keys)) in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry (Event.Query_issue { qid; origin });
-      let r = Overlay.search overlay ~from:origin key in
+      let first = Overlay.search overlay ~from:origin key in
+      let r =
+        (* Correction on use: a dead end names the peer and level that
+           failed — evict that level's offline references, refill it,
+           and give the lookup one more try. *)
+        match (heal, first.Overlay.responsible, first.Overlay.dead_end) with
+        | true, None, Some (peer, level) ->
+          let n = Maintenance.correct_on_use ~telemetry rng overlay ~peer ~level in
+          evicted := !evicted + n;
+          incr heal_retries;
+          Overlay.search overlay ~from:origin key
+        | _ -> first
+      in
       let success = r.Overlay.responsible <> None in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry
@@ -57,6 +75,8 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~keys 
     found = !found;
     mean_hops = Moments.mean hops;
     max_hops = !max_hops;
+    heal_retries = !heal_retries;
+    evicted_refs = !evicted;
   }
 
 type range_stats = {

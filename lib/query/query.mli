@@ -15,13 +15,20 @@ type batch_stats = {
   found : int;  (** responsible peer held the key *)
   mean_hops : float;
   max_hops : int;
+  heal_retries : int;  (** lookups retried after correction-on-use *)
+  evicted_refs : int;  (** stale references evicted while healing *)
 }
 
-(** [lookup_batch rng overlay ~keys ~count] issues [count] lookups for
-    uniformly drawn members of [keys], each from a uniformly drawn online
-    origin. *)
+(** [lookup_batch ?heal rng overlay ~keys ~count] issues [count] lookups
+    for uniformly drawn members of [keys], each from a uniformly drawn
+    online origin.  With [heal] (default [false]), a lookup that dies at
+    a reference level with no online entry triggers
+    {!Pgrid_core.Maintenance.correct_on_use} on the failing (peer,
+    level) and is retried once — the paper's correction-on-use repair
+    wired to the query path. *)
 val lookup_batch :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?heal:bool ->
   Pgrid_prng.Rng.t ->
   Pgrid_core.Overlay.t ->
   keys:Pgrid_keyspace.Key.t array ->

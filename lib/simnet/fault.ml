@@ -1,0 +1,433 @@
+module Rng = Pgrid_prng.Rng
+module Sample = Pgrid_prng.Sample
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
+
+type spec =
+  | Bursty_loss of {
+      start : float;
+      stop : float;
+      step : float;
+      p_gb : float;
+      p_bg : float;
+      loss_good : float;
+      loss_bad : float;
+    }
+  | Partition of { start : float; stop : float; frac : float }
+  | Crash_restart of {
+      start : float;
+      stop : float;
+      rate : float;
+      down_min : float;
+      down_max : float;
+    }
+  | Latency_spike of { start : float; stop : float; factor : float }
+  | Duplicate of { start : float; stop : float; prob : float }
+
+type plan = spec list
+
+type stats = {
+  burst_transitions : int;
+  crashes : int;
+  partition_drops : int;
+  loss_drops : int;
+  duplicated : int;
+}
+
+(* Runtime state per process kind.  A plan may hold several windows of
+   the same kind; each gets its own state. *)
+type burst_rt = {
+  b_start : float;
+  b_stop : float;
+  b_loss_good : float;
+  b_loss_bad : float;
+  bad : bool array;  (** per-node Gilbert–Elliott chain state *)
+}
+
+type part_rt = { p_start : float; p_stop : float; side : bool array }
+type window_rt = { w_start : float; w_stop : float; w_value : float }
+
+type t = {
+  sim : Sim.t;
+  rng : Rng.t;
+  nodes : int;
+  base_loss : float;
+  tel : Telemetry.t;
+  bursts : burst_rt list;
+  partitions : part_rt list;
+  spikes : window_rt list;  (** w_value = latency factor *)
+  dups : window_rt list;  (** w_value = duplication probability *)
+  mutable m_burst_transitions : int;
+  mutable m_crashes : int;
+  mutable m_partition_drops : int;
+  mutable m_loss_drops : int;
+  mutable m_duplicated : int;
+}
+
+let stats t =
+  {
+    burst_transitions = t.m_burst_transitions;
+    crashes = t.m_crashes;
+    partition_drops = t.m_partition_drops;
+    loss_drops = t.m_loss_drops;
+    duplicated = t.m_duplicated;
+  }
+
+let prob name p =
+  if p < 0. || p > 1. then
+    invalid_arg (Printf.sprintf "Fault: %s must be in [0, 1]" name)
+
+let window name ~start ~stop =
+  if start < 0. then invalid_arg (Printf.sprintf "Fault: %s start < 0" name);
+  if stop <= start then
+    invalid_arg (Printf.sprintf "Fault: %s window is empty" name)
+
+let validate = function
+  | Bursty_loss { start; stop; step; p_gb; p_bg; loss_good; loss_bad } ->
+    window "burst" ~start ~stop;
+    if step <= 0. then invalid_arg "Fault: burst step must be positive";
+    prob "p_gb" p_gb;
+    prob "p_bg" p_bg;
+    prob "loss_good" loss_good;
+    prob "loss_bad" loss_bad
+  | Partition { start; stop; frac } ->
+    window "partition" ~start ~stop;
+    prob "frac" frac
+  | Crash_restart { start; stop; rate; down_min; down_max } ->
+    window "crash" ~start ~stop;
+    if rate <= 0. then invalid_arg "Fault: crash rate must be positive";
+    if down_min <= 0. || down_max < down_min then
+      invalid_arg "Fault: bad crash downtime bounds"
+  | Latency_spike { start; stop; factor } ->
+    window "latency" ~start ~stop;
+    if factor <= 0. then invalid_arg "Fault: latency factor must be positive"
+  | Duplicate { start; stop; prob = p } ->
+    window "dup" ~start ~stop;
+    prob "prob" p
+
+let emit_on t fault node =
+  Telemetry.emit t.tel (Event.Fault_on { fault; node })
+
+let emit_off t fault node =
+  Telemetry.emit t.tel (Event.Fault_off { fault; node })
+
+let active ~start ~stop now = now >= start && now < stop
+
+(* --- process installation ------------------------------------------------ *)
+
+let install_burst t spec b =
+  match spec with
+  | Bursty_loss { start; stop; step; p_gb; p_bg; _ } ->
+    let rec tick time =
+      if time < stop then
+        Sim.schedule_at t.sim ~time (fun () ->
+            for i = 0 to t.nodes - 1 do
+              if b.bad.(i) then begin
+                if Rng.float t.rng < p_bg then begin
+                  b.bad.(i) <- false;
+                  t.m_burst_transitions <- t.m_burst_transitions + 1;
+                  emit_off t "burst" i
+                end
+              end
+              else if Rng.float t.rng < p_gb then begin
+                b.bad.(i) <- true;
+                t.m_burst_transitions <- t.m_burst_transitions + 1;
+                emit_on t "burst" i
+              end
+            done;
+            tick (time +. step))
+    in
+    tick start;
+    (* Hygiene at window end: every chain returns to the good state. *)
+    Sim.schedule_at t.sim ~time:stop (fun () ->
+        Array.iteri
+          (fun i bad ->
+            if bad then begin
+              b.bad.(i) <- false;
+              emit_off t "burst" i
+            end)
+          b.bad)
+  | _ -> assert false
+
+let install_window t ~fault ~start ~stop =
+  Sim.schedule_at t.sim ~time:start (fun () -> emit_on t fault (-1));
+  Sim.schedule_at t.sim ~time:stop (fun () -> emit_off t fault (-1))
+
+let install_crash t ~on_crash ~on_restart spec =
+  match spec with
+  | Crash_restart { start; stop; rate; down_min; down_max } ->
+    for node = 0 to t.nodes - 1 do
+      let rec arm time =
+        (* Draw the inter-crash gap now, at scheduling time, so the draw
+           order is fixed by the event order, not by message traffic. *)
+        let at = time +. Sample.exponential t.rng ~rate in
+        let down = Sample.uniform t.rng ~lo:down_min ~hi:down_max in
+        if at < stop then
+          Sim.schedule_at t.sim ~time:at (fun () ->
+              t.m_crashes <- t.m_crashes + 1;
+              emit_on t "crash" node;
+              on_crash node;
+              Sim.schedule_at t.sim ~time:(at +. down) (fun () ->
+                  emit_off t "crash" node;
+                  on_restart node);
+              arm (at +. down))
+      in
+      arm start
+    done
+  | _ -> assert false
+
+let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart net
+    ~seed plan =
+  List.iter validate plan;
+  let sim = Net.sim net in
+  let nodes = Net.nodes net in
+  let rng = Rng.create ~seed in
+  let on_crash =
+    Option.value on_crash ~default:(fun i -> Net.set_online net i false)
+  in
+  let on_restart =
+    Option.value on_restart ~default:(fun i -> Net.set_online net i true)
+  in
+  let bursts =
+    List.filter_map
+      (function
+        | Bursty_loss { start; stop; loss_good; loss_bad; _ } ->
+          Some
+            {
+              b_start = start;
+              b_stop = stop;
+              b_loss_good = loss_good;
+              b_loss_bad = loss_bad;
+              bad = Array.make nodes false;
+            }
+        | _ -> None)
+      plan
+  in
+  let partitions =
+    List.filter_map
+      (function
+        | Partition { start; stop; frac } ->
+          (* The cut is drawn at install time from the dedicated RNG, so
+             it is part of the seeded plan, not of the traffic history. *)
+          let side = Array.init nodes (fun _ -> Rng.float rng < frac) in
+          Some { p_start = start; p_stop = stop; side }
+        | _ -> None)
+      plan
+  in
+  let spikes =
+    List.filter_map
+      (function
+        | Latency_spike { start; stop; factor } ->
+          Some { w_start = start; w_stop = stop; w_value = factor }
+        | _ -> None)
+      plan
+  in
+  let dups =
+    List.filter_map
+      (function
+        | Duplicate { start; stop; prob } ->
+          Some { w_start = start; w_stop = stop; w_value = prob }
+        | _ -> None)
+      plan
+  in
+  let t =
+    {
+      sim;
+      rng;
+      nodes;
+      base_loss = Net.base_loss net;
+      tel = telemetry;
+      bursts;
+      partitions;
+      spikes;
+      dups;
+      m_burst_transitions = 0;
+      m_crashes = 0;
+      m_partition_drops = 0;
+      m_loss_drops = 0;
+      m_duplicated = 0;
+    }
+  in
+  if plan <> [] then begin
+    let specs = List.mapi (fun i s -> (i, s)) plan in
+    let nth_rt l i =
+      (* i-th runtime entry of the matching kind, in plan order. *)
+      List.nth l i
+    in
+    let burst_i = ref 0 in
+    List.iter
+      (fun (_, spec) ->
+        match spec with
+        | Bursty_loss _ as s ->
+          install_burst t s (nth_rt bursts !burst_i);
+          incr burst_i
+        | Partition { start; stop; _ } ->
+          install_window t ~fault:"partition" ~start ~stop
+        | Crash_restart _ as s -> install_crash t ~on_crash ~on_restart s
+        | Latency_spike { start; stop; _ } ->
+          install_window t ~fault:"latency" ~start ~stop
+        | Duplicate { start; stop; _ } ->
+          install_window t ~fault:"dup" ~start ~stop)
+      specs;
+    let fate ~src ~dst =
+      let now = Sim.now t.sim in
+      let cut =
+        List.exists
+          (fun p ->
+            active ~start:p.p_start ~stop:p.p_stop now
+            && p.side.(src) <> p.side.(dst))
+          t.partitions
+      in
+      if cut then begin
+        t.m_partition_drops <- t.m_partition_drops + 1;
+        { Net.drop = true; copies = 1; delay_factor = 1. }
+      end
+      else begin
+        let keep = ref (1. -. t.base_loss) in
+        List.iter
+          (fun b ->
+            if active ~start:b.b_start ~stop:b.b_stop now then begin
+              let l =
+                if b.bad.(src) || b.bad.(dst) then b.b_loss_bad
+                else b.b_loss_good
+              in
+              keep := !keep *. (1. -. l)
+            end)
+          t.bursts;
+        let loss = 1. -. !keep in
+        if loss > 0. && Rng.float t.rng < loss then begin
+          t.m_loss_drops <- t.m_loss_drops + 1;
+          { Net.drop = true; copies = 1; delay_factor = 1. }
+        end
+        else begin
+          let dup_p =
+            List.fold_left
+              (fun acc w ->
+                if active ~start:w.w_start ~stop:w.w_stop now then
+                  1. -. ((1. -. acc) *. (1. -. w.w_value))
+                else acc)
+              0. t.dups
+          in
+          let copies =
+            if dup_p > 0. && Rng.float t.rng < dup_p then begin
+              t.m_duplicated <- t.m_duplicated + 1;
+              2
+            end
+            else 1
+          in
+          let factor =
+            List.fold_left
+              (fun acc w ->
+                if active ~start:w.w_start ~stop:w.w_stop now then
+                  acc *. w.w_value
+                else acc)
+              1. t.spikes
+          in
+          { Net.drop = false; copies; delay_factor = factor }
+        end
+      end
+    in
+    Net.set_fault net (Some fate)
+  end;
+  t
+
+let admits t ~src ~dst =
+  let now = Sim.now t.sim in
+  let cut =
+    List.exists
+      (fun p ->
+        active ~start:p.p_start ~stop:p.p_stop now && p.side.(src) <> p.side.(dst))
+      t.partitions
+  in
+  if cut then false
+  else begin
+    let keep = ref (1. -. t.base_loss) in
+    List.iter
+      (fun b ->
+        if active ~start:b.b_start ~stop:b.b_stop now then begin
+          let l =
+            if b.bad.(src) || b.bad.(dst) then b.b_loss_bad else b.b_loss_good
+          in
+          keep := !keep *. (1. -. l)
+        end)
+      t.bursts;
+    let loss = 1. -. !keep in
+    (* A contact is a short round trip: it survives only if neither leg
+       is lost. *)
+    let fail = 1. -. ((1. -. loss) *. (1. -. loss)) in
+    if fail <= 0. then true else Rng.float t.rng >= fail
+  end
+
+(* --- plan mini-language -------------------------------------------------- *)
+
+let to_string plan =
+  let g = Printf.sprintf "%g" in
+  List.map
+    (function
+      | Bursty_loss { start; stop; step; p_gb; p_bg; loss_good; loss_bad } ->
+        Printf.sprintf "burst(%s,%s,%s,%s,%s,%s,%s)" (g start) (g stop)
+          (g p_gb) (g p_bg) (g loss_good) (g loss_bad) (g step)
+      | Partition { start; stop; frac } ->
+        Printf.sprintf "partition(%s,%s,%s)" (g start) (g stop) (g frac)
+      | Crash_restart { start; stop; rate; down_min; down_max } ->
+        Printf.sprintf "crash(%s,%s,%s,%s,%s)" (g start) (g stop) (g rate)
+          (g down_min) (g down_max)
+      | Latency_spike { start; stop; factor } ->
+        Printf.sprintf "latency(%s,%s,%s)" (g start) (g stop) (g factor)
+      | Duplicate { start; stop; prob } ->
+        Printf.sprintf "dup(%s,%s,%s)" (g start) (g stop) (g prob))
+    plan
+  |> String.concat ";"
+
+let parse s =
+  let clean =
+    String.concat ""
+      (String.split_on_char ' ' (String.concat "" (String.split_on_char '\t' s)))
+  in
+  let items =
+    String.split_on_char ';' clean |> List.filter (fun x -> x <> "")
+  in
+  let item_of str =
+    match String.index_opt str '(' with
+    | None -> failwith (Printf.sprintf "%S: expected name(args,...)" str)
+    | Some i ->
+      let name = String.sub str 0 i in
+      let n = String.length str in
+      if n = 0 || str.[n - 1] <> ')' then
+        failwith (Printf.sprintf "%S: missing closing ')'" str);
+      let body = String.sub str (i + 1) (n - i - 2) in
+      let args =
+        if body = "" then []
+        else
+          List.map
+            (fun a ->
+              match float_of_string_opt a with
+              | Some v -> v
+              | None -> failwith (Printf.sprintf "%S: bad number %S" str a))
+            (String.split_on_char ',' body)
+      in
+      (match (name, args) with
+      | "burst", [ start; stop; p_gb; p_bg; loss_good; loss_bad ] ->
+        Bursty_loss { start; stop; step = 1.; p_gb; p_bg; loss_good; loss_bad }
+      | "burst", [ start; stop; p_gb; p_bg; loss_good; loss_bad; step ] ->
+        Bursty_loss { start; stop; step; p_gb; p_bg; loss_good; loss_bad }
+      | "partition", [ start; stop; frac ] -> Partition { start; stop; frac }
+      | "crash", [ start; stop; rate ] ->
+        Crash_restart { start; stop; rate; down_min = 30.; down_max = 120. }
+      | "crash", [ start; stop; rate; down_min; down_max ] ->
+        Crash_restart { start; stop; rate; down_min; down_max }
+      | "latency", [ start; stop; factor ] ->
+        Latency_spike { start; stop; factor }
+      | "dup", [ start; stop; prob ] -> Duplicate { start; stop; prob }
+      | ("burst" | "partition" | "crash" | "latency" | "dup"), _ ->
+        failwith (Printf.sprintf "%S: wrong number of arguments" str)
+      | _ -> failwith (Printf.sprintf "%S: unknown fault %S" str name))
+  in
+  match
+    let plan = List.map item_of items in
+    List.iter validate plan;
+    plan
+  with
+  | plan -> Ok plan
+  | exception Failure m -> Error m
+  | exception Invalid_argument m -> Error m

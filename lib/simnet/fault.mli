@@ -1,0 +1,100 @@
+(** Deterministic, scriptable fault injection on top of {!Net}.
+
+    A {!plan} composes independent fault processes, each active over a
+    simulated-time window:
+
+    - {b Bursty loss} — a per-node Gilbert–Elliott chain (two states,
+      good/bad, stepped every [step] seconds) replaces the network's
+      independent per-message loss while active; the effective drop
+      probability combines the chain state's loss rate with the
+      network's base loss.
+    - {b Partition} — a seeded bipartition of the node set; messages
+      (and construction contacts) crossing the cut fail for the whole
+      window.
+    - {b Crash-restart} — per-node Poisson crashes; unlike graceful
+      churn, the installer's [on_crash]/[on_restart] callbacks let the
+      protocol layer model loss of volatile state (the store and path
+      survive, pending requests do not).
+    - {b Latency spike} — scales every sampled delivery latency by
+      [factor] while active.
+    - {b Duplicate} — delivers an extra copy of a message with
+      probability [prob] while active.
+
+    All randomness comes from one dedicated RNG seeded at {!install}, so
+    a plan replays bit-identically; every activation is emitted as a
+    telemetry [Fault_on]/[Fault_off] pair. *)
+
+module Rng = Pgrid_prng.Rng
+module Telemetry = Pgrid_telemetry.Telemetry
+
+type spec =
+  | Bursty_loss of {
+      start : float;
+      stop : float;
+      step : float;  (** chain step interval, seconds *)
+      p_gb : float;  (** good -> bad transition probability per step *)
+      p_bg : float;  (** bad -> good transition probability per step *)
+      loss_good : float;
+      loss_bad : float;
+    }
+  | Partition of { start : float; stop : float; frac : float }
+      (** [frac] is the expected fraction of nodes on the minority side *)
+  | Crash_restart of {
+      start : float;
+      stop : float;
+      rate : float;  (** per-node crash rate (crashes per second) *)
+      down_min : float;
+      down_max : float;
+    }
+  | Latency_spike of { start : float; stop : float; factor : float }
+  | Duplicate of { start : float; stop : float; prob : float }
+
+type plan = spec list
+
+type t
+
+(** Counters accumulated since {!install}. *)
+type stats = {
+  burst_transitions : int;  (** GE chain state changes across all nodes *)
+  crashes : int;
+  partition_drops : int;  (** messages killed by an active cut *)
+  loss_drops : int;  (** messages killed by the loss draw *)
+  duplicated : int;  (** extra copies delivered *)
+}
+
+(** [install ?telemetry ?on_crash ?on_restart net ~seed plan] schedules
+    every fault process of [plan] on [net]'s simulator and interposes on
+    its delivery decisions via {!Net.set_fault} (the network's base loss
+    is folded into the fault layer's draws, so behaviour with an empty
+    chain matches the plain network statistically). [on_crash]/[on_restart]
+    default to toggling {!Net.set_online}. An empty [plan] installs
+    nothing and touches no RNG. *)
+val install :
+  ?telemetry:Telemetry.t ->
+  ?on_crash:(int -> unit) ->
+  ?on_restart:(int -> unit) ->
+  'msg Net.t ->
+  seed:int ->
+  plan ->
+  t
+
+(** [admits t ~src ~dst] decides one abstract construction contact
+    (a short bidirectional exchange, not a single message): [false] when
+    an active partition separates the two nodes or when the loss draw
+    kills the round trip. Draws from the fault RNG. *)
+val admits : t -> src:int -> dst:int -> bool
+
+val stats : t -> stats
+
+(** [parse s] reads a plan from the CLI mini-language: specs separated
+    by [';'], each [name(arg,...)] with numeric arguments —
+    [burst(start,stop,p_gb,p_bg,loss_good,loss_bad[,step])] (step
+    defaults to 1),
+    [partition(start,stop,frac)],
+    [crash(start,stop,rate[,down_min,down_max])] (down defaults 30,120),
+    [latency(start,stop,factor)], [dup(start,stop,prob)].
+    Whitespace is ignored. Validates windows and probabilities. *)
+val parse : string -> (plan, string) result
+
+(** Round-trips through {!parse}. *)
+val to_string : plan -> string

@@ -4,6 +4,10 @@ module Event = Pgrid_telemetry.Event
 
 type kind = Maintenance | Query
 
+type fate = { drop : bool; copies : int; delay_factor : float }
+
+let default_fate = { drop = false; copies = 1; delay_factor = 1. }
+
 type 'msg t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -18,6 +22,7 @@ type 'msg t = {
   query : (int, float) Hashtbl.t;
   mutable sent : int;
   mutable dropped : int;
+  mutable fault : (src:int -> dst:int -> fate) option;
 }
 
 let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency ~loss
@@ -39,10 +44,13 @@ let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency 
     query = Hashtbl.create 256;
     sent = 0;
     dropped = 0;
+    fault = None;
   }
 
 let sim t = t.sim
 let nodes t = t.node_count
+let base_loss t = t.loss
+let set_fault t f = t.fault <- f
 let set_handler t h = t.handler <- h
 let online t i = t.online.(i)
 let set_online t i v = t.online.(i) <- v
@@ -65,23 +73,39 @@ let note_drop t ~src ~dst =
   t.dropped <- t.dropped + 1;
   if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Msg_drop { src; dst })
 
+let deliver t ~src ~dst ~factor msg =
+  let delay = Latency.sample t.latency t.rng *. factor in
+  Sim.schedule t.sim ~delay (fun () ->
+      if t.online.(dst) then begin
+        if Telemetry.active t.tel then
+          Telemetry.emit t.tel (Event.Msg_recv { src; dst });
+        t.handler dst msg
+      end
+      else note_drop t ~src ~dst)
+
 let send t ~src ~dst ~bytes ~kind msg =
   if src < 0 || src >= t.node_count || dst < 0 || dst >= t.node_count then
     invalid_arg "Net.send: node id out of range";
-  if t.online.(src) then begin
+  if not t.online.(src) then
+    (* The radio is off: the message never makes the wire, but traces must
+       still see the attempt or traffic under churn is under-counted. *)
+    note_drop t ~src ~dst
+  else begin
     account ~src ~dst t ~bytes ~kind;
     t.sent <- t.sent + 1;
-    if Rng.float t.rng < t.loss then note_drop t ~src ~dst
-    else begin
-      let delay = Latency.sample t.latency t.rng in
-      Sim.schedule t.sim ~delay (fun () ->
-          if t.online.(dst) then begin
-            if Telemetry.active t.tel then
-              Telemetry.emit t.tel (Event.Msg_recv { src; dst });
-            t.handler dst msg
-          end
-          else note_drop t ~src ~dst)
-    end
+    match t.fault with
+    | None ->
+      if Rng.float t.rng < t.loss then note_drop t ~src ~dst
+      else deliver t ~src ~dst ~factor:1. msg
+    | Some fate_of ->
+      (* The fault layer owns the loss decision (it folds base loss into
+         its own seeded process), so no draw from [t.rng] here. *)
+      let fate = fate_of ~src ~dst in
+      if fate.drop then note_drop t ~src ~dst
+      else
+        for _ = 1 to max 1 fate.copies do
+          deliver t ~src ~dst ~factor:fate.delay_factor msg
+        done
   end
 
 let bandwidth t kind =

@@ -8,6 +8,15 @@
 
 type kind = Maintenance | Query
 
+(** Per-message verdict returned by an installed fault hook: [drop] kills
+    the message outright, [copies] (>= 1) is the number of deliveries
+    scheduled (duplication faults set it above 1), and [delay_factor]
+    scales the sampled latency (latency-spike windows). *)
+type fate = { drop : bool; copies : int; delay_factor : float }
+
+(** Pass-through fate: delivered once at nominal latency. *)
+val default_fate : fate
+
 type 'msg t
 
 (** [create ?telemetry sim rng ~nodes ~latency ~loss ~bucket] wires a
@@ -38,11 +47,22 @@ val set_online : 'msg t -> int -> bool -> unit
 val online_count : 'msg t -> int
 
 (** [send t ~src ~dst ~bytes ~kind msg] accounts [bytes] and schedules
-    delivery after a sampled latency; the message is dropped silently when
-    lost in transit or when [dst] is offline at delivery time (the paper's
-    query failures under churn come from exactly this). Sending from an
-    offline node is a no-op. *)
+    delivery after a sampled latency; the message is dropped when lost in
+    transit or when [dst] is offline at delivery time (the paper's query
+    failures under churn come from exactly this). Sending from an offline
+    node is accounted as a drop (counter + [Msg_drop] event) without
+    touching the wire. *)
 val send : 'msg t -> src:int -> dst:int -> bytes:int -> kind:kind -> 'msg -> unit
+
+(** [set_fault t hook] interposes [hook] on every in-transit decision:
+    when installed, the network makes {e no} loss draw of its own — the
+    hook's {!fate} decides drop/duplication/latency scaling (so the fault
+    layer must fold {!base_loss} into its own process). [set_fault t None]
+    restores the builtin independent-loss behaviour. *)
+val set_fault : 'msg t -> (src:int -> dst:int -> fate) option -> unit
+
+(** The [loss] probability the network was created with. *)
+val base_loss : 'msg t -> float
 
 (** [account ?src ?dst t ~bytes ~kind] records traffic without a
     message (used for local exchanges abstracted away from the handler

@@ -26,10 +26,16 @@ type kind =
   | Peer_join of { peer : int; hops : int }
   | Repair of { dropped : int; added : int; unfixable : int }
   | Rebalance of { migrations : int; rounds : int }
+  | Fault_on of { fault : string; node : int }
+  | Fault_off of { fault : string; node : int }
+  | Timeout of { rid : int; src : int; dst : int; attempt : int }
+  | Retry of { rid : int; src : int; dst : int; attempt : int }
+  | Give_up of { rid : int; src : int }
+  | Ref_evict of { peer : int; level : int; target : int }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 19
+let tag_count = 25
 
 let tag = function
   | Interaction _ -> 0
@@ -51,13 +57,20 @@ let tag = function
   | Peer_join _ -> 16
   | Repair _ -> 17
   | Rebalance _ -> 18
+  | Fault_on _ -> 19
+  | Fault_off _ -> 20
+  | Timeout _ -> 21
+  | Retry _ -> 22
+  | Give_up _ -> 23
+  | Ref_evict _ -> 24
 
 let labels =
   [|
     "interaction"; "refer"; "split"; "follow"; "replicate"; "descent"; "key_move";
     "msg_send"; "msg_recv"; "msg_drop"; "query_issue"; "query_hop";
     "query_complete"; "churn_offline"; "churn_online"; "peer_leave"; "peer_join";
-    "repair"; "rebalance";
+    "repair"; "rebalance"; "fault_on"; "fault_off"; "timeout"; "retry";
+    "give_up"; "ref_evict";
   |]
 
 let label k = labels.(tag k)
@@ -140,7 +153,22 @@ let to_json { time; kind } =
     int "unfixable" unfixable
   | Rebalance { migrations; rounds } ->
     int "migrations" migrations;
-    int "rounds" rounds);
+    int "rounds" rounds
+  | Fault_on { fault; node } | Fault_off { fault; node } ->
+    str "fault" fault;
+    int "node" node
+  | Timeout { rid; src; dst; attempt } | Retry { rid; src; dst; attempt } ->
+    int "rid" rid;
+    int "src" src;
+    int "dst" dst;
+    int "attempt" attempt
+  | Give_up { rid; src } ->
+    int "rid" rid;
+    int "src" src
+  | Ref_evict { peer; level; target } ->
+    int "peer" peer;
+    int "level" level;
+    int "target" target);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -301,6 +329,15 @@ let of_json line =
       | "repair" ->
         Repair { dropped = int "dropped"; added = int "added"; unfixable = int "unfixable" }
       | "rebalance" -> Rebalance { migrations = int "migrations"; rounds = int "rounds" }
+      | "fault_on" -> Fault_on { fault = str "fault"; node = int "node" }
+      | "fault_off" -> Fault_off { fault = str "fault"; node = int "node" }
+      | "timeout" ->
+        Timeout { rid = int "rid"; src = int "src"; dst = int "dst"; attempt = int "attempt" }
+      | "retry" ->
+        Retry { rid = int "rid"; src = int "src"; dst = int "dst"; attempt = int "attempt" }
+      | "give_up" -> Give_up { rid = int "rid"; src = int "src" }
+      | "ref_evict" ->
+        Ref_evict { peer = int "peer"; level = int "level"; target = int "target" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

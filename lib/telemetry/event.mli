@@ -45,6 +45,18 @@ type kind =
   | Peer_join of { peer : int; hops : int }
   | Repair of { dropped : int; added : int; unfixable : int }
   | Rebalance of { migrations : int; rounds : int }
+  | Fault_on of { fault : string; node : int }
+      (** an injected fault process became active; [node] is [-1] for
+          network-wide faults (e.g. a partition window) *)
+  | Fault_off of { fault : string; node : int }
+  | Timeout of { rid : int; src : int; dst : int; attempt : int }
+      (** request [rid] from [src] to [dst] expired on attempt [attempt] *)
+  | Retry of { rid : int; src : int; dst : int; attempt : int }
+      (** re-send of request [rid] after backoff; [attempt] is 1-based *)
+  | Give_up of { rid : int; src : int }
+      (** request [rid] abandoned after exhausting its retry budget *)
+  | Ref_evict of { peer : int; level : int; target : int }
+      (** [peer] dropped stale routing reference [target] at [level] *)
 
 type t = { time : float; kind : kind }
 

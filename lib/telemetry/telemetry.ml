@@ -8,6 +8,8 @@ type t = {
   bytes_query : Metrics.counter;
   query_latency : Metrics.histogram;
   query_hops : Metrics.histogram;
+  faults_active : Metrics.gauge;
+  mutable fault_level : int;
   mutable events : int;
 }
 
@@ -25,6 +27,8 @@ let make ~enabled ~clock =
     bytes_query = Metrics.counter metrics "net.bytes.query";
     query_latency = Metrics.histogram metrics "query.latency_s" ~lo:0. ~hi:20. ~bins:40;
     query_hops = Metrics.histogram metrics "query.hops" ~lo:0. ~hi:40. ~bins:40;
+    faults_active = Metrics.gauge metrics "faults.active";
+    fault_level = 0;
     events = 0;
   }
 
@@ -51,6 +55,12 @@ let record t ev =
         Metrics.observe t.query_latency latency;
         Metrics.observe t.query_hops (float_of_int hops)
       end
+    | Event.Fault_on _ ->
+      t.fault_level <- t.fault_level + 1;
+      Metrics.set_gauge t.faults_active (float_of_int t.fault_level)
+    | Event.Fault_off _ ->
+      t.fault_level <- max 0 (t.fault_level - 1);
+      Metrics.set_gauge t.faults_active (float_of_int t.fault_level)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

@@ -13,6 +13,7 @@ let () =
       ("maintenance", Test_maintenance.suite);
       ("baseline", Test_baseline.suite);
       ("simnet", Test_simnet.suite);
+      ("fault", Test_fault.suite);
       ("engine", Test_engine.suite);
       ("construction", Test_construction.suite);
       ("query", Test_query.suite);

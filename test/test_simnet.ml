@@ -123,12 +123,13 @@ let test_net_offline_drop () =
   Net.set_handler net (fun _ _ -> incr received);
   Net.set_online net 1 false;
   Net.send net ~src:0 ~dst:1 ~bytes:10 ~kind:Net.Maintenance "x";
-  (* Offline sender is a silent no-op. *)
+  (* Offline sender: never reaches the wire, but is still accounted as a
+     drop so traces don't under-count traffic during churn. *)
   Net.set_online net 2 false;
   Net.send net ~src:2 ~dst:0 ~bytes:10 ~kind:Net.Maintenance "y";
   Sim.run sim;
   checki "nothing delivered" 0 !received;
-  checki "one drop recorded" 1 (Net.messages_dropped net);
+  checki "both failures recorded as drops" 2 (Net.messages_dropped net);
   checki "only the online sender sent" 1 (Net.messages_sent net)
 
 let test_net_loss () =
@@ -347,6 +348,96 @@ let qcheck_equal_time_fifo =
       in
       List.rev !fired = expected)
 
+(* --- Churn properties ---------------------------------------------------- *)
+
+(* Replay a churn installation and collect, per node, the timestamped
+   online/offline transitions in order. *)
+let churn_trace ~seed ~nodes params =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed in
+  let online = Array.make nodes true in
+  let trace = Array.make nodes [] in
+  Churn.install sim rng params
+    ~node_ids:(List.init nodes (fun i -> i))
+    ~set_online:(fun i v ->
+      online.(i) <- v;
+      trace.(i) <- (Sim.now sim, v) :: trace.(i));
+  Sim.run sim;
+  (online, Array.map List.rev trace)
+
+let churn_gen =
+  QCheck.(
+    map
+      (fun (seed, (a, b, c, d)) ->
+        (* Sample.uniform needs lo < hi strictly, so spans are >= 1. *)
+        let off_min = 1. +. float_of_int a in
+        let off_max = off_min +. 1. +. float_of_int b in
+        let period_min = 5. +. float_of_int c in
+        let period_max = period_min +. 1. +. float_of_int d in
+        ( seed,
+          {
+            Churn.start = 0.;
+            stop = 8. *. period_max;
+            off_min;
+            off_max;
+            period_min;
+            period_max;
+          } ))
+      (pair small_signed_int
+         (quad (int_bound 9) (int_bound 9) (int_bound 9) (int_bound 9))))
+
+let eps = 1e-9
+
+let qcheck_churn_ends_online =
+  QCheck.Test.make ~name:"churn: every node is back online after stop" ~count:100
+    churn_gen (fun (seed, params) ->
+      let online, trace = churn_trace ~seed ~nodes:6 params in
+      Array.for_all (fun v -> v) online
+      && Array.for_all
+           (fun tr -> match List.rev tr with [] -> true | (_, v) :: _ -> v)
+           trace)
+
+let qcheck_churn_offline_durations =
+  QCheck.Test.make
+    ~name:"churn: offline durations fall within [off_min, off_max]" ~count:100
+    churn_gen (fun (seed, params) ->
+      let _, trace = churn_trace ~seed ~nodes:6 params in
+      Array.for_all
+        (fun tr ->
+          (* Transitions alternate offline/online; pair them up. *)
+          let rec ok = function
+            | (t_off, false) :: (t_on, true) :: rest ->
+              let d = t_on -. t_off in
+              d >= params.Churn.off_min -. eps
+              && d <= params.Churn.off_max +. eps
+              && ok rest
+            | [] -> true
+            | _ -> false
+          in
+          ok tr)
+        trace)
+
+let qcheck_churn_cycle_periods =
+  QCheck.Test.make
+    ~name:"churn: cycle periods fall within [period_min, period_max]" ~count:100
+    churn_gen (fun (seed, params) ->
+      let _, trace = churn_trace ~seed ~nodes:6 params in
+      Array.for_all
+        (fun tr ->
+          (* Each offline onset sits one period after the previous cycle's
+             end (the return online), or after [start] for the first. *)
+          let rec ok prev_end = function
+            | (t_off, false) :: (t_on, true) :: rest ->
+              let p = t_off -. prev_end in
+              p >= params.Churn.period_min -. eps
+              && p <= params.Churn.period_max +. eps
+              && ok t_on rest
+            | [] -> true
+            | _ -> false
+          in
+          ok params.Churn.start tr)
+        trace)
+
 let qcheck_net_engine_determinism =
   QCheck.Test.make ~name:"construction runs are seed-deterministic" ~count:4
     QCheck.small_signed_int (fun seed ->
@@ -392,5 +483,8 @@ let suite =
     Alcotest.test_case "vote parameter rule" `Quick test_vote_derive_d_max;
     QCheck_alcotest.to_alcotest qcheck_run_until_boundary;
     QCheck_alcotest.to_alcotest qcheck_equal_time_fifo;
+    QCheck_alcotest.to_alcotest qcheck_churn_ends_online;
+    QCheck_alcotest.to_alcotest qcheck_churn_offline_durations;
+    QCheck_alcotest.to_alcotest qcheck_churn_cycle_periods;
     QCheck_alcotest.to_alcotest qcheck_net_engine_determinism;
   ]

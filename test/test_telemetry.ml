@@ -118,6 +118,12 @@ let sample_events =
     Event.Peer_join { peer = 7; hops = 3 };
     Event.Repair { dropped = 2; added = 5; unfixable = 1 };
     Event.Rebalance { migrations = 4; rounds = 2 };
+    Event.Fault_on { fault = "burst"; node = 5 };
+    Event.Fault_off { fault = "partition"; node = -1 };
+    Event.Timeout { rid = 42; src = 1; dst = 9; attempt = 0 };
+    Event.Retry { rid = 42; src = 1; dst = 9; attempt = 1 };
+    Event.Give_up { rid = 42; src = 1 };
+    Event.Ref_evict { peer = 3; level = 2; target = 11 };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
