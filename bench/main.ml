@@ -22,6 +22,7 @@ module Table = Pgrid_stats.Table
 let seed = 20050830 (* VLDB 2005, Trondheim: August 30 *)
 let report : Report.t option ref = ref None
 let micro_quota_ms = ref 500.
+let survival_horizon = ref 7200.
 
 let banner title =
   let line = String.make 72 '=' in
@@ -106,6 +107,23 @@ let resilience _reps =
   note "expected: deviation within 2x baseline and success >= 80% at severity 0.5";
   let columns, rows = Figures.resilience_table (Figures.resilience ~seed ()) in
   Table.print ~title:"fault-severity sweep" ~columns ~rows
+
+(* 30 samples across the horizon, but never denser than one per minute. *)
+let survival_sample_every () = Float.max 60. (!survival_horizon /. 30.)
+
+let survival _reps =
+  banner "Survival -- hours of churn + permanent kills, daemon on vs off";
+  note "paper churn (60-300 s offline every 300-600 s) plus a 30% permanent-kill wave";
+  note "expected: the daemon keeps query success >= 95% and loses no keys; \
+        the daemon-off arm bleeds data";
+  let s =
+    Figures.survival ~horizon:!survival_horizon
+      ~sample_every:(survival_sample_every ()) ~seed ()
+  in
+  let columns, rows = Figures.survival_table s in
+  Table.print ~title:"health and query success over time" ~columns ~rows;
+  let columns, rows = Figures.survival_summary s in
+  Table.print ~title:"endurance summary" ~columns ~rows
 
 let ablation_seq _reps =
   banner "Ablation X1 -- sequential joins vs parallel construction (Sec 4.3)";
@@ -254,6 +272,7 @@ let targets =
     ("ablation-pht", ablation_pht);
     ("ablation-merge", ablation_merge);
     ("ablation-maintain", ablation_maintain);
+    ("survival", survival);
     ("micro", micro);
   ]
 
@@ -292,9 +311,63 @@ let resilience_values () =
       ])
     (Figures.resilience ~seed ())
 
+(* The survival run flattens to aggregates per arm, the full per-sample
+   series (score / success / lost at each sample time), and the score
+   dominance fractions the acceptance gate watches.  The run is
+   memoized, so re-asking after the target printed it costs nothing. *)
+let survival_values () =
+  let open Figures in
+  let s =
+    Figures.survival ~horizon:!survival_horizon
+      ~sample_every:(survival_sample_every ()) ~seed ()
+  in
+  let arm tag = function
+    | None -> []
+    | Some r ->
+      [
+        (tag ^ "/min_success_pct", r.min_success_pct);
+        (tag ^ "/mean_score", r.mean_score);
+        (tag ^ "/final_lost", float_of_int r.final_lost);
+        (tag ^ "/kills", float_of_int r.kills);
+        (tag ^ "/rereplications", float_of_int r.rereplications);
+        (tag ^ "/exchanges", float_of_int r.exchanges);
+        (tag ^ "/keys_synced", float_of_int r.keys_synced);
+        (tag ^ "/inserted", float_of_int r.inserted);
+        (tag ^ "/insert_failures", float_of_int r.insert_failures);
+      ]
+      @ List.concat_map
+          (fun p ->
+            let at name v = (Printf.sprintf "%s/%s@%.0f" tag name p.t, v) in
+            [
+              at "score" p.score;
+              at "success_pct" p.success_pct;
+              at "lost" (float_of_int p.lost);
+            ])
+          r.points
+  in
+  let dominance =
+    match (s.on, s.off) with
+    | Some on, Some off when List.length on.points = List.length off.points ->
+      let n = max 1 (List.length on.points) in
+      let ge, gt =
+        List.fold_left2
+          (fun (ge, gt) a b ->
+            ( (if a.score >= b.score then ge + 1 else ge),
+              if a.score > b.score then gt + 1 else gt ))
+          (0, 0) on.points off.points
+      in
+      [
+        ("dominance/ge_frac", float_of_int ge /. float_of_int n);
+        ("dominance/gt_frac", float_of_int gt /. float_of_int n);
+      ]
+    | _ -> []
+  in
+  arm "on" s.on @ arm "off" s.off @ dominance
+
 let values_of name reps =
   match name with
   | "resilience" -> resilience_values ()
+  | "survival" -> survival_values ()
   | "fig6a" -> fig6_values (Figures.fig6a ?reps ~seed ())
   | "fig6b" -> fig6_values (Figures.fig6b ?reps ~seed ())
   | "fig6c" -> fig6_values (Figures.fig6c ?reps ~seed ())
@@ -340,7 +413,12 @@ let split_flags argv =
       | Some q when q > 0. -> micro_quota_ms := q
       | _ -> usage_error "--quota expects a positive duration in milliseconds, got %S" ms);
       go acc rest
-    | ("--trace" | "--json" | "--quota") :: [] ->
+    | "--horizon" :: sec :: rest ->
+      (match float_of_string_opt sec with
+      | Some h when h > 0. -> survival_horizon := h
+      | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
+      go acc rest
+    | ("--trace" | "--json" | "--quota" | "--horizon") :: [] ->
       usage_error "flag is missing its argument"
     | a :: rest -> go { acc with positional = a :: acc.positional } rest
   in

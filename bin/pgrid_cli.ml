@@ -230,15 +230,46 @@ let robust_arg =
            timeouts, retries with backoff, stale-reference eviction) even \
            without a fault plan.")
 
-let planetlab seed peers spec fault_plan robust trace metrics =
+let maint_period_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "maint-period" ] ~docv:"SECONDS"
+        ~doc:
+          "Enable the self-healing maintenance daemon with the given \
+           per-peer anti-entropy period (see DESIGN.md section 10).")
+
+let no_daemon_arg =
+  Arg.(
+    value & flag
+    & info [ "no-daemon" ]
+        ~doc:
+          "Disable the maintenance daemon (overrides $(b,--maint-period)); \
+           the run is then bit-identical to pre-daemon builds.")
+
+let planetlab seed peers spec fault_plan robust maint_period no_daemon trace
+    metrics =
   with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
+  let base = Net_engine.default_params ~peers in
+  let maint =
+    if no_daemon then None
+    else
+      match maint_period with
+      | None -> None
+      | Some period ->
+        let c =
+          Pgrid_core.Maintenance.default_daemon_config ~n_min:base.Net_engine.n_min
+        in
+        Some { c with Pgrid_core.Maintenance.period }
+  in
   let params =
     {
-      (Net_engine.default_params ~peers) with
+      base with
       Net_engine.fault_plan;
       fault_seed = seed + 7;
       robust = (if robust then Some Net_engine.default_robust else None);
+      maint;
     }
   in
   let o = Net_engine.run ~telemetry rng params ~spec in
@@ -266,6 +297,19 @@ let planetlab seed peers spec fault_plan robust trace metrics =
             f.Pgrid_simnet.Fault.partition_drops ];
       ]
   in
+  let maint_rows =
+    match o.Net_engine.maint_stats with
+    | None -> []
+    | Some m ->
+      [
+        [ "daemon exchanges / keys synced";
+          Printf.sprintf "%d / %d" m.Pgrid_core.Maintenance.exchanges
+            m.Pgrid_core.Maintenance.keys_synced ];
+        [ "daemon refreshes / re-replications";
+          Printf.sprintf "%d / %d" m.Pgrid_core.Maintenance.levels_refreshed
+            m.Pgrid_core.Maintenance.rereplications ];
+      ]
+  in
   Table.print ~title:"simulated deployment (paper Section 5 timeline)"
     ~columns:[ "metric"; "value" ]
     ~rows:
@@ -282,7 +326,7 @@ let planetlab seed peers spec fault_plan robust trace metrics =
          [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
          [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
        ]
-      @ hardened_rows @ fault_rows);
+      @ hardened_rows @ fault_rows @ maint_rows);
   Series.print
     (Series.figure ~title:"online peers" ~x_label:"minutes" ~y_label:"peers"
        [ Series.make "peers" (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series) ])
@@ -291,7 +335,8 @@ let planetlab_cmd =
   let doc = "run the full simulated deployment (join, replicate, construct, query, churn)" in
   Cmd.v (Cmd.info "planetlab" ~doc)
     Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg
-          $ fault_plan_arg $ robust_arg $ trace_arg $ metrics_arg)
+          $ fault_plan_arg $ robust_arg $ maint_period_arg $ no_daemon_arg
+          $ trace_arg $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -328,8 +373,8 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience ablation-seq ablation-cost ablation-cor ablation-pht \
-              ablation-merge ablation-maintain.")
+              table1 resilience survival ablation-seq ablation-cost ablation-cor \
+              ablation-pht ablation-merge ablation-maintain.")
 
 let figure seed name reps trace metrics =
   with_telemetry ~trace ~metrics @@ fun _telemetry ->
@@ -353,6 +398,10 @@ let figure seed name reps trace metrics =
   | "resilience" ->
     print_table "fault-severity sweep"
       (Figures.resilience_table (Figures.resilience ~seed ()))
+  | "survival" ->
+    let s = Figures.survival ~seed () in
+    print_table "health and query success over time" (Figures.survival_table s);
+    print_table "endurance summary" (Figures.survival_summary s)
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

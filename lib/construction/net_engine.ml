@@ -89,6 +89,7 @@ type params = {
   robust : robust option;
   fault_plan : Fault.plan;
   fault_seed : int;
+  maint : Maintenance.daemon_config option;
 }
 
 let default_params ~peers =
@@ -117,6 +118,7 @@ let default_params ~peers =
     robust = None;
     fault_plan = [];
     fault_seed = 0;
+    maint = None;
   }
 
 type query_stats = {
@@ -142,6 +144,7 @@ type outcome = {
   messages_dropped : int;
   robust_stats : robust_stats;
   fault_stats : Fault.stats option;
+  maint_stats : Maintenance.daemon_stats option;
 }
 
 type query_record = { at : float; latency : float; hops : int; success : bool }
@@ -538,6 +541,23 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
         ~time:(ph.query_start +. Sample.uniform rng ~lo:0. ~hi:params.query_max)
         loop)
     assignments;
+  (* --- self-healing daemon ---------------------------------------------- *)
+  (* The split is gated exactly like [robust_rng]: a run without the
+     daemon consumes the same draw sequence as before it existed. *)
+  let maint_stats = ref None in
+  (match params.maint with
+  | None -> ()
+  | Some cfg ->
+    let mrng = Rng.split rng in
+    Sim.schedule_at sim ~time:ph.query_start (fun () ->
+        maint_stats :=
+          Some
+            (Maintenance.install_daemon ~telemetry:tel
+               ~keys:(fun () -> all_keys)
+               mrng overlay
+               ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+               ~now:(fun () -> Sim.now sim)
+               ~until:ph.end_time cfg)));
   (* --- churn ------------------------------------------------------------ *)
   let churn_params =
     match params.churn with
@@ -622,4 +642,5 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
         evictions = !evictions;
       };
     fault_stats = Option.map Fault.stats fault;
+    maint_stats = !maint_stats;
   }

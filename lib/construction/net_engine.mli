@@ -82,6 +82,12 @@ type params = {
           fault plan is given). *)
   fault_plan : Pgrid_simnet.Fault.plan;  (** [[]]: no fault injection *)
   fault_seed : int;  (** seed of the fault layer's dedicated RNG *)
+  maint : Pgrid_core.Maintenance.daemon_config option;
+      (** [Some]: install the self-healing maintenance daemon
+          ({!Pgrid_core.Maintenance.install_daemon}) on the simulator at
+          [query_start], running until [end_time].  [None] (the default)
+          leaves the run — including its RNG draw sequence —
+          bit-identical to pre-daemon builds. *)
 }
 
 (** Paper-like defaults for ~296 peers. *)
@@ -113,6 +119,8 @@ type outcome = {
   robust_stats : robust_stats;  (** all zero on legacy runs *)
   fault_stats : Pgrid_simnet.Fault.stats option;
       (** [Some] iff a fault plan was installed *)
+  maint_stats : Pgrid_core.Maintenance.daemon_stats option;
+      (** [Some] iff the maintenance daemon ran *)
 }
 
 (** [run ?telemetry rng params ~spec] executes the full timeline.

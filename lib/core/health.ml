@@ -1,0 +1,189 @@
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
+
+type violation =
+  | Ref_integrity of { peer : Node.id; level : int }
+  | Trie_incomplete of { prefix : string }
+  | Under_replicated of { path : string; online : int; required : int }
+  | Data_at_risk of { key : Key.t; holders : int }
+  | Data_lost of { key : Key.t }
+
+type report = {
+  violations : violation list;
+  ref_integrity : int;
+  trie_incomplete : int;
+  under_replicated : int;
+  at_risk : int;
+  lost : int;
+  online : int;
+  partitions : int;
+  tracked_keys : int;
+  score : float;
+}
+
+let node = Overlay.node
+
+(* Census over every node, online or not: a partition whose members are
+   all offline is dark, not gone. *)
+let census overlay =
+  let tbl = Hashtbl.create 64 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = node overlay i in
+    let key = Path.to_string n.Node.path in
+    let off, on = Option.value ~default:(0, 0) (Hashtbl.find_opt tbl key) in
+    if n.Node.online then Hashtbl.replace tbl key (off, on + 1)
+    else Hashtbl.replace tbl key (off + 1, on)
+  done;
+  Hashtbl.fold (fun path counts acc -> (path, counts) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+let check ?(keys = [||]) ~n_min overlay =
+  if n_min < 1 then invalid_arg "Health.check: n_min must be >= 1";
+  let parts = census overlay in
+  (* Replication and trie completeness, per populated partition. *)
+  let trie = ref [] and under = ref [] in
+  let rep_sum = ref 0. in
+  List.iter
+    (fun (path, (_off, on)) ->
+      rep_sum := !rep_sum +. Float.min 1. (float_of_int on /. float_of_int n_min);
+      if on = 0 then trie := Trie_incomplete { prefix = path } :: !trie
+      else if on < n_min then
+        under := Under_replicated { path; online = on; required = n_min } :: !under)
+    parts;
+  (* Referential integrity: an online node must hold an online reference
+     at every level whose complement some online node inhabits.  The
+     inhabited test is memoized per prefix (paths repeat across a
+     partition's replicas). *)
+  let inhabited_cache = Hashtbl.create 64 in
+  let inhabited prefix =
+    let key = Path.to_string prefix in
+    match Hashtbl.find_opt inhabited_cache key with
+    | Some v -> v
+    | None ->
+      let v =
+        Array.exists
+          (fun m ->
+            m.Node.online
+            && (Path.is_prefix_of ~prefix m.Node.path
+               || Path.is_prefix_of ~prefix:m.Node.path prefix))
+          overlay.Overlay.nodes
+      in
+      Hashtbl.add inhabited_cache key v;
+      v
+  in
+  let refv = ref [] in
+  let levels_checked = ref 0 in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = node overlay i in
+    if n.Node.online then
+      for level = 0 to Path.length n.Node.path - 1 do
+        incr levels_checked;
+        let live =
+          Node.refs_fold n ~level
+            (fun acc r -> acc || (node overlay r).Node.online)
+            false
+        in
+        if (not live) && inhabited (Path.complement_at n.Node.path level) then
+          refv := Ref_integrity { peer = i; level } :: !refv
+      done
+  done;
+  (* Data durability: one pass over all stores, then compare with the
+     tracked key set. *)
+  let holders = Hashtbl.create 256 in
+  Array.iter
+    (fun n ->
+      Hashtbl.iter
+        (fun k _ ->
+          let on, total = Option.value ~default:(0, 0) (Hashtbl.find_opt holders k) in
+          Hashtbl.replace holders k ((if n.Node.online then on + 1 else on), total + 1))
+        n.Node.store)
+    overlay.Overlay.nodes;
+  let lostv = ref [] in
+  Array.iter
+    (fun k -> if not (Hashtbl.mem holders k) then lostv := Data_lost { key = k } :: !lostv)
+    keys;
+  let riskv = ref [] in
+  Hashtbl.iter
+    (fun k (on, total) ->
+      if on = 0 then riskv := Data_at_risk { key = k; holders = total } :: !riskv)
+    holders;
+  let by_key a b =
+    match (a, b) with
+    | Data_at_risk { key = x; _ }, Data_at_risk { key = y; _ }
+    | Data_lost { key = x }, Data_lost { key = y } -> Key.compare x y
+    | _ -> 0
+  in
+  let by_peer a b =
+    match (a, b) with
+    | Ref_integrity x, Ref_integrity y ->
+      if x.peer <> y.peer then compare x.peer y.peer else compare x.level y.level
+    | _ -> 0
+  in
+  let trie = List.rev !trie
+  and under = List.rev !under
+  and refv = List.sort by_peer !refv
+  and riskv = List.sort by_key !riskv
+  and lostv = List.sort by_key !lostv in
+  let ref_integrity = List.length refv
+  and trie_incomplete = List.length trie
+  and under_replicated = List.length under
+  and at_risk = List.length riskv
+  and lost = List.length lostv in
+  let partitions = List.length parts in
+  let tracked_keys = Hashtbl.length holders + lost in
+  (* Weighted score: data durability dominates, then replication and
+     routing, then trie coverage.  Each component is the fraction of its
+     invariant that holds. *)
+  let frac num den = 1. -. (num /. float_of_int (max 1 den)) in
+  let data_ok =
+    frac (float_of_int lost +. (0.5 *. float_of_int at_risk)) tracked_keys
+  in
+  let rep_ok = if partitions = 0 then 1. else !rep_sum /. float_of_int partitions in
+  let ref_ok = frac (float_of_int ref_integrity) !levels_checked in
+  let trie_ok = frac (float_of_int trie_incomplete) partitions in
+  let score =
+    (0.35 *. data_ok) +. (0.25 *. rep_ok) +. (0.25 *. ref_ok) +. (0.15 *. trie_ok)
+  in
+  {
+    violations = refv @ trie @ under @ riskv @ lostv;
+    ref_integrity;
+    trie_incomplete;
+    under_replicated;
+    at_risk;
+    lost;
+    online = Overlay.online_count overlay;
+    partitions;
+    tracked_keys;
+    score;
+  }
+
+let score ?keys ~n_min overlay = (check ?keys ~n_min overlay).score
+
+let emit ?(telemetry = Pgrid_telemetry.Global.get ()) r =
+  if Telemetry.active telemetry then
+    Telemetry.emit telemetry
+      (Event.Health_report
+         {
+           ref_integrity = r.ref_integrity;
+           trie_incomplete = r.trie_incomplete;
+           under_replicated = r.under_replicated;
+           at_risk = r.at_risk;
+           lost = r.lost;
+           score = r.score;
+         })
+
+let pp_violation fmt = function
+  | Ref_integrity { peer; level } ->
+    Format.fprintf fmt "ref-integrity: peer %d has no live ref at level %d" peer level
+  | Trie_incomplete { prefix } ->
+    Format.fprintf fmt "trie-incomplete: partition %s is entirely offline" prefix
+  | Under_replicated { path; online; required } ->
+    Format.fprintf fmt "under-replicated: partition %s has %d/%d online" path online
+      required
+  | Data_at_risk { key; holders } ->
+    Format.fprintf fmt "data-at-risk: key %s held only by %d offline peer(s)"
+      (Key.to_string key) holders
+  | Data_lost { key } ->
+    Format.fprintf fmt "data-lost: key %s has no holder" (Key.to_string key)

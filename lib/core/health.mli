@@ -1,0 +1,61 @@
+(** Overlay health monitor: typed invariant checker + scalar score.
+
+    [check] audits a whole {!Overlay.t} against the paper's structural
+    invariants — referential integrity (Section 3), replication at or
+    above [n_min] (Section 4), trie completeness — and against data
+    durability: a key is *at risk* when every peer holding it is
+    offline, and *lost* when no peer holds it at all.  The result is a
+    deterministic list of violations (sorted by partition path / peer
+    id / key) plus a scalar [score] in [0, 1] combining the four
+    invariant classes, suitable for time-series plotting.
+
+    The checker is read-only and scheduler-agnostic; the maintenance
+    daemon ({!Maintenance.install_daemon}) runs it periodically and
+    reacts to [Under_replicated] partitions. *)
+
+module Key = Pgrid_keyspace.Key
+
+type violation =
+  | Ref_integrity of { peer : Node.id; level : int }
+      (** [peer]'s level-[level] complement is inhabited by an online
+          node, yet the peer has no online reference at that level *)
+  | Trie_incomplete of { prefix : string }
+      (** a populated partition whose every member is offline: the
+          region is temporarily dark (queries into it dead-end) *)
+  | Under_replicated of { path : string; online : int; required : int }
+      (** a partition with at least one online member but fewer than
+          [required = n_min] *)
+  | Data_at_risk of { key : Key.t; holders : int }
+      (** every one of the key's [holders] copies is on an offline peer *)
+  | Data_lost of { key : Key.t }
+      (** a tracked key that no peer — online or offline — stores *)
+
+type report = {
+  violations : violation list;  (** deterministic order *)
+  ref_integrity : int;
+  trie_incomplete : int;
+  under_replicated : int;
+  at_risk : int;
+  lost : int;
+  online : int;  (** online peers at check time *)
+  partitions : int;  (** populated partitions (online or not) *)
+  tracked_keys : int;  (** distinct keys audited for durability *)
+  score : float;  (** weighted health in [0, 1]; 1 = pristine *)
+}
+
+(** [check ?keys ~n_min overlay] audits the overlay.  [keys] is the set
+    of keys that *should* exist (e.g. everything ever inserted); keys
+    present in some store are audited either way, but loss of a key
+    wiped from every store is only detectable when it is listed in
+    [keys]. *)
+val check : ?keys:Key.t array -> n_min:int -> Overlay.t -> report
+
+(** [score ?keys ~n_min overlay] is [(check ... ).score]. *)
+val score : ?keys:Key.t array -> n_min:int -> Overlay.t -> float
+
+(** [emit ?telemetry report] records the report as a
+    {!Pgrid_telemetry.Event.Health_report} event (updating the
+    [health.*] and [data.*] gauges); no-op without a handle. *)
+val emit : ?telemetry:Pgrid_telemetry.Telemetry.t -> report -> unit
+
+val pp_violation : Format.formatter -> violation -> unit

@@ -68,6 +68,12 @@ let purge_stale_refs rng overlay id =
         end
       done
     end
+  done;
+  (* The adopted routing table can have empty levels of its own: copying
+     the host's references skips [id] itself, so a level whose only
+     entry was [id] arrives empty.  Refill those too. *)
+  for level = 0 to Array.length moved.Node.refs - 1 do
+    refill_level rng overlay id level
   done
 
 (* Make [peer] a fresh replica of [host_id]: adopt path, store and routing
@@ -106,23 +112,32 @@ let farewell overlay id =
       Intset.remove r.Node.replicas id)
     n.Node.replicas
 
-(* The member list of the partition with the most online peers. *)
-let richest_partition overlay ~excluding =
-  let census = Hashtbl.create 64 in
-  for i = 0 to Overlay.size overlay - 1 do
+(* Partitions of online peers as (path, ascending member ids), sorted by
+   path — hash-table order is not stable across OCaml versions, and both
+   repair reports and recruit choices must be deterministic per seed. *)
+let census ?(excluding = -1) overlay =
+  let tbl = Hashtbl.create 64 in
+  for i = Overlay.size overlay - 1 downto 0 do
     let n = node overlay i in
     if i <> excluding && n.Node.online then begin
       let key = Path.to_string n.Node.path in
-      let members = Option.value ~default:[] (Hashtbl.find_opt census key) in
-      Hashtbl.replace census key (i :: members)
+      let members = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
+      Hashtbl.replace tbl key (i :: members)
     end
   done;
-  Hashtbl.fold
-    (fun _ members best ->
+  Hashtbl.fold (fun path members acc -> (path, members) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* The member list of the partition with the most online peers; size ties
+   break toward the lexicographically first path. *)
+let richest_partition overlay ~excluding =
+  List.fold_left
+    (fun best (_, members) ->
       match best with
       | Some b when List.length b >= List.length members -> best
       | _ -> Some members)
-    census None
+    None
+    (census ~excluding overlay)
 
 (* --- leave ------------------------------------------------------------------ *)
 
@@ -274,17 +289,7 @@ let correct_on_use ?(telemetry = Pgrid_telemetry.Global.get ()) ?dead rng overla
 
 type rebalance_report = { migrations : int; rounds : int; final_spread : float }
 
-let partition_census overlay =
-  let tbl = Hashtbl.create 64 in
-  for i = 0 to Overlay.size overlay - 1 do
-    let n = node overlay i in
-    if n.Node.online then begin
-      let key = Path.to_string n.Node.path in
-      let members = Option.value ~default:[] (Hashtbl.find_opt tbl key) in
-      Hashtbl.replace tbl key (i :: members)
-    end
-  done;
-  Hashtbl.fold (fun path members acc -> (path, members) :: acc) tbl []
+let partition_census overlay = census overlay
 
 let spread census =
   match census with
@@ -304,7 +309,11 @@ let rebalance ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~n_min ~m
     incr rounds;
     let census = partition_census overlay in
     let sorted =
-      List.sort (fun (_, a) (_, b) -> compare (List.length b) (List.length a)) census
+      List.sort
+        (fun (pa, a) (pb, b) ->
+          let c = compare (List.length b) (List.length a) in
+          if c <> 0 then c else compare pa pb)
+        census
     in
     match (sorted, List.rev sorted) with
     | (_, rich) :: _, (_, poor) :: _
@@ -322,3 +331,347 @@ let rebalance ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~n_min ~m
   if Telemetry.active telemetry then
     Telemetry.emit telemetry (Event.Rebalance { migrations = !migrations; rounds = !rounds });
   { migrations = !migrations; rounds = !rounds; final_spread = spread (partition_census overlay) }
+
+(* --- self-healing daemon ------------------------------------------------------ *)
+
+type daemon_config = {
+  period : float;
+  jitter : float;
+  sync_budget : int;
+  redundancy : int;
+  n_min : int;
+  critical : int;
+  monitor_period : float;
+}
+
+let default_daemon_config ~n_min =
+  {
+    period = 30.;
+    jitter = 0.5;
+    sync_budget = 64;
+    redundancy = 2;
+    n_min;
+    critical = 1;
+    monitor_period = 60.;
+  }
+
+type daemon_stats = {
+  mutable ticks : int;
+  mutable exchanges : int;
+  mutable keys_synced : int;
+  mutable levels_refreshed : int;
+  mutable refs_evicted : int;
+  mutable refs_added : int;
+  mutable monitor_runs : int;
+  mutable rereplications : int;
+}
+
+(* Donor for emergency re-replication: the partition with the most
+   *alive* members that can spare one (strictly above [n_min]), has an
+   online member to recruit, and is not the partition being rescued.
+   Alive means online, or offline with a surviving store — graceful
+   churners come back, while kills wipe the store, so corpses don't
+   count.  Judging donors by online members only would starve the
+   rescue path under heavy churn (half the network offline makes every
+   partition look too thin to spare anyone).  Deterministic: partitions
+   scanned in path order, sizes tie toward the first path.  Returns the
+   online-member recruit pool. *)
+let donor_partition overlay ~floor ~avoid =
+  let tbl = Hashtbl.create 64 in
+  for i = Overlay.size overlay - 1 downto 0 do
+    let n = node overlay i in
+    if n.Node.online || Hashtbl.length n.Node.store > 0 then begin
+      let key = Path.to_string n.Node.path in
+      let online_m, count =
+        Option.value ~default:([], 0) (Hashtbl.find_opt tbl key)
+      in
+      let online_m = if n.Node.online then i :: online_m else online_m in
+      Hashtbl.replace tbl key (online_m, count + 1)
+    end
+  done;
+  Hashtbl.fold (fun path v acc -> (path, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+  |> List.fold_left
+       (fun best (path, (online_m, count)) ->
+         (* At least two online members: recruiting the donor's only
+            online peer would darken the donor's own key range. *)
+         match online_m with
+         | [] | [ _ ] -> best
+         | _ when path = avoid || count <= floor -> best
+         | _ -> (
+           match best with
+           | Some (_, bcount) when bcount >= count -> best
+           | _ -> Some (online_m, count)))
+       None
+  |> Option.map fst
+
+let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
+    ?(keys = fun () -> [||]) rng overlay ~schedule ~now ~until cfg =
+  if cfg.period <= 0. then invalid_arg "Maintenance.install_daemon: period <= 0";
+  if cfg.monitor_period <= 0. then
+    invalid_arg "Maintenance.install_daemon: monitor_period <= 0";
+  if cfg.jitter < 0. || cfg.jitter >= 1. then
+    invalid_arg "Maintenance.install_daemon: jitter outside [0, 1)";
+  if cfg.sync_budget < 0 then invalid_arg "Maintenance.install_daemon: negative budget";
+  let stats =
+    {
+      ticks = 0;
+      exchanges = 0;
+      keys_synced = 0;
+      levels_refreshed = 0;
+      refs_evicted = 0;
+      refs_added = 0;
+      monitor_runs = 0;
+      rereplications = 0;
+    }
+  in
+  let next_delay () =
+    cfg.period *. (1. +. (cfg.jitter *. ((2. *. Rng.float rng) -. 1.)))
+  in
+  (* One peer's periodic upkeep: budgeted anti-entropy with one random
+     online replica, then a proactive refresh of one random routing
+     level (eviction of dead references + top-up to [redundancy]). *)
+  let peer_tick i =
+    let n = node overlay i in
+    if n.Node.online then begin
+      stats.ticks <- stats.ticks + 1;
+      let partners =
+        List.rev
+          (Intset.fold
+             (fun acc r -> if (node overlay r).Node.online then r :: acc else acc)
+             [] n.Node.replicas)
+      in
+      (match partners with
+      | [] -> ()
+      | partners ->
+        let b = Rng.pick_list rng partners in
+        let copied = Overlay.anti_entropy_pair overlay ~a:i ~b ~budget:cfg.sync_budget in
+        if copied > 0 then begin
+          stats.exchanges <- stats.exchanges + 1;
+          stats.keys_synced <- stats.keys_synced + copied;
+          if Telemetry.active telemetry then
+            Telemetry.emit telemetry (Event.Anti_entropy { a = i; b; copied })
+        end);
+      let plen = Path.length n.Node.path in
+      if plen > 0 then begin
+        let level = Rng.int rng plen in
+        stats.levels_refreshed <- stats.levels_refreshed + 1;
+        (* The refresh is additive.  References to peers that are merely
+           offline are kept — graceful churn brings them back, and
+           evicting them here would strip the level's diversity down to
+           whoever happened to be online at refresh time.  Only a
+           completely dark level (no online reference at all) goes
+           through correction-on-use, which evicts the dead entries and
+           refills; otherwise we just top up *online* coverage to
+           [redundancy] from the complement. *)
+        let online_refs () =
+          Node.refs_fold n ~level
+            (fun acc r -> if (node overlay r).Node.online then acc + 1 else acc)
+            0
+        in
+        if online_refs () = 0 && Node.refs_count n ~level > 0 then
+          stats.refs_evicted <-
+            stats.refs_evicted + correct_on_use ~telemetry rng overlay ~peer:i ~level;
+        let have = online_refs () in
+        if have < cfg.redundancy then begin
+          let prefix = Path.complement_at n.Node.path level in
+          match
+            List.filter
+              (fun c -> not (Node.has_ref n ~level c))
+              (complement_candidates overlay prefix ~excluding:i)
+          with
+          | [] -> ()
+          | pool ->
+            let arr = Array.of_list pool in
+            Rng.shuffle rng arr;
+            let want = cfg.redundancy - have in
+            Array.iteri
+              (fun rank c ->
+                if rank < want then begin
+                  Node.add_ref n ~level c;
+                  stats.refs_added <- stats.refs_added + 1
+                end)
+              arr
+        end;
+        (* Permanently dead peers (kills) never come back, so offline
+           entries are trimmed once the level outgrows its cap — this
+           bounds growth without touching the online coverage. *)
+        let cap = 2 * (cfg.redundancy + cfg.n_min) in
+        let total = Node.refs_count n ~level in
+        if total > cap then begin
+          let offline =
+            List.filter
+              (fun r -> not (node overlay r).Node.online)
+              (Node.refs_at n ~level)
+          in
+          let excess = total - cap in
+          List.iteri
+            (fun rank r ->
+              if rank < excess then begin
+                Node.remove_ref n ~level r;
+                stats.refs_evicted <- stats.refs_evicted + 1
+              end)
+            offline
+        end
+      end
+    end
+  in
+  (* Emergency re-replication of a critically thin partition: recruit a
+     member from the richest partition that can spare one.  The recruit
+     hands its payloads to its former partition first (its mates keep the
+     data), then adopts the endangered partition's lowest-id online
+     member. *)
+  let rereplicate path_s =
+    (* Host: the partition member the recruit will copy from.  Prefer
+       the lowest-id online member; a completely dark partition falls
+       back to the offline member with the most data (killed peers keep
+       their path but their store is wiped, so store size separates a
+       survivor from a corpse). *)
+    let host =
+      let rec scan i best_online best_off best_off_size =
+        if i >= Overlay.size overlay then
+          (match best_online with Some _ -> best_online | None -> best_off)
+        else begin
+          let n = node overlay i in
+          if Path.to_string n.Node.path = path_s then
+            if n.Node.online then
+              match best_online with
+              | Some _ -> scan (i + 1) best_online best_off best_off_size
+              | None -> scan (i + 1) (Some i) best_off best_off_size
+            else begin
+              let size = Hashtbl.length n.Node.store in
+              if size > best_off_size then scan (i + 1) best_online (Some i) size
+              else scan (i + 1) best_online best_off best_off_size
+            end
+          else scan (i + 1) best_online best_off best_off_size
+        end
+      in
+      scan 0 None None (-1)
+    in
+    match (host, donor_partition overlay ~floor:(cfg.critical + 1) ~avoid:path_s) with
+    | Some host_id, Some donors ->
+      let recruit = Rng.pick_list rng donors in
+      let r = node overlay recruit in
+      (* Hand the recruit's payloads to every *surviving* mate, offline
+         ones included (anti-entropy squares them up on reconnect).
+         Restricting the handover to online mates could destroy the last
+         copy of a key: adopt wipes the recruit's store, and the only
+         other holders may be riding out a churn cycle. *)
+      let mates =
+        let rec collect i acc =
+          if i >= Overlay.size overlay then List.rev acc
+          else begin
+            let m = node overlay i in
+            if
+              i <> recruit
+              && Path.equal m.Node.path r.Node.path
+              && (m.Node.online || Hashtbl.length m.Node.store > 0)
+            then collect (i + 1) (i :: acc)
+            else collect (i + 1) acc
+          end
+        in
+        collect 0 []
+      in
+      Hashtbl.iter
+        (fun k payloads ->
+          List.iter
+            (fun mid ->
+              let m = node overlay mid in
+              if Node.responsible_for m k then begin
+                Node.ensure_key m k;
+                List.iter (fun p -> ignore (Node.insert_new m k p)) payloads
+              end)
+            mates)
+        r.Node.store;
+      farewell overlay recruit;
+      adopt overlay ~host_id ~peer:recruit;
+      purge_stale_refs rng overlay recruit;
+      stats.rereplications <- stats.rereplications + 1;
+      if Telemetry.active telemetry then
+        Telemetry.emit telemetry (Event.Re_replicate { path = path_s; peer = recruit })
+    | _ -> ()
+  in
+  (* A key is at risk when every holder is offline.  Copy its payloads
+     from an alive offline holder back to the online members of the
+     responsible partition, so a later kill of the sleeping holders
+     cannot take the last copy with it.  If the whole partition is
+     dark there is no online target; the [Trie_incomplete] rescue
+     recruits one first and the next tick re-homes the key. *)
+  let resurrect key =
+    let holder = ref None in
+    for i = 0 to Overlay.size overlay - 1 do
+      let n = node overlay i in
+      match !holder with
+      | Some _ -> ()
+      | None -> if Hashtbl.mem n.Node.store key then holder := Some i
+    done;
+    match !holder with
+    | None -> ()
+    | Some h ->
+      let payloads = Hashtbl.find (node overlay h).Node.store key in
+      for i = 0 to Overlay.size overlay - 1 do
+        let n = node overlay i in
+        if
+          i <> h && n.Node.online
+          && Node.responsible_for n key
+          && not (Hashtbl.mem n.Node.store key)
+        then begin
+          Node.ensure_key n key;
+          List.iter (fun p -> ignore (Node.insert_new n key p)) payloads;
+          stats.keys_synced <- stats.keys_synced + 1
+        end
+      done
+  in
+  let monitor_tick () =
+    stats.monitor_runs <- stats.monitor_runs + 1;
+    let report = Health.check ~keys:(keys ()) ~n_min:cfg.n_min overlay in
+    Health.emit ~telemetry report;
+    (* Surviving membership of one partition: online members plus
+       offline ones whose store is intact.  A partition with few
+       *online* members is usually just churn noise that resolves
+       itself within minutes; a partition with few *alive* members is
+       about to lose its data for good.  Rescues fire on the latter. *)
+    let alive_of path_s =
+      let c = ref 0 in
+      for i = 0 to Overlay.size overlay - 1 do
+        let n = node overlay i in
+        if
+          Path.to_string n.Node.path = path_s
+          && (n.Node.online || Hashtbl.length n.Node.store > 0)
+        then incr c
+      done;
+      !c
+    in
+    let rescue path = if alive_of path <= cfg.critical then rereplicate path in
+    List.iter
+      (function
+        | Health.Under_replicated { path; online; _ } when online <= cfg.critical ->
+          rescue path
+        | Health.Trie_incomplete { prefix } ->
+          (* Every member is offline, so the partition's whole key range
+             is unroutable until someone returns.  Recruit immediately —
+             regardless of how many members survive — both to restore
+             trie coverage and to save the keys before a kill can finish
+             the partition off. *)
+          rereplicate prefix
+        | Health.Data_at_risk { key; _ } -> resurrect key
+        | _ -> ())
+      report.Health.violations
+  in
+  let rec run_peer i () =
+    if now () < until then begin
+      peer_tick i;
+      schedule ~delay:(next_delay ()) (run_peer i)
+    end
+  in
+  let rec run_monitor () =
+    if now () < until then begin
+      monitor_tick ();
+      schedule ~delay:cfg.monitor_period run_monitor
+    end
+  in
+  for i = 0 to Overlay.size overlay - 1 do
+    schedule ~delay:(Rng.float rng *. cfg.period) (run_peer i)
+  done;
+  schedule ~delay:(Rng.float rng *. cfg.monitor_period) run_monitor;
+  stats

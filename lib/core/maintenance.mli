@@ -100,3 +100,79 @@ val rebalance :
   n_min:int ->
   max_rounds:int ->
   rebalance_report
+
+(** Configuration of the self-healing maintenance daemon. *)
+type daemon_config = {
+  period : float;  (** mean seconds between one peer's upkeep ticks *)
+  jitter : float;
+      (** relative period spread in [0, 1): each gap is
+          [period * (1 + jitter * U(-1, 1))], desynchronizing peers *)
+  sync_budget : int;  (** max (key, payload) copies per anti-entropy exchange *)
+  redundancy : int;  (** refs per routing level the refresh tops up to *)
+  n_min : int;  (** replication target the health monitor audits against *)
+  critical : int;
+      (** emergency re-replication triggers when a partition's *alive*
+          membership — online peers plus offline ones whose store is
+          intact — falls to this floor.  Counting alive rather than
+          online members separates real data danger (crashes wipe
+          stores) from churn noise (sleeping peers keep theirs);
+          reacting to online dips alone would thrash *)
+  monitor_period : float;  (** seconds between health-monitor passes *)
+}
+
+(** [period = 30.], [jitter = 0.5], [sync_budget = 64], [redundancy = 2],
+    [critical = 1], [monitor_period = 60.]. *)
+val default_daemon_config : n_min:int -> daemon_config
+
+(** Live counters of daemon activity; updated in place as the scheduled
+    processes run. *)
+type daemon_stats = {
+  mutable ticks : int;  (** per-peer upkeep ticks that ran while online *)
+  mutable exchanges : int;  (** anti-entropy exchanges that copied > 0 *)
+  mutable keys_synced : int;
+  mutable levels_refreshed : int;
+  mutable refs_evicted : int;
+  mutable refs_added : int;
+  mutable monitor_runs : int;
+  mutable rereplications : int;
+}
+
+(** [install_daemon rng overlay ~schedule ~now ~until cfg] installs the
+    paper's proactive maintenance processes on an external scheduler
+    (typically {!Pgrid_simnet.Sim} — the daemon itself is
+    scheduler-agnostic, taking [schedule]/[now] callbacks):
+
+    {ul
+    {- per peer, every [period] seconds (jittered, first tick uniform in
+       [0, period)): one budgeted {!Overlay.anti_entropy_pair} exchange
+       with a random online replica (emitting [Anti_entropy]), then a
+       proactive refresh of one random routing level.  The refresh is
+       additive: {!correct_on_use} fires only when the level has no
+       online reference at all (offline references are kept — churned
+       peers come back), the level is topped up to [redundancy] online
+       references, and offline ones are trimmed only beyond a
+       [2 * (redundancy + n_min)] cap. Offline peers skip the work but
+       keep their timer.}
+    {- every [monitor_period] seconds: one {!Health.check} pass, emitted
+       via {!Health.emit} ([Health_report] event + [health.*] gauges).
+       A partition whose alive membership is at or below [critical] —
+       and any fully dark partition ([Trie_incomplete]) — triggers
+       emergency re-replication: a recruit from the richest sparable
+       partition hands its payloads to its surviving former replicas,
+       then adopts the endangered partition (emitting [Re_replicate]).
+       [Data_at_risk] keys are copied from a sleeping holder back to
+       the online members of the responsible partition.}}
+
+    Scheduling stops once [now ()] reaches [until]. [keys] supplies the
+    tracked key set for the monitor (see {!Health.check}). Returns the
+    mutable stats record the processes update. *)
+val install_daemon :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?keys:(unit -> Pgrid_keyspace.Key.t array) ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  schedule:(delay:float -> (unit -> unit) -> unit) ->
+  now:(unit -> float) ->
+  until:float ->
+  daemon_config ->
+  daemon_stats

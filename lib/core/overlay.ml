@@ -171,6 +171,45 @@ let anti_entropy t =
     by_path;
   !moved
 
+let anti_entropy_pair t ~a ~b ~budget =
+  if budget < 0 then invalid_arg "Overlay.anti_entropy_pair: negative budget";
+  if a = b then 0
+  else begin
+    let na = node t a and nb = node t b in
+    if
+      (not na.Node.online)
+      || (not nb.Node.online)
+      || not (Path.equal na.Node.path nb.Node.path)
+    then 0
+    else begin
+      let copied = ref 0 in
+      let copy_missing src dst =
+        try
+          Hashtbl.iter
+            (fun k payloads ->
+              if !copied >= budget then raise Exit;
+              match payloads with
+              | [] ->
+                if not (Node.has_key dst k) then begin
+                  Node.ensure_key dst k;
+                  incr copied
+                end
+              | payloads ->
+                List.iter
+                  (fun p ->
+                    if !copied < budget && Node.insert_new dst k p then incr copied)
+                  payloads)
+            src.Node.store
+        with Exit -> ()
+      in
+      copy_missing na nb;
+      copy_missing nb na;
+      Node.add_replica na b;
+      Node.add_replica nb a;
+      !copied
+    end
+  end
+
 let paths t =
   Array.to_list t.nodes
   |> List.filter_map (fun n -> if n.Node.online then Some n.Node.path else None)

@@ -65,6 +65,14 @@ val insert : t -> from:Node.id -> Pgrid_keyspace.Key.t -> string -> int option
     step. Offline nodes participate neither as source nor target. *)
 val anti_entropy : t -> int
 
+(** [anti_entropy_pair t ~a ~b ~budget] is the incremental, pairwise form
+    of {!anti_entropy} the maintenance daemon runs: [a] and [b] exchange
+    missing (key, payload) pairs — payload-less keys count one each —
+    stopping after [budget] copies, and record each other as replicas.
+    Returns the number of copies made; 0 when [a = b], either side is
+    offline, or their paths differ. *)
+val anti_entropy_pair : t -> a:Node.id -> b:Node.id -> budget:int -> int
+
 (** [paths t] is every online node's current path. *)
 val paths : t -> Pgrid_keyspace.Path.t list
 

@@ -651,3 +651,308 @@ let ablation_maintenance ?(peers = 200) ~seed () =
        bal.Pgrid_core.Maintenance.final_spread);
   record "query success, final" (Printf.sprintf "%.1f%%" (success ()));
   ([ "step"; "result" ], List.rev !rows)
+
+(* --- survival: hours of churn + permanent kills, daemon on vs off ------- *)
+
+module Sim = Pgrid_simnet.Sim
+module Net = Pgrid_simnet.Net
+module Latency = Pgrid_simnet.Latency
+module Overlay = Pgrid_core.Overlay
+module Node = Pgrid_core.Node
+module Maintenance = Pgrid_core.Maintenance
+module Health = Pgrid_core.Health
+module Key = Pgrid_keyspace.Key
+module Query = Pgrid_query.Query
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
+
+type survival_point = {
+  t : float;
+  online : int;
+  score : float;
+  ref_violations : int;
+  under_replicated : int;
+  at_risk : int;
+  lost : int;
+  success_pct : float;
+  found_pct : float;
+}
+
+type survival_run = {
+  daemon : bool;
+  points : survival_point list;
+  final_lost : int;
+  min_success_pct : float;
+  mean_score : float;
+  kills : int;
+  rereplications : int;
+  exchanges : int;
+  keys_synced : int;
+  inserted : int;
+  insert_failures : int;
+}
+
+let survival_n_min = 5
+
+(* One arm of the experiment: construct, then [horizon] seconds of paper
+   churn plus a permanent-kill wave (30% of the population dies with its
+   disk wiped, uniformly over the middle of the run) while fresh keys
+   keep being inserted.  The daemon-off arm shares every environmental
+   seed, so churn, kills and the insert stream are identical; only the
+   maintenance processes differ. *)
+let survival_run_one ~peers ~horizon ~sample_every ~maint_period ~daemon ~seed =
+  let rng = Rng.create ~seed in
+  let built = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = built.Round.overlay in
+  let keys0 =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  let inserted = ref [] in
+  let tracked_keys () = Array.append keys0 (Array.of_list (List.rev !inserted)) in
+  let sim = Sim.create () in
+  let tel = Pgrid_telemetry.Global.get () in
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
+  let killed = Array.make peers false in
+  let set_online i v =
+    if not (killed.(i) && v) then begin
+      let n = Overlay.node overlay i in
+      if n.Node.online <> v then begin
+        n.Node.online <- v;
+        if Telemetry.active tel then
+          Telemetry.emit tel
+            (if v then Event.Churn_online { peer = i }
+             else Event.Churn_offline { peer = i })
+      end
+    end
+  in
+  Churn.install ~clamp:true sim
+    (Rng.create ~seed:(seed + 1))
+    (Churn.paper_params ~start:0. ~stop:horizon)
+    ~node_ids:(List.init peers (fun i -> i))
+    ~set_online;
+  (* The data-loss channel.  The unit network only hosts the fault
+     processes; no messages flow through it. *)
+  let net : unit Net.t =
+    Net.create sim (Rng.create ~seed:(seed + 2)) ~nodes:peers
+      ~latency:Latency.planetlab ~loss:0. ~bucket:60.
+  in
+  let fault =
+    Fault.install ~telemetry:tel
+      ~on_kill:(fun i ->
+        killed.(i) <- true;
+        let n = Overlay.node overlay i in
+        n.Node.online <- false;
+        Node.clear_store n)
+      net ~seed:(seed + 3)
+      [ Fault.Kill
+          { start = 0.15 *. horizon; stop = 0.75 *. horizon; count = 3 * peers / 10 } ]
+  in
+  let dstats =
+    if daemon then
+      Some
+        (Maintenance.install_daemon ~telemetry:tel ~keys:tracked_keys
+           (Rng.create ~seed:(seed + 4))
+           overlay
+           ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+           ~now:(fun () -> Sim.now sim)
+           ~until:horizon
+           {
+             (Maintenance.default_daemon_config ~n_min:survival_n_min) with
+             period = maint_period;
+             critical = 2;
+             (* Half the network can be offline at a churn trough; two
+                online references per level dead-end far too often, so
+                the refresh tops levels up to six. *)
+             redundancy = 6;
+             (* A partition that churns dark stays unroutable until the
+                monitor recruits into it; a 15 s monitor (vs the 60 s
+                default) shrinks that exposure window below the
+                sampler's query batches. *)
+             monitor_period = 15.;
+           })
+    else None
+  in
+  (* Live inserts: one fresh key every 20 s from a random online origin. *)
+  let irng = Rng.create ~seed:(seed + 5) in
+  let inserted_n = ref 0 and insert_failures = ref 0 in
+  let online_ids () =
+    let rec go i acc =
+      if i < 0 then acc
+      else go (i - 1) (if (Overlay.node overlay i).Node.online then i :: acc else acc)
+    in
+    go (peers - 1) []
+  in
+  let rec insert_loop () =
+    if Sim.now sim < horizon then begin
+      let key = Key.random irng in
+      (match online_ids () with
+      | [] -> incr insert_failures
+      | ids -> (
+        let from = Rng.pick_list irng ids in
+        match
+          Overlay.insert overlay ~from key (Printf.sprintf "doc-%d" !inserted_n)
+        with
+        | Some _ ->
+          inserted := key :: !inserted;
+          incr inserted_n
+        | None -> incr insert_failures));
+      Sim.schedule sim ~delay:20. insert_loop
+    end
+  in
+  Sim.schedule_at sim ~time:60. insert_loop;
+  (* Sampler: health + a 200-query batch at every multiple of
+     [sample_every], including t = 0 and t = horizon. *)
+  let points = ref [] in
+  let samples = int_of_float (horizon /. sample_every) in
+  for k = 0 to samples do
+    let at = float_of_int k *. sample_every in
+    Sim.schedule_at sim ~time:at (fun () ->
+        let keys = tracked_keys () in
+        let r = Health.check ~keys ~n_min:survival_n_min overlay in
+        Health.emit ~telemetry:tel r;
+        (* [heal] turns on the base protocol's correction-on-use (evict
+           the dead reference, refill, retry once) for both arms, so
+           the daemon arms are compared on top of — not instead of —
+           the paper's passive repair. *)
+        let q =
+          Query.lookup_batch ~heal:true
+            (Rng.create ~seed:(seed + (7919 * (k + 1))))
+            overlay ~keys ~count:200
+        in
+        let pct n = 100. *. float_of_int n /. float_of_int (max 1 q.Query.issued) in
+        points :=
+          {
+            t = at;
+            online = r.Health.online;
+            score = r.Health.score;
+            ref_violations = r.Health.ref_integrity;
+            under_replicated = r.Health.under_replicated;
+            at_risk = r.Health.at_risk;
+            lost = r.Health.lost;
+            success_pct = pct q.Query.routed;
+            found_pct = pct q.Query.found;
+          }
+          :: !points)
+  done;
+  Sim.run sim;
+  let final_lost = match !points with [] -> 0 | last :: _ -> last.lost in
+  let points = List.rev !points in
+  let min_success_pct =
+    List.fold_left (fun m p -> Float.min m p.success_pct) 100. points
+  in
+  let mean_score =
+    List.fold_left (fun s p -> s +. p.score) 0. points
+    /. float_of_int (max 1 (List.length points))
+  in
+  {
+    daemon;
+    points;
+    final_lost;
+    min_success_pct;
+    mean_score;
+    kills = (Fault.stats fault).Fault.kills;
+    rereplications =
+      (match dstats with Some d -> d.Maintenance.rereplications | None -> 0);
+    exchanges = (match dstats with Some d -> d.Maintenance.exchanges | None -> 0);
+    keys_synced = (match dstats with Some d -> d.Maintenance.keys_synced | None -> 0);
+    inserted = !inserted_n;
+    insert_failures = !insert_failures;
+  }
+
+type survival = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  on : survival_run option;
+  off : survival_run option;
+}
+
+let survival_cache :
+    (int * float * float * float * bool * int, survival_run) Hashtbl.t =
+  Hashtbl.create 4
+
+let survival_one ~peers ~horizon ~sample_every ~maint_period ~daemon ~seed =
+  let key = (peers, horizon, sample_every, maint_period, daemon, seed) in
+  match Hashtbl.find_opt survival_cache key with
+  | Some r -> r
+  | None ->
+    let r = survival_run_one ~peers ~horizon ~sample_every ~maint_period ~daemon ~seed in
+    Hashtbl.add survival_cache key r;
+    r
+
+let survival ?(peers = 192) ?(horizon = 7200.) ?(sample_every = 240.)
+    ?(maint_period = 30.) ?(which = `Both) ~seed () =
+  if horizon <= 0. then invalid_arg "Figures.survival: horizon must be positive";
+  if sample_every <= 0. then
+    invalid_arg "Figures.survival: sample_every must be positive";
+  let arm daemon =
+    survival_one ~peers ~horizon ~sample_every ~maint_period ~daemon ~seed
+  in
+  {
+    peers;
+    horizon;
+    sample_every;
+    on = (match which with `Both | `On -> Some (arm true) | `Off -> None);
+    off = (match which with `Both | `Off -> Some (arm false) | `On -> None);
+  }
+
+let survival_table s =
+  let columns =
+    [ "minutes"; "online"; "score on"; "score off"; "success on"; "success off";
+      "lost on"; "lost off"; "at-risk on"; "at-risk off" ]
+  in
+  let pts r = match r with Some x -> x.points | None -> [] in
+  let cell f = function Some p -> f p | None -> "-" in
+  let rec merge on off acc =
+    match (on, off) with
+    | [], [] -> List.rev acc
+    | _ ->
+      let p = match (on, off) with p :: _, _ | [], p :: _ -> Some p | _ -> None in
+      let t = match p with Some p -> p.t | None -> 0. in
+      let row =
+        [
+          Printf.sprintf "%.0f" (t /. 60.);
+          cell (fun p -> string_of_int p.online) p;
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (match on with p :: _ -> Some p | [] -> None);
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (match off with p :: _ -> Some p | [] -> None);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.success_pct ^ "%") (match on with p :: _ -> Some p | [] -> None);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.success_pct ^ "%") (match off with p :: _ -> Some p | [] -> None);
+          cell (fun p -> string_of_int p.lost) (match on with p :: _ -> Some p | [] -> None);
+          cell (fun p -> string_of_int p.lost) (match off with p :: _ -> Some p | [] -> None);
+          cell (fun p -> string_of_int p.at_risk) (match on with p :: _ -> Some p | [] -> None);
+          cell (fun p -> string_of_int p.at_risk) (match off with p :: _ -> Some p | [] -> None);
+        ]
+      in
+      merge (match on with _ :: r -> r | [] -> []) (match off with _ :: r -> r | [] -> []) (row :: acc)
+  in
+  (columns, merge (pts s.on) (pts s.off) [])
+
+let survival_summary s =
+  let columns = [ "statistic"; "daemon on"; "daemon off" ] in
+  let v f = function Some r -> f r | None -> "-" in
+  let rows =
+    [
+      [ "min query success"; v (fun r -> Table.fmt_float ~decimals:1 r.min_success_pct ^ "%") s.on;
+        v (fun r -> Table.fmt_float ~decimals:1 r.min_success_pct ^ "%") s.off ];
+      [ "mean health score"; v (fun r -> Table.fmt_float ~decimals:3 r.mean_score) s.on;
+        v (fun r -> Table.fmt_float ~decimals:3 r.mean_score) s.off ];
+      [ "lost keys at end"; v (fun r -> string_of_int r.final_lost) s.on;
+        v (fun r -> string_of_int r.final_lost) s.off ];
+      [ "permanent kills"; v (fun r -> string_of_int r.kills) s.on;
+        v (fun r -> string_of_int r.kills) s.off ];
+      [ "emergency re-replications"; v (fun r -> string_of_int r.rereplications) s.on;
+        v (fun r -> string_of_int r.rereplications) s.off ];
+      [ "anti-entropy exchanges"; v (fun r -> string_of_int r.exchanges) s.on;
+        v (fun r -> string_of_int r.exchanges) s.off ];
+      [ "keys synced"; v (fun r -> string_of_int r.keys_synced) s.on;
+        v (fun r -> string_of_int r.keys_synced) s.off ];
+      [ "keys inserted during run"; v (fun r -> string_of_int r.inserted) s.on;
+        v (fun r -> string_of_int r.inserted) s.off ];
+    ]
+  in
+  (columns, rows)

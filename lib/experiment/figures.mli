@@ -137,3 +137,73 @@ val ablation_merge : ?peers:int -> seed:int -> unit -> string list * string list
     constructed overlay, with query success measured at each step. *)
 val ablation_maintenance :
   ?peers:int -> seed:int -> unit -> string list * string list list
+
+(** {1 Survival: long-run churn + permanent-kill endurance}
+
+    The self-healing experiment behind [SURVIVAL_0001.json]: construct a
+    192-peer overlay, then run hours of paper churn (60-300 s offline
+    every 300-600 s) plus a permanent-kill wave (30% of peers die with
+    their stores wiped over the middle of the run) while fresh keys keep
+    being inserted, with the maintenance daemon
+    ({!Pgrid_core.Maintenance.install_daemon}) on or off.  Health
+    ({!Pgrid_core.Health.check}), query success and lost-key counts are
+    sampled periodically.  Both arms share every environmental seed, so
+    churn, kills and the insert stream are identical; only the daemon
+    differs. *)
+
+(** One periodic sample of the running overlay. *)
+type survival_point = {
+  t : float;  (** simulated seconds since churn start *)
+  online : int;
+  score : float;  (** {!Pgrid_core.Health.report.score} *)
+  ref_violations : int;
+  under_replicated : int;
+  at_risk : int;
+  lost : int;
+  success_pct : float;  (** routed / issued of a 200-query batch *)
+  found_pct : float;  (** payload found / issued *)
+}
+
+(** One arm (daemon on or off) of the experiment. *)
+type survival_run = {
+  daemon : bool;
+  points : survival_point list;  (** chronological *)
+  final_lost : int;
+  min_success_pct : float;
+  mean_score : float;
+  kills : int;
+  rereplications : int;
+  exchanges : int;  (** productive anti-entropy exchanges *)
+  keys_synced : int;
+  inserted : int;  (** live inserts during the run *)
+  insert_failures : int;
+}
+
+type survival = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  on : survival_run option;
+  off : survival_run option;
+}
+
+(** [survival ~seed ()] runs the requested arms (default [`Both]),
+    memoized per parameter tuple.  Defaults: 192 peers, a 7200 s (2 h)
+    horizon sampled every 240 s, a 30 s maintenance period. *)
+val survival :
+  ?peers:int ->
+  ?horizon:float ->
+  ?sample_every:float ->
+  ?maint_period:float ->
+  ?which:[ `Both | `On | `Off ] ->
+  seed:int ->
+  unit ->
+  survival
+
+(** Time series: minutes, online count, and score / query success /
+    lost / at-risk for each arm side by side. *)
+val survival_table : survival -> string list * string list list
+
+(** Aggregates: min success, mean score, lost keys, kills, daemon
+    counters. *)
+val survival_summary : survival -> string list * string list list

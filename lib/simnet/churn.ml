@@ -20,7 +20,7 @@ let paper_params ~start ~stop =
     period_max = 600.;
   }
 
-let install sim rng params ~node_ids ~set_online =
+let install ?(clamp = false) sim rng params ~node_ids ~set_online =
   if params.stop < params.start then invalid_arg "Churn.install: stop before start";
   if params.off_min <= 0. || params.off_max < params.off_min then
     invalid_arg "Churn.install: bad offline durations";
@@ -34,9 +34,16 @@ let install sim rng params ~node_ids ~set_online =
           let off_at = time +. uniform params.period_min params.period_max in
           let off_for = uniform params.off_min params.off_max in
           if off_at < params.stop then begin
+            (* An offline interval straddling [stop] would leave the node
+               dead for good, biasing end-of-run measurements; with
+               [clamp] the recovery fires at [stop] instead.  The cycle
+               recursion keeps the unclamped time so the draw sequence
+               (and thus every other node's schedule) is unchanged. *)
+            let back_at = off_at +. off_for in
+            let back_visible = if clamp then Float.min back_at params.stop else back_at in
             Sim.schedule_at sim ~time:off_at (fun () -> set_online id false);
-            Sim.schedule_at sim ~time:(off_at +. off_for) (fun () -> set_online id true);
-            cycle (off_at +. off_for)
+            Sim.schedule_at sim ~time:back_visible (fun () -> set_online id true);
+            cycle back_at
           end
         end
       in

@@ -16,8 +16,16 @@ val paper_params : start:float -> stop:float -> params
 (** [install sim rng params ~node_ids ~set_online] schedules the on/off
     cycles for every listed node. [set_online id v] is called at each
     transition; nodes are guaranteed to be back online once the cycles
-    stop. *)
+    stop.
+
+    By default a node whose final offline interval straddles [stop]
+    only recovers after [stop] — possibly long after, which biases
+    measurements taken right at the end of a run.  [~clamp:true] moves
+    that recovery to [stop] itself.  Clamping changes event *times*
+    only, never the random draw sequence, so all other scheduling is
+    unaffected. *)
 val install :
+  ?clamp:bool ->
   Sim.t ->
   Pgrid_prng.Rng.t ->
   params ->

@@ -23,6 +23,7 @@ type spec =
     }
   | Latency_spike of { start : float; stop : float; factor : float }
   | Duplicate of { start : float; stop : float; prob : float }
+  | Kill of { start : float; stop : float; count : int }
 
 type plan = spec list
 
@@ -32,6 +33,7 @@ type stats = {
   partition_drops : int;
   loss_drops : int;
   duplicated : int;
+  kills : int;
 }
 
 (* Runtime state per process kind.  A plan may hold several windows of
@@ -62,6 +64,7 @@ type t = {
   mutable m_partition_drops : int;
   mutable m_loss_drops : int;
   mutable m_duplicated : int;
+  mutable m_kills : int;
 }
 
 let stats t =
@@ -71,6 +74,7 @@ let stats t =
     partition_drops = t.m_partition_drops;
     loss_drops = t.m_loss_drops;
     duplicated = t.m_duplicated;
+    kills = t.m_kills;
   }
 
 let prob name p =
@@ -104,6 +108,9 @@ let validate = function
   | Duplicate { start; stop; prob = p } ->
     window "dup" ~start ~stop;
     prob "prob" p
+  | Kill { start; stop; count } ->
+    window "kill" ~start ~stop;
+    if count < 1 then invalid_arg "Fault: kill count must be >= 1"
 
 let emit_on t fault node =
   Telemetry.emit t.tel (Event.Fault_on { fault; node })
@@ -176,8 +183,27 @@ let install_crash t ~on_crash ~on_restart spec =
     done
   | _ -> assert false
 
-let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart net
-    ~seed plan =
+let install_kill t ~on_kill spec =
+  match spec with
+  | Kill { start; stop; count } ->
+    (* Victims and times are drawn at install time from the dedicated
+       RNG: the massacre is part of the seeded plan.  Kills are
+       permanent — no off event, no restart. *)
+    let victims =
+      Rng.sample_without_replacement t.rng ~k:(min count t.nodes) ~n:t.nodes
+    in
+    Array.iter
+      (fun node ->
+        let at = Sample.uniform t.rng ~lo:start ~hi:stop in
+        Sim.schedule_at t.sim ~time:at (fun () ->
+            t.m_kills <- t.m_kills + 1;
+            emit_on t "kill" node;
+            on_kill node))
+      victims
+  | _ -> assert false
+
+let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart
+    ?on_kill net ~seed plan =
   List.iter validate plan;
   let sim = Net.sim net in
   let nodes = Net.nodes net in
@@ -187,6 +213,9 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart n
   in
   let on_restart =
     Option.value on_restart ~default:(fun i -> Net.set_online net i true)
+  in
+  let on_kill =
+    Option.value on_kill ~default:(fun i -> Net.set_online net i false)
   in
   let bursts =
     List.filter_map
@@ -246,6 +275,7 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart n
       m_partition_drops = 0;
       m_loss_drops = 0;
       m_duplicated = 0;
+      m_kills = 0;
     }
   in
   if plan <> [] then begin
@@ -267,7 +297,8 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart n
         | Latency_spike { start; stop; _ } ->
           install_window t ~fault:"latency" ~start ~stop
         | Duplicate { start; stop; _ } ->
-          install_window t ~fault:"dup" ~start ~stop)
+          install_window t ~fault:"dup" ~start ~stop
+        | Kill _ as s -> install_kill t ~on_kill s)
       specs;
     let fate ~src ~dst =
       let now = Sim.now t.sim in
@@ -375,7 +406,9 @@ let to_string plan =
       | Latency_spike { start; stop; factor } ->
         Printf.sprintf "latency(%s,%s,%s)" (g start) (g stop) (g factor)
       | Duplicate { start; stop; prob } ->
-        Printf.sprintf "dup(%s,%s,%s)" (g start) (g stop) (g prob))
+        Printf.sprintf "dup(%s,%s,%s)" (g start) (g stop) (g prob)
+      | Kill { start; stop; count } ->
+        Printf.sprintf "kill(%s,%s,%d)" (g start) (g stop) count)
     plan
   |> String.concat ";"
 
@@ -419,7 +452,11 @@ let parse s =
       | "latency", [ start; stop; factor ] ->
         Latency_spike { start; stop; factor }
       | "dup", [ start; stop; prob ] -> Duplicate { start; stop; prob }
-      | ("burst" | "partition" | "crash" | "latency" | "dup"), _ ->
+      | "kill", [ start; stop; count ] ->
+        if Float.is_integer count && count >= 1. then
+          Kill { start; stop; count = int_of_float count }
+        else failwith (Printf.sprintf "%S: kill count must be a positive integer" str)
+      | ("burst" | "partition" | "crash" | "latency" | "dup" | "kill"), _ ->
         failwith (Printf.sprintf "%S: wrong number of arguments" str)
       | _ -> failwith (Printf.sprintf "%S: unknown fault %S" str name))
   in

@@ -19,6 +19,11 @@
       [factor] while active.
     - {b Duplicate} — delivers an extra copy of a message with
       probability [prob] while active.
+    - {b Kill} — [count] distinct nodes, sampled at install time, die
+      permanently at uniform times inside the window.  Unlike crashes
+      there is no restart; the installer's [on_kill] callback lets the
+      protocol layer additionally wipe persistent state (disk loss), so
+      kills are the experiment's data-loss channel.
 
     All randomness comes from one dedicated RNG seeded at {!install}, so
     a plan replays bit-identically; every activation is emitted as a
@@ -48,6 +53,7 @@ type spec =
     }
   | Latency_spike of { start : float; stop : float; factor : float }
   | Duplicate of { start : float; stop : float; prob : float }
+  | Kill of { start : float; stop : float; count : int }
 
 type plan = spec list
 
@@ -60,6 +66,7 @@ type stats = {
   partition_drops : int;  (** messages killed by an active cut *)
   loss_drops : int;  (** messages killed by the loss draw *)
   duplicated : int;  (** extra copies delivered *)
+  kills : int;  (** permanent deaths executed *)
 }
 
 (** [install ?telemetry ?on_crash ?on_restart net ~seed plan] schedules
@@ -67,12 +74,14 @@ type stats = {
     its delivery decisions via {!Net.set_fault} (the network's base loss
     is folded into the fault layer's draws, so behaviour with an empty
     chain matches the plain network statistically). [on_crash]/[on_restart]
-    default to toggling {!Net.set_online}. An empty [plan] installs
-    nothing and touches no RNG. *)
+    default to toggling {!Net.set_online}; [on_kill] defaults to setting
+    the node offline (permanently, as kills never restart). An empty
+    [plan] installs nothing and touches no RNG. *)
 val install :
   ?telemetry:Telemetry.t ->
   ?on_crash:(int -> unit) ->
   ?on_restart:(int -> unit) ->
+  ?on_kill:(int -> unit) ->
   'msg Net.t ->
   seed:int ->
   plan ->
@@ -92,7 +101,8 @@ val stats : t -> stats
     defaults to 1),
     [partition(start,stop,frac)],
     [crash(start,stop,rate[,down_min,down_max])] (down defaults 30,120),
-    [latency(start,stop,factor)], [dup(start,stop,prob)].
+    [latency(start,stop,factor)], [dup(start,stop,prob)],
+    [kill(start,stop,count)] (count a positive integer).
     Whitespace is ignored. Validates windows and probabilities. *)
 val parse : string -> (plan, string) result
 

@@ -32,10 +32,20 @@ type kind =
   | Retry of { rid : int; src : int; dst : int; attempt : int }
   | Give_up of { rid : int; src : int }
   | Ref_evict of { peer : int; level : int; target : int }
+  | Health_report of {
+      ref_integrity : int;
+      trie_incomplete : int;
+      under_replicated : int;
+      at_risk : int;
+      lost : int;
+      score : float;
+    }
+  | Anti_entropy of { a : int; b : int; copied : int }
+  | Re_replicate of { path : string; peer : int }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 25
+let tag_count = 28
 
 let tag = function
   | Interaction _ -> 0
@@ -63,6 +73,9 @@ let tag = function
   | Retry _ -> 22
   | Give_up _ -> 23
   | Ref_evict _ -> 24
+  | Health_report _ -> 25
+  | Anti_entropy _ -> 26
+  | Re_replicate _ -> 27
 
 let labels =
   [|
@@ -70,7 +83,7 @@ let labels =
     "msg_send"; "msg_recv"; "msg_drop"; "query_issue"; "query_hop";
     "query_complete"; "churn_offline"; "churn_online"; "peer_leave"; "peer_join";
     "repair"; "rebalance"; "fault_on"; "fault_off"; "timeout"; "retry";
-    "give_up"; "ref_evict";
+    "give_up"; "ref_evict"; "health_report"; "anti_entropy"; "re_replicate";
   |]
 
 let label k = labels.(tag k)
@@ -168,7 +181,22 @@ let to_json { time; kind } =
   | Ref_evict { peer; level; target } ->
     int "peer" peer;
     int "level" level;
-    int "target" target);
+    int "target" target
+  | Health_report { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; score }
+    ->
+    int "ref_integrity" ref_integrity;
+    int "trie_incomplete" trie_incomplete;
+    int "under_replicated" under_replicated;
+    int "at_risk" at_risk;
+    int "lost" lost;
+    flt "score" score
+  | Anti_entropy { a; b = b'; copied } ->
+    int "a" a;
+    int "b" b';
+    int "copied" copied
+  | Re_replicate { path; peer } ->
+    str "path" path;
+    int "peer" peer);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -338,6 +366,14 @@ let of_json line =
       | "give_up" -> Give_up { rid = int "rid"; src = int "src" }
       | "ref_evict" ->
         Ref_evict { peer = int "peer"; level = int "level"; target = int "target" }
+      | "health_report" ->
+        Health_report
+          { ref_integrity = int "ref_integrity";
+            trie_incomplete = int "trie_incomplete";
+            under_replicated = int "under_replicated";
+            at_risk = int "at_risk"; lost = int "lost"; score = num "score" }
+      | "anti_entropy" -> Anti_entropy { a = int "a"; b = int "b"; copied = int "copied" }
+      | "re_replicate" -> Re_replicate { path = str "path"; peer = int "peer" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

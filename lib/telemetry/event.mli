@@ -57,6 +57,22 @@ type kind =
       (** request [rid] abandoned after exhausting its retry budget *)
   | Ref_evict of { peer : int; level : int; target : int }
       (** [peer] dropped stale routing reference [target] at [level] *)
+  | Health_report of {
+      ref_integrity : int;
+      trie_incomplete : int;
+      under_replicated : int;
+      at_risk : int;
+      lost : int;
+      score : float;
+    }
+      (** one pass of the overlay health monitor: violation counts per
+          invariant class plus the scalar health score in [0, 1] *)
+  | Anti_entropy of { a : int; b : int; copied : int }
+      (** pairwise budgeted replica sync between [a] and [b] that copied
+          [copied] (key, payload) pairs *)
+  | Re_replicate of { path : string; peer : int }
+      (** emergency re-replication: [peer] was recruited into the
+          critically under-replicated partition [path] *)
 
 type t = { time : float; kind : kind }
 

@@ -9,6 +9,10 @@ type t = {
   query_latency : Metrics.histogram;
   query_hops : Metrics.histogram;
   faults_active : Metrics.gauge;
+  health_score : Metrics.gauge;
+  health_violations : Metrics.gauge;
+  lost_keys : Metrics.gauge;
+  at_risk_keys : Metrics.gauge;
   mutable fault_level : int;
   mutable events : int;
 }
@@ -28,6 +32,10 @@ let make ~enabled ~clock =
     query_latency = Metrics.histogram metrics "query.latency_s" ~lo:0. ~hi:20. ~bins:40;
     query_hops = Metrics.histogram metrics "query.hops" ~lo:0. ~hi:40. ~bins:40;
     faults_active = Metrics.gauge metrics "faults.active";
+    health_score = Metrics.gauge metrics "health.score";
+    health_violations = Metrics.gauge metrics "health.violations";
+    lost_keys = Metrics.gauge metrics "data.lost_keys";
+    at_risk_keys = Metrics.gauge metrics "data.at_risk_keys";
     fault_level = 0;
     events = 0;
   }
@@ -61,6 +69,13 @@ let record t ev =
     | Event.Fault_off _ ->
       t.fault_level <- max 0 (t.fault_level - 1);
       Metrics.set_gauge t.faults_active (float_of_int t.fault_level)
+    | Event.Health_report
+        { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; score } ->
+      Metrics.set_gauge t.health_score score;
+      Metrics.set_gauge t.health_violations
+        (float_of_int (ref_integrity + trie_incomplete + under_replicated + at_risk + lost));
+      Metrics.set_gauge t.lost_keys (float_of_int lost);
+      Metrics.set_gauge t.at_risk_keys (float_of_int at_risk)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

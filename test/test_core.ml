@@ -195,6 +195,58 @@ let test_anti_entropy () =
   checki "c untouched (different path)" 1 (Node.key_count c);
   checki "second pass is a no-op" 0 (Overlay.anti_entropy overlay)
 
+let test_anti_entropy_skips_offline () =
+  let rng = Rng.create ~seed:31 in
+  let overlay = Overlay.create rng ~n:3 in
+  let a = Overlay.node overlay 0
+  and b = Overlay.node overlay 1
+  and c = Overlay.node overlay 2 in
+  List.iter (fun n -> Node.set_path n (Path.of_string "0")) [ a; b; c ];
+  Node.insert a (key 0.1) "x";
+  Node.insert b (key 0.2) "y";
+  Node.insert c (key 0.3) "z";
+  c.Node.online <- false;
+  checki "only the online pair reconciles" 2 (Overlay.anti_entropy overlay);
+  checki "offline store untouched" 1 (Node.key_count c);
+  checkb "offline keys stay unshared" true (not (Node.has_key a (key 0.3)))
+
+let test_anti_entropy_singleton () =
+  let rng = Rng.create ~seed:32 in
+  let overlay = Overlay.create rng ~n:2 in
+  let a = Overlay.node overlay 0 and b = Overlay.node overlay 1 in
+  Node.set_path a (Path.of_string "0");
+  Node.set_path b (Path.of_string "0");
+  Node.insert a (key 0.1) "x";
+  b.Node.online <- false;
+  (* A's replica group has one online member: no partner, no copies. *)
+  checki "singleton group is a no-op" 0 (Overlay.anti_entropy overlay)
+
+let test_anti_entropy_pair_budget () =
+  let rng = Rng.create ~seed:33 in
+  let overlay = Overlay.create rng ~n:3 in
+  let a = Overlay.node overlay 0
+  and b = Overlay.node overlay 1
+  and c = Overlay.node overlay 2 in
+  Node.set_path a (Path.of_string "0");
+  Node.set_path b (Path.of_string "0");
+  Node.set_path c (Path.of_string "1");
+  for i = 1 to 5 do
+    Node.insert a (key (0.01 *. float_of_int i)) (Printf.sprintf "doc-%d" i)
+  done;
+  checki "budget caps the exchange" 3 (Overlay.anti_entropy_pair overlay ~a:0 ~b:1 ~budget:3);
+  checki "b received exactly the budget" 3 (Node.key_count b);
+  checki "second exchange drains the rest" 2
+    (Overlay.anti_entropy_pair overlay ~a:0 ~b:1 ~budget:10);
+  checki "then it is idempotent" 0 (Overlay.anti_entropy_pair overlay ~a:0 ~b:1 ~budget:10);
+  checki "different paths never exchange" 0
+    (Overlay.anti_entropy_pair overlay ~a:0 ~b:2 ~budget:10);
+  checki "self-exchange is a no-op" 0 (Overlay.anti_entropy_pair overlay ~a:0 ~b:0 ~budget:10);
+  b.Node.online <- false;
+  checki "offline partner is a no-op" 0 (Overlay.anti_entropy_pair overlay ~a:0 ~b:1 ~budget:10);
+  Alcotest.check_raises "negative budget rejected"
+    (Invalid_argument "Overlay.anti_entropy_pair: negative budget") (fun () ->
+      ignore (Overlay.anti_entropy_pair overlay ~a:0 ~b:1 ~budget:(-1)))
+
 let test_stats () =
   let overlay, reference, _ = build 11 in
   let s = Overlay.stats overlay in
@@ -342,6 +394,9 @@ let suite =
     Alcotest.test_case "range bounds inclusive" `Quick test_range_bounds_inclusive;
     Alcotest.test_case "insert replicates" `Quick test_insert_replicates;
     Alcotest.test_case "anti-entropy" `Quick test_anti_entropy;
+    Alcotest.test_case "anti-entropy skips offline" `Quick test_anti_entropy_skips_offline;
+    Alcotest.test_case "anti-entropy singleton" `Quick test_anti_entropy_singleton;
+    Alcotest.test_case "anti-entropy pair budget" `Quick test_anti_entropy_pair_budget;
     Alcotest.test_case "overlay stats" `Quick test_stats;
     Alcotest.test_case "deviation zero on perfect" `Quick test_deviation_perfect_integer;
     Alcotest.test_case "deviation detects imbalance" `Quick test_deviation_detects_imbalance;

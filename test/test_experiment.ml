@@ -72,6 +72,32 @@ let test_planetlab_artifacts () =
   let o2 = Figures.planetlab_run ~peers:48 ~seed:7 () in
   checkb "memoized" true (o1 == o2)
 
+let test_survival_smoke () =
+  (* A short survival run: both arms sampled on a shared environment.
+     The daemon arm must never lose data the control arm keeps. *)
+  let s =
+    Figures.survival ~peers:96 ~horizon:1200. ~sample_every:300. ~seed:5 ()
+  in
+  let on = Option.get s.Figures.on and off = Option.get s.Figures.off in
+  checki "same sample count" (List.length on.Figures.points)
+    (List.length off.Figures.points);
+  checki "five samples" 5 (List.length on.Figures.points);
+  checkb "kill waves match across arms" true (on.Figures.kills = off.Figures.kills);
+  checkb "daemon arm did maintenance" true (on.Figures.exchanges > 0);
+  checkb "control arm did none" true (off.Figures.exchanges = 0 && off.Figures.rereplications = 0);
+  checkb "daemon arm loses nothing the control keeps" true
+    (on.Figures.final_lost <= off.Figures.final_lost);
+  let columns, rows = Figures.survival_table s in
+  checki "ten data columns" 10 (List.length columns);
+  checki "one row per sample" 5 (List.length rows);
+  let _, srows = Figures.survival_summary s in
+  checkb "summary has rows" true (List.length srows >= 6);
+  (* Memoized per parameter tuple. *)
+  let s2 =
+    Figures.survival ~peers:96 ~horizon:1200. ~sample_every:300. ~seed:5 ()
+  in
+  checkb "memoized" true (Option.get s.Figures.on == Option.get s2.Figures.on)
+
 let test_ablation_sequential () =
   let columns, rows = Figures.ablation_sequential ~sizes:[ 32; 64 ] ~seed:3 () in
   checki "columns" 7 (List.length columns);
@@ -102,6 +128,7 @@ let suite =
     Alcotest.test_case "fig5 shape" `Slow test_fig5_shape;
     Alcotest.test_case "fig6 rendering" `Quick test_fig6_table_rendering;
     Alcotest.test_case "planetlab artifacts" `Slow test_planetlab_artifacts;
+    Alcotest.test_case "survival smoke" `Slow test_survival_smoke;
     Alcotest.test_case "ablation sequential" `Quick test_ablation_sequential;
     Alcotest.test_case "ablation cost" `Slow test_ablation_cost;
     Alcotest.test_case "ablation correction" `Slow test_ablation_correction;

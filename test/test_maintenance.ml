@@ -161,6 +161,34 @@ let test_leave_join_cycle_stability () =
   let s = Pgrid_query.Query.lookup_batch rng overlay ~keys ~count:200 in
   checkb "overlay survives churn cycles" true (s.Pgrid_query.Query.routed > 195)
 
+let test_repair_rebalance_deterministic () =
+  (* Identical seeds must yield identical repair/rebalance trajectories
+     AND identical final overlays — the iteration order of both passes
+     is part of the reproducibility contract (the survival experiment
+     depends on it). *)
+  let run () =
+    let overlay, _, _ = build 21 in
+    let rng = Rng.create ~seed:99 in
+    let victims = Rng.sample_without_replacement rng ~k:40 ~n:150 in
+    Array.iter (fun id -> (Overlay.node overlay id).Node.online <- false) victims;
+    let rep = Maintenance.repair rng overlay ~redundancy:2 in
+    let reb = Maintenance.rebalance rng overlay ~n_min:5 ~max_rounds:100 in
+    let fingerprint =
+      String.concat ";"
+        (List.init 150 (fun i ->
+             let n = Overlay.node overlay i in
+             Printf.sprintf "%d:%s:%d:%b" i
+               (Path.to_string n.Node.path)
+               (Node.key_count n) n.Node.online))
+    in
+    ( rep.Maintenance.dead_refs_dropped,
+      rep.Maintenance.refs_added,
+      reb.Maintenance.migrations,
+      reb.Maintenance.final_spread,
+      fingerprint )
+  in
+  checkb "same seed, same trajectory" true (run () = run ())
+
 let qcheck_churn_invariants =
   QCheck.Test.make ~name:"random churn keeps partitions alive and refs valid" ~count:8
     QCheck.small_signed_int (fun seed ->
@@ -224,5 +252,7 @@ let suite =
     Alcotest.test_case "rebalance reduces spread" `Quick test_rebalance_reduces_spread;
     Alcotest.test_case "rebalance idempotent" `Quick test_rebalance_idempotent_when_balanced;
     Alcotest.test_case "leave/join cycles" `Quick test_leave_join_cycle_stability;
+    Alcotest.test_case "repair/rebalance deterministic" `Quick
+      test_repair_rebalance_deterministic;
     QCheck_alcotest.to_alcotest qcheck_churn_invariants;
   ]

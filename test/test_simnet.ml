@@ -277,6 +277,37 @@ let test_churn_offline_periods () =
   Sim.run sim;
   checkb "nodes actually go offline" true !offline_seen
 
+let test_churn_clamp_recovery () =
+  (* Long offline intervals straddle the stop time: unclamped, the
+     recovery lands after [stop]; clamped, it lands exactly at [stop].
+     The random draw sequence must be identical either way. *)
+  let run clamp =
+    let sim = Sim.create () in
+    let rng = Rng.create ~seed:44 in
+    let last_transition = Array.make 8 0. in
+    let transitions = ref 0 in
+    Churn.install ~clamp sim rng
+      {
+        Churn.start = 0.;
+        stop = 1000.;
+        off_min = 400.;
+        off_max = 500.;
+        period_min = 450.;
+        period_max = 600.;
+      }
+      ~node_ids:(List.init 8 (fun i -> i))
+      ~set_online:(fun i _ ->
+        last_transition.(i) <- Sim.now sim;
+        incr transitions);
+    Sim.run sim;
+    (Array.fold_left Float.max 0. last_transition, !transitions)
+  in
+  let unclamped, n1 = run false in
+  let clamped, n2 = run true in
+  checkb "some interval straddles stop" true (unclamped > 1000.);
+  checkb "clamped recovery at stop" true (clamped <= 1000.);
+  checki "clamping never changes the draw sequence" n1 n2
+
 (* --- Vote --------------------------------------------------------------------- *)
 
 let test_vote_aggregation () =
@@ -479,6 +510,7 @@ let suite =
     Alcotest.test_case "flood offline start" `Quick test_flood_offline_start;
     Alcotest.test_case "churn cycles" `Quick test_churn_cycles;
     Alcotest.test_case "churn goes offline" `Quick test_churn_offline_periods;
+    Alcotest.test_case "churn clamp recovery" `Quick test_churn_clamp_recovery;
     Alcotest.test_case "vote aggregation" `Quick test_vote_aggregation;
     Alcotest.test_case "vote parameter rule" `Quick test_vote_derive_d_max;
     QCheck_alcotest.to_alcotest qcheck_run_until_boundary;

@@ -124,6 +124,17 @@ let sample_events =
     Event.Retry { rid = 42; src = 1; dst = 9; attempt = 1 };
     Event.Give_up { rid = 42; src = 1 };
     Event.Ref_evict { peer = 3; level = 2; target = 11 };
+    Event.Health_report
+      {
+        ref_integrity = 1;
+        trie_incomplete = 0;
+        under_replicated = 3;
+        at_risk = 7;
+        lost = 0;
+        score = 0.875;
+      };
+    Event.Anti_entropy { a = 4; b = 11; copied = 3 };
+    Event.Re_replicate { path = "0110"; peer = 23 };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
