@@ -3,13 +3,22 @@
    Usage:
      dune exec bench/compare.exe -- BASELINE.json CANDIDATE.json [--threshold PCT]
 
-   Matches wall-clock targets and micro kernels by name, prints the
-   old/new numbers with the relative change, and exits non-zero when any
-   kernel or target slowed down by more than the threshold (default 10%). *)
+   Matches wall-clock targets, per-target metric values and micro
+   kernels by name, prints the old/new numbers with the relative change,
+   and exits non-zero when anything regressed by more than the threshold
+   (default 10%).  Timings and cost-like metrics regress by going up;
+   quality metrics (success / score / found / ge_frac) regress by going
+   down. *)
 
 module Table = Pgrid_stats.Table
 
-type row = { name : string; old_v : float; new_v : float; floor : float }
+type row = {
+  name : string;
+  old_v : float;
+  new_v : float;
+  floor : float;
+  higher_better : bool;
+}
 
 (* [floor] is an absolute-delta noise floor: changes smaller than it are
    never flagged, whatever the relative change.  Wall-clock targets use
@@ -21,8 +30,24 @@ let wall_floor = 0.05
 let pct { old_v; new_v; _ } =
   if old_v = 0. then 0. else 100. *. ((new_v -. old_v) /. old_v)
 
+(* Relative change in the direction that hurts: positive means worse. *)
+let badness r = if r.higher_better then -.pct r else pct r
+
 let flagged ~threshold r =
-  pct r > threshold && Float.abs (r.new_v -. r.old_v) > r.floor
+  badness r > threshold && Float.abs (r.new_v -. r.old_v) > r.floor
+
+(* Metric-name heuristic for the direction of goodness.  Everything the
+   bench reports today is either a rate we want high (query success,
+   health score, keys found, dominance fraction) or a cost we want low
+   (seconds, hops, loads, losses). *)
+let metric_higher_better name =
+  List.exists
+    (fun marker ->
+      let ln = String.lowercase_ascii name in
+      let lm = String.length marker and n = String.length ln in
+      let rec scan i = i + lm <= n && (String.sub ln i lm = marker || scan (i + 1)) in
+      scan 0)
+    [ "success"; "score"; "found"; "ge_frac" ]
 
 let collect_walls doc =
   Json.member "targets" doc
@@ -42,6 +67,23 @@ let collect_micros doc =
          | Some name, Some ns -> Some (name, ns)
          | _ -> None)
 
+(* Per-target metric values, flattened to "target/metric". *)
+let collect_values doc =
+  Json.member "targets" doc
+  |> Option.value ~default:(Json.Arr [])
+  |> Json.to_list
+  |> List.concat_map (fun t ->
+         match Json.str_member "name" t with
+         | None -> []
+         | Some target ->
+           Json.member "values" t
+           |> Option.value ~default:(Json.Arr [])
+           |> Json.to_list
+           |> List.filter_map (fun v ->
+                  match (Json.str_member "name" v, Json.num_member "value" v) with
+                  | Some metric, Some value -> Some (target ^ "/" ^ metric, value)
+                  | _ -> None))
+
 (* Entries present in only one report are skipped, but silently losing a
    target (a rename, a dropped kernel) is exactly what a baseline diff
    should surface — warn on stderr, non-fatally, in both directions. *)
@@ -56,18 +98,18 @@ let warn_one_sided ~kind old_entries new_entries =
       Printf.eprintf "compare: warning: %s %S only in candidate report\n" kind name)
     (missing_from old_entries new_entries)
 
-let paired ~kind ~floor old_entries new_entries =
+let paired ~kind ~floor ?(direction = fun _ -> false) old_entries new_entries =
   warn_one_sided ~kind old_entries new_entries;
   List.filter_map
     (fun (name, old_v) ->
       Option.map
-        (fun new_v -> { name; old_v; new_v; floor })
+        (fun new_v -> { name; old_v; new_v; floor; higher_better = direction name })
         (List.assoc_opt name new_entries))
     old_entries
 
 let verdict ~threshold r =
   if flagged ~threshold r then "REGRESSION"
-  else if pct r < -.threshold && Float.abs (r.new_v -. r.old_v) > r.floor then
+  else if badness r < -.threshold && Float.abs (r.new_v -. r.old_v) > r.floor then
     "improved"
   else "ok"
 
@@ -129,14 +171,19 @@ let () =
     paired ~kind:"kernel" ~floor:0. (collect_micros old_doc)
       (collect_micros new_doc)
   in
-  if walls = [] && micros = [] then begin
+  let values =
+    paired ~kind:"metric" ~floor:0. ~direction:metric_higher_better
+      (collect_values old_doc) (collect_values new_doc)
+  in
+  if walls = [] && micros = [] && values = [] then begin
     prerr_endline "compare: no common targets or kernels between the two reports";
     exit 2
   end;
   print_section ~title:"wall-clock targets" ~unit:"s" ~threshold:!threshold walls;
+  print_section ~title:"metric values" ~unit:"value" ~threshold:!threshold values;
   print_section ~title:"micro kernels" ~unit:"ns" ~threshold:!threshold micros;
   let regressions =
-    List.filter (flagged ~threshold:!threshold) (walls @ micros)
+    List.filter (flagged ~threshold:!threshold) (walls @ values @ micros)
   in
   if regressions <> [] then begin
     Printf.printf "\n%d regression(s) beyond +%.0f%%:\n" (List.length regressions)

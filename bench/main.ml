@@ -23,6 +23,7 @@ let seed = 20050830 (* VLDB 2005, Trondheim: August 30 *)
 let report : Report.t option ref = ref None
 let micro_quota_ms = ref 500.
 let survival_horizon = ref 7200.
+let balance_horizon = ref 3600.
 
 let banner title =
   let line = String.make 72 '=' in
@@ -110,6 +111,26 @@ let resilience _reps =
 
 (* 30 samples across the horizon, but never denser than one per minute. *)
 let survival_sample_every () = Float.max 60. (!survival_horizon /. 30.)
+
+(* 20 samples across the horizon, but never denser than one per minute. *)
+let balance_sample_every () = Float.max 60. (!balance_horizon /. 20.)
+
+let balance _reps =
+  banner "Balance -- Pareto-1.5 insert storm, online balancing on vs off";
+  note "a U-built overlay takes a skewed storm; runtime splits follow the load";
+  note
+    (Printf.sprintf
+       "expected: balanced max load <= %.1f x d_max while the unbalanced arm \
+        exceeds it, query success no worse"
+       Figures.balance_slack);
+  let b =
+    Figures.balance ~horizon:!balance_horizon
+      ~sample_every:(balance_sample_every ()) ~seed ()
+  in
+  let columns, rows = Figures.balance_table b in
+  Table.print ~title:"partition load and query success over time" ~columns ~rows;
+  let columns, rows = Figures.balance_summary b in
+  Table.print ~title:"balance summary" ~columns ~rows
 
 let survival _reps =
   banner "Survival -- hours of churn + permanent kills, daemon on vs off";
@@ -273,6 +294,7 @@ let targets =
     ("ablation-merge", ablation_merge);
     ("ablation-maintain", ablation_maintain);
     ("survival", survival);
+    ("balance", balance);
     ("micro", micro);
   ]
 
@@ -321,7 +343,8 @@ let survival_values () =
     Figures.survival ~horizon:!survival_horizon
       ~sample_every:(survival_sample_every ()) ~seed ()
   in
-  let arm tag = function
+  let arm tag (o : survival_run option) =
+    match o with
     | None -> []
     | Some r ->
       [
@@ -336,7 +359,7 @@ let survival_values () =
         (tag ^ "/insert_failures", float_of_int r.insert_failures);
       ]
       @ List.concat_map
-          (fun p ->
+          (fun (p : survival_point) ->
             let at name v = (Printf.sprintf "%s/%s@%.0f" tag name p.t, v) in
             [
               at "score" p.score;
@@ -351,7 +374,7 @@ let survival_values () =
       let n = max 1 (List.length on.points) in
       let ge, gt =
         List.fold_left2
-          (fun (ge, gt) a b ->
+          (fun (ge, gt) (a : Figures.survival_point) (b : Figures.survival_point) ->
             ( (if a.score >= b.score then ge + 1 else ge),
               if a.score > b.score then gt + 1 else gt ))
           (0, 0) on.points off.points
@@ -364,10 +387,50 @@ let survival_values () =
   in
   arm "on" s.on @ arm "off" s.off @ dominance
 
+(* The balance run flattens to per-arm aggregates, the per-sample load /
+   success series, and the slack bound the acceptance gate divides
+   against.  Memoized like the other experiments. *)
+let balance_values () =
+  let open Figures in
+  let b =
+    Figures.balance ~horizon:!balance_horizon
+      ~sample_every:(balance_sample_every ()) ~seed ()
+  in
+  let arm tag (o : balance_run option) =
+    match o with
+    | None -> []
+    | Some r ->
+      [
+        (tag ^ "/final_max_load", float_of_int r.final_max_load);
+        (tag ^ "/peak_max_load", float_of_int r.peak_max_load);
+        (tag ^ "/final_partitions", float_of_int r.final_partitions);
+        (tag ^ "/min_success_pct", r.min_success_pct);
+        (tag ^ "/mean_score", r.mean_score);
+        (tag ^ "/splits", float_of_int r.splits);
+        (tag ^ "/retracts", float_of_int r.retracts);
+        (tag ^ "/keys_moved", float_of_int r.keys_moved);
+        (tag ^ "/inserted", float_of_int r.inserted);
+        (tag ^ "/insert_failures", float_of_int r.insert_failures);
+      ]
+      @ List.concat_map
+          (fun p ->
+            let at name v = (Printf.sprintf "%s/%s@%.0f" tag name p.t, v) in
+            [
+              at "max_load" (float_of_int p.max_load);
+              at "score" p.score;
+              at "success_pct" p.success_pct;
+            ])
+          r.points
+  in
+  (("bound/max_load", Figures.balance_slack *. float_of_int b.d_max)
+   :: arm "on" b.on)
+  @ arm "off" b.off
+
 let values_of name reps =
   match name with
   | "resilience" -> resilience_values ()
   | "survival" -> survival_values ()
+  | "balance" -> balance_values ()
   | "fig6a" -> fig6_values (Figures.fig6a ?reps ~seed ())
   | "fig6b" -> fig6_values (Figures.fig6b ?reps ~seed ())
   | "fig6c" -> fig6_values (Figures.fig6c ?reps ~seed ())
@@ -415,7 +478,9 @@ let split_flags argv =
       go acc rest
     | "--horizon" :: sec :: rest ->
       (match float_of_string_opt sec with
-      | Some h when h > 0. -> survival_horizon := h
+      | Some h when h > 0. ->
+        survival_horizon := h;
+        balance_horizon := h
       | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
       go acc rest
     | ("--trace" | "--json" | "--quota" | "--horizon") :: [] ->

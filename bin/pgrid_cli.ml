@@ -247,21 +247,44 @@ let no_daemon_arg =
           "Disable the maintenance daemon (overrides $(b,--maint-period)); \
            the run is then bit-identical to pre-daemon builds.")
 
-let planetlab seed peers spec fault_plan robust maint_period no_daemon trace
-    metrics =
+let balance_arg =
+  Arg.(
+    value & flag
+    & info [ "balance" ]
+        ~doc:
+          "Enable online storage-load balancing (runtime partition splits \
+           and retractions) inside the maintenance daemon; implies the \
+           daemon with its default period unless $(b,--maint-period) sets \
+           one (see DESIGN.md section 11).")
+
+let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
+    trace metrics =
   with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
   let base = Net_engine.default_params ~peers in
   let maint =
     if no_daemon then None
-    else
-      match maint_period with
-      | None -> None
-      | Some period ->
-        let c =
-          Pgrid_core.Maintenance.default_daemon_config ~n_min:base.Net_engine.n_min
-        in
-        Some { c with Pgrid_core.Maintenance.period }
+    else if maint_period = None && not balance then None
+    else begin
+      let c =
+        Pgrid_core.Maintenance.default_daemon_config ~n_min:base.Net_engine.n_min
+      in
+      let c =
+        match maint_period with
+        | Some period -> { c with Pgrid_core.Maintenance.period }
+        | None -> c
+      in
+      Some
+        (if balance then
+           {
+             c with
+             Pgrid_core.Maintenance.balance =
+               Some
+                 (Pgrid_core.Balance.default_config ~d_max:base.Net_engine.d_max
+                    ~n_min:base.Net_engine.n_min);
+           }
+         else c)
+    end
   in
   let params =
     {
@@ -309,6 +332,16 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon trace
           Printf.sprintf "%d / %d" m.Pgrid_core.Maintenance.levels_refreshed
             m.Pgrid_core.Maintenance.rereplications ];
       ]
+      @
+      if balance then
+        [
+          [ "balance splits / retractions";
+            Printf.sprintf "%d / %d" m.Pgrid_core.Maintenance.balance_splits
+              m.Pgrid_core.Maintenance.balance_retracts ];
+          [ "balance keys moved";
+            string_of_int m.Pgrid_core.Maintenance.balance_keys_moved ];
+        ]
+      else []
   in
   Table.print ~title:"simulated deployment (paper Section 5 timeline)"
     ~columns:[ "metric"; "value" ]
@@ -336,7 +369,7 @@ let planetlab_cmd =
   Cmd.v (Cmd.info "planetlab" ~doc)
     Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg
           $ fault_plan_arg $ robust_arg $ maint_period_arg $ no_daemon_arg
-          $ trace_arg $ metrics_arg)
+          $ balance_arg $ trace_arg $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -373,8 +406,8 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience survival ablation-seq ablation-cost ablation-cor \
-              ablation-pht ablation-merge ablation-maintain.")
+              table1 resilience survival balance ablation-seq ablation-cost \
+              ablation-cor ablation-pht ablation-merge ablation-maintain.")
 
 let figure seed name reps trace metrics =
   with_telemetry ~trace ~metrics @@ fun _telemetry ->
@@ -402,6 +435,10 @@ let figure seed name reps trace metrics =
     let s = Figures.survival ~seed () in
     print_table "health and query success over time" (Figures.survival_table s);
     print_table "endurance summary" (Figures.survival_summary s)
+  | "balance" ->
+    let b = Figures.balance ~seed () in
+    print_table "partition load and query success over time" (Figures.balance_table b);
+    print_table "balance summary" (Figures.balance_summary b)
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

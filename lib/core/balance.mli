@@ -1,0 +1,91 @@
+(** Online partition load balancing (runtime splits and retractions).
+
+    The paper's reference partitioning balances storage only at
+    construction time: partitions split while [d > d_max] and
+    [n > n_min], and nothing re-balances once live {!Overlay.insert}
+    traffic skews the key distribution.  This module closes that gap
+    with the runtime counterpart of the construction rules, in the
+    spirit of the related dynamic-balancing work (Chawachat &
+    Fakcharoenphol; D3-Tree):
+
+    {ul
+    {- {b split}: when a partition's storage load exceeds [d_max] and
+       its online membership is above [2 * n_min], its members extend
+       their path by one bit.  The side each member takes is decided by
+       the AEP machinery ({!Pgrid_partition.Aep_math.probabilities} on
+       the locally estimated left-load fraction, derived from the
+       incremental {!Node.zero_count}/{!Node.key_count} statistics), so
+       membership divides in proportion to load; floors guarantee both
+       halves keep at least [n_min] members.  Keys migrate to the
+       responsible half and each member seeds routing references to the
+       complementary half, preserving referential integrity (extending
+       a path keeps every inbound third-party reference valid).}
+    {- {b retract}: a partition whose load and membership have fallen
+       below the configured floors merges with its sibling — when the
+       sibling is a leaf — via an {!Overlay.anti_entropy_pair}-style
+       store union: every member of both halves adopts the parent path
+       and tops its store up from the union.  Shortening a path keeps
+       inbound references valid (the referenced peer now covers a
+       superset of its old key range).}}
+
+    Balancing acts on fully online partitions only: a partition with an
+    offline member is skipped for that pass (its sleeping peers would
+    come back with a stale path), which makes the subsystem safe to run
+    alongside churn.
+
+    Each action reports to [?telemetry]: [Balance_split] / [Retract]
+    events, one [Migrate] event per peer that dropped keys, and the
+    [balance.splits] / [balance.retracts] / [balance.migrated_keys] /
+    [balance.max_load] gauges. *)
+
+type config = {
+  d_max : int;  (** split a partition once its distinct-key load exceeds this *)
+  n_min : int;
+      (** both halves of a split keep at least this many members; a
+          partition splits only while membership exceeds [2 * n_min] *)
+  retract_load : int;
+      (** retract when the combined load of the partition and its
+          sibling is at most this (must leave headroom below [d_max],
+          or split/retract would thrash) *)
+  retract_members : int;
+      (** retract only a partition whose membership fell to this floor *)
+  seed_refs : int;  (** cross-references seeded per member at the new level *)
+  max_actions : int;  (** cap on splits + retracts per {!pass} *)
+  period : float;  (** seconds between daemon passes *)
+}
+
+(** [retract_load = max 1 (d_max / 4)], [retract_members = n_min],
+    [seed_refs = 4], [max_actions = 32], [period = 60.]. *)
+val default_config : d_max:int -> n_min:int -> config
+
+(** @raise Invalid_argument when a field is out of range ([d_max < 1],
+    [n_min < 1], [retract_load >= d_max], negative floors/caps,
+    [period <= 0]). *)
+val validate : config -> unit
+
+type pass_report = {
+  splits : int;
+  retracts : int;
+  migrated_keys : int;  (** distinct keys peers dropped when re-homed *)
+  copied_keys : int;  (** (key, payload) copies created by store unions *)
+  max_load : int;  (** highest per-partition load after the pass *)
+}
+
+(** [partition_load overlay members] is the storage load of one
+    partition: the largest distinct-key count among its members (replicas
+    converge on the same key set, so the maximum is the partition's
+    effective load; O(1) per member via {!Node.key_count}). *)
+val partition_load : Overlay.t -> Node.id list -> int
+
+(** [pass rng overlay cfg] runs one balancing scan: partitions are
+    visited in path order (deterministic per seed) and the first
+    eligible action is applied, repeatedly, until no action remains or
+    [cfg.max_actions] is reached.  Splits are preferred over
+    retractions.  Returns the tally; also sets the [balance.max_load]
+    gauge on [?telemetry]. *)
+val pass :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  config ->
+  pass_report

@@ -342,6 +342,7 @@ type daemon_config = {
   n_min : int;
   critical : int;
   monitor_period : float;
+  balance : Balance.config option;
 }
 
 let default_daemon_config ~n_min =
@@ -353,6 +354,7 @@ let default_daemon_config ~n_min =
     n_min;
     critical = 1;
     monitor_period = 60.;
+    balance = None;
   }
 
 type daemon_stats = {
@@ -364,6 +366,10 @@ type daemon_stats = {
   mutable refs_added : int;
   mutable monitor_runs : int;
   mutable rereplications : int;
+  mutable balance_passes : int;
+  mutable balance_splits : int;
+  mutable balance_retracts : int;
+  mutable balance_keys_moved : int;
 }
 
 (* Donor for emergency re-replication: the partition with the most
@@ -413,6 +419,7 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
   if cfg.jitter < 0. || cfg.jitter >= 1. then
     invalid_arg "Maintenance.install_daemon: jitter outside [0, 1)";
   if cfg.sync_budget < 0 then invalid_arg "Maintenance.install_daemon: negative budget";
+  Option.iter Balance.validate cfg.balance;
   let stats =
     {
       ticks = 0;
@@ -423,6 +430,10 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       refs_added = 0;
       monitor_runs = 0;
       rereplications = 0;
+      balance_passes = 0;
+      balance_splits = 0;
+      balance_retracts = 0;
+      balance_keys_moved = 0;
     }
   in
   let next_delay () =
@@ -674,4 +685,22 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
     schedule ~delay:(Rng.float rng *. cfg.period) (run_peer i)
   done;
   schedule ~delay:(Rng.float rng *. cfg.monitor_period) run_monitor;
+  (* The balancing process draws from [rng] only when enabled, and is
+     scheduled after every other process, so [balance = None] leaves the
+     daemon's draw sequence bit-identical to a build without it. *)
+  (match cfg.balance with
+  | None -> ()
+  | Some bcfg ->
+    let rec run_balance () =
+      if now () < until then begin
+        let r = Balance.pass ~telemetry rng overlay bcfg in
+        stats.balance_passes <- stats.balance_passes + 1;
+        stats.balance_splits <- stats.balance_splits + r.Balance.splits;
+        stats.balance_retracts <- stats.balance_retracts + r.Balance.retracts;
+        stats.balance_keys_moved <-
+          stats.balance_keys_moved + r.Balance.migrated_keys + r.Balance.copied_keys;
+        schedule ~delay:bcfg.Balance.period run_balance
+      end
+    in
+    schedule ~delay:(Rng.float rng *. bcfg.Balance.period) run_balance);
   stats

@@ -118,10 +118,15 @@ type daemon_config = {
           stores) from churn noise (sleeping peers keep theirs);
           reacting to online dips alone would thrash *)
   monitor_period : float;  (** seconds between health-monitor passes *)
+  balance : Balance.config option;
+      (** online load balancing (runtime splits/retractions, see
+          {!Balance}); [None] disables it {e and} leaves the daemon's
+          RNG draw sequence bit-identical to a build without the
+          subsystem *)
 }
 
 (** [period = 30.], [jitter = 0.5], [sync_budget = 64], [redundancy = 2],
-    [critical = 1], [monitor_period = 60.]. *)
+    [critical = 1], [monitor_period = 60.], [balance = None]. *)
 val default_daemon_config : n_min:int -> daemon_config
 
 (** Live counters of daemon activity; updated in place as the scheduled
@@ -135,6 +140,12 @@ type daemon_stats = {
   mutable refs_added : int;
   mutable monitor_runs : int;
   mutable rereplications : int;
+  mutable balance_passes : int;
+  mutable balance_splits : int;
+  mutable balance_retracts : int;
+  mutable balance_keys_moved : int;
+      (** distinct keys dropped plus (key, payload) copies created by
+          balancing actions *)
 }
 
 (** [install_daemon rng overlay ~schedule ~now ~until cfg] installs the
@@ -161,7 +172,10 @@ type daemon_stats = {
        partition hands its payloads to its surviving former replicas,
        then adopts the endangered partition (emitting [Re_replicate]).
        [Data_at_risk] keys are copied from a sleeping holder back to
-       the online members of the responsible partition.}}
+       the online members of the responsible partition.}
+    {- with [cfg.balance = Some b]: every [b.period] seconds one
+       {!Balance.pass} — runtime splits of overloaded partitions and
+       retractions of starved ones (see {!Balance}).}}
 
     Scheduling stops once [now ()] reaches [until]. [keys] supplies the
     tracked key set for the monitor (see {!Health.check}). Returns the

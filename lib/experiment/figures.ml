@@ -956,3 +956,272 @@ let survival_summary s =
     ]
   in
   (columns, rows)
+
+(* --- balance: skewed insert storm, online balancing on vs off ----------- *)
+
+module Balance = Pgrid_core.Balance
+
+type balance_point = {
+  t : float;
+  partitions : int;
+  max_load : int;
+  mean_load : float;
+  score : float;
+  success_pct : float;
+  found_pct : float;
+}
+
+type balance_run = {
+  balanced : bool;
+  points : balance_point list;
+  final_max_load : int;
+  peak_max_load : int;
+  final_partitions : int;
+  min_success_pct : float;
+  mean_score : float;
+  splits : int;
+  retracts : int;
+  keys_moved : int;
+  inserted : int;
+  insert_failures : int;
+}
+
+(* Balancing floors: partitions may subdivide down to pairs, so the
+   membership floor (and the health audit's replication target) sits
+   well below the construction-time [n_min]. *)
+let balance_n_min = 2
+
+(* Splits fire on a period while the storm streams continuously, and
+   membership floors bound how deep a partition can subdivide, so the
+   balanced arm's load is held within a slack factor of [d_max] rather
+   than at it. *)
+let balance_slack = 2.0
+
+(* One arm: construct a U-built overlay with one key per peer (few fat
+   partitions, so runtime splits have membership to work with), then a
+   Pareto-1.5 insert storm — the paper's most skewed synthetic
+   distribution — concentrated on the low end of the key space.  Both
+   arms share the storm seed; only the daemon differs. *)
+let balance_run_one ~peers ~horizon ~sample_every ~d_max ~balanced ~seed =
+  let rng = Rng.create ~seed in
+  let built =
+    Round.run rng
+      { (Round.default_params ~peers) with Round.keys_per_peer = 1; d_max }
+      ~spec:Distribution.Uniform
+  in
+  let overlay = built.Round.overlay in
+  let keys0 =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  let inserted = ref [] in
+  let tracked_keys () = Array.append keys0 (Array.of_list (List.rev !inserted)) in
+  let sim = Sim.create () in
+  let tel = Pgrid_telemetry.Global.get () in
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
+  let dstats =
+    if balanced then
+      Some
+        (Maintenance.install_daemon ~telemetry:tel ~keys:tracked_keys
+           (Rng.create ~seed:(seed + 4))
+           overlay
+           ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+           ~now:(fun () -> Sim.now sim)
+           ~until:horizon
+           {
+             (Maintenance.default_daemon_config ~n_min:balance_n_min) with
+             Maintenance.balance =
+               Some (Balance.default_config ~d_max ~n_min:balance_n_min);
+           })
+    else None
+  in
+  (* The storm: one Pareto-1.5 key every 3 s from a random online
+     origin, starting after a minute of quiet. *)
+  let irng = Rng.create ~seed:(seed + 5) in
+  let sample_key = Distribution.sampler (Distribution.Pareto 1.5) irng in
+  let inserted_n = ref 0 and insert_failures = ref 0 in
+  let rec insert_loop () =
+    if Sim.now sim < horizon then begin
+      let key = sample_key () in
+      let from = Rng.int irng peers in
+      (match Overlay.insert overlay ~from key (Printf.sprintf "doc-%d" !inserted_n) with
+      | Some _ ->
+        inserted := key :: !inserted;
+        incr inserted_n
+      | None -> incr insert_failures);
+      Sim.schedule sim ~delay:3. insert_loop
+    end
+  in
+  Sim.schedule_at sim ~time:60. insert_loop;
+  (* Per-partition storage load over the online population. *)
+  let partition_loads () =
+    let tbl = Hashtbl.create 64 in
+    for i = 0 to Overlay.size overlay - 1 do
+      let n = Overlay.node overlay i in
+      if n.Node.online then begin
+        let key = Pgrid_keyspace.Path.to_string n.Node.path in
+        let load = Option.value ~default:0 (Hashtbl.find_opt tbl key) in
+        Hashtbl.replace tbl key (max load (Node.key_count n))
+      end
+    done;
+    Hashtbl.fold (fun _ load acc -> load :: acc) tbl []
+  in
+  let points = ref [] in
+  let samples = int_of_float (horizon /. sample_every) in
+  for k = 0 to samples do
+    let at = float_of_int k *. sample_every in
+    Sim.schedule_at sim ~time:at (fun () ->
+        let keys = tracked_keys () in
+        let r = Health.check ~keys ~n_min:balance_n_min overlay in
+        Health.emit ~telemetry:tel r;
+        let q =
+          Query.lookup_batch
+            (Rng.create ~seed:(seed + (7919 * (k + 1))))
+            overlay ~keys ~count:200
+        in
+        let pct n = 100. *. float_of_int n /. float_of_int (max 1 q.Query.issued) in
+        let loads = partition_loads () in
+        let max_load = List.fold_left max 0 loads in
+        let mean_load =
+          float_of_int (List.fold_left ( + ) 0 loads)
+          /. float_of_int (max 1 (List.length loads))
+        in
+        points :=
+          {
+            t = at;
+            partitions = List.length loads;
+            max_load;
+            mean_load;
+            score = r.Health.score;
+            success_pct = pct q.Query.routed;
+            found_pct = pct q.Query.found;
+          }
+          :: !points)
+  done;
+  Sim.run sim;
+  let final = match !points with [] -> None | last :: _ -> Some last in
+  let points = List.rev !points in
+  {
+    balanced;
+    points;
+    final_max_load = (match final with Some p -> p.max_load | None -> 0);
+    peak_max_load = List.fold_left (fun m p -> max m p.max_load) 0 points;
+    final_partitions = (match final with Some p -> p.partitions | None -> 0);
+    min_success_pct =
+      List.fold_left (fun m p -> Float.min m p.success_pct) 100. points;
+    mean_score =
+      List.fold_left (fun s p -> s +. p.score) 0. points
+      /. float_of_int (max 1 (List.length points));
+    splits = (match dstats with Some d -> d.Maintenance.balance_splits | None -> 0);
+    retracts = (match dstats with Some d -> d.Maintenance.balance_retracts | None -> 0);
+    keys_moved =
+      (match dstats with Some d -> d.Maintenance.balance_keys_moved | None -> 0);
+    inserted = !inserted_n;
+    insert_failures = !insert_failures;
+  }
+
+type balance = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  d_max : int;
+  on : balance_run option;
+  off : balance_run option;
+}
+
+let balance_cache : (int * float * float * int * bool * int, balance_run) Hashtbl.t =
+  Hashtbl.create 4
+
+let balance_one ~peers ~horizon ~sample_every ~d_max ~balanced ~seed =
+  let key = (peers, horizon, sample_every, d_max, balanced, seed) in
+  match Hashtbl.find_opt balance_cache key with
+  | Some r -> r
+  | None ->
+    let r = balance_run_one ~peers ~horizon ~sample_every ~d_max ~balanced ~seed in
+    Hashtbl.add balance_cache key r;
+    r
+
+let balance ?(peers = 192) ?(horizon = 3600.) ?(sample_every = 180.) ?(d_max = 50)
+    ?(which = `Both) ~seed () =
+  if horizon <= 0. then invalid_arg "Figures.balance: horizon must be positive";
+  if sample_every <= 0. then
+    invalid_arg "Figures.balance: sample_every must be positive";
+  if d_max < 1 then invalid_arg "Figures.balance: d_max must be >= 1";
+  let arm balanced = balance_one ~peers ~horizon ~sample_every ~d_max ~balanced ~seed in
+  {
+    peers;
+    horizon;
+    sample_every;
+    d_max;
+    on = (match which with `Both | `On -> Some (arm true) | `Off -> None);
+    off = (match which with `Both | `Off -> Some (arm false) | `On -> None);
+  }
+
+let balance_table b =
+  let columns =
+    [ "minutes"; "parts on"; "parts off"; "max load on"; "max load off";
+      "score on"; "score off"; "success on"; "success off" ]
+  in
+  let pts r = match r with Some x -> x.points | None -> [] in
+  let head = function p :: _ -> Some p | [] -> None in
+  let cell f = function Some p -> f p | None -> "-" in
+  let rec merge on off acc =
+    match (on, off) with
+    | [], [] -> List.rev acc
+    | _ ->
+      let t =
+        match (on, off) with p :: _, _ | [], p :: _ -> p.t | _ -> 0.
+      in
+      let row =
+        [
+          Printf.sprintf "%.0f" (t /. 60.);
+          cell (fun p -> string_of_int p.partitions) (head on);
+          cell (fun p -> string_of_int p.partitions) (head off);
+          cell (fun p -> string_of_int p.max_load) (head on);
+          cell (fun p -> string_of_int p.max_load) (head off);
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (head on);
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (head off);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.success_pct ^ "%") (head on);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.success_pct ^ "%") (head off);
+        ]
+      in
+      merge
+        (match on with _ :: r -> r | [] -> [])
+        (match off with _ :: r -> r | [] -> [])
+        (row :: acc)
+  in
+  (columns, merge (pts b.on) (pts b.off) [])
+
+let balance_summary b =
+  let columns = [ "statistic"; "balanced"; "unbalanced" ] in
+  let v f = function Some r -> f r | None -> "-" in
+  let rows =
+    [
+      [ "final max partition load"; v (fun r -> string_of_int r.final_max_load) b.on;
+        v (fun r -> string_of_int r.final_max_load) b.off ];
+      [ "peak max partition load"; v (fun r -> string_of_int r.peak_max_load) b.on;
+        v (fun r -> string_of_int r.peak_max_load) b.off ];
+      [ Printf.sprintf "load bound (slack %.1f x d_max %d)" balance_slack b.d_max;
+        string_of_int (int_of_float (balance_slack *. float_of_int b.d_max));
+        string_of_int (int_of_float (balance_slack *. float_of_int b.d_max)) ];
+      [ "partitions at end"; v (fun r -> string_of_int r.final_partitions) b.on;
+        v (fun r -> string_of_int r.final_partitions) b.off ];
+      [ "runtime splits"; v (fun r -> string_of_int r.splits) b.on;
+        v (fun r -> string_of_int r.splits) b.off ];
+      [ "retractions"; v (fun r -> string_of_int r.retracts) b.on;
+        v (fun r -> string_of_int r.retracts) b.off ];
+      [ "keys moved by balancing"; v (fun r -> string_of_int r.keys_moved) b.on;
+        v (fun r -> string_of_int r.keys_moved) b.off ];
+      [ "min query success"; v (fun r -> Table.fmt_float ~decimals:1 r.min_success_pct ^ "%") b.on;
+        v (fun r -> Table.fmt_float ~decimals:1 r.min_success_pct ^ "%") b.off ];
+      [ "mean health score"; v (fun r -> Table.fmt_float ~decimals:3 r.mean_score) b.on;
+        v (fun r -> Table.fmt_float ~decimals:3 r.mean_score) b.off ];
+      [ "keys inserted during storm"; v (fun r -> string_of_int r.inserted) b.on;
+        v (fun r -> string_of_int r.inserted) b.off ];
+    ]
+  in
+  (columns, rows)

@@ -207,3 +207,77 @@ val survival_table : survival -> string list * string list list
 (** Aggregates: min success, mean score, lost keys, kills, daemon
     counters. *)
 val survival_summary : survival -> string list * string list list
+
+(** {1 Balance experiment}
+
+    The load-balancing counterpart of the survival run: a U-built
+    overlay (one key per peer, so partitions are few and fat) takes a
+    Pareto-1.5 insert storm — the paper's most skewed synthetic
+    distribution — for [horizon] seconds, with the maintenance daemon's
+    online balancing ({!Pgrid_core.Balance}) on in one arm and no
+    daemon in the other.  Both arms share the storm seed. *)
+
+(** Replication floor used by the balancing arms and the health audit
+    (partitions may subdivide down to pairs). *)
+val balance_n_min : int
+
+(** The documented slack factor: the balanced arm's max partition load
+    is expected to stay within [balance_slack * d_max] (splits fire on
+    a period while inserts stream continuously, and membership floors
+    bound trie depth). *)
+val balance_slack : float
+
+type balance_point = {
+  t : float;
+  partitions : int;  (** online partitions *)
+  max_load : int;  (** largest per-partition distinct-key load *)
+  mean_load : float;
+  score : float;
+  success_pct : float;
+  found_pct : float;
+}
+
+type balance_run = {
+  balanced : bool;
+  points : balance_point list;  (** chronological *)
+  final_max_load : int;
+  peak_max_load : int;
+  final_partitions : int;
+  min_success_pct : float;
+  mean_score : float;
+  splits : int;  (** runtime splits performed *)
+  retracts : int;
+  keys_moved : int;  (** keys dropped + copies created by balancing *)
+  inserted : int;
+  insert_failures : int;
+}
+
+type balance = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  d_max : int;
+  on : balance_run option;
+  off : balance_run option;
+}
+
+(** [balance ~seed ()] runs the requested arms (default [`Both]),
+    memoized per parameter tuple.  Defaults: 192 peers, a 3600 s
+    horizon sampled every 180 s, [d_max = 50]. *)
+val balance :
+  ?peers:int ->
+  ?horizon:float ->
+  ?sample_every:float ->
+  ?d_max:int ->
+  ?which:[ `Both | `On | `Off ] ->
+  seed:int ->
+  unit ->
+  balance
+
+(** Time series: minutes, partition count, max load, score and query
+    success for each arm side by side. *)
+val balance_table : balance -> string list * string list list
+
+(** Aggregates: final/peak max load against the slack bound, split /
+    retract counts, query success and health. *)
+val balance_summary : balance -> string list * string list list

@@ -88,7 +88,7 @@ type range_stats = {
 
 let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~count ~width =
   if count < 1 then invalid_arg "Query.range_batch: count must be >= 1";
-  if not (width > 0. && width < 1.) then invalid_arg "Query.range_batch: bad width";
+  if not (width > 0. && width <= 1.) then invalid_arg "Query.range_batch: bad width";
   let partitions = Moments.create () in
   let hops = Moments.create () in
   let results = Moments.create () in
@@ -97,7 +97,10 @@ let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~count 
     | None -> ()
     | Some origin ->
       let start = Rng.float rng *. (1. -. width) in
-      let lo = Key.of_float start and hi = Key.of_float (start +. width) in
+      (* [start + width] can round one ulp past the intended right edge
+         (or past 1.0 when width = 1); clamp before discretizing. *)
+      let hi_f = Float.min (start +. width) 1. in
+      let lo = Key.of_float start and hi = Key.of_float hi_f in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry (Event.Query_issue { qid; origin });
       let r = Overlay.range_search overlay ~from:origin ~lo ~hi in
@@ -141,12 +144,15 @@ let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys 
         match r.Overlay.responsible with
         | Some _ ->
           incr resolved;
-          List.sort_uniq compare r.Overlay.payloads
-        | None -> [])
+          Some (List.sort_uniq compare r.Overlay.payloads)
+        | None -> None)
       keys
   in
+  (* Unresolved keys contribute nothing: intersecting their (vacuously
+     empty) posting list would annihilate the whole result on a single
+     routing failure. *)
   let matches =
-    match postings with
+    match List.filter_map Fun.id postings with
     | [] -> []
     | first :: rest ->
       List.fold_left (fun acc l -> List.filter (fun d -> List.mem d l) acc) first rest

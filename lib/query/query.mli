@@ -43,8 +43,10 @@ type range_stats = {
 }
 
 (** [range_batch rng overlay ~count ~width] issues [count] range queries
-    of key-space width [width] (fraction of the unit interval) at uniform
-    positions. *)
+    of key-space width [width] (fraction of the unit interval, in
+    (0, 1] — [width = 1.] scans the full key space) at uniform
+    positions; the right edge is clamped so float rounding cannot push
+    it past the intended bound. *)
 val range_batch :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
   Pgrid_prng.Rng.t ->

@@ -42,10 +42,14 @@ type kind =
     }
   | Anti_entropy of { a : int; b : int; copied : int }
   | Re_replicate of { path : string; peer : int }
+  | Balance_split of { path : string; level : int; zeros : int; ones : int }
+  | Retract of { path : string; members : int; merged_keys : int }
+  | Migrate of { peer : int; level : int; keys : int }
+  | Balance_pass of { max_load : int; splits : int; retracts : int }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 28
+let tag_count = 32
 
 let tag = function
   | Interaction _ -> 0
@@ -76,6 +80,10 @@ let tag = function
   | Health_report _ -> 25
   | Anti_entropy _ -> 26
   | Re_replicate _ -> 27
+  | Balance_split _ -> 28
+  | Retract _ -> 29
+  | Migrate _ -> 30
+  | Balance_pass _ -> 31
 
 let labels =
   [|
@@ -84,6 +92,7 @@ let labels =
     "query_complete"; "churn_offline"; "churn_online"; "peer_leave"; "peer_join";
     "repair"; "rebalance"; "fault_on"; "fault_off"; "timeout"; "retry";
     "give_up"; "ref_evict"; "health_report"; "anti_entropy"; "re_replicate";
+    "balance_split"; "retract"; "migrate"; "balance_pass";
   |]
 
 let label k = labels.(tag k)
@@ -196,7 +205,24 @@ let to_json { time; kind } =
     int "copied" copied
   | Re_replicate { path; peer } ->
     str "path" path;
-    int "peer" peer);
+    int "peer" peer
+  | Balance_split { path; level; zeros; ones } ->
+    str "path" path;
+    int "level" level;
+    int "zeros" zeros;
+    int "ones" ones
+  | Retract { path; members; merged_keys } ->
+    str "path" path;
+    int "members" members;
+    int "merged_keys" merged_keys
+  | Migrate { peer; level; keys } ->
+    int "peer" peer;
+    int "level" level;
+    int "keys" keys
+  | Balance_pass { max_load; splits; retracts } ->
+    int "max_load" max_load;
+    int "splits" splits;
+    int "retracts" retracts);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -374,6 +400,19 @@ let of_json line =
             at_risk = int "at_risk"; lost = int "lost"; score = num "score" }
       | "anti_entropy" -> Anti_entropy { a = int "a"; b = int "b"; copied = int "copied" }
       | "re_replicate" -> Re_replicate { path = str "path"; peer = int "peer" }
+      | "balance_split" ->
+        Balance_split
+          { path = str "path"; level = int "level"; zeros = int "zeros";
+            ones = int "ones" }
+      | "retract" ->
+        Retract
+          { path = str "path"; members = int "members";
+            merged_keys = int "merged_keys" }
+      | "migrate" -> Migrate { peer = int "peer"; level = int "level"; keys = int "keys" }
+      | "balance_pass" ->
+        Balance_pass
+          { max_load = int "max_load"; splits = int "splits";
+            retracts = int "retracts" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

@@ -73,6 +73,19 @@ type kind =
   | Re_replicate of { path : string; peer : int }
       (** emergency re-replication: [peer] was recruited into the
           critically under-replicated partition [path] *)
+  | Balance_split of { path : string; level : int; zeros : int; ones : int }
+      (** online load balancing extended partition [path] by one bit at
+          [level]; [zeros]/[ones] members decided for each half *)
+  | Retract of { path : string; members : int; merged_keys : int }
+      (** partition [path] and its sibling merged into their parent;
+          [members] peers re-homed, [merged_keys] key copies unioned *)
+  | Migrate of { peer : int; level : int; keys : int }
+      (** [peer] handed off [keys] distinct keys that left its
+          responsibility when its path changed at [level] *)
+  | Balance_pass of { max_load : int; splits : int; retracts : int }
+      (** one sweep of the online load balancer finished: the largest
+          per-member store observed afterwards, and how many split /
+          retract actions the sweep took *)
 
 type t = { time : float; kind : kind }
 

@@ -13,7 +13,14 @@ type t = {
   health_violations : Metrics.gauge;
   lost_keys : Metrics.gauge;
   at_risk_keys : Metrics.gauge;
+  balance_splits : Metrics.gauge;
+  balance_retracts : Metrics.gauge;
+  balance_migrated : Metrics.gauge;
+  balance_max_load : Metrics.gauge;
   mutable fault_level : int;
+  mutable split_count : int;
+  mutable retract_count : int;
+  mutable migrated_keys : int;
   mutable events : int;
 }
 
@@ -36,7 +43,14 @@ let make ~enabled ~clock =
     health_violations = Metrics.gauge metrics "health.violations";
     lost_keys = Metrics.gauge metrics "data.lost_keys";
     at_risk_keys = Metrics.gauge metrics "data.at_risk_keys";
+    balance_splits = Metrics.gauge metrics "balance.splits";
+    balance_retracts = Metrics.gauge metrics "balance.retracts";
+    balance_migrated = Metrics.gauge metrics "balance.migrated_keys";
+    balance_max_load = Metrics.gauge metrics "balance.max_load";
     fault_level = 0;
+    split_count = 0;
+    retract_count = 0;
+    migrated_keys = 0;
     events = 0;
   }
 
@@ -76,6 +90,17 @@ let record t ev =
         (float_of_int (ref_integrity + trie_incomplete + under_replicated + at_risk + lost));
       Metrics.set_gauge t.lost_keys (float_of_int lost);
       Metrics.set_gauge t.at_risk_keys (float_of_int at_risk)
+    | Event.Balance_split _ ->
+      t.split_count <- t.split_count + 1;
+      Metrics.set_gauge t.balance_splits (float_of_int t.split_count)
+    | Event.Retract _ ->
+      t.retract_count <- t.retract_count + 1;
+      Metrics.set_gauge t.balance_retracts (float_of_int t.retract_count)
+    | Event.Migrate { keys; _ } ->
+      t.migrated_keys <- t.migrated_keys + keys;
+      Metrics.set_gauge t.balance_migrated (float_of_int t.migrated_keys)
+    | Event.Balance_pass { max_load; _ } ->
+      Metrics.set_gauge t.balance_max_load (float_of_int max_load)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

@@ -11,6 +11,7 @@ let () =
       ("intset", Test_intset.suite);
       ("core", Test_core.suite);
       ("maintenance", Test_maintenance.suite);
+      ("balance", Test_balance.suite);
       ("health", Test_health.suite);
       ("baseline", Test_baseline.suite);
       ("simnet", Test_simnet.suite);

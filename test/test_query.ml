@@ -80,8 +80,24 @@ let test_range_width_scaling () =
 let test_range_invalid () =
   let overlay, _ = build 7 in
   let rng = Rng.create ~seed:17 in
-  Alcotest.check_raises "bad width" (Invalid_argument "Query.range_batch: bad width")
-    (fun () -> ignore (Query.range_batch rng overlay ~count:5 ~width:0.))
+  Alcotest.check_raises "zero width" (Invalid_argument "Query.range_batch: bad width")
+    (fun () -> ignore (Query.range_batch rng overlay ~count:5 ~width:0.));
+  Alcotest.check_raises "width above one"
+    (Invalid_argument "Query.range_batch: bad width") (fun () ->
+      ignore (Query.range_batch rng overlay ~count:5 ~width:1.000001))
+
+let test_range_full_width () =
+  (* width = 1.0 is a legal full scan: every range must cover the whole
+     key space and return every stored key. *)
+  let overlay, keys = build 10 in
+  let rng = Rng.create ~seed:18 in
+  let s = Query.range_batch rng overlay ~count:10 ~width:1.0 in
+  checki "ranges issued" 10 s.Query.ranges;
+  let distinct =
+    float_of_int (List.length (List.sort_uniq Key.compare (Array.to_list keys)))
+  in
+  checkb "full scans return the entire key population" true
+    (s.Query.mean_results >= distinct -. 0.5)
 
 let test_conjunctive () =
   let overlay, _ = build 8 in
@@ -100,6 +116,68 @@ let test_conjunctive_empty_keys () =
   Alcotest.check_raises "no keys" (Invalid_argument "Query.conjunctive: no keys")
     (fun () -> ignore (Query.conjunctive overlay ~from:0 []))
 
+(* Take every replica of [key]'s partition offline, so lookups for it
+   dead-end. *)
+let darken_partition overlay key =
+  let origin = ref None in
+  for i = 0 to Overlay.size overlay - 1 do
+    let n = Overlay.node overlay i in
+    if Node.responsible_for n key then n.Node.online <- false
+    else if !origin = None && n.Node.online then origin := Some i
+  done;
+  Option.get !origin
+
+let test_conjunctive_skips_unresolved () =
+  (* Regression: an unresolved key must be skipped, not treated as an
+     empty posting list that annihilates the whole intersection. *)
+  let overlay, _ = build 8 in
+  let k1 = Key.of_float 0.111 and k2 = Key.of_float 0.777 in
+  ignore (Overlay.insert overlay ~from:0 k1 "doc-a");
+  ignore (Overlay.insert overlay ~from:0 k1 "doc-b");
+  ignore (Overlay.insert overlay ~from:0 k2 "doc-b");
+  let from = darken_partition overlay k2 in
+  let r = Query.conjunctive overlay ~from [ k1; k2 ] in
+  checki "only the live key resolved" 1 r.Query.resolved;
+  Alcotest.check (Alcotest.list Alcotest.string)
+    "dark partition does not annihilate the intersection" [ "doc-a"; "doc-b" ]
+    r.Query.matches
+
+let test_conjunctive_all_unresolved () =
+  let overlay, _ = build 9 in
+  let k = Key.of_float 0.42 in
+  ignore (Overlay.insert overlay ~from:0 k "doc-a");
+  let from = darken_partition overlay k in
+  let r = Query.conjunctive overlay ~from [ k; k ] in
+  checki "nothing resolved" 0 r.Query.resolved;
+  Alcotest.check (Alcotest.list Alcotest.string) "no fabricated matches" []
+    r.Query.matches
+
+let test_conjunctive_duplicate_keys () =
+  (* The same key twice is idempotent: its posting list intersected with
+     itself. *)
+  let overlay, _ = build 8 in
+  let k = Key.of_float 0.333 in
+  ignore (Overlay.insert overlay ~from:0 k "doc-a");
+  ignore (Overlay.insert overlay ~from:0 k "doc-b");
+  let r = Query.conjunctive overlay ~from:9 [ k; k; k ] in
+  checki "every instance resolved" 3 r.Query.resolved;
+  Alcotest.check (Alcotest.list Alcotest.string) "idempotent intersection"
+    [ "doc-a"; "doc-b" ] r.Query.matches
+
+let test_conjunctive_dedups_payloads () =
+  (* Replicated payloads must not produce duplicate matches, and the
+     result comes back sorted. *)
+  let overlay, _ = build 8 in
+  let k1 = Key.of_float 0.2 and k2 = Key.of_float 0.9 in
+  List.iter
+    (fun p ->
+      ignore (Overlay.insert overlay ~from:0 k1 p);
+      ignore (Overlay.insert overlay ~from:1 k2 p))
+    [ "doc-z"; "doc-m"; "doc-a"; "doc-m" ];
+  let r = Query.conjunctive overlay ~from:5 [ k1; k2 ] in
+  Alcotest.check (Alcotest.list Alcotest.string) "sorted, deduplicated"
+    [ "doc-a"; "doc-m"; "doc-z" ] r.Query.matches
+
 let suite =
   [
     Alcotest.test_case "lookup batch" `Quick test_lookup_batch;
@@ -109,6 +187,15 @@ let suite =
     Alcotest.test_case "range batch" `Quick test_range_batch;
     Alcotest.test_case "range width scaling" `Quick test_range_width_scaling;
     Alcotest.test_case "range invalid args" `Quick test_range_invalid;
+    Alcotest.test_case "range full width" `Quick test_range_full_width;
     Alcotest.test_case "conjunctive query" `Quick test_conjunctive;
     Alcotest.test_case "conjunctive empty" `Quick test_conjunctive_empty_keys;
+    Alcotest.test_case "conjunctive skips unresolved" `Quick
+      test_conjunctive_skips_unresolved;
+    Alcotest.test_case "conjunctive all unresolved" `Quick
+      test_conjunctive_all_unresolved;
+    Alcotest.test_case "conjunctive duplicate keys" `Quick
+      test_conjunctive_duplicate_keys;
+    Alcotest.test_case "conjunctive payload dedup" `Quick
+      test_conjunctive_dedups_payloads;
   ]

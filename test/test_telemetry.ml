@@ -135,6 +135,10 @@ let sample_events =
       };
     Event.Anti_entropy { a = 4; b = 11; copied = 3 };
     Event.Re_replicate { path = "0110"; peer = 23 };
+    Event.Balance_split { path = "010"; level = 3; zeros = 6; ones = 5 };
+    Event.Retract { path = "0111"; members = 9; merged_keys = 14 };
+    Event.Migrate { peer = 31; level = 3; keys = 12 };
+    Event.Balance_pass { max_load = 42; splits = 2; retracts = 1 };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
