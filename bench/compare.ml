@@ -36,10 +36,11 @@ let badness r = if r.higher_better then -.pct r else pct r
 let flagged ~threshold r =
   badness r > threshold && Float.abs (r.new_v -. r.old_v) > r.floor
 
-(* Metric-name heuristic for the direction of goodness.  Everything the
-   bench reports today is either a rate we want high (query success,
-   health score, keys found, dominance fraction) or a cost we want low
-   (seconds, hops, loads, losses). *)
+(* Metric-name heuristic for the direction of goodness, used only for
+   reports written before the explicit per-metric "direction" field
+   existed.  Everything the old bench reported is either a rate we want
+   high (query success, health score, keys found, dominance fraction)
+   or a cost we want low (seconds, hops, loads, losses). *)
 let metric_higher_better name =
   List.exists
     (fun marker ->
@@ -82,6 +83,25 @@ let collect_values doc =
            |> List.filter_map (fun v ->
                   match (Json.str_member "name" v, Json.num_member "value" v) with
                   | Some metric, Some value -> Some (target ^ "/" ^ metric, value)
+                  | _ -> None))
+
+(* Explicit per-metric improvement directions ("up"/"down"), flattened
+   to "target/metric" like [collect_values].  Empty for old reports. *)
+let collect_directions doc =
+  Json.member "targets" doc
+  |> Option.value ~default:(Json.Arr [])
+  |> Json.to_list
+  |> List.concat_map (fun t ->
+         match Json.str_member "name" t with
+         | None -> []
+         | Some target ->
+           Json.member "values" t
+           |> Option.value ~default:(Json.Arr [])
+           |> Json.to_list
+           |> List.filter_map (fun v ->
+                  match (Json.str_member "name" v, Json.str_member "direction" v) with
+                  | Some metric, Some "up" -> Some (target ^ "/" ^ metric, true)
+                  | Some metric, Some "down" -> Some (target ^ "/" ^ metric, false)
                   | _ -> None))
 
 (* Entries present in only one report are skipped, but silently losing a
@@ -171,9 +191,18 @@ let () =
     paired ~kind:"kernel" ~floor:0. (collect_micros old_doc)
       (collect_micros new_doc)
   in
+  (* The candidate report's explicit direction wins (it reflects the
+     current bench), then the baseline's, then the name heuristic for
+     metrics neither report annotates (pre-direction reports). *)
+  let old_dirs = collect_directions old_doc and new_dirs = collect_directions new_doc in
+  let direction name =
+    match (List.assoc_opt name new_dirs, List.assoc_opt name old_dirs) with
+    | Some d, _ | None, Some d -> d
+    | None, None -> metric_higher_better name
+  in
   let values =
-    paired ~kind:"metric" ~floor:0. ~direction:metric_higher_better
-      (collect_values old_doc) (collect_values new_doc)
+    paired ~kind:"metric" ~floor:0. ~direction (collect_values old_doc)
+      (collect_values new_doc)
   in
   if walls = [] && micros = [] && values = [] then begin
     prerr_endline "compare: no common targets or kernels between the two reports";

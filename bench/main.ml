@@ -24,6 +24,7 @@ let report : Report.t option ref = ref None
 let micro_quota_ms = ref 500.
 let survival_horizon = ref 7200.
 let balance_horizon = ref 3600.
+let txn_horizon = ref 3600.
 
 let banner title =
   let line = String.make 72 '=' in
@@ -145,6 +146,16 @@ let survival _reps =
   Table.print ~title:"health and query success over time" ~columns ~rows;
   let columns, rows = Figures.survival_summary s in
   Table.print ~title:"endurance summary" ~columns ~rows
+
+let txn _reps =
+  banner "Txn -- atomic document indexing under crash-during-commit faults";
+  note "2PC over the simulated network with durable per-peer intent logs; \
+        a Poisson crash process scaled by severity interrupts commits";
+  note "expected: zero torn index states, zero lost committed documents and \
+        zero abort residue at every severity; commit rate degrades gracefully";
+  let t = Figures.txn ~horizon:!txn_horizon ~seed () in
+  let columns, rows = Figures.txn_table t in
+  Table.print ~title:"crash-severity sweep" ~columns ~rows
 
 let ablation_seq _reps =
   banner "Ablation X1 -- sequential joins vs parallel construction (Sec 4.3)";
@@ -295,6 +306,7 @@ let targets =
     ("ablation-maintain", ablation_maintain);
     ("survival", survival);
     ("balance", balance);
+    ("txn", txn);
     ("micro", micro);
   ]
 
@@ -318,7 +330,7 @@ let fig6_values f =
    it costs nothing. *)
 let resilience_values () =
   List.concat_map
-    (fun r ->
+    (fun (r : Figures.resilience_row) ->
       let v name value = (Printf.sprintf "s%.1f/%s" r.Figures.severity name, value) in
       [
         v "deviation" r.Figures.deviation;
@@ -426,17 +438,53 @@ let balance_values () =
    :: arm "on" b.on)
   @ arm "off" b.off
 
+(* The transaction sweep flattens to one named value per (severity,
+   metric) cell, every metric carrying its explicit improvement
+   direction — the torn/lost/residue audits must trend to zero, the
+   commit rate must stay high.  Memoized like the other experiments. *)
+let txn_values () =
+  let t = Figures.txn ~horizon:!txn_horizon ~seed () in
+  List.concat_map
+    (fun (p : Figures.txn_point) ->
+      let v name value dir =
+        (Printf.sprintf "s%.1f/%s" p.Figures.severity name, value, dir)
+      in
+      let vi name value dir = v name (float_of_int value) dir in
+      [
+        v "commit_pct" p.Figures.commit_pct Report.Up;
+        vi "submitted" p.Figures.submitted Report.Up;
+        vi "committed" p.Figures.committed Report.Up;
+        vi "aborted" p.Figures.aborted Report.Down;
+        vi "pending" p.Figures.still_pending Report.Down;
+        vi "torn" p.Figures.torn Report.Down;
+        vi "lost_committed" p.Figures.lost_committed Report.Down;
+        vi "abort_residue" p.Figures.abort_residue Report.Down;
+        vi "recovered" p.Figures.recovered Report.Up;
+        vi "redelivered" p.Figures.redelivered Report.Down;
+        vi "undos" p.Figures.undos Report.Down;
+        vi "timeouts" p.Figures.timeouts Report.Down;
+        vi "retries" p.Figures.txn_retries Report.Down;
+        vi "crashes" p.Figures.crashes Report.Down;
+        vi "intents_left" p.Figures.intents_left Report.Down;
+      ])
+    t.Figures.points
+
 let values_of name reps =
+  (* Producers that predate the direction field return bare pairs; tag
+     them with the direction compare.exe's heuristic would infer, so the
+     explicit field never flips an established metric's polarity. *)
+  let auto = List.map (fun (n, v) -> (n, v, Report.auto_direction n)) in
   match name with
-  | "resilience" -> resilience_values ()
-  | "survival" -> survival_values ()
-  | "balance" -> balance_values ()
-  | "fig6a" -> fig6_values (Figures.fig6a ?reps ~seed ())
-  | "fig6b" -> fig6_values (Figures.fig6b ?reps ~seed ())
-  | "fig6c" -> fig6_values (Figures.fig6c ?reps ~seed ())
-  | "fig6d" -> fig6_values (Figures.fig6d ?reps ~seed ())
-  | "fig6e" -> fig6_values (Figures.fig6e ?reps ~seed ())
-  | "fig6f" -> fig6_values (Figures.fig6f ?reps ~seed ())
+  | "resilience" -> auto (resilience_values ())
+  | "survival" -> auto (survival_values ())
+  | "balance" -> auto (balance_values ())
+  | "txn" -> txn_values ()
+  | "fig6a" -> auto (fig6_values (Figures.fig6a ?reps ~seed ()))
+  | "fig6b" -> auto (fig6_values (Figures.fig6b ?reps ~seed ()))
+  | "fig6c" -> auto (fig6_values (Figures.fig6c ?reps ~seed ()))
+  | "fig6d" -> auto (fig6_values (Figures.fig6d ?reps ~seed ()))
+  | "fig6e" -> auto (fig6_values (Figures.fig6e ?reps ~seed ()))
+  | "fig6f" -> auto (fig6_values (Figures.fig6f ?reps ~seed ()))
   | _ -> []
 
 let run_target (name, f) reps =
@@ -480,7 +528,8 @@ let split_flags argv =
       (match float_of_string_opt sec with
       | Some h when h > 0. ->
         survival_horizon := h;
-        balance_horizon := h
+        balance_horizon := h;
+        txn_horizon := h
       | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
       go acc rest
     | ("--trace" | "--json" | "--quota" | "--horizon") :: [] ->

@@ -257,8 +257,18 @@ let balance_arg =
            daemon with its default period unless $(b,--maint-period) sets \
            one (see DESIGN.md section 11).")
 
+let txn_arg =
+  Arg.(
+    value & flag
+    & info [ "txn" ]
+        ~doc:
+          "Run the atomic document-indexing workload: from the query phase \
+           on, random coordinators index documents under several keys with \
+           two-phase commit over the simulated network, with durable intent \
+           logs replayed after crashes (see DESIGN.md section 12).")
+
 let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
-    trace metrics =
+    txn trace metrics =
   with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
   let base = Net_engine.default_params ~peers in
@@ -293,6 +303,7 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
       fault_seed = seed + 7;
       robust = (if robust then Some Net_engine.default_robust else None);
       maint;
+      txn = (if txn then Some Net_engine.default_txn_workload else None);
     }
   in
   let o = Net_engine.run ~telemetry rng params ~spec in
@@ -343,6 +354,22 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
         ]
       else []
   in
+  let txn_rows =
+    match o.Net_engine.txn_stats with
+    | None -> []
+    | Some t ->
+      [
+        [ "txns begun / committed / aborted";
+          Printf.sprintf "%d / %d / %d" t.Pgrid_core.Txn.begun
+            t.Pgrid_core.Txn.committed t.Pgrid_core.Txn.aborted ];
+        [ "txn prepares / undos";
+          Printf.sprintf "%d / %d" t.Pgrid_core.Txn.prepares
+            t.Pgrid_core.Txn.undos ];
+        [ "txn recovered / redelivered";
+          Printf.sprintf "%d / %d" t.Pgrid_core.Txn.recovered
+            t.Pgrid_core.Txn.redelivered ];
+      ]
+  in
   Table.print ~title:"simulated deployment (paper Section 5 timeline)"
     ~columns:[ "metric"; "value" ]
     ~rows:
@@ -359,7 +386,7 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
          [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
          [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
        ]
-      @ hardened_rows @ fault_rows @ maint_rows);
+      @ hardened_rows @ fault_rows @ maint_rows @ txn_rows);
   Series.print
     (Series.figure ~title:"online peers" ~x_label:"minutes" ~y_label:"peers"
        [ Series.make "peers" (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series) ])
@@ -369,7 +396,7 @@ let planetlab_cmd =
   Cmd.v (Cmd.info "planetlab" ~doc)
     Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg
           $ fault_plan_arg $ robust_arg $ maint_period_arg $ no_daemon_arg
-          $ balance_arg $ trace_arg $ metrics_arg)
+          $ balance_arg $ txn_arg $ trace_arg $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -406,7 +433,7 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience survival balance ablation-seq ablation-cost \
+              table1 resilience survival balance txn ablation-seq ablation-cost \
               ablation-cor ablation-pht ablation-merge ablation-maintain.")
 
 let figure seed name reps trace metrics =
@@ -439,6 +466,8 @@ let figure seed name reps trace metrics =
     let b = Figures.balance ~seed () in
     print_table "partition load and query success over time" (Figures.balance_table b);
     print_table "balance summary" (Figures.balance_summary b)
+  | "txn" ->
+    print_table "crash-severity sweep" (Figures.txn_table (Figures.txn ~seed ()))
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

@@ -9,6 +9,7 @@ module Overlay = Pgrid_core.Overlay
 module Deviation = Pgrid_core.Deviation
 module Moments = Pgrid_stats.Moments
 module Maintenance = Pgrid_core.Maintenance
+module Txn = Pgrid_core.Txn
 module Sim = Pgrid_simnet.Sim
 module Net = Pgrid_simnet.Net
 module Latency = Pgrid_simnet.Latency
@@ -43,8 +44,14 @@ let paper_phases =
 
 (* Liveness probes of the hardened request/response tracker.  [rid]
    correlates a Ping with its Pong; a reply proves the target is up and
-   routable before the query hops to it. *)
-type wire = Ping of { rid : int; reply_to : int } | Pong of { rid : int }
+   routable before the query hops to it.  [Txn_msg] carries one
+   transaction-protocol delivery ([Txn.transport] continuation): the
+   closure runs iff the network actually delivers — loss and offline
+   destinations drop it, which is exactly the transport contract. *)
+type wire =
+  | Ping of { rid : int; reply_to : int }
+  | Pong of { rid : int }
+  | Txn_msg of { deliver : unit -> unit }
 
 type robust = {
   req_timeout : float;
@@ -63,6 +70,26 @@ type robust_stats = {
   give_ups : int;
   evictions : int;
 }
+
+(* Document-indexing workload for the transaction layer: multi-key
+   atomic puts submitted from random online coordinators during the
+   query phase, with a periodic recovery pass. *)
+type txn_workload = {
+  txn_config : Txn.config;
+  doc_interval : float;
+  keys_min : int;
+  keys_max : int;
+  recover_period : float;
+}
+
+let default_txn_workload =
+  {
+    txn_config = Txn.default_config;
+    doc_interval = 10.;
+    keys_min = 3;
+    keys_max = 6;
+    recover_period = 60.;
+  }
 
 type params = {
   peers : int;
@@ -90,6 +117,7 @@ type params = {
   fault_plan : Fault.plan;
   fault_seed : int;
   maint : Maintenance.daemon_config option;
+  txn : txn_workload option;
 }
 
 let default_params ~peers =
@@ -119,6 +147,7 @@ let default_params ~peers =
     fault_plan = [];
     fault_seed = 0;
     maint = None;
+    txn = None;
   }
 
 type query_stats = {
@@ -145,6 +174,8 @@ type outcome = {
   robust_stats : robust_stats;
   fault_stats : Fault.stats option;
   maint_stats : Maintenance.daemon_stats option;
+  txn : Txn.t option;
+  txn_stats : Txn.stats option;
 }
 
 type query_record = { at : float; latency : float; hops : int; success : bool }
@@ -228,6 +259,9 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   and retries = ref 0
   and give_ups = ref 0
   and evictions = ref 0 in
+  (* Filled in once the transaction manager (if any) is created below;
+     the fault hooks read it at crash time, well after setup. *)
+  let txn_mgr = ref None in
   let fault =
     if params.fault_plan = [] then None
     else
@@ -235,6 +269,7 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
         (Fault.install ~telemetry:tel
            ~on_crash:(fun i ->
              Engine.note_crash eng i;
+             Option.iter (fun m -> Txn.note_crash m i) !txn_mgr;
              set_online i false)
            ~on_restart:(fun i ->
              set_online i true;
@@ -249,7 +284,7 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   (* Consecutive liveness failures per (holder, reference) link; reaching
      [evict_after] triggers correction-on-use. *)
   let fail_counts : (int * int, int) Hashtbl.t = Hashtbl.create 64 in
-  if hardened then
+  if hardened || params.txn <> None then
     Net.set_handler net (fun me msg ->
         match msg with
         | Ping { rid; reply_to } ->
@@ -262,7 +297,8 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
           | Some continue ->
             Hashtbl.remove pending rid;
             continue ()
-          | None -> (* late or duplicated reply *) ()));
+          | None -> (* late or duplicated reply *) ())
+        | Txn_msg { deliver } -> deliver ());
   let scheduled = Array.make params.peers false in
   let rec initiation_loop i () =
     scheduled.(i) <- false;
@@ -550,6 +586,15 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   | Some cfg ->
     let mrng = Rng.split rng in
     Sim.schedule_at sim ~time:ph.query_start (fun () ->
+        (* Hand the daemon the transaction manager (if one was not set
+           explicitly): its health monitor then audits settled documents
+           for torn writes.  Read at fire time — [txn_mgr] is populated
+           during setup, after this closure is created. *)
+        let cfg =
+          match (cfg.Maintenance.txn, !txn_mgr) with
+          | None, (Some _ as m) -> { cfg with Maintenance.txn = m }
+          | _ -> cfg
+        in
         maint_stats :=
           Some
             (Maintenance.install_daemon ~telemetry:tel
@@ -558,6 +603,74 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
                ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
                ~now:(fun () -> Sim.now sim)
                ~until:ph.end_time cfg)));
+  (* --- transaction workload --------------------------------------------- *)
+  (* Gated exactly like [robust_rng] and the daemon: [txn = None] creates
+     nothing and consumes no draws, so legacy runs are bit-identical. *)
+  (match params.txn with
+  | None -> ()
+  | Some w ->
+    if w.keys_min < 1 || w.keys_max < w.keys_min then
+      invalid_arg "Net_engine.run: bad txn keys_min/keys_max";
+    if w.doc_interval <= 0. || w.recover_period <= 0. then
+      invalid_arg "Net_engine.run: bad txn periods";
+    let trng = Rng.split rng in
+    let transport =
+      {
+        Txn.send =
+          (fun ~phase ~src ~dst ~deliver ->
+            let bytes =
+              params.header_bytes
+              + (match phase with Txn.Prepare -> params.key_bytes | _ -> 0)
+            in
+            Net.send net ~src ~dst ~bytes ~kind:Net.Maintenance
+              (Txn_msg { deliver }))
+      }
+    in
+    let mgr =
+      Txn.create ~telemetry:tel ~config:w.txn_config (Rng.split trng) overlay
+        ~transport
+        ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+        ~now:(fun () -> Sim.now sim)
+    in
+    txn_mgr := Some mgr;
+    (* Document submissions: a random online coordinator indexes one
+       document under [keys_min, keys_max] distinct keys, atomically. *)
+    let next_doc = ref 0 in
+    let rec doc_loop () =
+      if Sim.now sim < ph.end_time then begin
+        if Sim.now sim >= ph.query_start then begin
+          let coordinator = Rng.int trng params.peers in
+          let span = w.keys_max - w.keys_min + 1 in
+          let k = w.keys_min + Rng.int trng span in
+          let k = min k (Array.length all_keys) in
+          let picks =
+            Rng.sample_without_replacement trng ~k ~n:(Array.length all_keys)
+          in
+          if online coordinator then begin
+            let doc = Printf.sprintf "doc-%05d" !next_doc in
+            incr next_doc;
+            let ops =
+              Array.to_list picks
+              |> List.map (fun i -> Txn.Put { key = all_keys.(i); payload = doc })
+            in
+            ignore (Txn.submit mgr ~coordinator ops)
+          end
+        end;
+        Sim.schedule sim
+          ~delay:(Sample.exponential trng ~rate:(1. /. w.doc_interval))
+          doc_loop
+      end
+    in
+    Sim.schedule_at sim
+      ~time:(ph.query_start +. Sample.uniform trng ~lo:0. ~hi:w.doc_interval)
+      doc_loop;
+    let rec recover_loop () =
+      if Sim.now sim < ph.end_time then begin
+        ignore (Txn.recover_pass mgr);
+        Sim.schedule sim ~delay:w.recover_period recover_loop
+      end
+    in
+    Sim.schedule_at sim ~time:(ph.query_start +. w.recover_period) recover_loop);
   (* --- churn ------------------------------------------------------------ *)
   let churn_params =
     match params.churn with
@@ -579,6 +692,9 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   (* --- run --------------------------------------------------------------- *)
   (* Let the last churned peers come back online before evaluating. *)
   Sim.run_until sim ~time:(ph.end_time +. 600.);
+  (* Final recovery sweep once the last churned peers are back: resolves
+     intents whose disks were unreachable while their peer was down. *)
+  Option.iter (fun m -> ignore (Txn.recover_pass m)) !txn_mgr;
   (* --- evaluation ---------------------------------------------------------- *)
   let reference =
     Reference.compute ~keys:all_keys ~peers:params.peers ~d_max:params.d_max
@@ -643,4 +759,6 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
       };
     fault_stats = Option.map Fault.stats fault;
     maint_stats = !maint_stats;
+    txn = !txn_mgr;
+    txn_stats = Option.map Txn.stats !txn_mgr;
   }

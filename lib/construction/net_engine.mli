@@ -51,6 +51,25 @@ type robust_stats = {
   evictions : int;  (** references evicted by correction-on-use *)
 }
 
+(** Document-indexing workload for the transaction layer
+    ({!Pgrid_core.Txn}): from [query_start] on, every [doc_interval]
+    seconds (exponential) a random online coordinator atomically indexes
+    one document under [keys_min .. keys_max] distinct keys, and every
+    [recover_period] seconds a {!Pgrid_core.Txn.recover_pass} replays
+    outstanding intent logs (plus one final sweep after the run, once
+    churned peers are back). *)
+type txn_workload = {
+  txn_config : Pgrid_core.Txn.config;
+  doc_interval : float;
+  keys_min : int;
+  keys_max : int;
+  recover_period : float;
+}
+
+(** {!Pgrid_core.Txn.default_config}, a document every 10 s mean,
+    3-6 keys per document, recovery every 60 s. *)
+val default_txn_workload : txn_workload
+
 type params = {
   peers : int;
   keys_per_peer : int;
@@ -88,6 +107,16 @@ type params = {
           [query_start], running until [end_time].  [None] (the default)
           leaves the run — including its RNG draw sequence —
           bit-identical to pre-daemon builds. *)
+  txn : txn_workload option;
+      (** [Some]: run the transaction workload, with protocol messages
+          (prepare / ack / commit / abort) carried by the simulated
+          network as maintenance traffic — so loss, latency and offline
+          peers genuinely delay or drop them.  When a fault plan is
+          active, crashes invalidate the crashed peer's in-flight
+          coordinations ({!Pgrid_core.Txn.note_crash}); when the
+          maintenance daemon is also installed its health monitor audits
+          settled documents for torn writes.  [None] (the default)
+          leaves the run bit-identical to pre-transaction builds. *)
 }
 
 (** Paper-like defaults for ~296 peers. *)
@@ -121,6 +150,11 @@ type outcome = {
       (** [Some] iff a fault plan was installed *)
   maint_stats : Pgrid_core.Maintenance.daemon_stats option;
       (** [Some] iff the maintenance daemon ran *)
+  txn : Pgrid_core.Txn.t option;
+      (** the transaction manager, for post-run audits
+          ({!Pgrid_core.Txn.settled_docs}, {!Pgrid_core.Health.check}) *)
+  txn_stats : Pgrid_core.Txn.stats option;
+      (** [Some] iff the transaction workload ran *)
 }
 
 (** [run ?telemetry rng params ~spec] executes the full timeline.

@@ -9,6 +9,7 @@ type violation =
   | Under_replicated of { path : string; online : int; required : int }
   | Data_at_risk of { key : Key.t; holders : int }
   | Data_lost of { key : Key.t }
+  | Torn_write of { doc : string; present : int; total : int }
 
 type report = {
   violations : violation list;
@@ -17,6 +18,7 @@ type report = {
   under_replicated : int;
   at_risk : int;
   lost : int;
+  torn : int;
   online : int;
   partitions : int;
   tracked_keys : int;
@@ -39,7 +41,7 @@ let census overlay =
   Hashtbl.fold (fun path counts acc -> (path, counts) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let check ?(keys = [||]) ~n_min overlay =
+let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
   if n_min < 1 then invalid_arg "Health.check: n_min must be >= 1";
   let parts = census overlay in
   (* Replication and trie completeness, per populated partition. *)
@@ -90,14 +92,21 @@ let check ?(keys = [||]) ~n_min overlay =
       done
   done;
   (* Data durability: one pass over all stores, then compare with the
-     tracked key set. *)
+     tracked key set.  The same pass collects (key, payload) presence for
+     the keys named by tracked multi-key documents, so atomicity can be
+     judged without a second sweep. *)
+  let doc_keys = Hashtbl.create 64 in
+  Array.iter (fun (_, ks) -> Array.iter (fun k -> Hashtbl.replace doc_keys k ()) ks) docs;
+  let postings = Hashtbl.create 256 in
   let holders = Hashtbl.create 256 in
   Array.iter
     (fun n ->
       Hashtbl.iter
-        (fun k _ ->
+        (fun k payloads ->
           let on, total = Option.value ~default:(0, 0) (Hashtbl.find_opt holders k) in
-          Hashtbl.replace holders k ((if n.Node.online then on + 1 else on), total + 1))
+          Hashtbl.replace holders k ((if n.Node.online then on + 1 else on), total + 1);
+          if Hashtbl.mem doc_keys k then
+            List.iter (fun p -> Hashtbl.replace postings (k, p) ()) payloads)
         n.Node.store)
     overlay.Overlay.nodes;
   let lostv = ref [] in
@@ -109,6 +118,24 @@ let check ?(keys = [||]) ~n_min overlay =
     (fun k (on, total) ->
       if on = 0 then riskv := Data_at_risk { key = k; holders = total } :: !riskv)
     holders;
+  (* Atomicity: a settled document must be indexed under all of its keys
+     or none of them — a strict subset is a torn write.  Holders online
+     or offline both count: like [Data_lost], this judges durable state,
+     not momentary reachability. *)
+  let tornv = ref [] in
+  Array.iter
+    (fun (doc, ks) ->
+      let total = Array.length ks in
+      if total > 0 then begin
+        let present =
+          Array.fold_left
+            (fun acc k -> if Hashtbl.mem postings (k, doc) then acc + 1 else acc)
+            0 ks
+        in
+        if present > 0 && present < total then
+          tornv := Torn_write { doc; present; total } :: !tornv
+      end)
+    docs;
   let by_key a b =
     match (a, b) with
     | Data_at_risk { key = x; _ }, Data_at_risk { key = y; _ }
@@ -121,24 +148,34 @@ let check ?(keys = [||]) ~n_min overlay =
       if x.peer <> y.peer then compare x.peer y.peer else compare x.level y.level
     | _ -> 0
   in
+  let by_doc a b =
+    match (a, b) with
+    | Torn_write { doc = x; _ }, Torn_write { doc = y; _ } -> compare x y
+    | _ -> 0
+  in
   let trie = List.rev !trie
   and under = List.rev !under
   and refv = List.sort by_peer !refv
   and riskv = List.sort by_key !riskv
-  and lostv = List.sort by_key !lostv in
+  and lostv = List.sort by_key !lostv
+  and tornv = List.sort by_doc !tornv in
   let ref_integrity = List.length refv
   and trie_incomplete = List.length trie
   and under_replicated = List.length under
   and at_risk = List.length riskv
-  and lost = List.length lostv in
+  and lost = List.length lostv
+  and torn = List.length tornv in
   let partitions = List.length parts in
   let tracked_keys = Hashtbl.length holders + lost in
   (* Weighted score: data durability dominates, then replication and
      routing, then trie coverage.  Each component is the fraction of its
-     invariant that holds. *)
+     invariant that holds.  A torn document weighs like a lost key; with
+     no tracked documents the formula reduces to the pre-txn score. *)
   let frac num den = 1. -. (num /. float_of_int (max 1 den)) in
   let data_ok =
-    frac (float_of_int lost +. (0.5 *. float_of_int at_risk)) tracked_keys
+    frac
+      (float_of_int lost +. (0.5 *. float_of_int at_risk) +. float_of_int torn)
+      (tracked_keys + Array.length docs)
   in
   let rep_ok = if partitions = 0 then 1. else !rep_sum /. float_of_int partitions in
   let ref_ok = frac (float_of_int ref_integrity) !levels_checked in
@@ -147,19 +184,20 @@ let check ?(keys = [||]) ~n_min overlay =
     (0.35 *. data_ok) +. (0.25 *. rep_ok) +. (0.25 *. ref_ok) +. (0.15 *. trie_ok)
   in
   {
-    violations = refv @ trie @ under @ riskv @ lostv;
+    violations = refv @ trie @ under @ riskv @ lostv @ tornv;
     ref_integrity;
     trie_incomplete;
     under_replicated;
     at_risk;
     lost;
+    torn;
     online = Overlay.online_count overlay;
     partitions;
     tracked_keys;
     score;
   }
 
-let score ?keys ~n_min overlay = (check ?keys ~n_min overlay).score
+let score ?keys ?docs ~n_min overlay = (check ?keys ?docs ~n_min overlay).score
 
 let emit ?(telemetry = Pgrid_telemetry.Global.get ()) r =
   if Telemetry.active telemetry then
@@ -171,6 +209,7 @@ let emit ?(telemetry = Pgrid_telemetry.Global.get ()) r =
            under_replicated = r.under_replicated;
            at_risk = r.at_risk;
            lost = r.lost;
+           torn = r.torn;
            score = r.score;
          })
 
@@ -187,3 +226,6 @@ let pp_violation fmt = function
       (Key.to_string key) holders
   | Data_lost { key } ->
     Format.fprintf fmt "data-lost: key %s has no holder" (Key.to_string key)
+  | Torn_write { doc; present; total } ->
+    Format.fprintf fmt "torn-write: document %s indexed under %d/%d of its keys" doc
+      present total

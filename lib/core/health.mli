@@ -29,6 +29,10 @@ type violation =
       (** every one of the key's [holders] copies is on an offline peer *)
   | Data_lost of { key : Key.t }
       (** a tracked key that no peer — online or offline — stores *)
+  | Torn_write of { doc : string; present : int; total : int }
+      (** a tracked document indexed under a strict subset of its keys:
+          an atomic multi-key write that tore (the invariant the
+          transaction layer's commit/abort/recovery must preserve) *)
 
 type report = {
   violations : violation list;  (** deterministic order *)
@@ -37,21 +41,35 @@ type report = {
   under_replicated : int;
   at_risk : int;
   lost : int;
+  torn : int;  (** torn documents among [docs] *)
   online : int;  (** online peers at check time *)
   partitions : int;  (** populated partitions (online or not) *)
   tracked_keys : int;  (** distinct keys audited for durability *)
   score : float;  (** weighted health in [0, 1]; 1 = pristine *)
 }
 
-(** [check ?keys ~n_min overlay] audits the overlay.  [keys] is the set
-    of keys that *should* exist (e.g. everything ever inserted); keys
-    present in some store are audited either way, but loss of a key
+(** [check ?keys ?docs ~n_min overlay] audits the overlay.  [keys] is
+    the set of keys that *should* exist (e.g. everything ever inserted);
+    keys present in some store are audited either way, but loss of a key
     wiped from every store is only detectable when it is listed in
-    [keys]. *)
-val check : ?keys:Key.t array -> n_min:int -> Overlay.t -> report
+    [keys].  [docs] lists settled multi-key documents as
+    [(payload, keys)]: each must be indexed under all of its keys or
+    none (partial presence is a {!Torn_write}); holders are counted
+    online or offline, judging durable state like [Data_lost] does. *)
+val check :
+  ?keys:Key.t array ->
+  ?docs:(string * Key.t array) array ->
+  n_min:int ->
+  Overlay.t ->
+  report
 
-(** [score ?keys ~n_min overlay] is [(check ... ).score]. *)
-val score : ?keys:Key.t array -> n_min:int -> Overlay.t -> float
+(** [score ?keys ?docs ~n_min overlay] is [(check ... ).score]. *)
+val score :
+  ?keys:Key.t array ->
+  ?docs:(string * Key.t array) array ->
+  n_min:int ->
+  Overlay.t ->
+  float
 
 (** [emit ?telemetry report] records the report as a
     {!Pgrid_telemetry.Event.Health_report} event (updating the

@@ -343,6 +343,7 @@ type daemon_config = {
   critical : int;
   monitor_period : float;
   balance : Balance.config option;
+  txn : Txn.t option;
 }
 
 let default_daemon_config ~n_min =
@@ -355,6 +356,7 @@ let default_daemon_config ~n_min =
     critical = 1;
     monitor_period = 60.;
     balance = None;
+    txn = None;
   }
 
 type daemon_stats = {
@@ -370,6 +372,8 @@ type daemon_stats = {
   mutable balance_splits : int;
   mutable balance_retracts : int;
   mutable balance_keys_moved : int;
+  mutable recover_passes : int;
+  mutable intents_resolved : int;
 }
 
 (* Donor for emergency re-replication: the partition with the most
@@ -434,6 +438,8 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       balance_splits = 0;
       balance_retracts = 0;
       balance_keys_moved = 0;
+      recover_passes = 0;
+      intents_resolved = 0;
     }
   in
   let next_delay () =
@@ -635,7 +641,18 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
   in
   let monitor_tick () =
     stats.monitor_runs <- stats.monitor_runs + 1;
-    let report = Health.check ~keys:(keys ()) ~n_min:cfg.n_min overlay in
+    (* With a transaction manager attached, audit the atomicity of its
+       settled documents too: committed ones must be fully indexed,
+       aborted ones fully scrubbed — anything in between is a
+       [Torn_write] the recovery process below has yet to resolve. *)
+    let docs =
+      match cfg.txn with
+      | None -> [||]
+      | Some txn ->
+        Array.of_list
+          (List.map (fun (doc, ks, _) -> (doc, ks)) (Txn.settled_docs txn))
+    in
+    let report = Health.check ~keys:(keys ()) ~docs ~n_min:cfg.n_min overlay in
     Health.emit ~telemetry report;
     (* Surviving membership of one partition: online members plus
        offline ones whose store is intact.  A partition with few
@@ -703,4 +720,20 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       end
     in
     schedule ~delay:(Rng.float rng *. bcfg.Balance.period) run_balance);
+  (* Transaction recovery rides the monitor period: replay online intent
+     logs against the decision log, presumed-aborting stale pendings.
+     Like balancing, the process is gated and scheduled last, so
+     [txn = None] leaves the daemon's draw sequence bit-identical. *)
+  (match cfg.txn with
+  | None -> ()
+  | Some txn ->
+    let rec run_recover () =
+      if now () < until then begin
+        let resolved = Txn.recover_pass txn in
+        stats.recover_passes <- stats.recover_passes + 1;
+        stats.intents_resolved <- stats.intents_resolved + resolved;
+        schedule ~delay:cfg.monitor_period run_recover
+      end
+    in
+    schedule ~delay:(Rng.float rng *. cfg.monitor_period) run_recover);
   stats

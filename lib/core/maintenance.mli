@@ -123,10 +123,18 @@ type daemon_config = {
           {!Balance}); [None] disables it {e and} leaves the daemon's
           RNG draw sequence bit-identical to a build without the
           subsystem *)
+  txn : Txn.t option;
+      (** transaction manager to watch over: the health monitor audits
+          its settled documents for {!Health.Torn_write} violations and
+          a dedicated process runs {!Txn.recover_pass} every
+          [monitor_period] seconds; [None] (the default) disables both
+          and, like [balance], leaves the daemon's RNG draw sequence
+          bit-identical *)
 }
 
 (** [period = 30.], [jitter = 0.5], [sync_budget = 64], [redundancy = 2],
-    [critical = 1], [monitor_period = 60.], [balance = None]. *)
+    [critical = 1], [monitor_period = 60.], [balance = None],
+    [txn = None]. *)
 val default_daemon_config : n_min:int -> daemon_config
 
 (** Live counters of daemon activity; updated in place as the scheduled
@@ -146,6 +154,9 @@ type daemon_stats = {
   mutable balance_keys_moved : int;
       (** distinct keys dropped plus (key, payload) copies created by
           balancing actions *)
+  mutable recover_passes : int;  (** {!Txn.recover_pass} runs *)
+  mutable intents_resolved : int;
+      (** intent-log records those passes resolved *)
 }
 
 (** [install_daemon rng overlay ~schedule ~now ~until cfg] installs the

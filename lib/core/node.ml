@@ -50,6 +50,20 @@ let insert_new t key payload =
 
 let insert t key payload = ignore (insert_new t key payload)
 
+(* Removing a payload never drops the key itself: payload-less keys are
+   first-class (construction seeds every key with an empty posting list),
+   so presence of the key and presence of a posting are independent.
+   Whole-key removal goes through [remove_key]. *)
+let remove_payload t key payload =
+  match Hashtbl.find_opt t.store key with
+  | None -> false
+  | Some payloads ->
+    if List.mem payload payloads then begin
+      Hashtbl.replace t.store key (List.filter (fun p -> p <> payload) payloads);
+      true
+    end
+    else false
+
 let ensure_key t key =
   if not (Hashtbl.mem t.store key) then begin
     Hashtbl.replace t.store key [];

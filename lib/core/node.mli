@@ -48,6 +48,13 @@ val insert : t -> Pgrid_keyspace.Key.t -> string -> unit
     payload was actually new (callers count transferred payloads). *)
 val insert_new : t -> Pgrid_keyspace.Key.t -> string -> bool
 
+(** [remove_payload t key payload] deletes one payload from [key]'s
+    posting list, reporting whether it was present.  The key itself stays
+    (possibly with an empty posting list) — payload-less keys are
+    first-class, so posting-list cleanup never destroys key presence;
+    use {!remove_key} to drop the key outright. *)
+val remove_payload : t -> Pgrid_keyspace.Key.t -> string -> bool
+
 (** [ensure_key t key] records [key] in the store (with no payload) if it
     is absent — construction moves keys around without touching
     application payloads. *)

@@ -132,6 +132,32 @@ let insert t ~from key payload =
       peer.Node.replicas;
     Some r.hops
 
+type delete_result = { hops : int; removed : int }
+
+let delete t ~from ?payload key =
+  let r = search t ~from key in
+  match r.responsible with
+  | None -> None
+  | Some id ->
+    let peer = node t id in
+    let remove_at n =
+      match payload with
+      | None -> if Node.has_key n key then (Node.remove_key n key; 1) else 0
+      | Some p -> if Node.remove_payload n key p then 1 else 0
+    in
+    (* Same fan-out discipline as [insert]: the responsible peer plus its
+       online replicas that still cover the key.  Offline replicas keep
+       their copy; draining them is the recovery layer's job (they hold a
+       durable intent for any tentative write they accepted). *)
+    let removed = ref (remove_at peer) in
+    Intset.iter
+      (fun rid ->
+        let replica = node t rid in
+        if replica.Node.online && Node.responsible_for replica key then
+          removed := !removed + remove_at replica)
+      peer.Node.replicas;
+    Some { hops = r.hops; removed = !removed }
+
 let anti_entropy t =
   let by_path = Hashtbl.create 64 in
   Array.iter

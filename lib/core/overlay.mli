@@ -59,6 +59,26 @@ val range_search :
     or [None] if routing failed. *)
 val insert : t -> from:Node.id -> Pgrid_keyspace.Key.t -> string -> int option
 
+(** Outcome of a routed delete. *)
+type delete_result = {
+  hops : int;  (** routing cost, as for {!search} *)
+  removed : int;  (** copies removed across the replica group *)
+}
+
+(** [delete t ~from ?payload key] routes to the responsible peer and
+    removes data there and at its online replicas covering the key —
+    the write-path dual of {!insert}, and the transaction layer's
+    abort/undo primitive.  With [payload] only that posting is removed
+    (the key survives, possibly with an empty posting list); without it
+    the whole key is dropped.  Deleting something absent is a clean
+    no-op ([removed = 0]).  [None] iff routing failed. *)
+val delete :
+  t ->
+  from:Node.id ->
+  ?payload:string ->
+  Pgrid_keyspace.Key.t ->
+  delete_result option
+
 (** [anti_entropy t] reconciles replicas: nodes sharing a path exchange
     missing keys (union of their stores). Returns the number of
     (key, payload) pairs copied — the paper's replica-synchronization

@@ -1,0 +1,149 @@
+(** Atomic multi-key writes: two-phase commit over routed inserts and
+    deletes, with durable per-peer write-ahead intent logs and
+    crash-recovery.
+
+    The paper's inverted-file workload updates several key → posting
+    entries per document; done as independent routed inserts, a crash
+    mid-update leaves the document half-indexed.  This module makes the
+    update atomic:
+
+    - {b Prepare.}  The coordinator (any online peer) routes a prepare
+      per touched key to the responsible peer and its online replicas.
+      A participant that still covers the key logs a durable {e intent}
+      (the write-ahead record), applies the write tentatively to its
+      store, and acks.  Prepares ride the PR-3 timeout / retry /
+      backoff machinery; a participant that never acks within the
+      retry budget is given up on.
+    - {b Decide.}  Once every key gathered its ack quorum the
+      coordinator durably records {e commit}; any key that cannot be
+      prepared durably records {e abort} (presumed abort: an absent or
+      pending decision is never read as commit).
+    - {b Commit.}  Participants are told to discard their intents; the
+      tentatively applied data stays.
+    - {b Abort.}  Each tentatively applied op is undone through the
+      routed {!Overlay.delete} (replica fan-out), and participants are
+      told to undo locally and drop their intents.
+    - {b Recover.}  Crash-restart wipes volatile state only: the store
+      and the logs survive, in-flight coordination does not
+      ({!note_crash} invalidates a peer's outstanding driver
+      callbacks).  {!recover_pass} replays every online peer's intent
+      log against the durable decisions — committed intents are
+      re-applied, aborted ones undone, and stale pendings resolved by
+      presumed abort — so every settled document ends fully indexed or
+      fully absent.
+
+    The module is scheduler-agnostic: time comes from [now], timers go
+    through [schedule], and messages go through a {!transport}
+    (instant in-process delivery via {!local_transport}, or the
+    simulated network via [Net_engine]).  It consumes randomness only
+    from the [Rng.t] it is created with (timeout jitter) and from the
+    overlay's own stream (routing), so builds that never create a
+    manager draw identically to pre-txn builds. *)
+
+module Key = Pgrid_keyspace.Key
+
+type op =
+  | Put of { key : Key.t; payload : string }
+  | Del of { key : Key.t; payload : string }
+
+(** Wire phases, exposed so transports can label / size messages. *)
+type phase = Prepare | Ack | Commit | Abort
+
+(** [send ~phase ~src ~dst ~deliver] carries one protocol message;
+    [deliver] runs when (and only if) the message reaches [dst]. *)
+type transport = {
+  send : phase:phase -> src:int -> dst:int -> deliver:(unit -> unit) -> unit;
+}
+
+type config = {
+  quorum : int;  (** acks required per key (capped at the fan-out size) *)
+  req_timeout : float;  (** base prepare-ack timeout, seconds *)
+  backoff : float;  (** timeout multiplier per retry *)
+  jitter : float;  (** fractional timeout jitter, [0, 1) *)
+  max_retries : int;  (** re-sends per participant after the first try *)
+  recover_after : float;
+      (** age beyond which a still-pending transaction is resolved by
+          presumed abort during {!recover_pass} *)
+}
+
+(** quorum 1, 2 s base timeout, factor-2 backoff with 20% jitter,
+    3 retries, presumed abort after 300 s — the PR-3 retry profile. *)
+val default_config : config
+
+type status = Pending | Committed | Aborted
+
+type stats = {
+  mutable begun : int;
+  mutable committed : int;
+  mutable aborted : int;
+  mutable prepares : int;  (** intents logged across all participants *)
+  mutable acks : int;
+  mutable timeouts : int;
+  mutable retries : int;
+  mutable undos : int;  (** routed {!Overlay.delete}/insert undo ops *)
+  mutable recovered : int;  (** intents resolved by {!recover_pass} *)
+  mutable redelivered : int;
+      (** committed ops re-applied during recovery (lost commit push) *)
+}
+
+type t
+
+(** [create ?telemetry ?config rng overlay ~transport ~schedule ~now]
+    makes a transaction manager over [overlay].  [rng] feeds timeout
+    jitter only. *)
+val create :
+  ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?config:config ->
+  Pgrid_prng.Rng.t ->
+  Overlay.t ->
+  transport:transport ->
+  schedule:(delay:float -> (unit -> unit) -> unit) ->
+  now:(unit -> float) ->
+  t
+
+(** [local_transport overlay ?admits ()] delivers instantly in-process
+    when both endpoints are online and [admits] (default: everything)
+    passes — the unit-test transport, and the shape the fault layer's
+    {!Pgrid_simnet.Fault.admits} plugs into. *)
+val local_transport :
+  Overlay.t -> ?admits:(src:int -> dst:int -> bool) -> unit -> transport
+
+(** [submit t ~coordinator ops] opens a transaction and starts driving
+    it; returns its id immediately (the protocol completes through
+    [schedule]/[transport] callbacks — poll {!status}).  Requires
+    [ops <> []] and an online coordinator. *)
+val submit : t -> coordinator:int -> op list -> int
+
+val status : t -> int -> status option
+val config : t -> config
+
+(** Transactions whose decision is still pending. *)
+val in_flight : t -> int
+
+(** Outstanding intent-log records across all peers. *)
+val intent_count : t -> int
+
+(** [note_crash t peer] models the loss of [peer]'s volatile state: its
+    in-flight coordinations are abandoned (their fate falls to
+    {!recover_pass}) and its pending participant callbacks die.  The
+    intent log and the decision log survive, like the persisted store. *)
+val note_crash : t -> int -> unit
+
+(** [recover_pass t] replays every {e online} peer's durable intent log
+    against the decision log (offline disks are unreachable until their
+    peer returns), after first resolving transactions pending longer
+    than [recover_after] by presumed abort.  Returns the number of
+    intents resolved.  Idempotent; safe to run on any period. *)
+val recover_pass : t -> int
+
+(** [decisions t] lists settled and pending transactions as
+    [(id, status, ops)], ascending by id. *)
+val decisions : t -> (int * status * op list) list
+
+(** [settled_docs t] projects settled pure-[Put] transactions sharing
+    one payload — the document-indexing pattern — as
+    [(payload, keys, committed)], ascending by id; the shape
+    {!Health.check}'s [docs] argument wants. *)
+val settled_docs : t -> (string * Key.t array * bool) list
+
+val stats : t -> stats

@@ -1225,3 +1225,260 @@ let balance_summary b =
     ]
   in
   (columns, rows)
+
+(* --- txn: atomic document indexing under crash-during-commit faults ------ *)
+
+module Txn = Pgrid_core.Txn
+
+type txn_point = {
+  severity : float;
+  submitted : int;
+  committed : int;
+  aborted : int;
+  still_pending : int;
+  commit_pct : float;
+  torn : int;
+  lost_committed : int;
+  abort_residue : int;
+  recovered : int;
+  redelivered : int;
+  undos : int;
+  timeouts : int;
+  txn_retries : int;
+  crashes : int;
+  intents_left : int;
+}
+
+type txn_outcome = {
+  txn_peers : int;
+  txn_horizon : float;
+  doc_interval : float;
+  points : txn_point list;
+}
+
+let txn_n_min = 5
+
+(* One severity arm: construct, then stream multi-key document inserts
+   through the transaction coordinator while a Poisson crash-restart
+   process (rate scaled by [severity]) keeps knocking peers over —
+   including mid-commit.  Protocol messages ride a lossy, latency-bearing
+   simulated network, so prepares and commit pushes genuinely race the
+   crashes.  A 60 s recovery pass replays intent logs throughout, and a
+   final sweep (after the presumed-abort window) settles everything the
+   crashes orphaned.  The audit then judges the durable stores directly:
+   every settled document must be fully indexed (committed) or fully
+   scrubbed (aborted). *)
+let txn_run_one ~peers ~horizon ~doc_interval ~severity ~seed =
+  let rng = Rng.create ~seed in
+  let built = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = built.Round.overlay in
+  let keys0 =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  let sim = Sim.create () in
+  let tel = Pgrid_telemetry.Global.get () in
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
+  (* The protocol network: messages carry their delivery continuation,
+     so loss and offline destinations genuinely drop protocol steps. *)
+  let net : (unit -> unit) Net.t =
+    Net.create ~telemetry:tel sim
+      (Rng.create ~seed:(seed + 2))
+      ~nodes:peers ~latency:Latency.planetlab ~loss:0.02 ~bucket:60.
+  in
+  Net.set_handler net (fun _dst deliver -> deliver ());
+  let transport =
+    {
+      Txn.send =
+        (fun ~phase ~src ~dst ~deliver ->
+          let bytes = 200 + (match phase with Txn.Prepare -> 64 | _ -> 0) in
+          Net.send net ~src ~dst ~bytes ~kind:Net.Maintenance deliver);
+    }
+  in
+  let mgr =
+    Txn.create ~telemetry:tel
+      (Rng.create ~seed:(seed + 4))
+      overlay ~transport
+      ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+      ~now:(fun () -> Sim.now sim)
+  in
+  let set_online i v =
+    let n = Overlay.node overlay i in
+    if n.Node.online <> v then begin
+      n.Node.online <- v;
+      Net.set_online net i v;
+      if Telemetry.active tel then
+        Telemetry.emit tel
+          (if v then Event.Churn_online { peer = i }
+           else Event.Churn_offline { peer = i })
+    end
+  in
+  let fault =
+    if severity <= 0. then None
+    else
+      Some
+        (Fault.install ~telemetry:tel
+           ~on_crash:(fun i ->
+             (* Crash wipes volatile state only: in-flight coordinations
+                die, the store and the intent log survive. *)
+             Txn.note_crash mgr i;
+             set_online i false)
+           ~on_restart:(fun i -> set_online i true)
+           net ~seed:(seed + 3)
+           [
+             Fault.Crash_restart
+               {
+                 start = 120.;
+                 stop = 0.8 *. horizon;
+                 rate = 0.0005 *. severity;
+                 down_min = 30.;
+                 down_max = 120.;
+               };
+           ])
+  in
+  (* Document stream: every [doc_interval] seconds a random coordinator
+     atomically indexes one fresh document under 3-6 distinct keys. *)
+  let drng = Rng.create ~seed:(seed + 5) in
+  let submitted = ref 0 in
+  let doc_stop = 0.85 *. horizon in
+  let rec doc_loop () =
+    if Sim.now sim < doc_stop then begin
+      let coordinator = Rng.int drng peers in
+      let k = 3 + Rng.int drng 4 in
+      let picks =
+        Rng.sample_without_replacement drng ~k ~n:(Array.length keys0)
+      in
+      if (Overlay.node overlay coordinator).Node.online then begin
+        let doc = Printf.sprintf "doc-%05d" !submitted in
+        incr submitted;
+        let ops =
+          Array.to_list picks
+          |> List.map (fun i -> Txn.Put { key = keys0.(i); payload = doc })
+        in
+        ignore (Txn.submit mgr ~coordinator ops)
+      end;
+      Sim.schedule sim ~delay:doc_interval doc_loop
+    end
+  in
+  Sim.schedule_at sim ~time:60. doc_loop;
+  let rec recover_loop () =
+    if Sim.now sim < horizon then begin
+      ignore (Txn.recover_pass mgr);
+      Sim.schedule sim ~delay:60. recover_loop
+    end
+  in
+  Sim.schedule_at sim ~time:120. recover_loop;
+  (* Final sweeps, after the last crash has restarted and the
+     presumed-abort window of any orphaned transaction has elapsed. *)
+  let final_at = horizon +. (Txn.config mgr).Txn.recover_after +. 60. in
+  Sim.schedule_at sim ~time:final_at (fun () -> ignore (Txn.recover_pass mgr));
+  Sim.schedule_at sim ~time:(final_at +. 60.) (fun () ->
+      ignore (Txn.recover_pass mgr));
+  Sim.run sim;
+  (* --- audit ----------------------------------------------------------- *)
+  let settled = Txn.settled_docs mgr in
+  let postings = Hashtbl.create 4096 in
+  for i = 0 to peers - 1 do
+    Hashtbl.iter
+      (fun k ps -> List.iter (fun p -> Hashtbl.replace postings (k, p) ()) ps)
+      (Overlay.node overlay i).Node.store
+  done;
+  let present (doc, ks) =
+    Array.fold_left
+      (fun acc k -> if Hashtbl.mem postings (k, doc) then acc + 1 else acc)
+      0 ks
+  in
+  let docs = Array.of_list (List.map (fun (d, ks, _) -> (d, ks)) settled) in
+  let report = Health.check ~keys:keys0 ~docs ~n_min:txn_n_min overlay in
+  Health.emit ~telemetry:tel report;
+  let committed, aborted =
+    List.partition (fun (_, _, c) -> c) settled
+  in
+  let lost_committed =
+    List.length
+      (List.filter
+         (fun (d, ks, _) -> Array.length ks > 0 && present (d, ks) = 0)
+         committed)
+  in
+  let abort_residue =
+    List.length (List.filter (fun (d, ks, _) -> present (d, ks) > 0) aborted)
+  in
+  let s = Txn.stats mgr in
+  {
+    severity;
+    submitted = !submitted;
+    committed = List.length committed;
+    aborted = List.length aborted;
+    still_pending = Txn.in_flight mgr;
+    commit_pct =
+      100. *. float_of_int (List.length committed)
+      /. float_of_int (max 1 !submitted);
+    torn = report.Health.torn;
+    lost_committed;
+    abort_residue;
+    recovered = s.Txn.recovered;
+    redelivered = s.Txn.redelivered;
+    undos = s.Txn.undos;
+    timeouts = s.Txn.timeouts;
+    txn_retries = s.Txn.retries;
+    crashes = (match fault with Some f -> (Fault.stats f).Fault.crashes | None -> 0);
+    intents_left = Txn.intent_count mgr;
+  }
+
+let txn_cache : (int * float * float * float * int, txn_point) Hashtbl.t =
+  Hashtbl.create 4
+
+let txn_one ~peers ~horizon ~doc_interval ~severity ~seed =
+  let key = (peers, horizon, doc_interval, severity, seed) in
+  match Hashtbl.find_opt txn_cache key with
+  | Some p -> p
+  | None ->
+    let p = txn_run_one ~peers ~horizon ~doc_interval ~severity ~seed in
+    Hashtbl.add txn_cache key p;
+    p
+
+let txn ?(peers = 192) ?(horizon = 3600.) ?(doc_interval = 6.)
+    ?(severities = [ 0.; 0.3; 0.6 ]) ~seed () =
+  if horizon <= 0. then invalid_arg "Figures.txn: horizon must be positive";
+  if doc_interval <= 0. then
+    invalid_arg "Figures.txn: doc_interval must be positive";
+  {
+    txn_peers = peers;
+    txn_horizon = horizon;
+    doc_interval;
+    points =
+      List.map
+        (fun severity -> txn_one ~peers ~horizon ~doc_interval ~severity ~seed)
+        severities;
+  }
+
+let txn_table o =
+  let columns =
+    [ "severity"; "submitted"; "committed"; "aborted"; "pending"; "commit %";
+      "torn"; "lost"; "residue"; "recovered"; "timeouts"; "crashes"; "intents" ]
+  in
+  let rows =
+    List.map
+      (fun p ->
+        [
+          Table.fmt_float ~decimals:1 p.severity;
+          string_of_int p.submitted;
+          string_of_int p.committed;
+          string_of_int p.aborted;
+          string_of_int p.still_pending;
+          Table.fmt_float ~decimals:1 p.commit_pct ^ "%";
+          string_of_int p.torn;
+          string_of_int p.lost_committed;
+          string_of_int p.abort_residue;
+          string_of_int p.recovered;
+          string_of_int p.timeouts;
+          string_of_int p.crashes;
+          string_of_int p.intents_left;
+        ])
+      o.points
+  in
+  (columns, rows)

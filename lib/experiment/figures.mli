@@ -281,3 +281,63 @@ val balance_table : balance -> string list * string list list
 (** Aggregates: final/peak max load against the slack bound, split /
     retract counts, query success and health. *)
 val balance_summary : balance -> string list * string list list
+
+(** {1 Transaction experiment}
+
+    Atomic document indexing under crash-during-commit faults: a
+    constructed overlay takes a stream of multi-key document inserts
+    through {!Pgrid_core.Txn} (one coordinator, 3-6 keys per document)
+    while a Poisson crash-restart process — its rate scaled by a
+    severity knob — knocks peers over mid-protocol.  Prepares, acks and
+    commit/abort pushes ride a lossy, latency-bearing simulated
+    network; a periodic {!Pgrid_core.Txn.recover_pass} replays intent
+    logs, with a final sweep after the presumed-abort window.  The
+    audit judges the durable stores directly: a settled document must
+    be fully indexed (committed) or fully scrubbed (aborted) —
+    anything else is a torn state. *)
+
+(** Replication floor of the transaction experiment's health audit. *)
+val txn_n_min : int
+
+(** One severity arm's end-of-run audit. *)
+type txn_point = {
+  severity : float;  (** crash-rate scale (0 = fault-free) *)
+  submitted : int;
+  committed : int;
+  aborted : int;
+  still_pending : int;  (** undecided at audit time (expected 0) *)
+  commit_pct : float;  (** committed / submitted *)
+  torn : int;  (** {!Pgrid_core.Health.Torn_write} count over settled docs *)
+  lost_committed : int;  (** committed docs absent from every store *)
+  abort_residue : int;  (** aborted docs still present under any key *)
+  recovered : int;  (** intent-log records resolved by recovery *)
+  redelivered : int;  (** committed ops re-applied during recovery *)
+  undos : int;  (** routed undo operations executed on aborts *)
+  timeouts : int;
+  txn_retries : int;
+  crashes : int;
+  intents_left : int;  (** outstanding intents after the final sweep *)
+}
+
+type txn_outcome = {
+  txn_peers : int;
+  txn_horizon : float;
+  doc_interval : float;
+  points : txn_point list;  (** ascending severity, as requested *)
+}
+
+(** [txn ~seed ()] runs one arm per severity (default [0; 0.3; 0.6]),
+    memoized per parameter tuple.  Defaults: 192 peers, a 3600 s
+    horizon, a document every 6 s. *)
+val txn :
+  ?peers:int ->
+  ?horizon:float ->
+  ?doc_interval:float ->
+  ?severities:float list ->
+  seed:int ->
+  unit ->
+  txn_outcome
+
+(** One row per severity: volumes, commit rate, and the three torn-state
+    audits (torn / lost / residue) that must all be zero. *)
+val txn_table : txn_outcome -> string list * string list list

@@ -151,10 +151,23 @@ let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys 
   (* Unresolved keys contribute nothing: intersecting their (vacuously
      empty) posting list would annihilate the whole result on a single
      routing failure. *)
+  (* Each posting list is sorted and duplicate-free, so the intersection
+     is a linear merge — O(n + m) per pair instead of the quadratic
+     per-element [List.mem] scan.  Starting from the shortest list keeps
+     every intermediate result minimal. *)
+  let rec inter a b =
+    match (a, b) with
+    | [], _ | _, [] -> []
+    | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c = 0 then x :: inter xs ys else if c < 0 then inter xs b else inter a ys
+  in
   let matches =
-    match List.filter_map Fun.id postings with
+    match
+      List.filter_map Fun.id postings
+      |> List.sort (fun a b -> compare (List.length a) (List.length b))
+    with
     | [] -> []
-    | first :: rest ->
-      List.fold_left (fun acc l -> List.filter (fun d -> List.mem d l) acc) first rest
+    | first :: rest -> List.fold_left inter first rest
   in
   { matches; resolved = !resolved; total_hops = !hops }

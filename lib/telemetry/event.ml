@@ -38,6 +38,7 @@ type kind =
       under_replicated : int;
       at_risk : int;
       lost : int;
+      torn : int;
       score : float;
     }
   | Anti_entropy of { a : int; b : int; copied : int }
@@ -46,10 +47,15 @@ type kind =
   | Retract of { path : string; members : int; merged_keys : int }
   | Migrate of { peer : int; level : int; keys : int }
   | Balance_pass of { max_load : int; splits : int; retracts : int }
+  | Txn_begin of { txn : int; coordinator : int; ops : int }
+  | Txn_prepare of { txn : int; peer : int }
+  | Txn_commit of { txn : int }
+  | Txn_abort of { txn : int }
+  | Txn_recover of { txn : int; peer : int; committed : bool }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 32
+let tag_count = 37
 
 let tag = function
   | Interaction _ -> 0
@@ -84,6 +90,11 @@ let tag = function
   | Retract _ -> 29
   | Migrate _ -> 30
   | Balance_pass _ -> 31
+  | Txn_begin _ -> 32
+  | Txn_prepare _ -> 33
+  | Txn_commit _ -> 34
+  | Txn_abort _ -> 35
+  | Txn_recover _ -> 36
 
 let labels =
   [|
@@ -92,7 +103,8 @@ let labels =
     "query_complete"; "churn_offline"; "churn_online"; "peer_leave"; "peer_join";
     "repair"; "rebalance"; "fault_on"; "fault_off"; "timeout"; "retry";
     "give_up"; "ref_evict"; "health_report"; "anti_entropy"; "re_replicate";
-    "balance_split"; "retract"; "migrate"; "balance_pass";
+    "balance_split"; "retract"; "migrate"; "balance_pass"; "txn_begin";
+    "txn_prepare"; "txn_commit"; "txn_abort"; "txn_recover";
   |]
 
 let label k = labels.(tag k)
@@ -191,13 +203,15 @@ let to_json { time; kind } =
     int "peer" peer;
     int "level" level;
     int "target" target
-  | Health_report { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; score }
+  | Health_report
+      { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; torn; score }
     ->
     int "ref_integrity" ref_integrity;
     int "trie_incomplete" trie_incomplete;
     int "under_replicated" under_replicated;
     int "at_risk" at_risk;
     int "lost" lost;
+    int "torn" torn;
     flt "score" score
   | Anti_entropy { a; b = b'; copied } ->
     int "a" a;
@@ -222,7 +236,19 @@ let to_json { time; kind } =
   | Balance_pass { max_load; splits; retracts } ->
     int "max_load" max_load;
     int "splits" splits;
-    int "retracts" retracts);
+    int "retracts" retracts
+  | Txn_begin { txn; coordinator; ops } ->
+    int "txn" txn;
+    int "coordinator" coordinator;
+    int "ops" ops
+  | Txn_prepare { txn; peer } ->
+    int "txn" txn;
+    int "peer" peer
+  | Txn_commit { txn } | Txn_abort { txn } -> int "txn" txn
+  | Txn_recover { txn; peer; committed } ->
+    int "txn" txn;
+    int "peer" peer;
+    bool "committed" committed);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -343,6 +369,9 @@ let of_json line =
       if Float.is_integer x then int_of_float x
       else raise (Bad (name ^ ": expected integer"))
     in
+    (* Fields added after a trace format shipped parse leniently, so old
+       JSONL files replay unchanged. *)
+    let int_default name d = if List.mem_assoc name fields then int name else d in
     let str name =
       match get name with Str s -> s | _ -> raise (Bad (name ^ ": expected string"))
     in
@@ -397,7 +426,8 @@ let of_json line =
           { ref_integrity = int "ref_integrity";
             trie_incomplete = int "trie_incomplete";
             under_replicated = int "under_replicated";
-            at_risk = int "at_risk"; lost = int "lost"; score = num "score" }
+            at_risk = int "at_risk"; lost = int "lost";
+            torn = int_default "torn" 0; score = num "score" }
       | "anti_entropy" -> Anti_entropy { a = int "a"; b = int "b"; copied = int "copied" }
       | "re_replicate" -> Re_replicate { path = str "path"; peer = int "peer" }
       | "balance_split" ->
@@ -413,6 +443,14 @@ let of_json line =
         Balance_pass
           { max_load = int "max_load"; splits = int "splits";
             retracts = int "retracts" }
+      | "txn_begin" ->
+        Txn_begin { txn = int "txn"; coordinator = int "coordinator"; ops = int "ops" }
+      | "txn_prepare" -> Txn_prepare { txn = int "txn"; peer = int "peer" }
+      | "txn_commit" -> Txn_commit { txn = int "txn" }
+      | "txn_abort" -> Txn_abort { txn = int "txn" }
+      | "txn_recover" ->
+        Txn_recover
+          { txn = int "txn"; peer = int "peer"; committed = bool "committed" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

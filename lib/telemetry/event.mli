@@ -63,10 +63,12 @@ type kind =
       under_replicated : int;
       at_risk : int;
       lost : int;
+      torn : int;
       score : float;
     }
       (** one pass of the overlay health monitor: violation counts per
-          invariant class plus the scalar health score in [0, 1] *)
+          invariant class (including torn multi-key documents) plus the
+          scalar health score in [0, 1] *)
   | Anti_entropy of { a : int; b : int; copied : int }
       (** pairwise budgeted replica sync between [a] and [b] that copied
           [copied] (key, payload) pairs *)
@@ -86,6 +88,18 @@ type kind =
       (** one sweep of the online load balancer finished: the largest
           per-member store observed afterwards, and how many split /
           retract actions the sweep took *)
+  | Txn_begin of { txn : int; coordinator : int; ops : int }
+      (** transaction [txn] opened at [coordinator] touching [ops] keys *)
+  | Txn_prepare of { txn : int; peer : int }
+      (** [peer] voted yes: durable intent logged, write applied
+          tentatively *)
+  | Txn_commit of { txn : int }  (** coordinator's durable commit decision *)
+  | Txn_abort of { txn : int }
+      (** coordinator's durable abort decision (voluntary, vote failure,
+          or presumed-abort by recovery) *)
+  | Txn_recover of { txn : int; peer : int; committed : bool }
+      (** recovery resolved one of [peer]'s logged intents against the
+          coordinator's decision: re-applied ([committed]) or undone *)
 
 type t = { time : float; kind : kind }
 

@@ -17,10 +17,17 @@ type t = {
   balance_retracts : Metrics.gauge;
   balance_migrated : Metrics.gauge;
   balance_max_load : Metrics.gauge;
+  txn_active : Metrics.gauge;
+  txn_aborts : Metrics.gauge;
+  txn_recovered : Metrics.gauge;
+  torn_docs : Metrics.gauge;
   mutable fault_level : int;
   mutable split_count : int;
   mutable retract_count : int;
   mutable migrated_keys : int;
+  mutable txn_level : int;
+  mutable abort_count : int;
+  mutable recover_count : int;
   mutable events : int;
 }
 
@@ -47,10 +54,17 @@ let make ~enabled ~clock =
     balance_retracts = Metrics.gauge metrics "balance.retracts";
     balance_migrated = Metrics.gauge metrics "balance.migrated_keys";
     balance_max_load = Metrics.gauge metrics "balance.max_load";
+    txn_active = Metrics.gauge metrics "txn.active";
+    txn_aborts = Metrics.gauge metrics "txn.aborts";
+    txn_recovered = Metrics.gauge metrics "txn.recovered";
+    torn_docs = Metrics.gauge metrics "data.torn_docs";
     fault_level = 0;
     split_count = 0;
     retract_count = 0;
     migrated_keys = 0;
+    txn_level = 0;
+    abort_count = 0;
+    recover_count = 0;
     events = 0;
   }
 
@@ -84,12 +98,15 @@ let record t ev =
       t.fault_level <- max 0 (t.fault_level - 1);
       Metrics.set_gauge t.faults_active (float_of_int t.fault_level)
     | Event.Health_report
-        { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; score } ->
+        { ref_integrity; trie_incomplete; under_replicated; at_risk; lost; torn; score }
+      ->
       Metrics.set_gauge t.health_score score;
       Metrics.set_gauge t.health_violations
-        (float_of_int (ref_integrity + trie_incomplete + under_replicated + at_risk + lost));
+        (float_of_int
+           (ref_integrity + trie_incomplete + under_replicated + at_risk + lost + torn));
       Metrics.set_gauge t.lost_keys (float_of_int lost);
-      Metrics.set_gauge t.at_risk_keys (float_of_int at_risk)
+      Metrics.set_gauge t.at_risk_keys (float_of_int at_risk);
+      Metrics.set_gauge t.torn_docs (float_of_int torn)
     | Event.Balance_split _ ->
       t.split_count <- t.split_count + 1;
       Metrics.set_gauge t.balance_splits (float_of_int t.split_count)
@@ -101,6 +118,20 @@ let record t ev =
       Metrics.set_gauge t.balance_migrated (float_of_int t.migrated_keys)
     | Event.Balance_pass { max_load; _ } ->
       Metrics.set_gauge t.balance_max_load (float_of_int max_load)
+    | Event.Txn_begin _ ->
+      t.txn_level <- t.txn_level + 1;
+      Metrics.set_gauge t.txn_active (float_of_int t.txn_level)
+    | Event.Txn_commit _ ->
+      t.txn_level <- max 0 (t.txn_level - 1);
+      Metrics.set_gauge t.txn_active (float_of_int t.txn_level)
+    | Event.Txn_abort _ ->
+      t.txn_level <- max 0 (t.txn_level - 1);
+      Metrics.set_gauge t.txn_active (float_of_int t.txn_level);
+      t.abort_count <- t.abort_count + 1;
+      Metrics.set_gauge t.txn_aborts (float_of_int t.abort_count)
+    | Event.Txn_recover _ ->
+      t.recover_count <- t.recover_count + 1;
+      Metrics.set_gauge t.txn_recovered (float_of_int t.recover_count)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

@@ -111,6 +111,7 @@ let test_emit_updates_gauges () =
            trie_incomplete = 0;
            under_replicated = 0;
            at_risk = 0;
+           torn = 0;
            lost = 0;
            score = 1.;
          })

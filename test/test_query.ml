@@ -178,6 +178,56 @@ let test_conjunctive_dedups_payloads () =
   Alcotest.check (Alcotest.list Alcotest.string) "sorted, deduplicated"
     [ "doc-a"; "doc-m"; "doc-z" ] r.Query.matches
 
+(* The sort-then-merge intersection must agree with the quadratic
+   pairwise [List.mem] filter it replaced, on the same searched posting
+   lists: build an overlay, index random documents under random key
+   sets, and compare both algorithms on random conjunctive queries. *)
+let qcheck_conjunctive_merge_equiv =
+  QCheck.Test.make ~name:"merge intersection = pairwise filter" ~count:30
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let keys = Distribution.generate rng Distribution.Uniform ~n:400 in
+      let overlay =
+        Builder.index rng ~peers:60 ~keys ~d_max:50 ~n_min:3 ~refs_per_level:2
+      in
+      for d = 0 to 39 do
+        let doc = Printf.sprintf "doc-%03d" d in
+        let n_keys = 1 + Rng.int rng 5 in
+        for _ = 1 to n_keys do
+          let k = keys.(Rng.int rng (Array.length keys)) in
+          ignore (Overlay.insert overlay ~from:(Rng.int rng 60) k doc)
+        done
+      done;
+      let reference query_keys ~from =
+        let postings =
+          List.filter_map
+            (fun k ->
+              let r = Overlay.search overlay ~from k in
+              match r.Overlay.responsible with
+              | Some _ -> Some (List.sort_uniq compare r.Overlay.payloads)
+              | None -> None)
+            query_keys
+        in
+        match postings with
+        | [] -> []
+        | first :: rest ->
+          List.fold_left
+            (fun acc l -> List.filter (fun d -> List.mem d l) acc)
+            first rest
+      in
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let n_keys = 1 + Rng.int rng 4 in
+        let query_keys =
+          List.init n_keys (fun _ -> keys.(Rng.int rng (Array.length keys)))
+        in
+        let from = Rng.int rng 60 in
+        let expected = reference query_keys ~from in
+        let got = (Query.conjunctive overlay ~from query_keys).Query.matches in
+        if got <> expected then ok := false
+      done;
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "lookup batch" `Quick test_lookup_batch;
@@ -198,4 +248,5 @@ let suite =
       test_conjunctive_duplicate_keys;
     Alcotest.test_case "conjunctive payload dedup" `Quick
       test_conjunctive_dedups_payloads;
+    QCheck_alcotest.to_alcotest qcheck_conjunctive_merge_equiv;
   ]

@@ -130,6 +130,7 @@ let sample_events =
         trie_incomplete = 0;
         under_replicated = 3;
         at_risk = 7;
+        torn = 0;
         lost = 0;
         score = 0.875;
       };
@@ -139,6 +140,11 @@ let sample_events =
     Event.Retract { path = "0111"; members = 9; merged_keys = 14 };
     Event.Migrate { peer = 31; level = 3; keys = 12 };
     Event.Balance_pass { max_load = 42; splits = 2; retracts = 1 };
+    Event.Txn_begin { txn = 7; coordinator = 3; ops = 4 };
+    Event.Txn_prepare { txn = 7; peer = 19 };
+    Event.Txn_commit { txn = 7 };
+    Event.Txn_abort { txn = 8 };
+    Event.Txn_recover { txn = 8; peer = 19; committed = false };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
