@@ -187,6 +187,12 @@ let ablation_maintain _reps =
   note "the sequential maintenance model operating on a constructed overlay";
   print_table (Figures.ablation_maintenance ~seed ()) ~title:"maintenance timeline"
 
+let scale _reps =
+  banner "Scale -- construction and event-loop throughput vs population";
+  note "fig6-style construction (Uniform, default params) at growing sizes";
+  note "plus a Net relay storm; peers/s and events/s are the headline numbers";
+  Scale.print ~seed
+
 (* --- Bechamel micro-benchmarks of the hot kernels ---------------------- *)
 
 let micro _reps =
@@ -307,6 +313,7 @@ let targets =
     ("survival", survival);
     ("balance", balance);
     ("txn", txn);
+    ("scale", scale);
     ("micro", micro);
   ]
 
@@ -479,6 +486,7 @@ let values_of name reps =
   | "survival" -> auto (survival_values ())
   | "balance" -> auto (balance_values ())
   | "txn" -> txn_values ()
+  | "scale" -> Scale.values ~seed
   | "fig6a" -> auto (fig6_values (Figures.fig6a ?reps ~seed ()))
   | "fig6b" -> auto (fig6_values (Figures.fig6b ?reps ~seed ()))
   | "fig6c" -> auto (fig6_values (Figures.fig6c ?reps ~seed ()))
@@ -532,7 +540,22 @@ let split_flags argv =
         txn_horizon := h
       | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
       go acc rest
-    | ("--trace" | "--json" | "--quota" | "--horizon") :: [] ->
+    | "--scale-peers" :: spec :: rest ->
+      let sizes =
+        List.map
+          (fun s ->
+            match int_of_string_opt (String.trim s) with
+            | Some n when n >= 2 -> n
+            | _ ->
+              usage_error
+                "--scale-peers expects a comma-separated list of sizes >= 2, got %S"
+                spec)
+          (String.split_on_char ',' spec)
+      in
+      if sizes = [] then usage_error "--scale-peers expects at least one size";
+      Scale.sizes := sizes;
+      go acc rest
+    | ("--trace" | "--json" | "--quota" | "--horizon" | "--scale-peers") :: [] ->
       usage_error "flag is missing its argument"
     | a :: rest -> go { acc with positional = a :: acc.positional } rest
   in

@@ -103,11 +103,33 @@ let run_with_keys ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~assig
     Rng.shuffle rng order;
     Array.iter (fun i -> if Engine.is_active engine i then Engine.interact engine i) order
   done;
+  (* Flatten + sort + dedup in place: the list pipeline this replaces
+     materialized two peers*keys_per_peer element lists (a million cells
+     at 100k peers) before ever reaching the sort. *)
   let all_keys =
-    Array.to_list assignments
-    |> List.concat_map Array.to_list
-    |> List.sort_uniq Key.compare
-    |> Array.of_list
+    let total = Array.fold_left (fun acc own -> acc + Array.length own) 0 assignments in
+    if total = 0 then [||]
+    else begin
+      let flat = Array.make total (Key.of_int 0) in
+      let pos = ref 0 in
+      Array.iter
+        (fun own ->
+          Array.iter
+            (fun k ->
+              flat.(!pos) <- k;
+              incr pos)
+            own)
+        assignments;
+      Array.sort Key.compare flat;
+      let w = ref 1 in
+      for r = 1 to total - 1 do
+        if Key.compare flat.(r) flat.(!w - 1) <> 0 then begin
+          flat.(!w) <- flat.(r);
+          incr w
+        end
+      done;
+      if !w = total then flat else Array.sub flat 0 !w
+    end
   in
   let reference =
     Reference.compute ~keys:all_keys ~peers:params.peers ~d_max:params.d_max

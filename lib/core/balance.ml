@@ -373,7 +373,8 @@ let pass ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay cfg =
       (fun m (_, members, _) -> max m (partition_load overlay members))
       0 (census overlay)
   in
-  Telemetry.emit telemetry
-    (Event.Balance_pass { max_load; splits = !splits; retracts = !retracts });
+  if Telemetry.active telemetry then
+    Telemetry.emit telemetry
+      (Event.Balance_pass { max_load; splits = !splits; retracts = !retracts });
   { splits = !splits; retracts = !retracts; migrated_keys = !migrated;
     copied_keys = !copied; max_load }

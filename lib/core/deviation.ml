@@ -5,14 +5,39 @@ let of_paths ~reference paths =
   let partitions = Array.of_list reference.Reference.partitions in
   let k = Array.length partitions in
   if k = 0 then invalid_arg "Deviation.of_paths: empty reference";
+  (* [Reference.compute] emits partitions in key order: disjoint dyadic
+     intervals, ascending, possibly with gaps (empty halves get no
+     partition).  The partitions a peer path [q] overlaps are therefore a
+     contiguous window of the sorted array, located by binary search —
+     O(log k + matches) per peer instead of a full O(k) sweep.  Each
+     peer contributes at most once per partition, so per-partition
+     accumulation order over peers is unchanged and the float sums are
+     bit-identical to the former full sweep. *)
+  let lo = Array.make k 0 and hi = Array.make k 0 in
+  Array.iteri
+    (fun i part ->
+      let l, h = Path.interval_keys part.Reference.path in
+      lo.(i) <- l;
+      hi.(i) <- h)
+    partitions;
   let achieved = Array.make k 0. in
   List.iter
     (fun q ->
-      Array.iteri
-        (fun i part ->
-          let f = Path.overlap_fraction ~of_:q part.Reference.path in
-          if f > 0. then achieved.(i) <- achieved.(i) +. f)
-        partitions)
+      let qlo, qhi = Path.interval_keys q in
+      (* First partition whose (exclusive) end lies beyond [qlo]. *)
+      let rec first a b =
+        if a >= b then a
+        else begin
+          let m = (a + b) / 2 in
+          if hi.(m) <= qlo then first (m + 1) b else first a m
+        end
+      in
+      let i = ref (first 0 k) in
+      while !i < k && lo.(!i) < qhi do
+        let f = Path.overlap_fraction ~of_:q partitions.(!i).Reference.path in
+        if f > 0. then achieved.(!i) <- achieved.(!i) +. f;
+        incr i
+      done)
     paths;
   let sq_sum = ref 0. and ref_sum = ref 0. in
   Array.iteri

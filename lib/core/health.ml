@@ -65,12 +65,10 @@ let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
     | Some v -> v
     | None ->
       let v =
-        Array.exists
-          (fun m ->
+        Overlay.exists overlay (fun m ->
             m.Node.online
             && (Path.is_prefix_of ~prefix m.Node.path
                || Path.is_prefix_of ~prefix:m.Node.path prefix))
-          overlay.Overlay.nodes
       in
       Hashtbl.add inhabited_cache key v;
       v
@@ -99,16 +97,14 @@ let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
   Array.iter (fun (_, ks) -> Array.iter (fun k -> Hashtbl.replace doc_keys k ()) ks) docs;
   let postings = Hashtbl.create 256 in
   let holders = Hashtbl.create 256 in
-  Array.iter
-    (fun n ->
+  Overlay.iter overlay (fun n ->
       Hashtbl.iter
         (fun k payloads ->
           let on, total = Option.value ~default:(0, 0) (Hashtbl.find_opt holders k) in
           Hashtbl.replace holders k ((if n.Node.online then on + 1 else on), total + 1);
           if Hashtbl.mem doc_keys k then
             List.iter (fun p -> Hashtbl.replace postings (k, p) ()) payloads)
-        n.Node.store)
-    overlay.Overlay.nodes;
+        n.Node.store);
   let lostv = ref [] in
   Array.iter
     (fun k -> if not (Hashtbl.mem holders k) then lostv := Data_lost { key = k } :: !lostv)

@@ -35,18 +35,44 @@ let level_bit_is_zero t key =
 let note_added t key = if level_bit_is_zero t key then t.zero_keys <- t.zero_keys + 1
 let note_removed t key = if level_bit_is_zero t key then t.zero_keys <- t.zero_keys - 1
 
+(* Posting lists are kept sorted and deduplicated, so insertion and
+   removal are each a single pass that stops at the payload's sorted
+   position — the previous unordered representation walked the whole
+   list once to test membership ([List.mem]) and a second time to
+   rebuild it ([List.filter]), per mutation. *)
+
+(* [posting_add p sorted] is [Some sorted'] with [p] spliced in at its
+   sorted position, or [None] when [p] is already present. *)
+let rec posting_add p = function
+  | [] -> Some [ p ]
+  | q :: rest as l ->
+    let c = String.compare p q in
+    if c = 0 then None
+    else if c < 0 then Some (p :: l)
+    else Option.map (fun r -> q :: r) (posting_add p rest)
+
+(* [posting_remove p sorted] is [Some sorted'] without [p], or [None]
+   when [p] is absent; the sorted order lets the scan stop early. *)
+let rec posting_remove p = function
+  | [] -> None
+  | q :: rest ->
+    let c = String.compare p q in
+    if c = 0 then Some rest
+    else if c < 0 then None
+    else Option.map (fun r -> q :: r) (posting_remove p rest)
+
 let insert_new t key payload =
   match Hashtbl.find_opt t.store key with
   | None ->
     Hashtbl.replace t.store key [ payload ];
     note_added t key;
     true
-  | Some existing ->
-    if List.mem payload existing then false
-    else begin
-      Hashtbl.replace t.store key (payload :: existing);
-      true
-    end
+  | Some existing -> (
+    match posting_add payload existing with
+    | None -> false
+    | Some updated ->
+      Hashtbl.replace t.store key updated;
+      true)
 
 let insert t key payload = ignore (insert_new t key payload)
 
@@ -57,12 +83,12 @@ let insert t key payload = ignore (insert_new t key payload)
 let remove_payload t key payload =
   match Hashtbl.find_opt t.store key with
   | None -> false
-  | Some payloads ->
-    if List.mem payload payloads then begin
-      Hashtbl.replace t.store key (List.filter (fun p -> p <> payload) payloads);
-      true
-    end
-    else false
+  | Some payloads -> (
+    match posting_remove payload payloads with
+    | None -> false
+    | Some updated ->
+      Hashtbl.replace t.store key updated;
+      true)
 
 let ensure_key t key =
   if not (Hashtbl.mem t.store key) then begin

@@ -28,8 +28,10 @@ type t = {
       (** [refs.(l)]: peers in the complement at level [l]; the array has
           at least [Path.length path] used slots *)
   store : (Pgrid_keyspace.Key.t, string list) Hashtbl.t;
-      (** key -> payloads (e.g. posting lists); multiple payloads per key.
-          Read-only outside this module — mutate via the functions below. *)
+      (** key -> payloads (e.g. posting lists); multiple payloads per key,
+          kept sorted and duplicate-free so mutation is a single early-exit
+          pass.  Read-only outside this module — mutate via the functions
+          below. *)
   replicas : Intset.t;  (** known peers sharing this node's path *)
   mutable online : bool;
   mutable zero_keys : int;
@@ -69,7 +71,8 @@ val clear_store : t -> unit
 (** [has_key t key] tests presence regardless of payloads. *)
 val has_key : t -> Pgrid_keyspace.Key.t -> bool
 
-(** [lookup t key] is the payload list under [key] (empty when absent). *)
+(** [lookup t key] is the sorted payload list under [key] (empty when
+    absent). *)
 val lookup : t -> Pgrid_keyspace.Key.t -> string list
 
 (** [keys t] lists distinct stored keys (unspecified order). *)

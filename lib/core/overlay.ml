@@ -3,17 +3,51 @@ module Key = Pgrid_keyspace.Key
 module Path = Pgrid_keyspace.Path
 module Moments = Pgrid_stats.Moments
 
-type t = { nodes : Node.t array; rng : Rng.t }
+(* Peer storage is an arena: a preallocated array indexed by dense peer
+   id, of which the first [count] slots are live.  Growth doubles the
+   array and blits, so ids (array indices) are stable across growth and
+   [node] stays a plain array read on the routing hot path. *)
+type t = { mutable nodes : Node.t array; mutable count : int; rng : Rng.t }
 
 let create rng ~n =
   if n < 1 then invalid_arg "Overlay.create: n must be >= 1";
-  { nodes = Array.init n (fun id -> Node.create ~id); rng }
+  { nodes = Array.init n (fun id -> Node.create ~id); count = n; rng }
 
-let size t = Array.length t.nodes
-let node t id = t.nodes.(id)
+let size t = t.count
+
+let node t id =
+  if id < 0 || id >= t.count then invalid_arg "Overlay.node: id out of range";
+  t.nodes.(id)
+
+let add_peer t =
+  let cap = Array.length t.nodes in
+  if t.count = cap then begin
+    (* Slots past [count] are never read; any existing node works as
+       filler for [Array.make]. *)
+    let grown = Array.make (2 * cap) t.nodes.(0) in
+    Array.blit t.nodes 0 grown 0 cap;
+    t.nodes <- grown
+  end;
+  let n = Node.create ~id:t.count in
+  t.nodes.(t.count) <- n;
+  t.count <- t.count + 1;
+  n
+
+let iter t f =
+  for i = 0 to t.count - 1 do
+    f t.nodes.(i)
+  done
+
+let exists t p =
+  let rec go i = i < t.count && (p t.nodes.(i) || go (i + 1)) in
+  go 0
 
 let online_count t =
-  Array.fold_left (fun acc n -> if n.Node.online then acc + 1 else acc) 0 t.nodes
+  let acc = ref 0 in
+  for i = 0 to t.count - 1 do
+    if t.nodes.(i).Node.online then incr acc
+  done;
+  !acc
 
 type search_result = {
   responsible : Node.id option;
@@ -160,14 +194,12 @@ let delete t ~from ?payload key =
 
 let anti_entropy t =
   let by_path = Hashtbl.create 64 in
-  Array.iter
-    (fun n ->
+  iter t (fun n ->
       if n.Node.online then begin
         let key = Path.to_string n.Node.path in
         let group = Option.value ~default:[] (Hashtbl.find_opt by_path key) in
         Hashtbl.replace by_path key (n :: group)
-      end)
-    t.nodes;
+      end);
   let moved = ref 0 in
   Hashtbl.iter
     (fun _ group ->
@@ -237,8 +269,14 @@ let anti_entropy_pair t ~a ~b ~budget =
   end
 
 let paths t =
-  Array.to_list t.nodes
-  |> List.filter_map (fun n -> if n.Node.online then Some n.Node.path else None)
+  (* Built back-to-front so the result is in id order without a reverse
+     pass or intermediate list. *)
+  let acc = ref [] in
+  for i = t.count - 1 downto 0 do
+    let n = t.nodes.(i) in
+    if n.Node.online then acc := n.Node.path :: !acc
+  done;
+  !acc
 
 type stats = {
   peers : int;
@@ -250,17 +288,18 @@ type stats = {
 }
 
 let stats t =
-  let online = List.filter (fun n -> n.Node.online) (Array.to_list t.nodes) in
   let distinct = Hashtbl.create 64 in
   let lengths = Moments.create () in
   let storage = Moments.create () in
-  List.iter
-    (fun n ->
-      Hashtbl.replace distinct (Path.to_string n.Node.path) ();
-      Moments.add lengths (float_of_int (Path.length n.Node.path));
-      Moments.add storage (float_of_int (Node.key_count n)))
-    online;
-  let peers = List.length online in
+  let peers = ref 0 in
+  iter t (fun n ->
+      if n.Node.online then begin
+        incr peers;
+        Hashtbl.replace distinct (Path.to_string n.Node.path) ();
+        Moments.add lengths (float_of_int (Path.length n.Node.path));
+        Moments.add storage (float_of_int (Node.key_count n))
+      end);
+  let peers = !peers in
   let partitions = Hashtbl.length distinct in
   {
     peers;
@@ -277,12 +316,9 @@ let integrity_errors t =
   (* A level may legitimately have no references when nobody populates the
      complement (empty key-space regions are never colonized). *)
   let complement_inhabited prefix =
-    Array.exists
-      (fun n -> n.Node.online && Path.is_prefix_of ~prefix n.Node.path)
-      t.nodes
+    exists t (fun n -> n.Node.online && Path.is_prefix_of ~prefix n.Node.path)
   in
-  Array.iter
-    (fun n ->
+  iter t (fun n ->
       if n.Node.online then
         for level = 0 to Path.length n.Node.path - 1 do
           let expected = Path.complement_at n.Node.path level in
@@ -299,6 +335,5 @@ let integrity_errors t =
                   && not (Path.is_prefix_of ~prefix:expected rp)
                 then incr errors)
               refs
-        done)
-    t.nodes;
+        done);
   !errors

@@ -7,13 +7,27 @@
     obtain their paths and routing tables is the job of the construction
     engines ([Pgrid_construction]) or the {!Builder}. *)
 
-type t = { nodes : Node.t array; rng : Pgrid_prng.Rng.t }
+(** Peer storage is an arena: a preallocated dense array indexed by peer
+    id, grown by doubling, so [node] is a plain array read and ids are
+    stable across growth. *)
+type t
 
 (** [create rng ~n] makes [n] nodes, all at the root path, ids [0..n-1]. *)
 val create : Pgrid_prng.Rng.t -> n:int -> t
 
+(** [add_peer t] appends a fresh node at the root path with the next
+    dense id ([size t] before the call) and returns it.  Existing ids
+    remain valid across the capacity doublings this triggers. *)
+val add_peer : t -> Node.t
+
 val size : t -> int
 val node : t -> Node.id -> Node.t
+
+(** [iter t f] applies [f] to every node in id order. *)
+val iter : t -> (Node.t -> unit) -> unit
+
+(** [exists t p] tests whether any node satisfies [p]. *)
+val exists : t -> (Node.t -> bool) -> bool
 
 (** [online_count t] is the number of online nodes. *)
 val online_count : t -> int

@@ -112,11 +112,14 @@ let validate = function
     window "kill" ~start ~stop;
     if count < 1 then invalid_arg "Fault: kill count must be >= 1"
 
+(* Guarded at the call boundary: the Gilbert–Elliott loop transitions per
+   node per dwell period, and an inert telemetry handle must not pay an
+   event-record allocation for each of them. *)
 let emit_on t fault node =
-  Telemetry.emit t.tel (Event.Fault_on { fault; node })
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Fault_on { fault; node })
 
 let emit_off t fault node =
-  Telemetry.emit t.tel (Event.Fault_off { fault; node })
+  if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Fault_off { fault; node })
 
 let active ~start ~stop now = now >= start && now < stop
 

@@ -8,6 +8,12 @@ type fate = { drop : bool; copies : int; delay_factor : float }
 
 let default_fate = { drop = false; copies = 1; delay_factor = 1. }
 
+(* Per-bucket traffic totals as a flat array indexed by bucket number,
+   grown geometrically: accounting a message is two array reads and a
+   write, where the Hashtbl it replaces allocated an option per lookup
+   and a bucket record per insert — once per simulated message. *)
+type buckets = { mutable bytes : float array; mutable used : int }
+
 type 'msg t = {
   sim : Sim.t;
   rng : Rng.t;
@@ -18,8 +24,8 @@ type 'msg t = {
   online : bool array;
   tel : Telemetry.t;
   mutable handler : int -> 'msg -> unit;
-  maintenance : (int, float) Hashtbl.t;  (** bucket index -> bytes *)
-  query : (int, float) Hashtbl.t;
+  maintenance : buckets;
+  query : buckets;
   mutable sent : int;
   mutable dropped : int;
   mutable fault : (src:int -> dst:int -> fate) option;
@@ -40,8 +46,8 @@ let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency 
     online = Array.make nodes true;
     tel = telemetry;
     handler = (fun _ _ -> ());
-    maintenance = Hashtbl.create 256;
-    query = Hashtbl.create 256;
+    maintenance = { bytes = Array.make 256 0.; used = 0 };
+    query = { bytes = Array.make 256 0.; used = 0 };
     sent = 0;
     dropped = 0;
     fault = None;
@@ -64,8 +70,13 @@ let traffic = function Maintenance -> Event.Maintenance | Query -> Event.Query
 let account ?(src = -1) ?(dst = -1) t ~bytes ~kind =
   let tbl = table t kind in
   let idx = int_of_float (Sim.now t.sim /. t.bucket) in
-  let existing = Option.value ~default:0. (Hashtbl.find_opt tbl idx) in
-  Hashtbl.replace tbl idx (existing +. float_of_int bytes);
+  if idx >= Array.length tbl.bytes then begin
+    let grown = Array.make (max (idx + 1) (2 * Array.length tbl.bytes)) 0. in
+    Array.blit tbl.bytes 0 grown 0 tbl.used;
+    tbl.bytes <- grown
+  end;
+  tbl.bytes.(idx) <- tbl.bytes.(idx) +. float_of_int bytes;
+  if idx >= tbl.used then tbl.used <- idx + 1;
   if Telemetry.active t.tel then
     Telemetry.emit t.tel (Event.Msg_send { src; dst; bytes; traffic = traffic kind })
 
@@ -109,11 +120,17 @@ let send t ~src ~dst ~bytes ~kind msg =
   end
 
 let bandwidth t kind =
+  (* Buckets that saw no traffic produce no series point, matching the
+     absent-entry behaviour of the hash table this replaces (every
+     accounted message carries a positive byte count). *)
   let tbl = table t kind in
-  Hashtbl.fold (fun idx bytes acc -> (idx, bytes) :: acc) tbl []
-  |> List.sort compare
-  |> List.map (fun (idx, bytes) ->
-         ((float_of_int idx +. 0.5) *. t.bucket, bytes /. t.bucket))
+  let acc = ref [] in
+  for idx = tbl.used - 1 downto 0 do
+    let bytes = tbl.bytes.(idx) in
+    if bytes > 0. then
+      acc := ((float_of_int idx +. 0.5) *. t.bucket, bytes /. t.bucket) :: !acc
+  done;
+  !acc
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped

@@ -29,3 +29,7 @@ val run : t -> unit
 
 (** [pending t] is the number of queued events. *)
 val pending : t -> int
+
+(** [processed t] is the number of events executed since {!create} — the
+    numerator of the events/second throughput the scale bench reports. *)
+val processed : t -> int

@@ -25,11 +25,12 @@ let test_node_store () =
   Node.insert n (key 0.3) "b";
   Node.insert n (key 0.7) "c";
   checki "distinct keys" 2 (Node.key_count n);
-  Alcotest.check (Alcotest.list Alcotest.string) "payloads accumulate" [ "b"; "a" ]
+  Alcotest.check (Alcotest.list Alcotest.string) "payloads accumulate sorted"
+    [ "a"; "b" ]
     (Node.lookup n (key 0.3));
   Node.insert n (key 0.3) "a";
   Alcotest.check (Alcotest.list Alcotest.string) "duplicate payload ignored"
-    [ "b"; "a" ]
+    [ "a"; "b" ]
     (Node.lookup n (key 0.3));
   checkb "insert_new reports duplicates" false (Node.insert_new n (key 0.3) "b");
   checkb "insert_new reports fresh payloads" true (Node.insert_new n (key 0.3) "d");
@@ -336,6 +337,30 @@ let test_trie_view () =
 (* The incremental zero-bit counter must track a from-scratch recount
    through any interleaving of inserts, removals (hand-overs), path
    extensions and drop_keys_outside. *)
+(* Arena growth: adding peers past the initial capacity doubles the
+   backing array; ids, node structs and their mutable state must survive
+   every doubling. *)
+let test_overlay_arena_growth () =
+  let rng = Pgrid_prng.Rng.create ~seed:7 in
+  let overlay = Overlay.create rng ~n:3 in
+  let original = Overlay.node overlay 0 in
+  Node.ensure_key original (key 0.25);
+  for _ = 1 to 100 do
+    let fresh = Overlay.add_peer overlay in
+    checki "dense id assigned" (Overlay.size overlay - 1) fresh.Node.id
+  done;
+  checki "grown size" 103 (Overlay.size overlay);
+  let ok = ref true in
+  for i = 0 to Overlay.size overlay - 1 do
+    if (Overlay.node overlay i).Node.id <> i then ok := false
+  done;
+  checkb "ids preserved across doublings" true !ok;
+  checkb "node structs survive growth" true (Overlay.node overlay 0 == original);
+  checkb "node state survives growth" true (Node.has_key (Overlay.node overlay 0) (key 0.25));
+  Alcotest.check_raises "ids beyond count rejected"
+    (Invalid_argument "Overlay.node: id out of range") (fun () ->
+      ignore (Overlay.node overlay 103))
+
 let qcheck_zero_counter =
   QCheck.Test.make ~name:"incremental zero-bit counter matches recount" ~count:100
     QCheck.small_signed_int (fun seed ->
@@ -404,6 +429,7 @@ let suite =
     Alcotest.test_case "search key_present" `Quick test_search_key_present_flag;
     Alcotest.test_case "integrity: empty complement" `Quick test_integrity_empty_complement_ok;
     Alcotest.test_case "trie view" `Quick test_trie_view;
+    Alcotest.test_case "overlay arena growth" `Quick test_overlay_arena_growth;
     QCheck_alcotest.to_alcotest qcheck_zero_counter;
     QCheck_alcotest.to_alcotest qcheck_builder_integrity;
   ]

@@ -379,6 +379,74 @@ let qcheck_equal_time_fifo =
       in
       List.rev !fired = expected)
 
+(* 100k mixed schedule_at / pop interleavings: coarse integer times force
+   heavy timestamp collisions, and interleaved [run_until] calls pop from
+   the heap while it is still being filled.  Every event must fire in
+   lexicographic (time, scheduling-sequence) order and none may be lost —
+   the invariant the parallel-array heap must uphold through grow,
+   sift_up and sift_down at realistic scale. *)
+let qcheck_heap_order_at_scale =
+  QCheck.Test.make ~name:"100k schedule_at/pop interleavings fire in (time, seq) order"
+    ~count:3 QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let sim = Sim.create () in
+      let fired = ref [] in
+      let scheduled = ref 0 in
+      for _ = 1 to 100_000 do
+        if Rng.int rng 10 < 8 then begin
+          let id = !scheduled in
+          incr scheduled;
+          let time = Sim.now sim +. float_of_int (Rng.int rng 32) in
+          Sim.schedule_at sim ~time (fun () -> fired := (Sim.now sim, id) :: !fired)
+        end
+        else Sim.run_until sim ~time:(Sim.now sim +. 1.5)
+      done;
+      Sim.run sim;
+      let events = List.rev !fired in
+      let rec ordered = function
+        | (t1, s1) :: ((t2, s2) :: _ as rest) ->
+          (t1 < t2 || (t1 = t2 && s1 < s2)) && ordered rest
+        | _ -> true
+      in
+      List.length events = !scheduled
+      && Sim.processed sim = !scheduled
+      && ordered events)
+
+(* Equal-timestamp FIFO at large size: [qcheck_equal_time_fifo] above
+   checks the invariant on small heaps; this drives 100k ties through
+   the grown heap, where sift_down takes deep paths. *)
+let qcheck_equal_time_fifo_large =
+  QCheck.Test.make ~name:"equal-timestamp FIFO holds at 100k events" ~count:3
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let sim = Sim.create () in
+      let n = 100_000 in
+      let fired = ref [] in
+      (* A handful of distinct times, so each carries ~tens of thousands
+         of tied events. *)
+      for i = 0 to n - 1 do
+        Sim.schedule sim
+          ~delay:(float_of_int (Rng.int rng 4))
+          (fun () -> fired := i :: !fired)
+      done;
+      Sim.run sim;
+      let events = Array.of_list (List.rev !fired) in
+      let by_time = Hashtbl.create 4 in
+      (* Tied events must appear in scheduling order: within the fire
+         sequence, each event's index must exceed the last one seen for
+         its timestamp.  Timestamps can be recovered from the schedule:
+         event [i]'s delay was the [i]-th draw. *)
+      let rng' = Rng.create ~seed in
+      let delays = Array.init n (fun _ -> Rng.int rng' 4) in
+      Array.length events = n
+      && Array.for_all
+           (fun i ->
+             let d = delays.(i) in
+             let last = Option.value ~default:(-1) (Hashtbl.find_opt by_time d) in
+             Hashtbl.replace by_time d i;
+             i > last)
+           events)
+
 (* --- Churn properties ---------------------------------------------------- *)
 
 (* Replay a churn installation and collect, per node, the timestamped
@@ -515,6 +583,8 @@ let suite =
     Alcotest.test_case "vote parameter rule" `Quick test_vote_derive_d_max;
     QCheck_alcotest.to_alcotest qcheck_run_until_boundary;
     QCheck_alcotest.to_alcotest qcheck_equal_time_fifo;
+    QCheck_alcotest.to_alcotest qcheck_heap_order_at_scale;
+    QCheck_alcotest.to_alcotest qcheck_equal_time_fifo_large;
     QCheck_alcotest.to_alcotest qcheck_churn_ends_online;
     QCheck_alcotest.to_alcotest qcheck_churn_offline_durations;
     QCheck_alcotest.to_alcotest qcheck_churn_cycle_periods;
