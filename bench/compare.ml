@@ -197,7 +197,19 @@ let () =
   let old_dirs = collect_directions old_doc and new_dirs = collect_directions new_doc in
   let direction name =
     match (List.assoc_opt name new_dirs, List.assoc_opt name old_dirs) with
-    | Some d, _ | None, Some d -> d
+    | Some d, Some od ->
+      (* A silent flip would invert what counts as a regression for this
+         metric — keep preferring the candidate (it reflects the current
+         bench) but say so. *)
+      if d <> od then
+        Printf.eprintf
+          "compare: warning: reports disagree on direction of %S (baseline \
+           %s, candidate %s); using the candidate's\n"
+          name
+          (if od then "up" else "down")
+          (if d then "up" else "down");
+      d
+    | Some d, None | None, Some d -> d
     | None, None -> metric_higher_better name
   in
   let values =

@@ -25,6 +25,8 @@ let micro_quota_ms = ref 500.
 let survival_horizon = ref 7200.
 let balance_horizon = ref 3600.
 let txn_horizon = ref 3600.
+let overload_horizon = ref 1440.
+let overload_peers = ref 10_000
 
 let banner title =
   let line = String.make 72 '=' in
@@ -156,6 +158,24 @@ let txn _reps =
   let t = Figures.txn ~horizon:!txn_horizon ~seed () in
   let columns, rows = Figures.txn_table t in
   Table.print ~title:"crash-severity sweep" ~columns ~rows
+
+let overload _reps =
+  banner "Overload -- Zipf-1.1 query storm, protection on vs off";
+  note
+    "offered load ramps past the hot partitions' aggregate service \
+     capacity and back; every peer drains a bounded queue at a fixed rate";
+  note
+    "expected: the protected arm (shedding + breakers + hedging) regains \
+     >= 90% of pre-ramp goodput after the ramp; the unprotected arm stays \
+     depressed (metastable collapse)";
+  let o =
+    Figures.overload ~peers:!overload_peers ~horizon:!overload_horizon ~seed ()
+  in
+  let columns, rows = Figures.overload_table o in
+  Table.print ~title:"offered load, goodput, sheds and backlog over time" ~columns
+    ~rows;
+  let columns, rows = Figures.overload_summary o in
+  Table.print ~title:"overload summary" ~columns ~rows
 
 let ablation_seq _reps =
   banner "Ablation X1 -- sequential joins vs parallel construction (Sec 4.3)";
@@ -313,6 +333,7 @@ let targets =
     ("survival", survival);
     ("balance", balance);
     ("txn", txn);
+    ("overload", overload);
     ("scale", scale);
     ("micro", micro);
   ]
@@ -432,7 +453,7 @@ let balance_values () =
         (tag ^ "/insert_failures", float_of_int r.insert_failures);
       ]
       @ List.concat_map
-          (fun p ->
+          (fun (p : balance_point) ->
             let at name v = (Printf.sprintf "%s/%s@%.0f" tag name p.t, v) in
             [
               at "max_load" (float_of_int p.max_load);
@@ -444,6 +465,77 @@ let balance_values () =
   (("bound/max_load", Figures.balance_slack *. float_of_int b.d_max)
    :: arm "on" b.on)
   @ arm "off" b.off
+
+(* The overload storm flattens to per-arm aggregates plus the
+   per-window goodput / shed / backlog series, every metric carrying its
+   explicit improvement direction.  The cross-arm [protection/*] values
+   are what the CI gate reads: the protected arm's recovery and the gap
+   it opens over the unprotected arm.  Memoized like the other
+   experiments. *)
+let overload_values () =
+  let open Figures in
+  let o =
+    Figures.overload ~peers:!overload_peers ~horizon:!overload_horizon ~seed ()
+  in
+  let arm tag (r : overload_run option) =
+    match r with
+    | None -> []
+    | Some r ->
+      let v name value dir = (tag ^ "/" ^ name, value, dir) in
+      let vi name value dir = v name (float_of_int value) dir in
+      let s = r.storm_stats in
+      [
+        v "pre_goodput" r.pre_goodput Report.Up;
+        v "post_goodput" r.post_goodput Report.Up;
+        v "recovery_ratio" r.recovery_ratio Report.Up;
+        v "recovered" (if r.recovered then 1. else 0.) Report.Up;
+        v "time_to_recover" r.time_to_recover Report.Down;
+        v "p50_completion" r.p50_completion Report.Down;
+        v "p99_completion" r.p99_completion Report.Down;
+        v "shed_ratio" r.shed_ratio Report.Down;
+        vi "messages_sent" r.messages_sent Report.Down;
+        vi "messages_dropped" r.messages_dropped Report.Down;
+        vi "issued" s.Pgrid_query.Storm.issued Report.Up;
+        vi "succeeded" s.Pgrid_query.Storm.succeeded Report.Up;
+        vi "failed" s.Pgrid_query.Storm.failed Report.Down;
+        vi "timeouts" s.Pgrid_query.Storm.timeouts Report.Down;
+        vi "retries" s.Pgrid_query.Storm.retries Report.Down;
+        vi "give_ups" s.Pgrid_query.Storm.give_ups Report.Down;
+        vi "hedges" s.Pgrid_query.Storm.hedges Report.Down;
+        vi "hedge_wins" s.Pgrid_query.Storm.hedge_wins Report.Up;
+        vi "breaker_opens" s.Pgrid_query.Storm.breaker_opens Report.Down;
+        vi "breaker_skips" s.Pgrid_query.Storm.breaker_skips Report.Down;
+        vi "sheds" s.Pgrid_query.Storm.sheds Report.Down;
+        vi "sheds_query" s.Pgrid_query.Storm.sheds_query Report.Down;
+        vi "sheds_maintenance" s.Pgrid_query.Storm.sheds_maintenance Report.Down;
+        vi "queue_peak" s.Pgrid_query.Storm.queue_peak Report.Down;
+      ]
+      @ List.concat_map
+          (fun (p : overload_point) ->
+            let at name value dir =
+              (Printf.sprintf "%s/%s@%.0f" tag name p.t, value, dir)
+            in
+            [
+              at "goodput" p.goodput Report.Up;
+              at "shed" (float_of_int p.shed) Report.Down;
+              at "backlog" (float_of_int p.backlog) Report.Down;
+            ])
+          r.points
+  in
+  let protection =
+    match (o.on, o.off) with
+    | Some on, Some off ->
+      [
+        ( "protection/recovery_gain",
+          on.recovery_ratio -. off.recovery_ratio,
+          Report.Up );
+        ( "protection/p99_gain",
+          off.p99_completion -. on.p99_completion,
+          Report.Up );
+      ]
+    | _ -> []
+  in
+  arm "on" o.on @ arm "off" o.off @ protection
 
 (* The transaction sweep flattens to one named value per (severity,
    metric) cell, every metric carrying its explicit improvement
@@ -486,6 +578,7 @@ let values_of name reps =
   | "survival" -> auto (survival_values ())
   | "balance" -> auto (balance_values ())
   | "txn" -> txn_values ()
+  | "overload" -> overload_values ()
   | "scale" -> Scale.values ~seed
   | "fig6a" -> auto (fig6_values (Figures.fig6a ?reps ~seed ()))
   | "fig6b" -> auto (fig6_values (Figures.fig6b ?reps ~seed ()))
@@ -537,8 +630,14 @@ let split_flags argv =
       | Some h when h > 0. ->
         survival_horizon := h;
         balance_horizon := h;
-        txn_horizon := h
+        txn_horizon := h;
+        overload_horizon := h
       | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
+      go acc rest
+    | "--overload-peers" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some p when p >= 64 -> overload_peers := p
+      | _ -> usage_error "--overload-peers expects a peer count >= 64, got %S" n);
       go acc rest
     | "--scale-peers" :: spec :: rest ->
       let sizes =
@@ -555,7 +654,9 @@ let split_flags argv =
       if sizes = [] then usage_error "--scale-peers expects at least one size";
       Scale.sizes := sizes;
       go acc rest
-    | ("--trace" | "--json" | "--quota" | "--horizon" | "--scale-peers") :: [] ->
+    | ("--trace" | "--json" | "--quota" | "--horizon" | "--overload-peers"
+      | "--scale-peers")
+      :: [] ->
       usage_error "flag is missing its argument"
     | a :: rest -> go { acc with positional = a :: acc.positional } rest
   in

@@ -257,6 +257,16 @@ let balance_arg =
            daemon with its default period unless $(b,--maint-period) sets \
            one (see DESIGN.md section 11).")
 
+let overload_arg =
+  Arg.(
+    value & flag
+    & info [ "overload" ]
+        ~doc:
+          "Enable overload protection: bounded per-peer service queues with \
+           load shedding, per-(origin, target) circuit breakers on the \
+           hardened tracker (implies $(b,--robust) behavior), and shed / \
+           breaker accounting in the summary (see DESIGN.md section 14).")
+
 let txn_arg =
   Arg.(
     value & flag
@@ -268,7 +278,7 @@ let txn_arg =
            logs replayed after crashes (see DESIGN.md section 12).")
 
 let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
-    txn trace metrics =
+    txn overload trace metrics =
   with_telemetry ~trace ~metrics @@ fun telemetry ->
   let rng = Rng.create ~seed in
   let base = Net_engine.default_params ~peers in
@@ -302,6 +312,9 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
       Net_engine.fault_plan;
       fault_seed = seed + 7;
       robust = (if robust then Some Net_engine.default_robust else None);
+      service = (if overload then Some Pgrid_simnet.Net.default_overload else None);
+      breaker =
+        (if overload then Some Pgrid_simnet.Breaker.default_config else None);
       maint;
       txn = (if txn then Some Net_engine.default_txn_workload else None);
     }
@@ -311,12 +324,24 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
   let rs = o.Net_engine.robust_stats in
   let s = o.Net_engine.stats in
   let hardened_rows =
-    if robust || fault_plan <> [] then
+    if robust || fault_plan <> [] || overload then
       [
         [ "timeouts / retries";
           Printf.sprintf "%d / %d" rs.Net_engine.timeouts rs.Net_engine.retries ];
         [ "give-ups / evictions";
           Printf.sprintf "%d / %d" rs.Net_engine.give_ups rs.Net_engine.evictions ];
+      ]
+    else []
+  in
+  let overload_rows =
+    if overload then
+      [
+        [ "messages shed / queue peak";
+          Printf.sprintf "%d / %d" o.Net_engine.messages_shed
+            o.Net_engine.queue_peak ];
+        [ "breaker opens / skips";
+          Printf.sprintf "%d / %d" rs.Net_engine.breaker_opens
+            rs.Net_engine.breaker_skips ];
       ]
     else []
   in
@@ -386,7 +411,7 @@ let planetlab seed peers spec fault_plan robust maint_period no_daemon balance
          [ "mean query hops"; Table.fmt_float qs.Net_engine.mean_hops ];
          [ "mean query latency (s)"; Table.fmt_float qs.Net_engine.mean_latency ];
        ]
-      @ hardened_rows @ fault_rows @ maint_rows @ txn_rows);
+      @ hardened_rows @ overload_rows @ fault_rows @ maint_rows @ txn_rows);
   Series.print
     (Series.figure ~title:"online peers" ~x_label:"minutes" ~y_label:"peers"
        [ Series.make "peers" (List.map (fun (t, c) -> (t, float_of_int c)) o.Net_engine.online_series) ])
@@ -396,7 +421,7 @@ let planetlab_cmd =
   Cmd.v (Cmd.info "planetlab" ~doc)
     Term.(const planetlab $ seed_arg $ peers_arg 296 $ distribution_arg
           $ fault_plan_arg $ robust_arg $ maint_period_arg $ no_daemon_arg
-          $ balance_arg $ txn_arg $ trace_arg $ metrics_arg)
+          $ balance_arg $ txn_arg $ overload_arg $ trace_arg $ metrics_arg)
 
 (* --- reference ------------------------------------------------------------------ *)
 
@@ -433,8 +458,9 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience survival balance txn ablation-seq ablation-cost \
-              ablation-cor ablation-pht ablation-merge ablation-maintain.")
+              table1 resilience survival balance txn overload ablation-seq \
+              ablation-cost ablation-cor ablation-pht ablation-merge \
+              ablation-maintain.")
 
 let figure seed name reps trace metrics =
   with_telemetry ~trace ~metrics @@ fun _telemetry ->
@@ -468,6 +494,11 @@ let figure seed name reps trace metrics =
     print_table "balance summary" (Figures.balance_summary b)
   | "txn" ->
     print_table "crash-severity sweep" (Figures.txn_table (Figures.txn ~seed ()))
+  | "overload" ->
+    let o = Figures.overload ~seed () in
+    print_table "offered load, goodput, sheds and backlog over time"
+      (Figures.overload_table o);
+    print_table "overload summary" (Figures.overload_summary o)
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

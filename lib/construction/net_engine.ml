@@ -16,6 +16,7 @@ module Latency = Pgrid_simnet.Latency
 module Unstructured = Pgrid_simnet.Unstructured
 module Churn = Pgrid_simnet.Churn
 module Fault = Pgrid_simnet.Fault
+module Breaker = Pgrid_simnet.Breaker
 module Telemetry = Pgrid_telemetry.Telemetry
 module Event = Pgrid_telemetry.Event
 
@@ -69,6 +70,8 @@ type robust_stats = {
   retries : int;
   give_ups : int;
   evictions : int;
+  breaker_opens : int;
+  breaker_skips : int;
 }
 
 (* Document-indexing workload for the transaction layer: multi-key
@@ -118,6 +121,8 @@ type params = {
   fault_seed : int;
   maint : Maintenance.daemon_config option;
   txn : txn_workload option;
+  service : Net.overload_config option;
+  breaker : Breaker.config option;
 }
 
 let default_params ~peers =
@@ -148,6 +153,8 @@ let default_params ~peers =
     fault_seed = 0;
     maint = None;
     txn = None;
+    service = None;
+    breaker = None;
   }
 
 type query_stats = {
@@ -171,6 +178,8 @@ type outcome = {
   counters : Engine.counters;
   messages_sent : int;
   messages_dropped : int;
+  messages_shed : int;
+  queue_peak : int;
   robust_stats : robust_stats;
   fault_stats : Fault.stats option;
   maint_stats : Maintenance.daemon_stats option;
@@ -190,8 +199,9 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   (* The network carries unit messages: interactions are executed on
      shared state, so only accounting and timing flow through it. *)
   let net : wire Net.t =
-    Net.create ~telemetry:tel sim (Rng.split rng) ~nodes:params.peers
-      ~latency:params.latency ~loss:params.loss ~bucket:params.bucket
+    Net.create ~telemetry:tel ?service:params.service sim (Rng.split rng)
+      ~nodes:params.peers ~latency:params.latency ~loss:params.loss
+      ~bucket:params.bucket
   in
   let overlay = Overlay.create (Rng.split rng) ~n:params.peers in
   let assignments =
@@ -252,13 +262,21 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
   (* Anything below that touches RNG state is gated: a legacy run (no
      robust config, no fault plan) must consume exactly the same draw
      sequence as before this mode existed. *)
-  let hardened = params.robust <> None || params.fault_plan <> [] in
+  let hardened =
+    params.robust <> None || params.fault_plan <> [] || params.breaker <> None
+  in
   let rcfg = Option.value params.robust ~default:default_robust in
   let robust_rng = if hardened then Some (Rng.split rng) else None in
+  let breaker =
+    Option.map
+      (fun cfg -> Breaker.create ~telemetry:tel cfg ~now:(fun () -> Sim.now sim))
+      params.breaker
+  in
   let timeouts = ref 0
   and retries = ref 0
   and give_ups = ref 0
-  and evictions = ref 0 in
+  and evictions = ref 0
+  and breaker_skips = ref 0 in
   (* Filled in once the transaction manager (if any) is created below;
      the fault hooks read it at crash time, well after setup. *)
   let txn_mgr = ref None in
@@ -505,12 +523,21 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
           (* An eviction may just have refilled this level: take one
              fresh snapshot before declaring the dead end. *)
           try_refs cur level budget ~refreshed:true (snapshot cur level)
-      | target :: rest -> attempt cur level budget ~refreshed rest target 0
+      | target :: rest -> (
+        match breaker with
+        | Some br when not (Breaker.admits br ~origin:cur ~target) ->
+          (* The link's breaker is open: fail over to the next
+             reference immediately instead of hammering a peer that
+             keeps timing out. *)
+          incr breaker_skips;
+          try_refs cur level budget ~refreshed rest
+        | _ -> attempt cur level budget ~refreshed rest target 0)
     and attempt cur level budget ~refreshed rest target k =
       let rid = !next_rid in
       incr next_rid;
       Hashtbl.replace pending rid (fun () ->
           Hashtbl.remove fail_counts (cur, target);
+          Option.iter (fun br -> Breaker.record_success br ~origin:cur ~target) breaker;
           incr hops;
           if Telemetry.active tel then
             Telemetry.emit tel (Event.Query_hop { qid; src = cur; dst = target });
@@ -526,6 +553,9 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
           if Hashtbl.mem pending rid then begin
             Hashtbl.remove pending rid;
             incr timeouts;
+            Option.iter
+              (fun br -> Breaker.record_failure br ~origin:cur ~target)
+              breaker;
             if Telemetry.active tel then
               Telemetry.emit tel
                 (Event.Timeout { rid; src = cur; dst = target; attempt = k });
@@ -750,12 +780,16 @@ let run ?(telemetry = Pgrid_telemetry.Global.get ()) rng params ~spec =
     counters = Engine.counters eng;
     messages_sent = Net.messages_sent net;
     messages_dropped = Net.messages_dropped net;
+    messages_shed = Net.messages_shed net;
+    queue_peak = Net.queue_peak net;
     robust_stats =
       {
         timeouts = !timeouts;
         retries = !retries;
         give_ups = !give_ups;
         evictions = !evictions;
+        breaker_opens = (match breaker with None -> 0 | Some br -> Breaker.opens br);
+        breaker_skips = !breaker_skips;
       };
     fault_stats = Option.map Fault.stats fault;
     maint_stats = !maint_stats;

@@ -49,6 +49,8 @@ type robust_stats = {
   retries : int;
   give_ups : int;  (** requests abandoned (retry budget or eviction) *)
   evictions : int;  (** references evicted by correction-on-use *)
+  breaker_opens : int;  (** circuit-breaker open transitions *)
+  breaker_skips : int;  (** hop attempts refused by an open breaker *)
 }
 
 (** Document-indexing workload for the transaction layer
@@ -117,6 +119,19 @@ type params = {
           maintenance daemon is also installed its health monitor audits
           settled documents for torn writes.  [None] (the default)
           leaves the run bit-identical to pre-transaction builds. *)
+  service : Pgrid_simnet.Net.overload_config option;
+      (** [Some]: bounded per-peer service queues with load shedding
+          ({!Pgrid_simnet.Net.overload_config}).  [None] (the default)
+          keeps delivery capacity-unbounded and the run bit-identical
+          to pre-overload builds. *)
+  breaker : Pgrid_simnet.Breaker.config option;
+      (** [Some]: per-(origin, target) circuit breakers on the hardened
+          query path — [k] consecutive timeouts open the link, retries
+          fail over to sibling references until a half-open probe
+          succeeds.  Implies the hardened tracker (with
+          {!default_robust} when [robust] is [None]).  [None] (the
+          default) leaves the tracker byte-identical to PR-3
+          behaviour. *)
 }
 
 (** Paper-like defaults for ~296 peers. *)
@@ -145,6 +160,9 @@ type outcome = {
   counters : Engine.counters;
   messages_sent : int;
   messages_dropped : int;
+  messages_shed : int;
+      (** shed by bounded service queues; 0 unless [params.service] *)
+  queue_peak : int;  (** deepest service queue observed; 0 without [service] *)
   robust_stats : robust_stats;  (** all zero on legacy runs *)
   fault_stats : Pgrid_simnet.Fault.stats option;
       (** [Some] iff a fault plan was installed *)

@@ -1482,3 +1482,328 @@ let txn_table o =
       o.points
   in
   (columns, rows)
+
+(* --- overload: Zipf query storm, admission control on vs off ------------- *)
+
+module Storm = Pgrid_query.Storm
+module Breaker = Pgrid_simnet.Breaker
+module Sample = Pgrid_prng.Sample
+
+type overload_point = {
+  t : float;  (* window start, seconds *)
+  offered : float;  (* queries issued per second *)
+  goodput : float;  (* successful completions per second *)
+  shed : int;  (* service-queue sheds during the window *)
+  backlog : int;  (* messages queued network-wide at window end *)
+  in_flight : int;  (* client requests awaiting reply or timeout *)
+}
+
+type overload_run = {
+  protected : bool;
+  points : overload_point list;
+  pre_goodput : float;
+  post_goodput : float;
+  recovery_ratio : float;
+  recovered : bool;
+  time_to_recover : float;
+  p50_completion : float;
+  p99_completion : float;
+  shed_ratio : float;
+  messages_sent : int;
+  messages_dropped : int;
+  storm_stats : Storm.stats;
+}
+
+let overload_service_rate = 2.
+
+(* One arm: build the overlay, then drive a Zipf-1.1 lookup storm through
+   the simulated network while every peer services messages at a bounded
+   rate.  Offered load ramps [warm -> storm -> recovery]; under the skew
+   the binding constraint is the service capacity of the hottest
+   partitions' replica sets, which the storm plateau exceeds severalfold.
+   The environment (arrival times, key choices, origins) comes from its
+   own seeded streams, so both arms see the identical storm; only the
+   protection differs.  The unprotected arm has effectively unbounded
+   queues, no breakers and no hedging: queues on hot replicas grow
+   through the plateau and keep absorbing service slots long after the
+   ramp ends, while client retries amplify the residual load - goodput
+   stays depressed (metastable collapse).  The protected arm sheds at
+   arrival, breaks circuits to saturated replicas and hedges slow hops,
+   so it returns to the pre-ramp baseline within a few windows. *)
+let overload_run_one ~peers ~horizon ~base_rate ~peak_rate ~protected ~seed =
+  let rng = Rng.create ~seed in
+  let built = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = built.Round.overlay in
+  let keys =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  (* Decorrelate popularity rank from key-space position: without the
+     shuffle the sorted hot head would pile into one partition. *)
+  Rng.shuffle (Rng.create ~seed:(seed + 1)) keys;
+  let zipf = Sample.Zipf.create ~n:(Array.length keys) ~s:1.1 in
+  let sim = Sim.create () in
+  let tel = Pgrid_telemetry.Global.get () in
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
+  let service =
+    if protected then
+      Some
+        {
+          Net.service_rate = overload_service_rate;
+          queue_capacity = 16;
+          (* A query admitted behind more than 6 others waits > 3 s for
+             service — past most of its 4 s timeout, so it would only
+             burn a slot on an answer nobody is waiting for.  Shed it
+             instead; maintenance tolerates the full queue. *)
+          query_threshold = 6;
+        }
+    else
+      (* Same service capacity, but queues deep enough to never shed:
+         saturation turns into unbounded backlog instead. *)
+      Some
+        {
+          Net.service_rate = overload_service_rate;
+          queue_capacity = max_int / 2;
+          query_threshold = max_int / 2;
+        }
+  in
+  let net : Storm.wire Net.t =
+    Net.create ~telemetry:tel ?service sim
+      (Rng.create ~seed:(seed + 2))
+      ~nodes:peers ~latency:Latency.planetlab ~loss:0.02 ~bucket:60.
+  in
+  let cfg =
+    {
+      Storm.default_config with
+      hedge_after = (if protected then Some 2. else None);
+      breaker = (if protected then Some Breaker.default_config else None);
+    }
+  in
+  let storm =
+    Storm.create ~telemetry:tel sim (Rng.create ~seed:(seed + 3)) overlay net cfg
+  in
+  let warm_end = horizon /. 6. and storm_end = horizon /. 2. in
+  let rate now = if now >= warm_end && now < storm_end then peak_rate else base_rate in
+  (* Arrival process: Poisson at the phase rate, key by Zipf popularity,
+     origin uniform - all from [arng], so the two arms receive the very
+     same storm. *)
+  let arng = Rng.create ~seed:(seed + 4) in
+  let rec arrivals () =
+    let now = Sim.now sim in
+    if now < horizon then begin
+      let key = keys.(Sample.Zipf.draw zipf arng - 1) in
+      let origin = Rng.int arng peers in
+      Storm.issue storm ~origin ~key;
+      Sim.schedule sim ~delay:(Sample.exponential arng ~rate:(rate now)) arrivals
+    end
+  in
+  Sim.schedule_at sim ~time:(Sample.exponential arng ~rate:base_rate) arrivals;
+  (* Light background maintenance traffic (a heartbeat per peer per
+     minute): under the protected arm's priority policy it keeps flowing
+     while queries shed first. *)
+  let hrng = Rng.create ~seed:(seed + 5) in
+  Array.iteri
+    (fun i _ ->
+      let rec beat () =
+        if Sim.now sim < horizon then begin
+          let dst = Rng.int hrng peers in
+          if dst <> i then Storm.heartbeat storm ~src:i ~dst;
+          Sim.schedule sim ~delay:60. beat
+        end
+      in
+      Sim.schedule_at sim ~time:(Sample.uniform hrng ~lo:0. ~hi:60.) beat)
+    (Array.make peers ());
+  (* Windowed sampler: deltas of the storm counters per [horizon/24]. *)
+  let window = horizon /. 24. in
+  let points = ref [] in
+  let last = ref (0, 0, 0) in
+  for k = 1 to 24 do
+    let at = float_of_int k *. window in
+    Sim.schedule_at sim ~time:at (fun () ->
+        let s = Storm.stats storm in
+        let pi, ps, psh = !last in
+        last := (s.Storm.issued, s.Storm.succeeded, s.Storm.sheds);
+        points :=
+          {
+            t = at -. window;
+            offered = float_of_int (s.Storm.issued - pi) /. window;
+            goodput = float_of_int (s.Storm.succeeded - ps) /. window;
+            shed = s.Storm.sheds - psh;
+            backlog = Net.backlog net;
+            in_flight = Storm.in_flight storm;
+          }
+          :: !points)
+  done;
+  Sim.run sim;
+  let points = List.rev !points in
+  let mean_goodput filter =
+    let sel = List.filter filter points in
+    List.fold_left (fun s p -> s +. p.goodput) 0. sel
+    /. float_of_int (max 1 (List.length sel))
+  in
+  (* Baseline: the settled half of the warm phase. Recovery: the final
+     quarter of the run, half the recovery phase after the ramp ends. *)
+  let pre_goodput =
+    mean_goodput (fun p -> p.t >= warm_end /. 2. && p.t < warm_end)
+  in
+  let post_goodput = mean_goodput (fun p -> p.t >= 0.75 *. horizon) in
+  let recovery_ratio = if pre_goodput > 0. then post_goodput /. pre_goodput else 0. in
+  let time_to_recover, recovered =
+    (* Sustained recovery: the first post-ramp window from which goodput
+       never again falls below 90% of the baseline.  A one-window spike
+       does not count — right after the ramp ends the unprotected arm
+       still completes a burst of long-queued lookups before sliding
+       back into its backlog, and that blip must not read as recovery. *)
+    let healthy p = p.goodput >= 0.9 *. pre_goodput in
+    let post = List.filter (fun p -> p.t >= storm_end) points in
+    let rec scan = function
+      | [] -> (horizon -. storm_end, false)
+      | p :: rest ->
+        if healthy p && List.for_all healthy rest then
+          (p.t +. window -. storm_end, true)
+        else scan rest
+    in
+    scan post
+  in
+  let p50_completion, p99_completion =
+    let lat =
+      List.filter_map
+        (fun c ->
+          if c.Storm.success then Some (c.Storm.finished_at -. c.Storm.issued_at)
+          else None)
+        (Storm.completions storm)
+      |> Array.of_list
+    in
+    Array.sort compare lat;
+    let pick q =
+      if Array.length lat = 0 then 0.
+      else lat.(min (Array.length lat - 1)
+                 (int_of_float (q *. float_of_int (Array.length lat))))
+    in
+    (pick 0.50, pick 0.99)
+  in
+  let stats = Storm.stats storm in
+  {
+    protected;
+    points;
+    pre_goodput;
+    post_goodput;
+    recovery_ratio;
+    recovered;
+    time_to_recover;
+    p50_completion;
+    p99_completion;
+    shed_ratio =
+      float_of_int stats.Storm.sheds
+      /. float_of_int (max 1 (Net.messages_sent net));
+    messages_sent = Net.messages_sent net;
+    messages_dropped = Net.messages_dropped net;
+    storm_stats = stats;
+  }
+
+type overload = {
+  peers : int;
+  horizon : float;
+  base_rate : float;
+  peak_rate : float;
+  on : overload_run option;
+  off : overload_run option;
+}
+
+let overload_cache :
+    (int * float * float * float * bool * int, overload_run) Hashtbl.t =
+  Hashtbl.create 4
+
+let overload_one ~peers ~horizon ~base_rate ~peak_rate ~protected ~seed =
+  let key = (peers, horizon, base_rate, peak_rate, protected, seed) in
+  match Hashtbl.find_opt overload_cache key with
+  | Some r -> r
+  | None ->
+    let r = overload_run_one ~peers ~horizon ~base_rate ~peak_rate ~protected ~seed in
+    Hashtbl.add overload_cache key r;
+    r
+
+let overload ?(peers = 10_000) ?(horizon = 1440.) ?(base_rate = 30.)
+    ?(peak_rate = 300.) ?(which = `Both) ~seed () =
+  if peers < 8 then invalid_arg "Figures.overload: need at least 8 peers";
+  if horizon <= 0. then invalid_arg "Figures.overload: horizon must be positive";
+  if base_rate <= 0. || peak_rate <= 0. then
+    invalid_arg "Figures.overload: rates must be positive";
+  let arm protected =
+    overload_one ~peers ~horizon ~base_rate ~peak_rate ~protected ~seed
+  in
+  {
+    peers;
+    horizon;
+    base_rate;
+    peak_rate;
+    on = (match which with `Both | `On -> Some (arm true) | `Off -> None);
+    off = (match which with `Both | `Off -> Some (arm false) | `On -> None);
+  }
+
+let overload_table o =
+  let columns =
+    [ "minutes"; "offered/s"; "goodput on"; "goodput off"; "shed on"; "shed off";
+      "backlog on"; "backlog off" ]
+  in
+  let pts r = match r with Some x -> x.points | None -> [] in
+  let head = function p :: _ -> Some p | [] -> None in
+  let tail = function _ :: r -> r | [] -> [] in
+  let cell f = function Some p -> f p | None -> "-" in
+  let rec merge on off acc =
+    match (on, off) with
+    | [], [] -> List.rev acc
+    | _ ->
+      let p = match (on, off) with p :: _, _ | [], p :: _ -> Some p | _ -> None in
+      let t = match p with Some p -> p.t | None -> 0. in
+      let row =
+        [
+          Printf.sprintf "%.0f" (t /. 60.);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.offered) p;
+          cell (fun p -> Table.fmt_float ~decimals:1 p.goodput) (head on);
+          cell (fun p -> Table.fmt_float ~decimals:1 p.goodput) (head off);
+          cell (fun p -> string_of_int p.shed) (head on);
+          cell (fun p -> string_of_int p.shed) (head off);
+          cell (fun p -> string_of_int p.backlog) (head on);
+          cell (fun p -> string_of_int p.backlog) (head off);
+        ]
+      in
+      merge (tail on) (tail off) (row :: acc)
+  in
+  (columns, merge (pts o.on) (pts o.off) [])
+
+let overload_summary o =
+  let columns = [ "statistic"; "protected"; "unprotected" ] in
+  let v f = function Some r -> f r | None -> "-" in
+  let both f = [ v f o.on; v f o.off ] in
+  let rows =
+    [
+      "pre-ramp goodput/s" :: both (fun r -> Table.fmt_float ~decimals:1 r.pre_goodput);
+      "post-ramp goodput/s" :: both (fun r -> Table.fmt_float ~decimals:1 r.post_goodput);
+      "recovery ratio" :: both (fun r -> Table.fmt_float ~decimals:3 r.recovery_ratio);
+      "time to recover (s)"
+      :: both (fun r ->
+             if r.recovered then Table.fmt_float ~decimals:0 r.time_to_recover
+             else Printf.sprintf ">%.0f" r.time_to_recover);
+      "p50 completion (s)" :: both (fun r -> Table.fmt_float ~decimals:2 r.p50_completion);
+      "p99 completion (s)" :: both (fun r -> Table.fmt_float ~decimals:2 r.p99_completion);
+      "shed ratio" :: both (fun r -> Table.fmt_float ~decimals:4 r.shed_ratio);
+      "queries issued" :: both (fun r -> string_of_int r.storm_stats.Storm.issued);
+      "succeeded" :: both (fun r -> string_of_int r.storm_stats.Storm.succeeded);
+      "timeouts" :: both (fun r -> string_of_int r.storm_stats.Storm.timeouts);
+      "retries" :: both (fun r -> string_of_int r.storm_stats.Storm.retries);
+      "sheds (query)" :: both (fun r -> string_of_int r.storm_stats.Storm.sheds_query);
+      "sheds (maintenance)"
+      :: both (fun r -> string_of_int r.storm_stats.Storm.sheds_maintenance);
+      "breaker opens" :: both (fun r -> string_of_int r.storm_stats.Storm.breaker_opens);
+      "breaker skips" :: both (fun r -> string_of_int r.storm_stats.Storm.breaker_skips);
+      "hedges" :: both (fun r -> string_of_int r.storm_stats.Storm.hedges);
+      "hedge wins" :: both (fun r -> string_of_int r.storm_stats.Storm.hedge_wins);
+      "queue peak" :: both (fun r -> string_of_int r.storm_stats.Storm.queue_peak);
+    ]
+  in
+  (columns, rows)

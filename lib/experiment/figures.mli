@@ -341,3 +341,79 @@ val txn :
 (** One row per severity: volumes, commit rate, and the three torn-state
     audits (torn / lost / residue) that must all be zero. *)
 val txn_table : txn_outcome -> string list * string list list
+
+(** {1 Overload experiment}
+
+    A two-arm Zipf-1.1 lookup storm through the simulated network
+    ({!Pgrid_query.Storm}) with every peer behind a bounded service rate
+    ({!Pgrid_simnet.Net.overload_config}).  Offered load ramps from
+    [base_rate] to [peak_rate] queries/s over the middle third of the
+    run and back; under the skew the binding constraint is the service
+    capacity of the hottest partitions' replica sets, which the plateau
+    exceeds severalfold.  The {e protected} arm bounds queues (sheds),
+    breaks circuits to saturated replicas and hedges slow hops; the
+    {e unprotected} arm has effectively unbounded queues, no breakers
+    and no hedging, and exhibits the classic metastable collapse:
+    backlogs on hot replicas absorb service slots long after the ramp
+    ends, so goodput stays depressed while the protected arm returns to
+    its pre-ramp baseline.  Both arms receive the identical storm
+    (arrival times, keys, origins come from dedicated streams). *)
+
+(** Per-peer messages/second every peer can service in this experiment. *)
+val overload_service_rate : float
+
+type overload_point = {
+  t : float;  (** window start, simulated seconds *)
+  offered : float;  (** queries issued per second over the window *)
+  goodput : float;  (** successful completions per second *)
+  shed : int;  (** service-queue sheds during the window *)
+  backlog : int;  (** messages queued network-wide at window end *)
+  in_flight : int;  (** client requests awaiting reply or timeout *)
+}
+
+type overload_run = {
+  protected : bool;
+  points : overload_point list;  (** 24 windows, chronological *)
+  pre_goodput : float;  (** mean goodput, settled half of the warm phase *)
+  post_goodput : float;  (** mean goodput, final quarter of the run *)
+  recovery_ratio : float;  (** post / pre *)
+  recovered : bool;  (** some post-ramp window reached 90% of pre *)
+  time_to_recover : float;
+      (** seconds after ramp end; the whole remaining horizon if never *)
+  p50_completion : float;  (** seconds, successful lookups *)
+  p99_completion : float;
+  shed_ratio : float;  (** sheds / messages sent *)
+  messages_sent : int;
+  messages_dropped : int;
+  storm_stats : Pgrid_query.Storm.stats;
+}
+
+type overload = {
+  peers : int;
+  horizon : float;
+  base_rate : float;
+  peak_rate : float;
+  on : overload_run option;  (** protected *)
+  off : overload_run option;  (** unprotected *)
+}
+
+(** [overload ~seed ()] runs the requested arms (default [`Both]),
+    memoized per parameter tuple.  Defaults: 10k peers, a 1440 s run
+    (240 s warm, 480 s storm, 720 s recovery), 30 -> 300 queries/s. *)
+val overload :
+  ?peers:int ->
+  ?horizon:float ->
+  ?base_rate:float ->
+  ?peak_rate:float ->
+  ?which:[ `Both | `On | `Off ] ->
+  seed:int ->
+  unit ->
+  overload
+
+(** Time series: minutes, offered load, and goodput / sheds / backlog
+    for each arm side by side. *)
+val overload_table : overload -> string list * string list list
+
+(** Aggregates: goodput recovery, completion percentiles, shed ratio,
+    breaker and hedge counters. *)
+val overload_summary : overload -> string list * string list list

@@ -34,12 +34,18 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rn
   if Array.length keys = 0 then invalid_arg "Query.lookup_batch: no keys";
   if count < 1 then invalid_arg "Query.lookup_batch: count must be >= 1";
   let hops = Moments.create () in
+  let issued = ref 0 in
   let routed = ref 0 and found = ref 0 and max_hops = ref 0 in
   let heal_retries = ref 0 and evicted = ref 0 in
-  for qid = 1 to count do
+  (* A kill wave can leave nobody to originate from: [0] queries issued
+     is a partial result, not an error — and checking once up front
+     avoids burning [4n] rejection draws per requested query. *)
+  let want = if Overlay.online_count overlay = 0 then 0 else count in
+  for qid = 1 to want do
     match random_online_node rng overlay with
     | None -> ()
     | Some origin ->
+      incr issued;
       let key = keys.(Rng.int rng (Array.length keys)) in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry (Event.Query_issue { qid; origin });
@@ -70,7 +76,7 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rn
       | None -> ())
   done;
   {
-    issued = count;
+    issued = !issued;
     routed = !routed;
     found = !found;
     mean_hops = Moments.mean hops;

@@ -10,7 +10,7 @@
     the simulated network. *)
 
 type batch_stats = {
-  issued : int;
+  issued : int;  (** lookups that found an online origin to start from *)
   routed : int;  (** responsible peer reached *)
   found : int;  (** responsible peer held the key *)
   mean_hops : float;
@@ -25,7 +25,13 @@ type batch_stats = {
     a reference level with no online entry triggers
     {!Pgrid_core.Maintenance.correct_on_use} on the failing (peer,
     level) and is retried once — the paper's correction-on-use repair
-    wired to the query path. *)
+    wired to the query path.
+
+    Degrades gracefully under a kill wave: when no (or almost no) peer
+    is online the batch returns a partial {!batch_stats} whose [issued]
+    counts only the lookups that found an origin — all zero in the
+    worst case, never a hang or an exception.  (For hedged lookups over
+    the simulated network under overload, see {!Storm}.) *)
 val lookup_batch :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
   ?heal:bool ->

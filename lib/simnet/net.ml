@@ -8,6 +8,30 @@ type fate = { drop : bool; copies : int; delay_factor : float }
 
 let default_fate = { drop = false; copies = 1; delay_factor = 1. }
 
+type overload_config = {
+  service_rate : float;
+  queue_capacity : int;
+  query_threshold : int;
+}
+
+let default_overload = { service_rate = 2.; queue_capacity = 16; query_threshold = 12 }
+
+(* Bounded per-peer service queues. The head of a non-empty queue is the
+   message currently in service, so the admission check compares the raw
+   queue length against the class threshold. Draining is deterministic
+   (one message every [1 / service_rate] seconds) and consumes no RNG
+   draws, which keeps every legacy trace byte-identical when the model
+   is switched off. *)
+type 'msg service = {
+  cfg : overload_config;
+  queues : (int * kind * 'msg) Queue.t array;
+  draining : bool array;
+  mutable shed_maintenance : int;
+  mutable shed_query : int;
+  mutable backlog_total : int;
+  mutable peak : int;
+}
+
 (* Per-bucket traffic totals as a flat array indexed by bucket number,
    grown geometrically: accounting a message is two array reads and a
    write, where the Hashtbl it replaces allocated an option per lookup
@@ -29,13 +53,35 @@ type 'msg t = {
   mutable sent : int;
   mutable dropped : int;
   mutable fault : (src:int -> dst:int -> fate) option;
+  service : 'msg service option;
 }
 
-let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency ~loss
-    ~bucket =
+let create ?(telemetry = Pgrid_telemetry.Global.get ()) ?service sim rng ~nodes
+    ~latency ~loss ~bucket =
   if nodes < 1 then invalid_arg "Net.create: nodes must be >= 1";
   if loss < 0. || loss >= 1. then invalid_arg "Net.create: loss must be in [0, 1)";
   if bucket <= 0. then invalid_arg "Net.create: bucket must be positive";
+  let service =
+    match service with
+    | None -> None
+    | Some cfg ->
+      if cfg.service_rate <= 0. then
+        invalid_arg "Net.create: service_rate must be positive";
+      if cfg.queue_capacity < 1 then
+        invalid_arg "Net.create: queue_capacity must be >= 1";
+      if cfg.query_threshold < 1 || cfg.query_threshold > cfg.queue_capacity then
+        invalid_arg "Net.create: query_threshold must be in [1, queue_capacity]";
+      Some
+        {
+          cfg;
+          queues = Array.init nodes (fun _ -> Queue.create ());
+          draining = Array.make nodes false;
+          shed_maintenance = 0;
+          shed_query = 0;
+          backlog_total = 0;
+          peak = 0;
+        }
+  in
   {
     sim;
     rng;
@@ -51,6 +97,7 @@ let create ?(telemetry = Pgrid_telemetry.Global.get ()) sim rng ~nodes ~latency 
     sent = 0;
     dropped = 0;
     fault = None;
+    service;
   }
 
 let sim t = t.sim
@@ -84,15 +131,64 @@ let note_drop t ~src ~dst =
   t.dropped <- t.dropped + 1;
   if Telemetry.active t.tel then Telemetry.emit t.tel (Event.Msg_drop { src; dst })
 
-let deliver t ~src ~dst ~factor msg =
-  let delay = Latency.sample t.latency t.rng *. factor in
-  Sim.schedule t.sim ~delay (fun () ->
+let note_shed t s ~src ~dst ~kind ~backlog =
+  (match kind with
+  | Maintenance -> s.shed_maintenance <- s.shed_maintenance + 1
+  | Query -> s.shed_query <- s.shed_query + 1);
+  if Telemetry.active t.tel then
+    Telemetry.emit t.tel (Event.Msg_shed { src; dst; traffic = traffic kind; backlog })
+
+let rec drain t s dst =
+  Sim.schedule t.sim ~delay:(1. /. s.cfg.service_rate) (fun () ->
+      let src, _, msg = Queue.pop s.queues.(dst) in
+      s.backlog_total <- s.backlog_total - 1;
       if t.online.(dst) then begin
         if Telemetry.active t.tel then
           Telemetry.emit t.tel (Event.Msg_recv { src; dst });
         t.handler dst msg
       end
-      else note_drop t ~src ~dst)
+      else
+        (* The peer went offline while the message waited: its service
+           slot still elapses, but the work is lost. *)
+        note_drop t ~src ~dst;
+      if Queue.is_empty s.queues.(dst) then s.draining.(dst) <- false
+      else drain t s dst)
+
+(* Arrival at the destination: either the legacy unbounded hand-off to
+   the handler, or admission into the bounded service queue. *)
+let arrive t ~src ~dst ~kind msg =
+  match t.service with
+  | None ->
+    if t.online.(dst) then begin
+      if Telemetry.active t.tel then
+        Telemetry.emit t.tel (Event.Msg_recv { src; dst });
+      t.handler dst msg
+    end
+    else note_drop t ~src ~dst
+  | Some s ->
+    if not t.online.(dst) then note_drop t ~src ~dst
+    else begin
+      let backlog = Queue.length s.queues.(dst) in
+      let limit =
+        match kind with
+        | Query -> s.cfg.query_threshold
+        | Maintenance -> s.cfg.queue_capacity
+      in
+      if backlog >= limit then note_shed t s ~src ~dst ~kind ~backlog
+      else begin
+        Queue.push (src, kind, msg) s.queues.(dst);
+        s.backlog_total <- s.backlog_total + 1;
+        if backlog + 1 > s.peak then s.peak <- backlog + 1;
+        if not s.draining.(dst) then begin
+          s.draining.(dst) <- true;
+          drain t s dst
+        end
+      end
+    end
+
+let deliver t ~src ~dst ~kind ~factor msg =
+  let delay = Latency.sample t.latency t.rng *. factor in
+  Sim.schedule t.sim ~delay (fun () -> arrive t ~src ~dst ~kind msg)
 
 let send t ~src ~dst ~bytes ~kind msg =
   if src < 0 || src >= t.node_count || dst < 0 || dst >= t.node_count then
@@ -107,7 +203,7 @@ let send t ~src ~dst ~bytes ~kind msg =
     match t.fault with
     | None ->
       if Rng.float t.rng < t.loss then note_drop t ~src ~dst
-      else deliver t ~src ~dst ~factor:1. msg
+      else deliver t ~src ~dst ~kind ~factor:1. msg
     | Some fate_of ->
       (* The fault layer owns the loss decision (it folds base loss into
          its own seeded process), so no draw from [t.rng] here. *)
@@ -115,7 +211,7 @@ let send t ~src ~dst ~bytes ~kind msg =
       if fate.drop then note_drop t ~src ~dst
       else
         for _ = 1 to max 1 fate.copies do
-          deliver t ~src ~dst ~factor:fate.delay_factor msg
+          deliver t ~src ~dst ~kind ~factor:fate.delay_factor msg
         done
   end
 
@@ -134,3 +230,14 @@ let bandwidth t kind =
 
 let messages_sent t = t.sent
 let messages_dropped t = t.dropped
+
+let messages_shed t =
+  match t.service with None -> 0 | Some s -> s.shed_maintenance + s.shed_query
+
+let shed_of_kind t kind =
+  match t.service with
+  | None -> 0
+  | Some s -> ( match kind with Maintenance -> s.shed_maintenance | Query -> s.shed_query)
+
+let backlog t = match t.service with None -> 0 | Some s -> s.backlog_total
+let queue_peak t = match t.service with None -> 0 | Some s -> s.peak

@@ -17,17 +17,42 @@ type fate = { drop : bool; copies : int; delay_factor : float }
 (** Pass-through fate: delivered once at nominal latency. *)
 val default_fate : fate
 
+(** Bounded per-peer service model. Each online peer processes one
+    message every [1 / service_rate] seconds from a FIFO queue whose
+    head is the message in service. A message arriving when the queue
+    already holds [queue_capacity] entries is shed; [Query] traffic is
+    shed earlier, once the backlog reaches [query_threshold], so
+    maintenance traffic (anti-entropy, txn intents, re-replication)
+    keeps the remaining headroom under storm load. Draining is
+    deterministic and consumes no RNG draws: enabling the model never
+    perturbs the latency/loss stream of an existing seeded run. *)
+type overload_config = {
+  service_rate : float;  (** messages serviced per second, > 0 *)
+  queue_capacity : int;  (** per-peer queue slots, >= 1 *)
+  query_threshold : int;  (** query admission bound, in [1, queue_capacity] *)
+}
+
+(** 2 msg/s service, 16 slots, queries shed at a backlog of 12. *)
+val default_overload : overload_config
+
 type 'msg t
 
-(** [create ?telemetry sim rng ~nodes ~latency ~loss ~bucket] wires a
-    network of [nodes] nodes (ids [0 .. nodes-1], all online) onto
-    [sim]. [loss] is the independent drop probability per message;
+(** [create ?telemetry ?service sim rng ~nodes ~latency ~loss ~bucket]
+    wires a network of [nodes] nodes (ids [0 .. nodes-1], all online)
+    onto [sim]. [loss] is the independent drop probability per message;
     [bucket] the bandwidth accounting granularity in seconds.
     [telemetry] (default {!Pgrid_telemetry.Global.get}) receives a
     [Msg_send] per accounted transmission and [Msg_recv]/[Msg_drop] per
-    delivery outcome, stamped with the message kind. *)
+    delivery outcome, stamped with the message kind. [service] (default
+    [None]) enables the bounded per-peer service queues; [None] is
+    bit-identical legacy behaviour (immediate hand-off on arrival, no
+    shedding). With the model on, a shed message emits [Msg_shed] and is
+    counted by {!messages_shed} — not as a drop. A peer that goes
+    offline with a non-empty queue keeps burning service slots, but each
+    completed slot is a drop until it returns. *)
 val create :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?service:overload_config ->
   Sim.t ->
   Pgrid_prng.Rng.t ->
   nodes:int ->
@@ -78,3 +103,16 @@ val bandwidth : 'msg t -> kind -> (float * float) list
 val messages_sent : 'msg t -> int
 
 val messages_dropped : 'msg t -> int
+
+(** Total messages refused by bounded service queues (0 when the
+    service model is off). *)
+val messages_shed : 'msg t -> int
+
+(** Sheds attributed to one traffic class. *)
+val shed_of_kind : 'msg t -> kind -> int
+
+(** Messages currently queued (including in service) across all peers. *)
+val backlog : 'msg t -> int
+
+(** Deepest single-peer queue observed so far. *)
+val queue_peak : 'msg t -> int

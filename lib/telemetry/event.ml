@@ -52,10 +52,15 @@ type kind =
   | Txn_commit of { txn : int }
   | Txn_abort of { txn : int }
   | Txn_recover of { txn : int; peer : int; committed : bool }
+  | Msg_shed of { src : int; dst : int; traffic : traffic; backlog : int }
+  | Breaker_open of { origin : int; target : int; failures : int }
+  | Breaker_close of { origin : int; target : int }
+  | Hedge_launch of { qid : int; origin : int; primary : int; backup : int }
+  | Hedge_win of { qid : int; origin : int; backup_won : bool }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 37
+let tag_count = 42
 
 let tag = function
   | Interaction _ -> 0
@@ -95,6 +100,11 @@ let tag = function
   | Txn_commit _ -> 34
   | Txn_abort _ -> 35
   | Txn_recover _ -> 36
+  | Msg_shed _ -> 37
+  | Breaker_open _ -> 38
+  | Breaker_close _ -> 39
+  | Hedge_launch _ -> 40
+  | Hedge_win _ -> 41
 
 let labels =
   [|
@@ -104,7 +114,8 @@ let labels =
     "repair"; "rebalance"; "fault_on"; "fault_off"; "timeout"; "retry";
     "give_up"; "ref_evict"; "health_report"; "anti_entropy"; "re_replicate";
     "balance_split"; "retract"; "migrate"; "balance_pass"; "txn_begin";
-    "txn_prepare"; "txn_commit"; "txn_abort"; "txn_recover";
+    "txn_prepare"; "txn_commit"; "txn_abort"; "txn_recover"; "msg_shed";
+    "breaker_open"; "breaker_close"; "hedge_launch"; "hedge_win";
   |]
 
 let label k = labels.(tag k)
@@ -248,7 +259,28 @@ let to_json { time; kind } =
   | Txn_recover { txn; peer; committed } ->
     int "txn" txn;
     int "peer" peer;
-    bool "committed" committed);
+    bool "committed" committed
+  | Msg_shed { src; dst; traffic; backlog } ->
+    int "src" src;
+    int "dst" dst;
+    str "traffic" (traffic_label traffic);
+    int "backlog" backlog
+  | Breaker_open { origin; target; failures } ->
+    int "origin" origin;
+    int "target" target;
+    int "failures" failures
+  | Breaker_close { origin; target } ->
+    int "origin" origin;
+    int "target" target
+  | Hedge_launch { qid; origin; primary; backup } ->
+    int "qid" qid;
+    int "origin" origin;
+    int "primary" primary;
+    int "backup" backup
+  | Hedge_win { qid; origin; backup_won } ->
+    int "qid" qid;
+    int "origin" origin;
+    bool "backup_won" backup_won);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -451,6 +483,23 @@ let of_json line =
       | "txn_recover" ->
         Txn_recover
           { txn = int "txn"; peer = int "peer"; committed = bool "committed" }
+      | "msg_shed" ->
+        Msg_shed
+          { src = int "src"; dst = int "dst"; traffic = traffic "traffic";
+            backlog = int "backlog" }
+      | "breaker_open" ->
+        Breaker_open
+          { origin = int "origin"; target = int "target";
+            failures = int "failures" }
+      | "breaker_close" -> Breaker_close { origin = int "origin"; target = int "target" }
+      | "hedge_launch" ->
+        Hedge_launch
+          { qid = int "qid"; origin = int "origin"; primary = int "primary";
+            backup = int "backup" }
+      | "hedge_win" ->
+        Hedge_win
+          { qid = int "qid"; origin = int "origin";
+            backup_won = bool "backup_won" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

@@ -100,6 +100,21 @@ type kind =
   | Txn_recover of { txn : int; peer : int; committed : bool }
       (** recovery resolved one of [peer]'s logged intents against the
           coordinator's decision: re-applied ([committed]) or undone *)
+  | Msg_shed of { src : int; dst : int; traffic : traffic; backlog : int }
+      (** [dst]'s bounded service queue refused the message on arrival;
+          [backlog] is the queue depth that triggered the shed *)
+  | Breaker_open of { origin : int; target : int; failures : int }
+      (** [origin]'s circuit breaker for [target] tripped after
+          [failures] consecutive timeouts or sheds *)
+  | Breaker_close of { origin : int; target : int }
+      (** a half-open probe succeeded; [origin] resumed sending to
+          [target] *)
+  | Hedge_launch of { qid : int; origin : int; primary : int; backup : int }
+      (** query [qid] waited [hedge_after] on [primary] and launched a
+          backup attempt via the alternate reference [backup] *)
+  | Hedge_win of { qid : int; origin : int; backup_won : bool }
+      (** a hedged hop resolved; [backup_won] says which attempt answered
+          first (the loser is cancelled and its late reply ignored) *)
 
 type t = { time : float; kind : kind }
 

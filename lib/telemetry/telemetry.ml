@@ -21,6 +21,12 @@ type t = {
   txn_aborts : Metrics.gauge;
   txn_recovered : Metrics.gauge;
   torn_docs : Metrics.gauge;
+  overload_sheds : Metrics.gauge;
+  overload_sheds_query : Metrics.gauge;
+  overload_breakers_open : Metrics.gauge;
+  overload_breaker_opens : Metrics.gauge;
+  overload_hedges : Metrics.gauge;
+  overload_hedge_wins : Metrics.gauge;
   mutable fault_level : int;
   mutable split_count : int;
   mutable retract_count : int;
@@ -28,6 +34,12 @@ type t = {
   mutable txn_level : int;
   mutable abort_count : int;
   mutable recover_count : int;
+  mutable shed_count : int;
+  mutable shed_query_count : int;
+  mutable breaker_level : int;
+  mutable breaker_open_count : int;
+  mutable hedge_count : int;
+  mutable hedge_win_count : int;
   mutable events : int;
 }
 
@@ -58,6 +70,12 @@ let make ~enabled ~clock =
     txn_aborts = Metrics.gauge metrics "txn.aborts";
     txn_recovered = Metrics.gauge metrics "txn.recovered";
     torn_docs = Metrics.gauge metrics "data.torn_docs";
+    overload_sheds = Metrics.gauge metrics "overload.sheds";
+    overload_sheds_query = Metrics.gauge metrics "overload.sheds_query";
+    overload_breakers_open = Metrics.gauge metrics "overload.breakers_open";
+    overload_breaker_opens = Metrics.gauge metrics "overload.breaker_opens";
+    overload_hedges = Metrics.gauge metrics "overload.hedges";
+    overload_hedge_wins = Metrics.gauge metrics "overload.hedge_wins";
     fault_level = 0;
     split_count = 0;
     retract_count = 0;
@@ -65,6 +83,12 @@ let make ~enabled ~clock =
     txn_level = 0;
     abort_count = 0;
     recover_count = 0;
+    shed_count = 0;
+    shed_query_count = 0;
+    breaker_level = 0;
+    breaker_open_count = 0;
+    hedge_count = 0;
+    hedge_win_count = 0;
     events = 0;
   }
 
@@ -132,6 +156,27 @@ let record t ev =
     | Event.Txn_recover _ ->
       t.recover_count <- t.recover_count + 1;
       Metrics.set_gauge t.txn_recovered (float_of_int t.recover_count)
+    | Event.Msg_shed { traffic; _ } ->
+      t.shed_count <- t.shed_count + 1;
+      Metrics.set_gauge t.overload_sheds (float_of_int t.shed_count);
+      if traffic = Event.Query then begin
+        t.shed_query_count <- t.shed_query_count + 1;
+        Metrics.set_gauge t.overload_sheds_query (float_of_int t.shed_query_count)
+      end
+    | Event.Breaker_open _ ->
+      t.breaker_level <- t.breaker_level + 1;
+      t.breaker_open_count <- t.breaker_open_count + 1;
+      Metrics.set_gauge t.overload_breakers_open (float_of_int t.breaker_level);
+      Metrics.set_gauge t.overload_breaker_opens (float_of_int t.breaker_open_count)
+    | Event.Breaker_close _ ->
+      t.breaker_level <- max 0 (t.breaker_level - 1);
+      Metrics.set_gauge t.overload_breakers_open (float_of_int t.breaker_level)
+    | Event.Hedge_launch _ ->
+      t.hedge_count <- t.hedge_count + 1;
+      Metrics.set_gauge t.overload_hedges (float_of_int t.hedge_count)
+    | Event.Hedge_win _ ->
+      t.hedge_win_count <- t.hedge_win_count + 1;
+      Metrics.set_gauge t.overload_hedge_wins (float_of_int t.hedge_win_count)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

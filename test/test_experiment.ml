@@ -98,6 +98,49 @@ let test_survival_smoke () =
   in
   checkb "memoized" true (Option.get s.Figures.on == Option.get s2.Figures.on)
 
+let test_overload_smoke () =
+  (* A miniature storm: both arms share the identical offered load; the
+     protected arm sheds and the unprotected arm builds backlog. *)
+  let o =
+    Figures.overload ~peers:128 ~horizon:360. ~base_rate:10. ~peak_rate:120.
+      ~seed:6 ()
+  in
+  let on = Option.get o.Figures.on and off = Option.get o.Figures.off in
+  checkb "arms tagged" true (on.Figures.protected && not off.Figures.protected);
+  checki "same window count" (List.length on.Figures.points)
+    (List.length off.Figures.points);
+  checki "24 windows" 24 (List.length on.Figures.points);
+  checkb "identical offered load across arms" true
+    (List.for_all2
+       (fun (a : Figures.overload_point) (b : Figures.overload_point) ->
+         a.Figures.offered = b.Figures.offered)
+       on.Figures.points off.Figures.points);
+  checkb "same storm issued on both arms" true
+    (on.Figures.storm_stats.Pgrid_query.Storm.issued
+    = off.Figures.storm_stats.Pgrid_query.Storm.issued);
+  checkb "protected arm sheds" true
+    (on.Figures.storm_stats.Pgrid_query.Storm.sheds > 0);
+  checkb "unprotected arm never sheds" true
+    (off.Figures.storm_stats.Pgrid_query.Storm.sheds = 0);
+  checkb "unprotected queues run deeper" true
+    (off.Figures.storm_stats.Pgrid_query.Storm.queue_peak
+    > on.Figures.storm_stats.Pgrid_query.Storm.queue_peak);
+  checkb "protected arm hedges" true
+    (on.Figures.storm_stats.Pgrid_query.Storm.hedges > 0);
+  checkb "shed ratio sane" true
+    (on.Figures.shed_ratio >= 0. && on.Figures.shed_ratio < 1.);
+  let columns, rows = Figures.overload_table o in
+  checki "eight columns" 8 (List.length columns);
+  checki "one row per window" 24 (List.length rows);
+  let _, srows = Figures.overload_summary o in
+  checkb "summary has rows" true (List.length srows >= 10);
+  (* Memoized per parameter tuple. *)
+  let o2 =
+    Figures.overload ~peers:128 ~horizon:360. ~base_rate:10. ~peak_rate:120.
+      ~seed:6 ()
+  in
+  checkb "memoized" true (Option.get o.Figures.on == Option.get o2.Figures.on)
+
 let test_ablation_sequential () =
   let columns, rows = Figures.ablation_sequential ~sizes:[ 32; 64 ] ~seed:3 () in
   checki "columns" 7 (List.length columns);
@@ -129,6 +172,7 @@ let suite =
     Alcotest.test_case "fig6 rendering" `Quick test_fig6_table_rendering;
     Alcotest.test_case "planetlab artifacts" `Slow test_planetlab_artifacts;
     Alcotest.test_case "survival smoke" `Slow test_survival_smoke;
+    Alcotest.test_case "overload smoke" `Slow test_overload_smoke;
     Alcotest.test_case "ablation sequential" `Quick test_ablation_sequential;
     Alcotest.test_case "ablation cost" `Slow test_ablation_cost;
     Alcotest.test_case "ablation correction" `Slow test_ablation_correction;

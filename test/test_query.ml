@@ -7,6 +7,11 @@ module Builder = Pgrid_core.Builder
 module Overlay = Pgrid_core.Overlay
 module Node = Pgrid_core.Node
 module Query = Pgrid_query.Query
+module Storm = Pgrid_query.Storm
+module Sim = Pgrid_simnet.Sim
+module Net = Pgrid_simnet.Net
+module Latency = Pgrid_simnet.Latency
+module Breaker = Pgrid_simnet.Breaker
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -228,6 +233,152 @@ let qcheck_conjunctive_merge_equiv =
       done;
       !ok)
 
+(* --- Storm: asynchronous lookups over the simulated network --------------- *)
+
+let storm_setup ?service ?(cfg = Storm.default_config) ?(loss = 0.) seed =
+  let overlay, keys = build seed in
+  let sim = Sim.create () in
+  let net =
+    Net.create ?service sim (Rng.create ~seed:(seed + 50))
+      ~nodes:(Overlay.size overlay) ~latency:(Latency.Fixed 0.05) ~loss ~bucket:60.
+  in
+  let storm = Storm.create sim (Rng.create ~seed:(seed + 51)) overlay net cfg in
+  (overlay, keys, sim, net, storm)
+
+let test_storm_completes () =
+  let _overlay, keys, sim, _net, storm = storm_setup 21 in
+  let rng = Rng.create ~seed:61 in
+  for _ = 1 to 200 do
+    checkb "origin found" true
+      (Storm.issue_random storm ~key:keys.(Rng.int rng (Array.length keys)))
+  done;
+  Sim.run sim;
+  let s = Storm.stats storm in
+  checki "all issued" 200 s.Storm.issued;
+  checki "all succeed on a healthy lossless net" 200 s.Storm.succeeded;
+  checki "none in flight at quiescence" 0 (Storm.in_flight storm);
+  checki "completions recorded" 200 (List.length (Storm.completions storm));
+  (* An origin that is itself responsible completes in the same instant,
+     so latency is >= 0, not strictly positive. *)
+  checkb "latency non-negative" true
+    (List.for_all
+       (fun c -> c.Storm.finished_at >= c.Storm.issued_at)
+       (Storm.completions storm))
+
+let test_storm_deterministic () =
+  let run () =
+    let _overlay, keys, sim, _net, storm = storm_setup 22 in
+    let rng = Rng.create ~seed:62 in
+    for _ = 1 to 100 do
+      ignore (Storm.issue_random storm ~key:keys.(Rng.int rng (Array.length keys)))
+    done;
+    Sim.run sim;
+    let s = Storm.stats storm in
+    (s.Storm.succeeded, s.Storm.timeouts,
+     List.map (fun c -> c.Storm.finished_at) (Storm.completions storm))
+  in
+  Alcotest.(check (triple int int (list (float 0.)))) "same seeds, same run"
+    (run ()) (run ())
+
+let test_storm_sheds_under_burst () =
+  (* Service rate 1 msg/s against a same-instant burst: almost the whole
+     burst must shed at the lone responsible replicas. *)
+  let service =
+    { Net.service_rate = 1.; queue_capacity = 4; query_threshold = 2 }
+  in
+  let _overlay, keys, sim, net, storm = storm_setup ~service 23 in
+  for _ = 1 to 300 do
+    ignore (Storm.issue_random storm ~key:keys.(0))
+  done;
+  Sim.run sim;
+  let s = Storm.stats storm in
+  checkb "queries shed" true (s.Storm.sheds_query > 0);
+  checki "sheds all query class" s.Storm.sheds s.Storm.sheds_query;
+  checkb "queue bounded" true ((Storm.stats storm).Storm.queue_peak <= 4);
+  checki "net agrees" (Net.messages_shed net) s.Storm.sheds
+
+let test_storm_hedge_dodges_dead_primary () =
+  (* Kill one peer without telling the network layer's churn hooks: its
+     requests time out.  With hedging the walk detours long before the
+     full retry ladder (3 x 4 s backoff) elapses. *)
+  let cfg =
+    { Storm.default_config with hedge_after = Some 0.5; max_retries = 0 }
+  in
+  let overlay, keys, sim, net, storm = storm_setup ~cfg 24 in
+  ignore overlay;
+  (* Make every peer's first-choice reference look dead by dropping 30%
+     of peers from the network (they stay "online" in the overlay, so
+     routing still tries them). *)
+  let rng = Rng.create ~seed:64 in
+  for i = 0 to Net.nodes net - 1 do
+    if Rng.float rng < 0.2 then Net.set_online net i false
+  done;
+  let orng = Rng.create ~seed:65 in
+  let issued = ref 0 in
+  for _ = 1 to 150 do
+    (* Originate from peers still attached to the network. *)
+    let origin = Rng.int orng (Net.nodes net) in
+    if Net.online net origin then begin
+      incr issued;
+      Storm.issue storm ~origin ~key:keys.(Rng.int orng (Array.length keys))
+    end
+  done;
+  Sim.run sim;
+  let s = Storm.stats storm in
+  checki "every lookup resolved" !issued (s.Storm.succeeded + s.Storm.failed);
+  checkb "hedges launched" true (s.Storm.hedges > 0);
+  checkb "some hedges won" true (s.Storm.hedge_wins > 0);
+  (* With only two references per level a hop can find both choices
+     dead, so demand a solid majority rather than near-perfection. *)
+  checkb "most lookups still succeed" true
+    (float_of_int s.Storm.succeeded >= 0.6 *. float_of_int !issued)
+
+let test_storm_breaker_opens () =
+  let cfg =
+    {
+      Storm.default_config with
+      req_timeout = 0.5;
+      max_retries = 0;
+      breaker = Some { Breaker.failures = 2; cooldown = 1000. };
+    }
+  in
+  let _overlay, keys, sim, net, storm = storm_setup ~cfg 25 in
+  (* Detach a third of the peers: repeated timeouts against them must
+     trip their circuits and stop the hammering. *)
+  let rng = Rng.create ~seed:66 in
+  for i = 0 to Net.nodes net - 1 do
+    if Rng.float rng < 0.3 then Net.set_online net i false
+  done;
+  let orng = Rng.create ~seed:67 in
+  for _ = 1 to 300 do
+    let origin = Rng.int orng (Net.nodes net) in
+    if Net.online net origin then
+      Storm.issue storm ~origin ~key:keys.(Rng.int orng (Array.length keys))
+  done;
+  Sim.run sim;
+  let s = Storm.stats storm in
+  checkb "circuits opened" true (s.Storm.breaker_opens > 0);
+  checkb "open circuits skipped on later walks" true (s.Storm.breaker_skips > 0)
+
+let test_lookup_batch_nobody_online () =
+  (* Satellite: a batch against a fully-killed overlay returns a partial
+     result (zero issued) instead of hanging in rejection sampling. *)
+  let overlay, keys = build 26 in
+  for i = 0 to Overlay.size overlay - 1 do
+    (Overlay.node overlay i).Node.online <- false
+  done;
+  let rng = Rng.create ~seed:68 in
+  let s = Query.lookup_batch rng overlay ~keys ~count:100 in
+  checki "nothing issued" 0 s.Query.issued;
+  checki "nothing routed" 0 s.Query.routed;
+  checki "nothing found" 0 s.Query.found;
+  Alcotest.check (Alcotest.float 0.) "mean hops defined" 0. s.Query.mean_hops;
+  (* And the call consumed no RNG draws, so downstream seeding is
+     unaffected by the early exit. *)
+  let r1 = Rng.create ~seed:69 and r2 = Rng.create ~seed:69 in
+  ignore (Query.lookup_batch r1 overlay ~keys ~count:100);
+  checki "no draws consumed" (Rng.int r2 1000000) (Rng.int r1 1000000)
+
 let suite =
   [
     Alcotest.test_case "lookup batch" `Quick test_lookup_batch;
@@ -248,5 +399,13 @@ let suite =
       test_conjunctive_duplicate_keys;
     Alcotest.test_case "conjunctive payload dedup" `Quick
       test_conjunctive_dedups_payloads;
+    Alcotest.test_case "storm completes" `Quick test_storm_completes;
+    Alcotest.test_case "storm deterministic" `Quick test_storm_deterministic;
+    Alcotest.test_case "storm sheds under burst" `Quick test_storm_sheds_under_burst;
+    Alcotest.test_case "storm hedge dodges dead primary" `Quick
+      test_storm_hedge_dodges_dead_primary;
+    Alcotest.test_case "storm breaker opens" `Quick test_storm_breaker_opens;
+    Alcotest.test_case "lookup batch nobody online" `Quick
+      test_lookup_batch_nobody_online;
     QCheck_alcotest.to_alcotest qcheck_conjunctive_merge_equiv;
   ]

@@ -8,6 +8,11 @@ module Net = Pgrid_simnet.Net
 module Unstructured = Pgrid_simnet.Unstructured
 module Churn = Pgrid_simnet.Churn
 module Vote = Pgrid_simnet.Vote
+module Breaker = Pgrid_simnet.Breaker
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
+module Ring = Pgrid_telemetry.Ring
+module Sink = Pgrid_telemetry.Sink
 
 let checkb = Alcotest.check Alcotest.bool
 let checki = Alcotest.check Alcotest.int
@@ -166,6 +171,230 @@ let test_net_online_count () =
   Net.set_online net 0 false;
   Net.set_online net 3 false;
   checki "two offline" 3 (Net.online_count net)
+
+(* --- Net: bounded service queues ----------------------------------------- *)
+
+let events_of ring = List.map (fun e -> e.Event.kind) (Ring.to_list ring)
+
+let make_service_net ?(nodes = 4) ?(capacity = 4) ?(threshold = 2) ?telemetry () =
+  let sim = Sim.create () in
+  let rng = Rng.create ~seed:5 in
+  let service =
+    Some { Net.service_rate = 2.; queue_capacity = capacity; query_threshold = threshold }
+  in
+  let net =
+    Net.create ?telemetry ?service sim rng ~nodes ~latency:(Latency.Fixed 0.1)
+      ~loss:0. ~bucket:1.
+  in
+  (sim, net)
+
+let test_service_drain_rate () =
+  let sim, net = make_service_net () in
+  let received = ref [] in
+  Net.set_handler net (fun _ msg -> received := (msg, Sim.now sim) :: !received);
+  for i = 1 to 2 do
+    Net.send net ~src:0 ~dst:1 ~bytes:10 ~kind:Net.Maintenance i
+  done;
+  Sim.run sim;
+  (* Latency 0.1, then one service completion every 1/rate = 0.5 s, in
+     arrival order. *)
+  (match List.rev !received with
+  | [ (1, t1); (2, t2) ] ->
+    close "first served one slot after arrival" 0.6 t1;
+    close "second served one slot later" 1.1 t2
+  | _ -> Alcotest.fail "expected two deliveries in order");
+  checki "nothing shed" 0 (Net.messages_shed net);
+  checki "peak backlog" 2 (Net.queue_peak net);
+  checki "queues empty after run" 0 (Net.backlog net)
+
+let test_service_sheds_at_capacity () =
+  let sim, net = make_service_net ~capacity:4 ~threshold:4 () in
+  let received = ref 0 in
+  Net.set_handler net (fun _ _ -> incr received);
+  for i = 1 to 10 do
+    Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Maintenance i
+  done;
+  Sim.run sim;
+  (* All ten arrive (fixed latency) before the first service slot at
+     0.6: four are admitted, six shed. *)
+  checki "queue capacity admitted" 4 !received;
+  checki "overflow shed" 6 (Net.messages_shed net);
+  checki "shed counted per class" 6 (Net.shed_of_kind net Net.Maintenance);
+  checki "sheds are not drops" 0 (Net.messages_dropped net)
+
+let test_service_priority_classes () =
+  (* Queries shed at the lower threshold while maintenance still fits:
+     degraded mode keeps repair traffic flowing. *)
+  let sim, net = make_service_net ~capacity:4 ~threshold:2 () in
+  let received = ref [] in
+  Net.set_handler net (fun _ msg -> received := msg :: !received);
+  for i = 1 to 2 do
+    Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Query i
+  done;
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Query 3;
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Maintenance 4;
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Maintenance 5;
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Maintenance 6;
+  Sim.run sim;
+  checki "query shed at its threshold" 1 (Net.shed_of_kind net Net.Query);
+  checki "maintenance shed only at capacity" 1 (Net.shed_of_kind net Net.Maintenance);
+  Alcotest.(check (list int))
+    "admitted in arrival order" [ 1; 2; 4; 5 ] (List.rev !received)
+
+let test_service_offline_burns_slot () =
+  let sim, net = make_service_net () in
+  let received = ref 0 in
+  Net.set_handler net (fun _ _ -> incr received);
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Maintenance 1;
+  (* Knock the destination offline after the message is queued but
+     before its service slot completes at 0.6. *)
+  Sim.schedule sim ~delay:0.3 (fun () -> Net.set_online net 1 false);
+  Sim.run sim;
+  checki "nothing delivered" 0 !received;
+  checki "queued message dropped at service time" 1 (Net.messages_dropped net);
+  checki "not shed" 0 (Net.messages_shed net);
+  checki "queue drained anyway" 0 (Net.backlog net)
+
+let test_service_shed_event () =
+  let tel = Telemetry.create () in
+  let ring = Ring.create ~capacity:16 in
+  Telemetry.add_sink tel (Sink.ring ring);
+  let sim, net = make_service_net ~telemetry:tel ~capacity:1 ~threshold:1 () in
+  Net.send net ~src:0 ~dst:1 ~bytes:1 ~kind:Net.Query 1;
+  Net.send net ~src:2 ~dst:1 ~bytes:1 ~kind:Net.Query 2;
+  Sim.run sim;
+  let sheds =
+    List.filter
+      (function Event.Msg_shed _ -> true | _ -> false)
+      (events_of ring)
+  in
+  (match sheds with
+  | [ Event.Msg_shed { src = 2; dst = 1; traffic = Event.Query; backlog = 1 } ] -> ()
+  | _ -> Alcotest.fail "expected one Msg_shed event with queue depth 1");
+  checki "shed counter agrees" 1 (Net.messages_shed net)
+
+(* --- Net: accounting tags (satellite: src/dst provenance) ------------------ *)
+
+let test_net_account_default_tags () =
+  let tel = Telemetry.create () in
+  let ring = Ring.create ~capacity:16 in
+  Telemetry.add_sink tel (Sink.ring ring);
+  let sim = Sim.create () in
+  let net =
+    Net.create ~telemetry:tel sim (Rng.create ~seed:5) ~nodes:3
+      ~latency:(Latency.Fixed 0.1) ~loss:0. ~bucket:1.
+  in
+  ignore sim;
+  (* Synthetic traffic with no named endpoints is tagged src = dst = -1,
+     distinguishing it from any real node id in the trace. *)
+  Net.account net ~bytes:50 ~kind:Net.Query;
+  Net.account ~src:2 ~dst:0 net ~bytes:25 ~kind:Net.Maintenance;
+  (match events_of ring with
+  | [ Event.Msg_send { src = -1; dst = -1; bytes = 50; traffic = Event.Query };
+      Event.Msg_send { src = 2; dst = 0; bytes = 25; traffic = Event.Maintenance } ] ->
+    ()
+  | _ -> Alcotest.fail "expected two Msg_send events with -1 default tags")
+
+let test_net_offline_source_events () =
+  let tel = Telemetry.create () in
+  let ring = Ring.create ~capacity:16 in
+  Telemetry.add_sink tel (Sink.ring ring);
+  let sim = Sim.create () in
+  let net =
+    Net.create ~telemetry:tel sim (Rng.create ~seed:5) ~nodes:3
+      ~latency:(Latency.Fixed 0.1) ~loss:0. ~bucket:1.
+  in
+  Net.set_online net 2 false;
+  Net.send net ~src:2 ~dst:0 ~bytes:10 ~kind:Net.Maintenance "y";
+  Sim.run sim;
+  (* An offline sender is pure drop: no bytes hit the wire, so no
+     Msg_send — but the attempt is visible as a Msg_drop naming both
+     endpoints, and the counters agree. *)
+  (match events_of ring with
+  | [ Event.Msg_drop { src = 2; dst = 0 } ] -> ()
+  | _ -> Alcotest.fail "expected exactly one Msg_drop from the offline source");
+  checki "accounted as drop" 1 (Net.messages_dropped net);
+  checki "never sent" 0 (Net.messages_sent net)
+
+(* --- Breaker --------------------------------------------------------------- *)
+
+let make_breaker ?(failures = 3) ?(cooldown = 10.) () =
+  let now = ref 0. in
+  let br =
+    Breaker.create { Breaker.failures; cooldown } ~now:(fun () -> !now)
+  in
+  (now, br)
+
+let test_breaker_opens_after_k () =
+  let _now, br = make_breaker ~failures:3 () in
+  for _ = 1 to 2 do
+    Breaker.record_failure br ~origin:0 ~target:1
+  done;
+  checkb "still closed below threshold" true (Breaker.admits br ~origin:0 ~target:1);
+  Breaker.record_failure br ~origin:0 ~target:1;
+  checkb "open at threshold" false (Breaker.admits br ~origin:0 ~target:1);
+  checki "one open recorded" 1 (Breaker.opens br);
+  checki "one circuit currently open" 1 (Breaker.open_count br);
+  (* Links are independent: a different (origin, target) is untouched. *)
+  checkb "other link unaffected" true (Breaker.admits br ~origin:0 ~target:2)
+
+let test_breaker_success_resets_count () =
+  let _now, br = make_breaker ~failures:3 () in
+  Breaker.record_failure br ~origin:0 ~target:1;
+  Breaker.record_failure br ~origin:0 ~target:1;
+  Breaker.record_success br ~origin:0 ~target:1;
+  Breaker.record_failure br ~origin:0 ~target:1;
+  Breaker.record_failure br ~origin:0 ~target:1;
+  checkb "consecutive count reset by success" true
+    (Breaker.admits br ~origin:0 ~target:1)
+
+let test_breaker_half_open_probe () =
+  let now, br = make_breaker ~failures:1 ~cooldown:10. () in
+  Breaker.record_failure br ~origin:0 ~target:1;
+  checkb "open during cooldown" false (Breaker.admits br ~origin:0 ~target:1);
+  now := 10.;
+  checkb "half-open admits one probe" true (Breaker.admits br ~origin:0 ~target:1);
+  checkb "but only one" false (Breaker.admits br ~origin:0 ~target:1);
+  Breaker.record_success br ~origin:0 ~target:1;
+  checkb "probe success closes" true (Breaker.admits br ~origin:0 ~target:1);
+  checki "no circuit open any more" 0 (Breaker.open_count br)
+
+let test_breaker_half_open_reopen () =
+  let now, br = make_breaker ~failures:1 ~cooldown:10. () in
+  Breaker.record_failure br ~origin:0 ~target:1;
+  now := 10.;
+  checkb "probe admitted" true (Breaker.admits br ~origin:0 ~target:1);
+  Breaker.record_failure br ~origin:0 ~target:1;
+  checkb "probe failure re-opens" false (Breaker.admits br ~origin:0 ~target:1);
+  now := 19.9;
+  checkb "new cooldown runs from the re-open" false
+    (Breaker.admits br ~origin:0 ~target:1);
+  now := 20.;
+  checkb "then probes again" true (Breaker.admits br ~origin:0 ~target:1);
+  (* The circuit never closed across the failed probe, so the cumulative
+     open count (and the Breaker_open event stream) shows one open. *)
+  checki "one open transition recorded" 1 (Breaker.opens br);
+  checki "still counted as currently open" 1 (Breaker.open_count br)
+
+let test_breaker_events () =
+  let tel = Telemetry.create () in
+  let ring = Ring.create ~capacity:16 in
+  Telemetry.add_sink tel (Sink.ring ring);
+  let now = ref 0. in
+  let br =
+    Breaker.create ~telemetry:tel { Breaker.failures = 2; cooldown = 5. }
+      ~now:(fun () -> !now)
+  in
+  Breaker.record_failure br ~origin:3 ~target:9;
+  Breaker.record_failure br ~origin:3 ~target:9;
+  now := 5.;
+  ignore (Breaker.admits br ~origin:3 ~target:9);
+  Breaker.record_success br ~origin:3 ~target:9;
+  match events_of ring with
+  | [ Event.Breaker_open { origin = 3; target = 9; failures = 2 };
+      Event.Breaker_close { origin = 3; target = 9 } ] ->
+    ()
+  | _ -> Alcotest.fail "expected Breaker_open then Breaker_close"
 
 (* --- Unstructured --------------------------------------------------------- *)
 
@@ -568,6 +797,18 @@ let suite =
     Alcotest.test_case "net loss" `Quick test_net_loss;
     Alcotest.test_case "net bandwidth buckets" `Quick test_net_bandwidth_accounting;
     Alcotest.test_case "net online count" `Quick test_net_online_count;
+    Alcotest.test_case "service drain rate" `Quick test_service_drain_rate;
+    Alcotest.test_case "service sheds at capacity" `Quick test_service_sheds_at_capacity;
+    Alcotest.test_case "service priority classes" `Quick test_service_priority_classes;
+    Alcotest.test_case "service offline burns slot" `Quick test_service_offline_burns_slot;
+    Alcotest.test_case "service shed event" `Quick test_service_shed_event;
+    Alcotest.test_case "account default tags" `Quick test_net_account_default_tags;
+    Alcotest.test_case "offline source events" `Quick test_net_offline_source_events;
+    Alcotest.test_case "breaker opens after k" `Quick test_breaker_opens_after_k;
+    Alcotest.test_case "breaker success resets" `Quick test_breaker_success_resets_count;
+    Alcotest.test_case "breaker half-open probe" `Quick test_breaker_half_open_probe;
+    Alcotest.test_case "breaker half-open reopen" `Quick test_breaker_half_open_reopen;
+    Alcotest.test_case "breaker events" `Quick test_breaker_events;
     Alcotest.test_case "unstructured degree" `Quick test_unstructured_degree;
     Alcotest.test_case "unstructured symmetric" `Quick test_unstructured_symmetric;
     Alcotest.test_case "walk reaches online" `Quick test_random_walk_reaches_online;

@@ -145,6 +145,11 @@ let sample_events =
     Event.Txn_commit { txn = 7 };
     Event.Txn_abort { txn = 8 };
     Event.Txn_recover { txn = 8; peer = 19; committed = false };
+    Event.Msg_shed { src = 4; dst = 7; traffic = Event.Query; backlog = 16 };
+    Event.Breaker_open { origin = 3; target = 9; failures = 5 };
+    Event.Breaker_close { origin = 3; target = 9 };
+    Event.Hedge_launch { qid = 17; origin = 3; primary = 9; backup = 11 };
+    Event.Hedge_win { qid = 17; origin = 3; backup_won = true };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
@@ -244,6 +249,27 @@ let test_handle_aggregates () =
   | { Event.time; _ } :: _ -> close "clock stamps events" 1.5 time
   | [] -> Alcotest.fail "ring empty");
   checki "ring saw everything" 5 (Ring.length ring)
+
+let test_overload_gauges () =
+  (* The overload event kinds fold into replayable gauges: a trace
+     replayed through [record] reconstructs shed / breaker / hedge
+     state without the live network. *)
+  let tel = Telemetry.create () in
+  let ev kind = Telemetry.emit tel kind in
+  ev (Event.Msg_shed { src = 1; dst = 2; traffic = Event.Query; backlog = 6 });
+  ev (Event.Msg_shed { src = 3; dst = 2; traffic = Event.Maintenance; backlog = 16 });
+  ev (Event.Breaker_open { origin = 0; target = 2; failures = 5 });
+  ev (Event.Breaker_open { origin = 1; target = 2; failures = 5 });
+  ev (Event.Breaker_close { origin = 0; target = 2 });
+  ev (Event.Hedge_launch { qid = 9; origin = 0; primary = 2; backup = 4 });
+  ev (Event.Hedge_win { qid = 9; origin = 0; backup_won = true });
+  let g name = List.assoc name (Metrics.gauges (Telemetry.metrics tel)) in
+  close "all sheds" 2. (g "overload.sheds");
+  close "query-class sheds" 1. (g "overload.sheds_query");
+  close "breaker level nets opens against closes" 1. (g "overload.breakers_open");
+  close "cumulative opens" 2. (g "overload.breaker_opens");
+  close "hedges" 1. (g "overload.hedges");
+  close "hedge wins" 1. (g "overload.hedge_wins")
 
 let test_disabled_handle () =
   let tel = Telemetry.disabled in
@@ -350,6 +376,7 @@ let suite =
     Alcotest.test_case "sink: jsonl round trip" `Quick test_jsonl_sink_roundtrip;
     Alcotest.test_case "sink: bad line reported" `Quick test_jsonl_bad_line;
     Alcotest.test_case "handle: aggregates" `Quick test_handle_aggregates;
+    Alcotest.test_case "handle: overload gauges" `Quick test_overload_gauges;
     Alcotest.test_case "handle: disabled is inert" `Quick test_disabled_handle;
     Alcotest.test_case "summary: replay" `Quick test_summary_replay;
     Alcotest.test_case "net engine: events match counters" `Slow
