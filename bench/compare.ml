@@ -8,7 +8,12 @@
    and exits non-zero when anything regressed by more than the threshold
    (default 10%).  Timings and cost-like metrics regress by going up;
    quality metrics (success / score / found / ge_frac) regress by going
-   down. *)
+   down.
+
+   --strict promotes the stderr warnings (entries present in only one
+   report, direction disagreements) to a non-zero exit: CI baselines
+   should fail loudly when a metric silently disappears or flips
+   polarity, not just when a shared one drifts. *)
 
 module Table = Pgrid_stats.Table
 
@@ -106,16 +111,25 @@ let collect_directions doc =
 
 (* Entries present in only one report are skipped, but silently losing a
    target (a rename, a dropped kernel) is exactly what a baseline diff
-   should surface — warn on stderr, non-fatally, in both directions. *)
+   should surface — warn on stderr in both directions.  Warnings are
+   non-fatal by default; --strict turns a non-zero count into a failing
+   exit. *)
+let warnings = ref 0
+
+let warn fmt =
+  Printf.ksprintf
+    (fun msg ->
+      incr warnings;
+      Printf.eprintf "compare: warning: %s\n" msg)
+    fmt
+
 let warn_one_sided ~kind old_entries new_entries =
   let missing_from other = List.filter (fun (n, _) -> not (List.mem_assoc n other)) in
   List.iter
-    (fun (name, _) ->
-      Printf.eprintf "compare: warning: %s %S only in baseline report\n" kind name)
+    (fun (name, _) -> warn "%s %S only in baseline report" kind name)
     (missing_from new_entries old_entries);
   List.iter
-    (fun (name, _) ->
-      Printf.eprintf "compare: warning: %s %S only in candidate report\n" kind name)
+    (fun (name, _) -> warn "%s %S only in candidate report" kind name)
     (missing_from old_entries new_entries)
 
 let paired ~kind ~floor ?(direction = fun _ -> false) old_entries new_entries =
@@ -151,6 +165,7 @@ let print_section ~title ~unit ~threshold rows =
 
 let () =
   let threshold = ref 10. in
+  let strict = ref false in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -161,6 +176,9 @@ let () =
         prerr_endline "compare: --threshold expects a positive number";
         exit 2);
       parse rest
+    | "--strict" :: rest ->
+      strict := true;
+      parse rest
     | a :: rest ->
       positional := a :: !positional;
       parse rest
@@ -170,7 +188,8 @@ let () =
     match List.rev !positional with
     | [ a; b ] -> (a, b)
     | _ ->
-      prerr_endline "usage: compare BASELINE.json CANDIDATE.json [--threshold PCT]";
+      prerr_endline
+        "usage: compare BASELINE.json CANDIDATE.json [--threshold PCT] [--strict]";
       exit 2
   in
   let load path =
@@ -202,9 +221,9 @@ let () =
          metric — keep preferring the candidate (it reflects the current
          bench) but say so. *)
       if d <> od then
-        Printf.eprintf
-          "compare: warning: reports disagree on direction of %S (baseline \
-           %s, candidate %s); using the candidate's\n"
+        warn
+          "reports disagree on direction of %S (baseline %s, candidate %s); \
+           using the candidate's"
           name
           (if od then "up" else "down")
           (if d then "up" else "down");
@@ -230,6 +249,12 @@ let () =
     Printf.printf "\n%d regression(s) beyond +%.0f%%:\n" (List.length regressions)
       !threshold;
     List.iter (fun r -> Printf.printf "  %s: %+.1f%%\n" r.name (pct r)) regressions;
+    exit 1
+  end
+  else if !strict && !warnings > 0 then begin
+    Printf.printf
+      "\nno regressions beyond +%.0f%%, but %d warning(s) under --strict\n"
+      !threshold !warnings;
     exit 1
   end
   else Printf.printf "\nno regressions beyond +%.0f%%\n" !threshold

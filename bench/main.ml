@@ -27,6 +27,8 @@ let balance_horizon = ref 3600.
 let txn_horizon = ref 3600.
 let overload_horizon = ref 1440.
 let overload_peers = ref 10_000
+let partition_horizon = ref 14400.
+let partition_peers = ref 1024
 
 let banner title =
   let line = String.make 72 '=' in
@@ -176,6 +178,26 @@ let overload _reps =
     ~rows;
   let columns, rows = Figures.overload_summary o in
   Table.print ~title:"overload summary" ~columns ~rows
+
+(* 60 samples across the horizon, but never denser than one per minute. *)
+let partition_sample_every () = Float.max 60. (!partition_horizon /. 60.)
+
+let partition _reps =
+  banner "Partition -- split-brain window, reconciliation on vs off";
+  note
+    "the network halves for the middle half of the run while skewed inserts, \
+     routed deletes and load balancing keep running on both sides";
+  note
+    "expected: the reconciling arm reaches 0 resurrected / diverged / lost \
+     within the bound after heal; the baseline arm keeps resurrected deletes";
+  let x =
+    Figures.partition ~peers:!partition_peers ~horizon:!partition_horizon
+      ~sample_every:(partition_sample_every ()) ~seed ()
+  in
+  let columns, rows = Figures.partition_table x in
+  Table.print ~title:"split-brain violations over time" ~columns ~rows;
+  let columns, rows = Figures.partition_summary x in
+  Table.print ~title:"partition summary" ~columns ~rows
 
 let ablation_seq _reps =
   banner "Ablation X1 -- sequential joins vs parallel construction (Sec 4.3)";
@@ -334,6 +356,7 @@ let targets =
     ("balance", balance);
     ("txn", txn);
     ("overload", overload);
+    ("partition", partition);
     ("scale", scale);
     ("micro", micro);
   ]
@@ -568,6 +591,60 @@ let txn_values () =
       ])
     t.Figures.points
 
+(* The split-brain run flattens to per-arm aggregates plus the
+   per-sample violation series, every metric carrying its explicit
+   improvement direction.  The CI gate reads the [on/*] convergence and
+   end-state audits and checks the [off/*] arm still demonstrates the
+   failure the subsystem exists to fix.  Memoized like the other
+   experiments. *)
+let partition_values () =
+  let open Figures in
+  let x =
+    Figures.partition ~peers:!partition_peers ~horizon:!partition_horizon
+      ~sample_every:(partition_sample_every ()) ~seed ()
+  in
+  let arm tag (r : partition_run option) =
+    match r with
+    | None -> []
+    | Some r ->
+      let v name value dir = (tag ^ "/" ^ name, value, dir) in
+      let vi name value dir = v name (float_of_int value) dir in
+      [
+        v "converged" (match r.converged_at with Some _ -> 1. | None -> 0.) Report.Up;
+        v "converge_seconds"
+          (match r.converged_at with Some s -> s | None -> x.horizon)
+          Report.Down;
+        vi "final_resurrected" r.final_resurrected Report.Down;
+        vi "final_diverged" r.final_diverged Report.Down;
+        vi "final_lost" r.final_lost Report.Down;
+        vi "peak_resurrected" r.peak_resurrected Report.Down;
+        vi "peak_diverged" r.peak_diverged Report.Down;
+        vi "inserted" r.inserted Report.Up;
+        vi "deleted" r.deleted Report.Up;
+        vi "insert_failures" r.insert_failures Report.Down;
+        vi "delete_failures" r.delete_failures Report.Down;
+        vi "syncs" r.syncs Report.Up;
+        vi "repairs" r.repairs Report.Up;
+        vi "tombstones_purged" r.tombstones_purged Report.Up;
+        vi "splits" r.splits Report.Up;
+      ]
+      @ List.concat_map
+          (fun (p : partition_point) ->
+            let at name value dir =
+              (Printf.sprintf "%s/%s@%.0f" tag name p.t, value, dir)
+            in
+            [
+              at "resurrected" (float_of_int p.resurrected) Report.Down;
+              at "diverged" (float_of_int p.diverged) Report.Down;
+              at "lost" (float_of_int p.lost) Report.Down;
+              at "tombstones" (float_of_int p.tombstones) Report.Down;
+              at "score" p.score Report.Up;
+            ])
+          r.points
+  in
+  (("bound/converge_seconds", x.bound, Report.Down) :: arm "on" x.on)
+  @ arm "off" x.off
+
 let values_of name reps =
   (* Producers that predate the direction field return bare pairs; tag
      them with the direction compare.exe's heuristic would infer, so the
@@ -579,6 +656,7 @@ let values_of name reps =
   | "balance" -> auto (balance_values ())
   | "txn" -> txn_values ()
   | "overload" -> overload_values ()
+  | "partition" -> partition_values ()
   | "scale" -> Scale.values ~seed
   | "fig6a" -> auto (fig6_values (Figures.fig6a ?reps ~seed ()))
   | "fig6b" -> auto (fig6_values (Figures.fig6b ?reps ~seed ()))
@@ -631,13 +709,19 @@ let split_flags argv =
         survival_horizon := h;
         balance_horizon := h;
         txn_horizon := h;
-        overload_horizon := h
+        overload_horizon := h;
+        partition_horizon := h
       | _ -> usage_error "--horizon expects a positive duration in seconds, got %S" sec);
       go acc rest
     | "--overload-peers" :: n :: rest ->
       (match int_of_string_opt n with
       | Some p when p >= 64 -> overload_peers := p
       | _ -> usage_error "--overload-peers expects a peer count >= 64, got %S" n);
+      go acc rest
+    | "--partition-peers" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some p when p >= 64 -> partition_peers := p
+      | _ -> usage_error "--partition-peers expects a peer count >= 64, got %S" n);
       go acc rest
     | "--scale-peers" :: spec :: rest ->
       let sizes =
@@ -655,7 +739,7 @@ let split_flags argv =
       Scale.sizes := sizes;
       go acc rest
     | ("--trace" | "--json" | "--quota" | "--horizon" | "--overload-peers"
-      | "--scale-peers")
+      | "--partition-peers" | "--scale-peers")
       :: [] ->
       usage_error "flag is missing its argument"
     | a :: rest -> go { acc with positional = a :: acc.positional } rest

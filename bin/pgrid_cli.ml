@@ -458,7 +458,7 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience survival balance txn overload ablation-seq \
+              table1 resilience survival balance txn overload partition ablation-seq \
               ablation-cost ablation-cor ablation-pht ablation-merge \
               ablation-maintain.")
 
@@ -499,6 +499,10 @@ let figure seed name reps trace metrics =
     print_table "offered load, goodput, sheds and backlog over time"
       (Figures.overload_table o);
     print_table "overload summary" (Figures.overload_summary o)
+  | "partition" ->
+    let x = Figures.partition ~seed () in
+    print_table "split-brain violations over time" (Figures.partition_table x);
+    print_table "partition summary" (Figures.partition_summary x)
   | "ablation-seq" -> print_table "sequential vs parallel" (Figures.ablation_sequential ~seed ())
   | "ablation-cost" -> print_table "cost constants" (Figures.ablation_cost ~seed ())
   | "ablation-cor" -> print_table "corrections" (Figures.ablation_correction ~seed ())

@@ -339,14 +339,30 @@ let find_retract overlay cfg parts =
            <= cfg.d_max)
     parts
 
-let pass ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay cfg =
+let pass ?(telemetry = Pgrid_telemetry.Global.get ()) ?restrict rng overlay cfg =
   validate cfg;
+  (* [restrict] narrows the pass to one reachability island: members the
+     predicate rejects are invisible (not offline — an island balances as
+     if the far side does not exist, which is precisely how independent
+     split decisions arise during a partition).  [None] filters nothing
+     and leaves the draw sequence bit-identical. *)
+  let view parts =
+    match restrict with
+    | None -> parts
+    | Some f ->
+      List.filter_map
+        (fun (path, members, off) ->
+          match List.filter f members with
+          | [] -> None
+          | ms -> Some (path, ms, off))
+        parts
+  in
   let splits = ref 0 and retracts = ref 0 in
   let migrated = ref 0 and copied = ref 0 in
   let progress = ref true in
   while !progress && !splits + !retracts < cfg.max_actions do
     progress := false;
-    let parts = census overlay in
+    let parts = view (census overlay) in
     match find_split overlay cfg parts with
     | Some (path, members, _) ->
       let dropped, c = split_partition ~telemetry rng overlay ~path ~members cfg in
@@ -371,7 +387,8 @@ let pass ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay cfg =
   let max_load =
     List.fold_left
       (fun m (_, members, _) -> max m (partition_load overlay members))
-      0 (census overlay)
+      0
+      (view (census overlay))
   in
   if Telemetry.active telemetry then
     Telemetry.emit telemetry

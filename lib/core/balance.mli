@@ -82,9 +82,17 @@ val partition_load : Overlay.t -> Node.id list -> int
     eligible action is applied, repeatedly, until no action remains or
     [cfg.max_actions] is reached.  Splits are preferred over
     retractions.  Returns the tally; also sets the [balance.max_load]
-    gauge on [?telemetry]. *)
+    gauge on [?telemetry].
+
+    [restrict] (default: none) narrows the pass to a reachability
+    island: peers it rejects are treated as nonexistent, so islands of
+    a live network partition balance independently — each may split the
+    same path on its own, the structural divergence
+    {!Reconcile.repair_structure} repairs after heal.  Omitting it
+    leaves the RNG draw sequence bit-identical. *)
 val pass :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?restrict:(Node.id -> bool) ->
   Pgrid_prng.Rng.t ->
   Overlay.t ->
   config ->

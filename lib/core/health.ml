@@ -10,6 +10,8 @@ type violation =
   | Data_at_risk of { key : Key.t; holders : int }
   | Data_lost of { key : Key.t }
   | Torn_write of { doc : string; present : int; total : int }
+  | Resurrected_key of { key : Key.t; holders : int }
+  | Diverged_partition of { prefix : string; descendants : int }
 
 type report = {
   violations : violation list;
@@ -19,6 +21,9 @@ type report = {
   at_risk : int;
   lost : int;
   torn : int;
+  resurrected : int;
+  diverged : int;
+  tombstone_debt : int;
   online : int;
   partitions : int;
   tracked_keys : int;
@@ -41,7 +46,7 @@ let census overlay =
   Hashtbl.fold (fun path counts acc -> (path, counts) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> compare a b)
 
-let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
+let check ?(keys = [||]) ?(docs = [||]) ?(versions = false) ~n_min overlay =
   if n_min < 1 then invalid_arg "Health.check: n_min must be >= 1";
   let parts = census overlay in
   (* Replication and trie completeness, per populated partition. *)
@@ -132,10 +137,54 @@ let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
           tornv := Torn_write { doc; present; total } :: !tornv
       end)
     docs;
+  (* Split-brain audits, behind [versions]: they read the write-version
+     sidecar, which only reconciliation-aware deployments maintain
+     meaningfully, and the legacy report stays bit-identical without
+     them. *)
+  let resv = ref [] and divv = ref [] and debt = ref 0 in
+  if versions then begin
+    (* Globally newest write per key over online peers; ties go to the
+       tombstone (the sync vote's rule). *)
+    let newest = Hashtbl.create 256 in
+    Overlay.iter overlay (fun n ->
+        if n.Node.online then begin
+          debt := !debt + Node.tombstone_count n;
+          Node.meta_fold n
+            (fun k m () ->
+              match Hashtbl.find_opt newest k with
+              | Some (v, d)
+                when v > m.Node.version || (v = m.Node.version && d) -> ()
+              | _ -> Hashtbl.replace newest k (m.Node.version, m.Node.dead))
+            ()
+        end);
+    Hashtbl.iter
+      (fun k (_, dead) ->
+        if dead then
+          match Hashtbl.find_opt holders k with
+          | Some (on, _) when on > 0 ->
+            resv := Resurrected_key { key = k; holders = on } :: !resv
+          | _ -> ())
+      newest;
+    (* Structural divergence: an online-inhabited path that is a strict
+       prefix of another (two islands split the same path while apart). *)
+    let is_prefix p q =
+      String.length p < String.length q
+      && String.sub q 0 (String.length p) = p
+    in
+    let live = List.filter_map (fun (p, (_, on)) -> if on > 0 then Some p else None) parts in
+    List.iter
+      (fun p ->
+        let descendants = List.length (List.filter (fun q -> is_prefix p q) live) in
+        if descendants > 0 then
+          divv := Diverged_partition { prefix = p; descendants } :: !divv)
+      live
+  end;
   let by_key a b =
     match (a, b) with
     | Data_at_risk { key = x; _ }, Data_at_risk { key = y; _ }
-    | Data_lost { key = x }, Data_lost { key = y } -> Key.compare x y
+    | Data_lost { key = x }, Data_lost { key = y }
+    | Resurrected_key { key = x; _ }, Resurrected_key { key = y; _ } ->
+      Key.compare x y
     | _ -> 0
   in
   let by_peer a b =
@@ -149,18 +198,28 @@ let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
     | Torn_write { doc = x; _ }, Torn_write { doc = y; _ } -> compare x y
     | _ -> 0
   in
+  let by_prefix a b =
+    match (a, b) with
+    | Diverged_partition { prefix = x; _ }, Diverged_partition { prefix = y; _ } ->
+      compare x y
+    | _ -> 0
+  in
   let trie = List.rev !trie
   and under = List.rev !under
   and refv = List.sort by_peer !refv
   and riskv = List.sort by_key !riskv
   and lostv = List.sort by_key !lostv
-  and tornv = List.sort by_doc !tornv in
+  and tornv = List.sort by_doc !tornv
+  and resv = List.sort by_key !resv
+  and divv = List.sort by_prefix !divv in
   let ref_integrity = List.length refv
   and trie_incomplete = List.length trie
   and under_replicated = List.length under
   and at_risk = List.length riskv
   and lost = List.length lostv
-  and torn = List.length tornv in
+  and torn = List.length tornv
+  and resurrected = List.length resv
+  and diverged = List.length divv in
   let partitions = List.length parts in
   let tracked_keys = Hashtbl.length holders + lost in
   (* Weighted score: data durability dominates, then replication and
@@ -180,13 +239,16 @@ let check ?(keys = [||]) ?(docs = [||]) ~n_min overlay =
     (0.35 *. data_ok) +. (0.25 *. rep_ok) +. (0.25 *. ref_ok) +. (0.15 *. trie_ok)
   in
   {
-    violations = refv @ trie @ under @ riskv @ lostv @ tornv;
+    violations = refv @ trie @ under @ riskv @ lostv @ tornv @ resv @ divv;
     ref_integrity;
     trie_incomplete;
     under_replicated;
     at_risk;
     lost;
     torn;
+    resurrected;
+    diverged;
+    tombstone_debt = !debt;
     online = Overlay.online_count overlay;
     partitions;
     tracked_keys;
@@ -225,3 +287,11 @@ let pp_violation fmt = function
   | Torn_write { doc; present; total } ->
     Format.fprintf fmt "torn-write: document %s indexed under %d/%d of its keys" doc
       present total
+  | Resurrected_key { key; holders } ->
+    Format.fprintf fmt
+      "resurrected-key: key %s live at %d peer(s) despite a newer tombstone"
+      (Key.to_string key) holders
+  | Diverged_partition { prefix; descendants } ->
+    Format.fprintf fmt
+      "diverged-partition: path %s inhabited alongside %d deeper partition(s)"
+      prefix descendants

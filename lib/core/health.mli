@@ -33,6 +33,14 @@ type violation =
       (** a tracked document indexed under a strict subset of its keys:
           an atomic multi-key write that tore (the invariant the
           transaction layer's commit/abort/recovery must preserve) *)
+  | Resurrected_key of { key : Key.t; holders : int }
+      (** [versions] only: the key is live at [holders] online peer(s)
+          although the globally newest write for it is a tombstone — a
+          routed delete has been undone by a stale copy *)
+  | Diverged_partition of { prefix : string; descendants : int }
+      (** [versions] only: an online-inhabited path that is a strict
+          prefix of [descendants] other online-inhabited path(s) — two
+          islands split the same path independently while partitioned *)
 
 type report = {
   violations : violation list;  (** deterministic order *)
@@ -42,6 +50,10 @@ type report = {
   at_risk : int;
   lost : int;
   torn : int;  (** torn documents among [docs] *)
+  resurrected : int;  (** [versions] only; else 0 *)
+  diverged : int;  (** [versions] only; else 0 *)
+  tombstone_debt : int;
+      (** live tombstones across online peers ([versions] only; else 0) *)
   online : int;  (** online peers at check time *)
   partitions : int;  (** populated partitions (online or not) *)
   tracked_keys : int;  (** distinct keys audited for durability *)
@@ -55,10 +67,16 @@ type report = {
     [keys].  [docs] lists settled multi-key documents as
     [(payload, keys)]: each must be indexed under all of its keys or
     none (partial presence is a {!Torn_write}); holders are counted
-    online or offline, judging durable state like [Data_lost] does. *)
+    online or offline, judging durable state like [Data_lost] does.
+
+    [versions] (default [false]) additionally audits the write-version
+    sidecar: {!Resurrected_key}, {!Diverged_partition} and the
+    [tombstone_debt] gauge.  Off, the report is bit-identical to the
+    pre-reconciliation checker. *)
 val check :
   ?keys:Key.t array ->
   ?docs:(string * Key.t array) array ->
+  ?versions:bool ->
   n_min:int ->
   Overlay.t ->
   report

@@ -344,6 +344,8 @@ type daemon_config = {
   monitor_period : float;
   balance : Balance.config option;
   txn : Txn.t option;
+  admit : (Node.id -> Node.id -> bool) option;
+  reconcile : Reconcile.config option;
 }
 
 let default_daemon_config ~n_min =
@@ -357,6 +359,8 @@ let default_daemon_config ~n_min =
     monitor_period = 60.;
     balance = None;
     txn = None;
+    admit = None;
+    reconcile = None;
   }
 
 type daemon_stats = {
@@ -374,6 +378,9 @@ type daemon_stats = {
   mutable balance_keys_moved : int;
   mutable recover_passes : int;
   mutable intents_resolved : int;
+  mutable reconcile_passes : int;
+  mutable divergences_repaired : int;
+  mutable tombstones_purged : int;
 }
 
 (* Donor for emergency re-replication: the partition with the most
@@ -424,6 +431,13 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
     invalid_arg "Maintenance.install_daemon: jitter outside [0, 1)";
   if cfg.sync_budget < 0 then invalid_arg "Maintenance.install_daemon: negative budget";
   Option.iter Balance.validate cfg.balance;
+  Option.iter
+    (fun (r : Reconcile.config) ->
+      if r.Reconcile.period <= 0. then
+        invalid_arg "Maintenance.install_daemon: reconcile period must be > 0";
+      if r.Reconcile.gc_after < 0. then
+        invalid_arg "Maintenance.install_daemon: reconcile gc_after must be >= 0")
+    cfg.reconcile;
   let stats =
     {
       ticks = 0;
@@ -440,7 +454,15 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       balance_keys_moved = 0;
       recover_passes = 0;
       intents_resolved = 0;
+      reconcile_passes = 0;
+      divergences_repaired = 0;
+      tombstones_purged = 0;
     }
+  in
+  (* The reachability gate: [None] admits every edge via a constant-true
+     test applied inside the same scans, so it changes no draw. *)
+  let adm =
+    match cfg.admit with None -> fun _ _ -> true | Some f -> f
   in
   let next_delay () =
     cfg.period *. (1. +. (cfg.jitter *. ((2. *. Rng.float rng) -. 1.)))
@@ -455,20 +477,40 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       let partners =
         List.rev
           (Intset.fold
-             (fun acc r -> if (node overlay r).Node.online then r :: acc else acc)
+             (fun acc r ->
+               if (node overlay r).Node.online && adm i r then r :: acc else acc)
              [] n.Node.replicas)
       in
       (match partners with
       | [] -> ()
-      | partners ->
+      | partners -> (
         let b = Rng.pick_list rng partners in
-        let copied = Overlay.anti_entropy_pair overlay ~a:i ~b ~budget:cfg.sync_budget in
-        if copied > 0 then begin
-          stats.exchanges <- stats.exchanges + 1;
-          stats.keys_synced <- stats.keys_synced + copied;
-          if Telemetry.active telemetry then
-            Telemetry.emit telemetry (Event.Anti_entropy { a = i; b; copied })
-        end);
+        match cfg.reconcile with
+        | None ->
+          let copied =
+            Overlay.anti_entropy_pair overlay ~a:i ~b ~budget:cfg.sync_budget
+          in
+          if copied > 0 then begin
+            stats.exchanges <- stats.exchanges + 1;
+            stats.keys_synced <- stats.keys_synced + copied;
+            if Telemetry.active telemetry then
+              Telemetry.emit telemetry (Event.Anti_entropy { a = i; b; copied })
+          end
+        | Some _ ->
+          let r = Reconcile.sync_pair overlay ~a:i ~b ~budget:cfg.sync_budget in
+          if r.Reconcile.copied > 0 || r.Reconcile.tombstoned > 0 then begin
+            stats.exchanges <- stats.exchanges + 1;
+            stats.keys_synced <- stats.keys_synced + r.Reconcile.copied;
+            if Telemetry.active telemetry then
+              Telemetry.emit telemetry
+                (Event.Reconcile_sync
+                   {
+                     a = i;
+                     b;
+                     copied = r.Reconcile.copied;
+                     tombstoned = r.Reconcile.tombstoned;
+                   })
+          end));
       let plen = Path.length n.Node.path in
       if plen > 0 then begin
         let level = Rng.int rng plen in
@@ -494,7 +536,7 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
           let prefix = Path.complement_at n.Node.path level in
           match
             List.filter
-              (fun c -> not (Node.has_ref n ~level c))
+              (fun c -> (not (Node.has_ref n ~level c)) && adm i c)
               (complement_candidates overlay prefix ~excluding:i)
           with
           | [] -> ()
@@ -589,17 +631,67 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
         in
         collect 0 []
       in
-      Hashtbl.iter
-        (fun k payloads ->
-          List.iter
-            (fun mid ->
-              let m = node overlay mid in
-              if Node.responsible_for m k then begin
-                Node.ensure_key m k;
-                List.iter (fun p -> ignore (Node.insert_new m k p)) payloads
-              end)
-            mates)
-        r.Node.store;
+      (match cfg.reconcile with
+      | None ->
+        Hashtbl.iter
+          (fun k payloads ->
+            List.iter
+              (fun mid ->
+                let m = node overlay mid in
+                if Node.responsible_for m k then begin
+                  Node.ensure_key m k;
+                  List.iter (fun p -> ignore (Node.insert_new m k p)) payloads
+                end)
+              mates)
+          r.Node.store
+      | Some _ ->
+        (* Version-aware handover: a mate holding a tombstone at least
+           as new as the recruit's copy keeps its delete; live copies
+           carry their version so later syncs can still judge them. *)
+        Hashtbl.iter
+          (fun k payloads ->
+            let km = Node.meta r k in
+            let kv = match km with Some mm -> mm.Node.version | None -> 0 in
+            List.iter
+              (fun mid ->
+                let m = node overlay mid in
+                if Node.responsible_for m k then begin
+                  let blocked =
+                    match Node.meta m k with
+                    | Some cur -> cur.Node.dead && cur.Node.version >= kv
+                    | None -> false
+                  in
+                  if not blocked then begin
+                    Node.ensure_key m k;
+                    List.iter (fun p -> ignore (Node.insert_new m k p)) payloads;
+                    match km with
+                    | Some mm when (not mm.Node.dead) && mm.Node.version > 0 -> (
+                      match Node.meta m k with
+                      | Some cur when cur.Node.version >= mm.Node.version -> ()
+                      | _ ->
+                        Node.note_write m k ~version:mm.Node.version
+                          ~stamp:mm.Node.stamp)
+                    | _ -> ()
+                  end
+                end)
+              mates)
+          r.Node.store;
+        (* The recruit's tombstones outlive its departure. *)
+        Node.meta_fold r
+          (fun k mm () ->
+            if mm.Node.dead then
+              List.iter
+                (fun mid ->
+                  let m = node overlay mid in
+                  if Node.responsible_for m k then
+                    match Node.meta m k with
+                    | Some cur when cur.Node.version > mm.Node.version -> ()
+                    | _ ->
+                      if Node.has_key m k then Node.remove_key m k;
+                      Node.note_delete m k ~version:mm.Node.version
+                        ~stamp:mm.Node.stamp)
+                mates)
+          ());
       farewell overlay recruit;
       adopt overlay ~host_id ~peer:recruit;
       purge_stale_refs rng overlay recruit;
@@ -615,27 +707,84 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
      dark there is no online target; the [Trie_incomplete] rescue
      recruits one first and the next tick re-homes the key. *)
   let resurrect key =
-    let holder = ref None in
-    for i = 0 to Overlay.size overlay - 1 do
-      let n = node overlay i in
-      match !holder with
-      | Some _ -> ()
-      | None -> if Hashtbl.mem n.Node.store key then holder := Some i
-    done;
-    match !holder with
-    | None -> ()
-    | Some h ->
-      let payloads = Hashtbl.find (node overlay h).Node.store key in
+    (* Version-aware deployments must not "rescue" a deleted key: when
+       the globally newest write for it is a tombstone, the at-risk copy
+       is stale, not endangered. *)
+    let deleted =
+      cfg.reconcile <> None
+      &&
+      let best = ref None in
+      for i = 0 to Overlay.size overlay - 1 do
+        match Node.meta (node overlay i) key with
+        | Some m -> (
+          match !best with
+          | Some (v, d) when v > m.Node.version || (v = m.Node.version && d) ->
+            ()
+          | _ -> best := Some (m.Node.version, m.Node.dead))
+        | None -> ()
+      done;
+      match !best with Some (_, true) -> true | _ -> false
+    in
+    if deleted then ()
+    else begin
+      let holder = ref None in
       for i = 0 to Overlay.size overlay - 1 do
         let n = node overlay i in
-        if
-          i <> h && n.Node.online
-          && Node.responsible_for n key
-          && not (Hashtbl.mem n.Node.store key)
-        then begin
-          Node.ensure_key n key;
-          List.iter (fun p -> ignore (Node.insert_new n key p)) payloads;
-          stats.keys_synced <- stats.keys_synced + 1
+        match !holder with
+        | Some _ -> ()
+        | None -> if Hashtbl.mem n.Node.store key then holder := Some i
+      done;
+      match !holder with
+      | None -> ()
+      | Some h ->
+        let payloads = Hashtbl.find (node overlay h).Node.store key in
+        for i = 0 to Overlay.size overlay - 1 do
+          let n = node overlay i in
+          if
+            i <> h && n.Node.online
+            && Node.responsible_for n key
+            && not (Hashtbl.mem n.Node.store key)
+          then begin
+            Node.ensure_key n key;
+            List.iter (fun p -> ignore (Node.insert_new n key p)) payloads;
+            (if cfg.reconcile <> None then
+               match Node.meta (node overlay h) key with
+               | Some mm when (not mm.Node.dead) && mm.Node.version > 0 ->
+                 Node.note_write n key ~version:mm.Node.version
+                   ~stamp:mm.Node.stamp
+               | _ -> ());
+            stats.keys_synced <- stats.keys_synced + 1
+          end
+        done
+    end
+  in
+  (* The inverse rescue, fired on [Resurrected_key]: push the newest
+     tombstone back over every stale live copy. *)
+  let entomb key =
+    let best = ref None in
+    for i = 0 to Overlay.size overlay - 1 do
+      match Node.meta (node overlay i) key with
+      | Some m when m.Node.dead -> (
+        match !best with
+        | Some (v, _) when v >= m.Node.version -> ()
+        | _ -> best := Some (m.Node.version, m.Node.stamp))
+      | _ -> ()
+    done;
+    match !best with
+    | None -> ()
+    | Some (version, stamp) ->
+      for i = 0 to Overlay.size overlay - 1 do
+        let n = node overlay i in
+        if n.Node.online then begin
+          let stale =
+            match Node.meta n key with
+            | Some m -> (not m.Node.dead) && m.Node.version <= version
+            | None -> Node.has_key n key
+          in
+          if stale then begin
+            if Node.has_key n key then Node.remove_key n key;
+            Node.note_delete n key ~version ~stamp
+          end
         end
       done
   in
@@ -652,7 +801,11 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
         Array.of_list
           (List.map (fun (doc, ks, _) -> (doc, ks)) (Txn.settled_docs txn))
     in
-    let report = Health.check ~keys:(keys ()) ~docs ~n_min:cfg.n_min overlay in
+    let report =
+      Health.check ~keys:(keys ()) ~docs
+        ~versions:(cfg.reconcile <> None)
+        ~n_min:cfg.n_min overlay
+    in
     Health.emit ~telemetry report;
     (* Surviving membership of one partition: online members plus
        offline ones whose store is intact.  A partition with few
@@ -683,6 +836,7 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
              the partition off. *)
           rereplicate prefix
         | Health.Data_at_risk { key; _ } -> resurrect key
+        | Health.Resurrected_key { key; _ } -> entomb key
         | _ -> ())
       report.Health.violations
   in
@@ -708,14 +862,46 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
   (match cfg.balance with
   | None -> ()
   | Some bcfg ->
+    let run_pass restrict =
+      let r = Balance.pass ~telemetry ?restrict rng overlay bcfg in
+      stats.balance_passes <- stats.balance_passes + 1;
+      stats.balance_splits <- stats.balance_splits + r.Balance.splits;
+      stats.balance_retracts <- stats.balance_retracts + r.Balance.retracts;
+      stats.balance_keys_moved <-
+        stats.balance_keys_moved + r.Balance.migrated_keys + r.Balance.copied_keys
+    in
     let rec run_balance () =
       if now () < until then begin
-        let r = Balance.pass ~telemetry rng overlay bcfg in
-        stats.balance_passes <- stats.balance_passes + 1;
-        stats.balance_splits <- stats.balance_splits + r.Balance.splits;
-        stats.balance_retracts <- stats.balance_retracts + r.Balance.retracts;
-        stats.balance_keys_moved <-
-          stats.balance_keys_moved + r.Balance.migrated_keys + r.Balance.copied_keys;
+        (match cfg.admit with
+        | None -> run_pass None
+        | Some f ->
+          (* Under an admission filter each reachability island balances
+             on its own view, like the real sides of a partition would.
+             The lowest online id anchors one island; whoever it cannot
+             reach forms the other.  (Two islands cover every fault this
+             repo injects; a finer cut still balances — stragglers just
+             wait for heal.)  With the network whole the first island is
+             everyone and the single pass degenerates to the unrestricted
+             one. *)
+          let r0 = ref (-1) in
+          (try
+             for i = 0 to Overlay.size overlay - 1 do
+               if (node overlay i).Node.online then begin
+                 r0 := i;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !r0 >= 0 then begin
+            let a = !r0 in
+            let in_a i = i = a || f a i in
+            let split = ref false in
+            for i = 0 to Overlay.size overlay - 1 do
+              if (node overlay i).Node.online && not (in_a i) then split := true
+            done;
+            run_pass (Some in_a);
+            if !split then run_pass (Some (fun i -> not (in_a i)))
+          end);
         schedule ~delay:bcfg.Balance.period run_balance
       end
     in
@@ -736,4 +922,43 @@ let install_daemon ?(telemetry = Pgrid_telemetry.Global.get ())
       end
     in
     schedule ~delay:(Rng.float rng *. cfg.monitor_period) run_recover);
+  (* Reconciliation rides its own period: deterministic structural
+     repair (only once the network is whole again — mid-partition the
+     islands cannot see each other's splits, so "repairing" them would
+     cheat), then tombstone GC.  Gated and scheduled last, so
+     [reconcile = None] leaves the daemon's draw sequence
+     bit-identical. *)
+  (match cfg.reconcile with
+  | None -> ()
+  | Some rcfg ->
+    let whole () =
+      match cfg.admit with
+      | None -> true
+      | Some f ->
+        let ok = ref true in
+        let r0 = ref (-1) in
+        for i = 0 to Overlay.size overlay - 1 do
+          if (node overlay i).Node.online then
+            if !r0 < 0 then r0 := i
+            else if not (f !r0 i) then ok := false
+        done;
+        !ok
+    in
+    let rec run_reconcile () =
+      if now () < until then begin
+        stats.reconcile_passes <- stats.reconcile_passes + 1;
+        if whole () then begin
+          let repaired = Reconcile.repair_structure ~telemetry rcfg overlay in
+          stats.divergences_repaired <- stats.divergences_repaired + repaired
+        end;
+        let purged = Reconcile.gc rcfg overlay ~now:(now ()) in
+        if purged > 0 then begin
+          stats.tombstones_purged <- stats.tombstones_purged + purged;
+          if Telemetry.active telemetry then
+            Telemetry.emit telemetry (Event.Reconcile_gc { peer = -1; purged })
+        end;
+        schedule ~delay:rcfg.Reconcile.period run_reconcile
+      end
+    in
+    schedule ~delay:(Rng.float rng *. rcfg.Reconcile.period) run_reconcile);
   stats

@@ -130,11 +130,33 @@ type daemon_config = {
           [monitor_period] seconds; [None] (the default) disables both
           and, like [balance], leaves the daemon's RNG draw sequence
           bit-identical *)
+  admit : (Node.id -> Node.id -> bool) option;
+      (** reachability filter (e.g. {!Pgrid_simnet.Fault.connected}
+          partially applied): when set, anti-entropy partners, routing
+          refresh candidates and balance passes only see peers the
+          filter admits, so an open network partition maintains itself
+          as two independent islands rather than through walls the data plane
+          cannot cross.  [None] (the default) admits everyone and
+          leaves the daemon's RNG draw sequence bit-identical *)
+  reconcile : Reconcile.config option;
+      (** post-partition reconciliation (see {!Reconcile}): replaces the
+          per-peer {!Overlay.anti_entropy_pair} exchange with the
+          version-aware {!Reconcile.sync_pair}, makes the health monitor
+          audit the write-version sidecar
+          ([Health.check ~versions:true] — {!Health.Resurrected_key} is
+          answered by pushing the newest tombstone back over stale live
+          copies, and emergency rescue paths refuse to resurrect
+          deleted keys), and adds a dedicated process running
+          {!Reconcile.repair_structure} (only while the network is
+          whole under [admit]) plus {!Reconcile.gc} every
+          [reconcile.period] seconds.  [None] (the default) disables
+          all of it and leaves the daemon's RNG draw sequence
+          bit-identical *)
 }
 
 (** [period = 30.], [jitter = 0.5], [sync_budget = 64], [redundancy = 2],
     [critical = 1], [monitor_period = 60.], [balance = None],
-    [txn = None]. *)
+    [txn = None], [admit = None], [reconcile = None]. *)
 val default_daemon_config : n_min:int -> daemon_config
 
 (** Live counters of daemon activity; updated in place as the scheduled
@@ -157,6 +179,10 @@ type daemon_stats = {
   mutable recover_passes : int;  (** {!Txn.recover_pass} runs *)
   mutable intents_resolved : int;
       (** intent-log records those passes resolved *)
+  mutable reconcile_passes : int;  (** reconciliation process runs *)
+  mutable divergences_repaired : int;
+      (** conflicts {!Reconcile.repair_structure} resolved *)
+  mutable tombstones_purged : int;  (** metas {!Reconcile.gc} dropped *)
 }
 
 (** [install_daemon rng overlay ~schedule ~now ~until cfg] installs the

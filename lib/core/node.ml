@@ -3,11 +3,14 @@ module Path = Pgrid_keyspace.Path
 
 type id = int
 
+type meta = { mutable version : int; mutable dead : bool; mutable stamp : float }
+
 type t = {
   id : id;
   mutable path : Path.t;
   mutable refs : Intset.t array;
   store : (Key.t, string list) Hashtbl.t;
+  vers : (Key.t, meta) Hashtbl.t;
   replicas : Intset.t;
   mutable online : bool;
   mutable zero_keys : int;
@@ -19,10 +22,42 @@ let create ~id =
     path = Path.root;
     refs = Array.init 8 (fun _ -> Intset.create ());
     store = Hashtbl.create 32;
+    vers = Hashtbl.create 8;
     replicas = Intset.create ();
     online = true;
     zero_keys = 0;
   }
+
+(* Version metadata is a sidecar: the legacy store never reads it, so
+   maintaining it costs nothing observable (and no RNG) unless a
+   reconciliation-aware caller asks.  A key with no entry is implicitly
+   (version 0, alive) — the state of every key written before versioning
+   existed. *)
+
+let meta t key = Hashtbl.find_opt t.vers key
+
+let note_write t key ~version ~stamp =
+  match Hashtbl.find_opt t.vers key with
+  | Some m ->
+    m.version <- version;
+    m.dead <- false;
+    m.stamp <- stamp
+  | None -> Hashtbl.replace t.vers key { version; dead = false; stamp }
+
+let note_delete t key ~version ~stamp =
+  match Hashtbl.find_opt t.vers key with
+  | Some m ->
+    m.version <- version;
+    m.dead <- true;
+    m.stamp <- stamp
+  | None -> Hashtbl.replace t.vers key { version; dead = true; stamp }
+
+let drop_meta t key = Hashtbl.remove t.vers key
+
+let meta_fold t f acc = Hashtbl.fold f t.vers acc
+
+let tombstone_count t =
+  Hashtbl.fold (fun _ m acc -> if m.dead then acc + 1 else acc) t.vers 0
 
 (* zero_keys counts the distinct stored keys whose bit at the node's
    current path level is 0; every store mutation below keeps it exact so
@@ -104,6 +139,9 @@ let remove_key t key =
 
 let clear_store t =
   Hashtbl.reset t.store;
+  (* A crash wipes the disk, tombstones included: durability of deletes
+     comes from replication, not from any single node's sidecar. *)
+  Hashtbl.reset t.vers;
   t.zero_keys <- 0
 
 let has_key t key = Hashtbl.mem t.store key
@@ -190,6 +228,12 @@ let drop_keys_outside t path =
       t.store []
   in
   List.iter (remove_key t) doomed;
+  let stale_meta =
+    Hashtbl.fold
+      (fun k _ acc -> if Path.matches_key path k then acc else k :: acc)
+      t.vers []
+  in
+  List.iter (drop_meta t) stale_meta;
   List.length doomed
 
 let responsible_for t key = Path.matches_key t.path key

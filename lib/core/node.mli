@@ -21,6 +21,15 @@
 
 type id = int
 
+(** Per-key write metadata, the sidecar the reconciliation layer reads
+    (see {!Reconcile}): a monotone overlay-wide write version, a
+    tombstone flag for routed deletes, and the simulated time of the
+    last write (used only to age tombstones out).  A key with no meta
+    entry is implicitly [(version 0, alive)] — the state of everything
+    written before versioning existed, so legacy behaviour is the
+    zero-metadata case, not a special case. *)
+type meta = { mutable version : int; mutable dead : bool; mutable stamp : float }
+
 type t = {
   id : id;
   mutable path : Pgrid_keyspace.Path.t;
@@ -32,6 +41,10 @@ type t = {
           kept sorted and duplicate-free so mutation is a single early-exit
           pass.  Read-only outside this module — mutate via the functions
           below. *)
+  vers : (Pgrid_keyspace.Key.t, meta) Hashtbl.t;
+      (** version/tombstone sidecar; a dead entry may outlive its store
+          key (that is the tombstone).  Read-only outside this module —
+          mutate via {!note_write}/{!note_delete}/{!drop_meta}. *)
   replicas : Intset.t;  (** known peers sharing this node's path *)
   mutable online : bool;
   mutable zero_keys : int;
@@ -65,8 +78,30 @@ val ensure_key : t -> Pgrid_keyspace.Key.t -> unit
 (** [remove_key t key] deletes [key] and its payloads if present. *)
 val remove_key : t -> Pgrid_keyspace.Key.t -> unit
 
-(** [clear_store t] empties the store. *)
+(** [clear_store t] empties the store {e and} the version sidecar — a
+    crash wipes the disk, tombstones included (delete durability comes
+    from replication, never from one node). *)
 val clear_store : t -> unit
+
+(** [meta t key] is the version sidecar entry, if any. *)
+val meta : t -> Pgrid_keyspace.Key.t -> meta option
+
+(** [note_write t key ~version ~stamp] records a live write at
+    [version], clearing any tombstone. *)
+val note_write : t -> Pgrid_keyspace.Key.t -> version:int -> stamp:float -> unit
+
+(** [note_delete t key ~version ~stamp] records a tombstone at
+    [version]; the store entry itself is removed by the caller. *)
+val note_delete : t -> Pgrid_keyspace.Key.t -> version:int -> stamp:float -> unit
+
+(** [drop_meta t key] discards the sidecar entry (tombstone GC). *)
+val drop_meta : t -> Pgrid_keyspace.Key.t -> unit
+
+val meta_fold : t -> (Pgrid_keyspace.Key.t -> meta -> 'a -> 'a) -> 'a -> 'a
+
+(** [tombstone_count t] counts dead sidecar entries (the node's
+    tombstone debt). *)
+val tombstone_count : t -> int
 
 (** [has_key t key] tests presence regardless of payloads. *)
 val has_key : t -> Pgrid_keyspace.Key.t -> bool
@@ -135,9 +170,10 @@ val replica_list : t -> id list
 val replica_count : t -> int
 val clear_replicas : t -> unit
 
-(** [drop_keys_outside t path] removes stored keys not matching [path]
-    (performed after a split hands the complement's keys over) and returns
-    the number of distinct keys dropped. *)
+(** [drop_keys_outside t path] removes stored keys (and sidecar entries,
+    tombstones included) not matching [path] — performed after a split
+    hands the complement's keys over — and returns the number of
+    distinct store keys dropped. *)
 val drop_keys_outside : t -> Pgrid_keyspace.Path.t -> int
 
 (** [responsible_for t key] tests whether the node's partition covers

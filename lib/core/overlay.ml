@@ -7,11 +7,22 @@ module Moments = Pgrid_stats.Moments
    id, of which the first [count] slots are live.  Growth doubles the
    array and blits, so ids (array indices) are stable across growth and
    [node] stays a plain array read on the routing hot path. *)
-type t = { mutable nodes : Node.t array; mutable count : int; rng : Rng.t }
+type t = {
+  mutable nodes : Node.t array;
+  mutable count : int;
+  rng : Rng.t;
+  mutable clock : int;
+      (* overlay-wide write clock: every routed insert/delete that reaches
+         a responsible peer gets the next version, so concurrent writes on
+         either side of a partition are totally ordered per overlay and
+         newest-write-wins is well defined after heal *)
+}
 
 let create rng ~n =
   if n < 1 then invalid_arg "Overlay.create: n must be >= 1";
-  { nodes = Array.init n (fun id -> Node.create ~id); count = n; rng }
+  { nodes = Array.init n (fun id -> Node.create ~id); count = n; rng; clock = 0 }
+
+let clock t = t.clock
 
 let size t = t.count
 
@@ -67,24 +78,29 @@ let divergence_level path key =
   in
   go 0
 
+(* Every routed operation admits every edge by default; a caller
+   modelling a live partition passes the cut as [admit src dst].  The
+   default is the constant-true test applied inside the same
+   count-then-scan passes, so it changes no draw and no outcome. *)
+let admit_all (_ : Node.id) (_ : Node.id) = true
+
 (* Forward one step toward [key]: choose a random online reference at the
    divergence level.  Count-then-scan over the reference set keeps this
    allocation-free (one uniform draw, no intermediate list). *)
-let forward t cur key =
+let forward ?(admit = admit_all) t cur key =
   match divergence_level cur.Node.path key with
   | None -> `Responsible
   | Some level ->
+    let usable id = (node t id).Node.online && admit cur.Node.id id in
     let online =
-      Node.refs_fold cur ~level
-        (fun acc id -> if (node t id).Node.online then acc + 1 else acc)
-        0
+      Node.refs_fold cur ~level (fun acc id -> if usable id then acc + 1 else acc) 0
     in
     if online = 0 then `Dead_end level
     else begin
       let target = Rng.int t.rng online in
       let seen = ref 0 and chosen = ref (-1) in
       Node.refs_iter cur ~level (fun id ->
-          if (node t id).Node.online then begin
+          if usable id then begin
             if !seen = target then chosen := id;
             incr seen
           end);
@@ -93,14 +109,14 @@ let forward t cur key =
 
 let max_hops = 2 * Key.bits
 
-let search t ~from key =
+let search ?(admit = admit_all) t ~from key =
   let fail ?at hops =
     { responsible = None; hops; key_present = false; payloads = []; dead_end = at }
   in
   let rec go cur hops =
     if hops > max_hops then fail hops
     else begin
-      match forward t cur key with
+      match forward ~admit t cur key with
       | `Responsible ->
         {
           responsible = Some cur.Node.id;
@@ -151,33 +167,54 @@ let range_search t ~from ~lo ~hi =
   let visited, total_hops, matches = shower from lo [] 0 [] in
   { visited; total_hops; matches }
 
-let insert t ~from key payload =
-  let r = search t ~from key in
+let insert ?(admit = admit_all) ?(stamp = 0.) t ~from key payload =
+  let r = search ~admit t ~from key in
   match r.responsible with
   | None -> None
   | Some id ->
     let peer = node t id in
+    t.clock <- t.clock + 1;
+    let version = t.clock in
     Node.insert peer key payload;
+    Node.note_write peer key ~version ~stamp;
     Intset.iter
       (fun rid ->
         let replica = node t rid in
-        if replica.Node.online && Node.responsible_for replica key then
-          Node.insert replica key payload)
+        if
+          replica.Node.online
+          && Node.responsible_for replica key
+          && admit id rid
+        then begin
+          Node.insert replica key payload;
+          Node.note_write replica key ~version ~stamp
+        end)
       peer.Node.replicas;
     Some r.hops
 
 type delete_result = { hops : int; removed : int }
 
-let delete t ~from ?payload key =
-  let r = search t ~from key in
+let delete ?(admit = admit_all) ?(stamp = 0.) t ~from ?payload key =
+  let r = search ~admit t ~from key in
   match r.responsible with
   | None -> None
   | Some id ->
     let peer = node t id in
+    t.clock <- t.clock + 1;
+    let version = t.clock in
     let remove_at n =
       match payload with
-      | None -> if Node.has_key n key then (Node.remove_key n key; 1) else 0
-      | Some p -> if Node.remove_payload n key p then 1 else 0
+      | None ->
+        (* Whole-key delete leaves a tombstone in the sidecar even where
+           the key was already absent: the tombstone's job is to outvote
+           stale replicas that resurface later. *)
+        Node.note_delete n key ~version ~stamp;
+        if Node.has_key n key then (Node.remove_key n key; 1) else 0
+      | Some p ->
+        if Node.remove_payload n key p then begin
+          Node.note_write n key ~version ~stamp;
+          1
+        end
+        else 0
     in
     (* Same fan-out discipline as [insert]: the responsible peer plus its
        online replicas that still cover the key.  Offline replicas keep
@@ -187,8 +224,11 @@ let delete t ~from ?payload key =
     Intset.iter
       (fun rid ->
         let replica = node t rid in
-        if replica.Node.online && Node.responsible_for replica key then
-          removed := !removed + remove_at replica)
+        if
+          replica.Node.online
+          && Node.responsible_for replica key
+          && admit id rid
+        then removed := !removed + remove_at replica)
       peer.Node.replicas;
     Some { hops = r.hops; removed = !removed }
 

@@ -43,12 +43,22 @@ type search_result = {
           (the trigger for correction-on-use repair) *)
 }
 
-(** [search t ~from key] routes bit-by-bit from [from]: while the current
-    node's path disagrees with [key] at some level [l], the query is
-    forwarded to a (random, online) level-[l] reference.  Fails after
+(** [search ?admit t ~from key] routes bit-by-bit from [from]: while the
+    current node's path disagrees with [key] at some level [l], the query
+    is forwarded to a (random, online) level-[l] reference.  Fails after
     exhausting the references of a level or a hop budget of
-    [2 * Key.bits]. Offline [from] fails immediately with 0 hops. *)
-val search : t -> from:Node.id -> Pgrid_keyspace.Key.t -> search_result
+    [2 * Key.bits]. Offline [from] fails immediately with 0 hops.
+
+    [admit src dst] (default: always [true]) vetoes individual edges —
+    the hook through which a live network partition constrains routing
+    ({!Pgrid_simnet.Fault.connected}).  The default is applied inside the
+    same candidate scan, so omitting it changes no RNG draw. *)
+val search :
+  ?admit:(Node.id -> Node.id -> bool) ->
+  t ->
+  from:Node.id ->
+  Pgrid_keyspace.Key.t ->
+  search_result
 
 (** Outcome of a range query. *)
 type range_result = {
@@ -68,10 +78,20 @@ val range_search :
   hi:Pgrid_keyspace.Key.t ->
   range_result
 
-(** [insert t ~from key payload] routes to the responsible peer and stores
-    the payload there and at its known replicas. Returns the hop count,
-    or [None] if routing failed. *)
-val insert : t -> from:Node.id -> Pgrid_keyspace.Key.t -> string -> int option
+(** [insert ?admit ?stamp t ~from key payload] routes to the responsible
+    peer and stores the payload there and at its known replicas (those
+    [admit] lets it reach). Returns the hop count, or [None] if routing
+    failed.  Every successful insert takes the overlay's next write
+    version and records it (with [stamp], default 0, the wall time used
+    only to age tombstones) in each written node's sidecar. *)
+val insert :
+  ?admit:(Node.id -> Node.id -> bool) ->
+  ?stamp:float ->
+  t ->
+  from:Node.id ->
+  Pgrid_keyspace.Key.t ->
+  string ->
+  int option
 
 (** Outcome of a routed delete. *)
 type delete_result = {
@@ -85,8 +105,17 @@ type delete_result = {
     abort/undo primitive.  With [payload] only that posting is removed
     (the key survives, possibly with an empty posting list); without it
     the whole key is dropped.  Deleting something absent is a clean
-    no-op ([removed = 0]).  [None] iff routing failed. *)
+    no-op ([removed = 0]).  [None] iff routing failed.
+
+    A whole-key delete writes a {e tombstone} (a dead sidecar entry at
+    the overlay's next write version, stamped [stamp]) at the
+    responsible peer and every replica it reaches — including ones that
+    never held the key — so stale copies resurfacing after a partition
+    or crash are outvoted by {!Reconcile} instead of resurrected.
+    [admit] as for {!search}. *)
 val delete :
+  ?admit:(Node.id -> Node.id -> bool) ->
+  ?stamp:float ->
   t ->
   from:Node.id ->
   ?payload:string ->
@@ -104,8 +133,16 @@ val anti_entropy : t -> int
     missing (key, payload) pairs — payload-less keys count one each —
     stopping after [budget] copies, and record each other as replicas.
     Returns the number of copies made; 0 when [a = b], either side is
-    offline, or their paths differ. *)
+    offline, or their paths differ.
+
+    Both forms are pure union: a delete concurrent with a stale copy is
+    {e resurrected} by them.  {!Reconcile.sync_pair} is the
+    version-aware replacement. *)
 val anti_entropy_pair : t -> a:Node.id -> b:Node.id -> budget:int -> int
+
+(** [clock t] is the overlay's write clock: the version handed to the
+    most recent routed insert/delete (0 before any). *)
+val clock : t -> int
 
 (** [paths t] is every online node's current path. *)
 val paths : t -> Pgrid_keyspace.Path.t list

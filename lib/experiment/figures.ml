@@ -1807,3 +1807,333 @@ let overload_summary o =
     ]
   in
   (columns, rows)
+
+(* --- partition: split-brain window, reconciliation on vs off ------------- *)
+
+module Reconcile = Pgrid_core.Reconcile
+
+type partition_point = {
+  t : float;
+  score : float;
+  lost : int;
+  resurrected : int;
+  diverged : int;
+  tombstones : int;
+  success_pct : float;
+  found_pct : float;
+}
+
+type partition_run = {
+  reconciling : bool;
+  points : partition_point list;
+  converged_at : float option;
+      (* seconds after heal until the first clean sample that stays clean *)
+  final_resurrected : int;
+  final_diverged : int;
+  final_lost : int;
+  peak_resurrected : int;
+  peak_diverged : int;
+  inserted : int;
+  deleted : int;
+  insert_failures : int;
+  delete_failures : int;
+  syncs : int;
+  repairs : int;
+  tombstones_purged : int;
+  splits : int;
+}
+
+let partition_n_min = 2
+
+(* One arm of the split-brain experiment: construct, cut the network in
+   half for [stop - start] seconds while a skewed insert storm and a
+   routed delete stream keep hitting both sides (each gated by
+   {!Fault.connected}, so writes only reach the origin's island), with
+   load balancing live on both sides — the overloaded paths split
+   independently per island — then heal and watch the version audits.
+   Both arms share every environmental seed; only [reconcile] differs. *)
+let partition_run_one ~peers ~horizon ~sample_every ~start ~stop ~bound
+    ~reconciling ~seed =
+  let rng = Rng.create ~seed in
+  let built = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = built.Round.overlay in
+  let keys0 =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  (* The keys that *should* exist: initial and inserted, minus routed
+     deletes.  A deleted key must stay gone — if it is findable again
+     the audit reports it as resurrected, not lost. *)
+  let live = ref (Array.to_list keys0) in
+  let live_n = ref (Array.length keys0) in
+  let tracked_keys () = Array.of_list !live in
+  let sim = Sim.create () in
+  let tel = Pgrid_telemetry.Global.get () in
+  Telemetry.set_clock tel (fun () -> Sim.now sim);
+  let net : unit Net.t =
+    Net.create sim (Rng.create ~seed:(seed + 2)) ~nodes:peers
+      ~latency:Latency.planetlab ~loss:0. ~bucket:60.
+  in
+  let fault =
+    Fault.install ~telemetry:tel net ~seed:(seed + 3)
+      [ Fault.Partition { start; stop; frac = 0.5 } ]
+  in
+  let adm src dst = Fault.connected fault ~src ~dst in
+  let d_max = (Round.default_params ~peers).Round.d_max in
+  let dstats =
+    Maintenance.install_daemon ~telemetry:tel ~keys:tracked_keys
+      (Rng.create ~seed:(seed + 4))
+      overlay
+      ~schedule:(fun ~delay f -> Sim.schedule sim ~delay f)
+      ~now:(fun () -> Sim.now sim)
+      ~until:horizon
+      {
+        (Maintenance.default_daemon_config ~n_min:partition_n_min) with
+        (* Construction leaves ~5 members per partition, so one island
+           sees 2-3 of them: a balance floor of 1 lets an island-local
+           view split once it has three members and an overloaded
+           store.  [d_max] matches construction, so only storm-fed
+           paths split. *)
+        Maintenance.balance = Some (Balance.default_config ~d_max ~n_min:1);
+        admit = Some adm;
+        reconcile =
+          (if reconciling then
+             Some
+               {
+                 Reconcile.default_config with
+                 Reconcile.period = 60.;
+                 (* Tombstones must outlive the cut plus the time
+                    reconciliation is allowed to take, or GC would turn
+                    un-synced deletes back into resurrections. *)
+                 gc_after = stop -. start +. bound;
+               }
+           else None);
+      }
+  in
+  (* The storm: one Pareto-1.5 key every 10 s — skewed, so the hot
+     low-end paths keep crossing [d_max] and split *during* the cut. *)
+  let irng = Rng.create ~seed:(seed + 5) in
+  let sample_key = Distribution.sampler (Distribution.Pareto 1.5) irng in
+  let inserted_n = ref 0 and insert_failures = ref 0 in
+  let rec insert_loop () =
+    if Sim.now sim < horizon then begin
+      let key = sample_key () in
+      let from = Rng.int irng peers in
+      (match
+         Overlay.insert ~admit:adm ~stamp:(Sim.now sim) overlay ~from key
+           (Printf.sprintf "doc-%d" !inserted_n)
+       with
+      | Some _ ->
+        live := key :: !live;
+        incr live_n;
+        incr inserted_n
+      | None -> incr insert_failures);
+      Sim.schedule sim ~delay:10. insert_loop
+    end
+  in
+  Sim.schedule_at sim ~time:60. insert_loop;
+  (* The delete stream: every 30 s one routed whole-key delete of a
+     random live key.  During the cut only the origin's island applies
+     it; the other side's copies are exactly the stale state
+     reconciliation must outvote after heal. *)
+  let drng = Rng.create ~seed:(seed + 6) in
+  let deleted_n = ref 0 and delete_failures = ref 0 in
+  let rec delete_loop () =
+    if Sim.now sim < horizon then begin
+      (if !live_n > 0 then begin
+         let at = Rng.int drng !live_n in
+         let key = List.nth !live at in
+         let from = Rng.int drng peers in
+         match Overlay.delete ~admit:adm ~stamp:(Sim.now sim) overlay ~from key with
+         | Some _ ->
+           live := List.filteri (fun i _ -> i <> at) !live;
+           decr live_n;
+           incr deleted_n
+         | None -> incr delete_failures
+       end);
+      Sim.schedule sim ~delay:30. delete_loop
+    end
+  in
+  Sim.schedule_at sim ~time:90. delete_loop;
+  (* Sampler: a version-aware health audit (both arms — the baseline
+     maintains the sidecar too, it just never acts on it) plus a
+     200-query batch at every multiple of [sample_every]. *)
+  let points = ref [] in
+  let samples = int_of_float (horizon /. sample_every) in
+  for k = 0 to samples do
+    let at = float_of_int k *. sample_every in
+    Sim.schedule_at sim ~time:at (fun () ->
+        let keys = tracked_keys () in
+        let r = Health.check ~keys ~versions:true ~n_min:partition_n_min overlay in
+        Health.emit ~telemetry:tel r;
+        let q =
+          Query.lookup_batch ~heal:true
+            (Rng.create ~seed:(seed + (7919 * (k + 1))))
+            overlay ~keys ~count:200
+        in
+        let pct n = 100. *. float_of_int n /. float_of_int (max 1 q.Query.issued) in
+        points :=
+          {
+            t = at;
+            score = r.Health.score;
+            lost = r.Health.lost;
+            resurrected = r.Health.resurrected;
+            diverged = r.Health.diverged;
+            tombstones = r.Health.tombstone_debt;
+            success_pct = pct q.Query.routed;
+            found_pct = pct q.Query.found;
+          }
+          :: !points)
+  done;
+  Sim.run sim;
+  let final = match !points with [] -> None | last :: _ -> Some last in
+  let points = List.rev !points in
+  let clean p = p.resurrected = 0 && p.diverged = 0 && p.lost = 0 in
+  let converged_at =
+    let rec scan = function
+      | [] -> None
+      | p :: rest ->
+        if p.t >= stop && clean p && List.for_all clean rest then Some (p.t -. stop)
+        else scan rest
+    in
+    scan points
+  in
+  {
+    reconciling;
+    points;
+    converged_at;
+    final_resurrected = (match final with Some p -> p.resurrected | None -> 0);
+    final_diverged = (match final with Some p -> p.diverged | None -> 0);
+    final_lost = (match final with Some p -> p.lost | None -> 0);
+    peak_resurrected = List.fold_left (fun m p -> max m p.resurrected) 0 points;
+    peak_diverged = List.fold_left (fun m p -> max m p.diverged) 0 points;
+    inserted = !inserted_n;
+    deleted = !deleted_n;
+    insert_failures = !insert_failures;
+    delete_failures = !delete_failures;
+    syncs = dstats.Maintenance.exchanges;
+    repairs = dstats.Maintenance.divergences_repaired;
+    tombstones_purged = dstats.Maintenance.tombstones_purged;
+    splits = dstats.Maintenance.balance_splits;
+  }
+
+type partition = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  heal_at : float;
+  bound : float;
+  on : partition_run option;
+  off : partition_run option;
+}
+
+let partition_cache :
+    (int * float * float * float * float * float * bool * int, partition_run)
+    Hashtbl.t =
+  Hashtbl.create 4
+
+let partition_one ~peers ~horizon ~sample_every ~start ~stop ~bound ~reconciling
+    ~seed =
+  let key = (peers, horizon, sample_every, start, stop, bound, reconciling, seed) in
+  match Hashtbl.find_opt partition_cache key with
+  | Some r -> r
+  | None ->
+    let r =
+      partition_run_one ~peers ~horizon ~sample_every ~start ~stop ~bound
+        ~reconciling ~seed
+    in
+    Hashtbl.add partition_cache key r;
+    r
+
+let partition ?(peers = 1024) ?(horizon = 14400.) ?(sample_every = 240.)
+    ?(which = `Both) ~seed () =
+  if horizon <= 0. then invalid_arg "Figures.partition: horizon must be positive";
+  if sample_every <= 0. then
+    invalid_arg "Figures.partition: sample_every must be positive";
+  let start = 0.25 *. horizon and stop = 0.75 *. horizon in
+  let bound = 0.125 *. horizon in
+  let arm reconciling =
+    partition_one ~peers ~horizon ~sample_every ~start ~stop ~bound ~reconciling
+      ~seed
+  in
+  {
+    peers;
+    horizon;
+    sample_every;
+    heal_at = stop;
+    bound;
+    on = (match which with `Both | `On -> Some (arm true) | `Off -> None);
+    off = (match which with `Both | `Off -> Some (arm false) | `On -> None);
+  }
+
+let partition_table x =
+  let columns =
+    [ "minutes"; "resurrected on"; "resurrected off"; "diverged on";
+      "diverged off"; "lost on"; "lost off"; "tombstones on"; "tombstones off";
+      "score on"; "score off" ]
+  in
+  let pts r = match r with Some x -> x.points | None -> [] in
+  let head = function p :: _ -> Some p | [] -> None in
+  let tail = function _ :: r -> r | [] -> [] in
+  let cell f = function Some p -> f p | None -> "-" in
+  let rec merge on off acc =
+    match (on, off) with
+    | [], [] -> List.rev acc
+    | _ ->
+      let t = match (on, off) with p :: _, _ | [], p :: _ -> p.t | _ -> 0. in
+      let row =
+        [
+          Printf.sprintf "%.0f" (t /. 60.);
+          cell (fun p -> string_of_int p.resurrected) (head on);
+          cell (fun p -> string_of_int p.resurrected) (head off);
+          cell (fun p -> string_of_int p.diverged) (head on);
+          cell (fun p -> string_of_int p.diverged) (head off);
+          cell (fun p -> string_of_int p.lost) (head on);
+          cell (fun p -> string_of_int p.lost) (head off);
+          cell (fun p -> string_of_int p.tombstones) (head on);
+          cell (fun p -> string_of_int p.tombstones) (head off);
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (head on);
+          cell (fun p -> Table.fmt_float ~decimals:3 p.score) (head off);
+        ]
+      in
+      merge (tail on) (tail off) (row :: acc)
+  in
+  (columns, merge (pts x.on) (pts x.off) [])
+
+let partition_summary x =
+  let columns = [ "statistic"; "reconciling"; "baseline" ] in
+  let v f = function Some r -> f r | None -> "-" in
+  let both f = [ v f x.on; v f x.off ] in
+  let conv r =
+    match r.converged_at with
+    | Some s -> Table.fmt_float ~decimals:0 s ^ " s"
+    | None -> "never"
+  in
+  let rows =
+    [
+      Printf.sprintf "converged within bound (%.0f s)" x.bound
+      :: both (fun r ->
+             match r.converged_at with
+             | Some s when s <= x.bound -> "yes"
+             | _ -> "no");
+      "time to converge after heal" :: both conv;
+      "resurrected deletes at end" :: both (fun r -> string_of_int r.final_resurrected);
+      "diverged partitions at end" :: both (fun r -> string_of_int r.final_diverged);
+      "lost keys at end" :: both (fun r -> string_of_int r.final_lost);
+      "peak resurrected deletes" :: both (fun r -> string_of_int r.peak_resurrected);
+      "peak diverged partitions" :: both (fun r -> string_of_int r.peak_diverged);
+      "sync exchanges" :: both (fun r -> string_of_int r.syncs);
+      "structural repairs" :: both (fun r -> string_of_int r.repairs);
+      "tombstones purged" :: both (fun r -> string_of_int r.tombstones_purged);
+      "runtime splits" :: both (fun r -> string_of_int r.splits);
+      "keys inserted during run" :: both (fun r -> string_of_int r.inserted);
+      "keys deleted during run" :: both (fun r -> string_of_int r.deleted);
+      "insert failures" :: both (fun r -> string_of_int r.insert_failures);
+      "delete failures" :: both (fun r -> string_of_int r.delete_failures);
+    ]
+  in
+  (columns, rows)

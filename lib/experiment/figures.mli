@@ -417,3 +417,83 @@ val overload_table : overload -> string list * string list list
 (** Aggregates: goodput recovery, completion percentiles, shed ratio,
     breaker and hedge counters. *)
 val overload_summary : overload -> string list * string list list
+
+(** {1 Partition experiment}
+
+    Split-brain survival: the network is cut in half for the middle
+    half of the run ({!Pgrid_simnet.Fault.Partition}, [frac = 0.5])
+    while a skewed insert storm, a routed delete stream and online load
+    balancing keep running on both sides — every write and maintenance
+    exchange gated by {!Pgrid_simnet.Fault.connected}, so each island
+    only sees itself.  At heal the islands hold conflicting state:
+    deletes one side never heard of, and paths the other side split on
+    its own.  One arm runs {!Pgrid_core.Reconcile} (version-aware
+    sync, tombstone push-back, deterministic structural repair); the
+    baseline arm keeps the legacy union-only anti-entropy.  Both arms
+    share every environmental seed. *)
+
+(** Replication floor of the partition experiment's health audit. *)
+val partition_n_min : int
+
+type partition_point = {
+  t : float;
+  score : float;
+  lost : int;
+  resurrected : int;  (** deleted keys live again somewhere online *)
+  diverged : int;  (** paths inhabited alongside a strict descendant *)
+  tombstones : int;  (** tombstone debt across online peers *)
+  success_pct : float;
+  found_pct : float;
+}
+
+type partition_run = {
+  reconciling : bool;
+  points : partition_point list;  (** chronological *)
+  converged_at : float option;
+      (** seconds after heal until the first sample with zero
+          resurrected / diverged / lost that stays clean to the end *)
+  final_resurrected : int;
+  final_diverged : int;
+  final_lost : int;
+  peak_resurrected : int;
+  peak_diverged : int;
+  inserted : int;
+  deleted : int;  (** routed whole-key deletes that found a route *)
+  insert_failures : int;
+  delete_failures : int;
+  syncs : int;  (** productive sync exchanges (legacy or version-aware) *)
+  repairs : int;  (** divergences {!Pgrid_core.Reconcile.repair_structure} resolved *)
+  tombstones_purged : int;
+  splits : int;  (** runtime splits (both islands combined) *)
+}
+
+type partition = {
+  peers : int;
+  horizon : float;
+  sample_every : float;
+  heal_at : float;  (** the cut spans [[0.25 * horizon, 0.75 * horizon]] *)
+  bound : float;  (** committed convergence bound: [0.125 * horizon] *)
+  on : partition_run option;
+  off : partition_run option;
+}
+
+(** [partition ~seed ()] runs the requested arms (default [`Both]),
+    memoized per parameter tuple.  Defaults: 1024 peers, a 14400 s
+    (4 h) horizon sampled every 240 s — a 2 h cut healing at t = 3 h,
+    with a 1800 s convergence bound. *)
+val partition :
+  ?peers:int ->
+  ?horizon:float ->
+  ?sample_every:float ->
+  ?which:[ `Both | `On | `Off ] ->
+  seed:int ->
+  unit ->
+  partition
+
+(** Time series: minutes, resurrected / diverged / lost / tombstone
+    debt / score for each arm side by side. *)
+val partition_table : partition -> string list * string list list
+
+(** Aggregates: convergence verdict and time, end-state violations,
+    sync / repair / GC counters, workload volume. *)
+val partition_summary : partition -> string list * string list list

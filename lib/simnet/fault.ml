@@ -288,6 +288,7 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart
       List.nth l i
     in
     let burst_i = ref 0 in
+    let part_i = ref 0 in
     List.iter
       (fun (_, spec) ->
         match spec with
@@ -295,7 +296,20 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart
           install_burst t s (nth_rt bursts !burst_i);
           incr burst_i
         | Partition { start; stop; _ } ->
-          install_window t ~fault:"partition" ~start ~stop
+          let p = nth_rt partitions !part_i in
+          incr part_i;
+          install_window t ~fault:"partition" ~start ~stop;
+          (* The heal instant is the reference point reconciliation is
+             measured from, so it gets its own event (with the cut size)
+             rather than being inferred from a generic Fault_off. *)
+          Sim.schedule_at t.sim ~time:stop (fun () ->
+              if Telemetry.active t.tel then begin
+                let cut =
+                  Array.fold_left (fun acc s -> if s then acc + 1 else acc) 0 p.side
+                in
+                Telemetry.emit t.tel
+                  (Event.Partition_heal { fault = "partition"; cut })
+              end)
         | Crash_restart _ as s -> install_crash t ~on_crash ~on_restart s
         | Latency_spike { start; stop; _ } ->
           install_window t ~fault:"latency" ~start ~stop
@@ -365,16 +379,21 @@ let install ?(telemetry = Pgrid_telemetry.Global.get ()) ?on_crash ?on_restart
   end;
   t
 
-let admits t ~src ~dst =
+(* Pure cut test: unlike [admits] it consults only the active partition
+   windows and draws no randomness, so both arms of an experiment can
+   gate routing on it without perturbing any RNG stream. *)
+let connected t ~src ~dst =
   let now = Sim.now t.sim in
-  let cut =
-    List.exists
-      (fun p ->
-        active ~start:p.p_start ~stop:p.p_stop now && p.side.(src) <> p.side.(dst))
-      t.partitions
-  in
-  if cut then false
+  not
+    (List.exists
+       (fun p ->
+         active ~start:p.p_start ~stop:p.p_stop now && p.side.(src) <> p.side.(dst))
+       t.partitions)
+
+let admits t ~src ~dst =
+  if not (connected t ~src ~dst) then false
   else begin
+    let now = Sim.now t.sim in
     let keep = ref (1. -. t.base_loss) in
     List.iter
       (fun b ->

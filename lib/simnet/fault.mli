@@ -93,6 +93,15 @@ val install :
     kills the round trip. Draws from the fault RNG. *)
 val admits : t -> src:int -> dst:int -> bool
 
+(** [connected t ~src ~dst] is the pure cut test behind {!admits}:
+    [false] iff an active partition window separates the two nodes.
+    Draws no randomness, so it can gate overlay routing
+    ([Overlay.search ~admit]) in every arm of an experiment without
+    perturbing any RNG stream.  Each partition window additionally
+    emits a [Partition_heal] telemetry event (carrying the minority-side
+    size) at the instant it closes. *)
+val connected : t -> src:int -> dst:int -> bool
+
 val stats : t -> stats
 
 (** [parse s] reads a plan from the CLI mini-language: specs separated

@@ -57,10 +57,14 @@ type kind =
   | Breaker_close of { origin : int; target : int }
   | Hedge_launch of { qid : int; origin : int; primary : int; backup : int }
   | Hedge_win of { qid : int; origin : int; backup_won : bool }
+  | Partition_heal of { fault : string; cut : int }
+  | Reconcile_sync of { a : int; b : int; copied : int; tombstoned : int }
+  | Reconcile_gc of { peer : int; purged : int }
+  | Reconcile_repair of { path : string; demoted : int; moved : int }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 42
+let tag_count = 46
 
 let tag = function
   | Interaction _ -> 0
@@ -105,6 +109,10 @@ let tag = function
   | Breaker_close _ -> 39
   | Hedge_launch _ -> 40
   | Hedge_win _ -> 41
+  | Partition_heal _ -> 42
+  | Reconcile_sync _ -> 43
+  | Reconcile_gc _ -> 44
+  | Reconcile_repair _ -> 45
 
 let labels =
   [|
@@ -116,6 +124,7 @@ let labels =
     "balance_split"; "retract"; "migrate"; "balance_pass"; "txn_begin";
     "txn_prepare"; "txn_commit"; "txn_abort"; "txn_recover"; "msg_shed";
     "breaker_open"; "breaker_close"; "hedge_launch"; "hedge_win";
+    "partition_heal"; "reconcile_sync"; "reconcile_gc"; "reconcile_repair";
   |]
 
 let label k = labels.(tag k)
@@ -280,7 +289,22 @@ let to_json { time; kind } =
   | Hedge_win { qid; origin; backup_won } ->
     int "qid" qid;
     int "origin" origin;
-    bool "backup_won" backup_won);
+    bool "backup_won" backup_won
+  | Partition_heal { fault; cut } ->
+    str "fault" fault;
+    int "cut" cut
+  | Reconcile_sync { a; b = b'; copied; tombstoned } ->
+    int "a" a;
+    int "b" b';
+    int "copied" copied;
+    int "tombstoned" tombstoned
+  | Reconcile_gc { peer; purged } ->
+    int "peer" peer;
+    int "purged" purged
+  | Reconcile_repair { path; demoted; moved } ->
+    str "path" path;
+    int "demoted" demoted;
+    int "moved" moved);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -500,6 +524,15 @@ let of_json line =
         Hedge_win
           { qid = int "qid"; origin = int "origin";
             backup_won = bool "backup_won" }
+      | "partition_heal" -> Partition_heal { fault = str "fault"; cut = int "cut" }
+      | "reconcile_sync" ->
+        Reconcile_sync
+          { a = int "a"; b = int "b"; copied = int "copied";
+            tombstoned = int "tombstoned" }
+      | "reconcile_gc" -> Reconcile_gc { peer = int "peer"; purged = int "purged" }
+      | "reconcile_repair" ->
+        Reconcile_repair
+          { path = str "path"; demoted = int "demoted"; moved = int "moved" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

@@ -115,6 +115,19 @@ type kind =
   | Hedge_win of { qid : int; origin : int; backup_won : bool }
       (** a hedged hop resolved; [backup_won] says which attempt answered
           first (the loser is cancelled and its late reply ignored) *)
+  | Partition_heal of { fault : string; cut : int }
+      (** a seeded partition window closed; [cut] is the number of nodes
+          that were on the minority side — the exact heal instant the
+          reconciliation experiment measures convergence from *)
+  | Reconcile_sync of { a : int; b : int; copied : int; tombstoned : int }
+      (** one version-aware pairwise sync: [copied] live (key, payload)
+          copies moved, [tombstoned] stale live entries superseded by a
+          newer tombstone *)
+  | Reconcile_gc of { peer : int; purged : int }
+      (** [peer] aged out [purged] tombstones past their [gc_after] *)
+  | Reconcile_repair of { path : string; demoted : int; moved : int }
+      (** structural-divergence repair re-split [path]: [demoted] peers
+          pushed into a child partition, [moved] keys re-homed *)
 
 type t = { time : float; kind : kind }
 

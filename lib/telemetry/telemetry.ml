@@ -27,6 +27,10 @@ type t = {
   overload_breaker_opens : Metrics.gauge;
   overload_hedges : Metrics.gauge;
   overload_hedge_wins : Metrics.gauge;
+  reconcile_syncs : Metrics.gauge;
+  reconcile_tombstoned : Metrics.gauge;
+  reconcile_gc_purged : Metrics.gauge;
+  reconcile_repairs : Metrics.gauge;
   mutable fault_level : int;
   mutable split_count : int;
   mutable retract_count : int;
@@ -40,6 +44,10 @@ type t = {
   mutable breaker_open_count : int;
   mutable hedge_count : int;
   mutable hedge_win_count : int;
+  mutable reconcile_sync_count : int;
+  mutable reconcile_tombstoned_count : int;
+  mutable reconcile_gc_count : int;
+  mutable reconcile_repair_count : int;
   mutable events : int;
 }
 
@@ -76,6 +84,10 @@ let make ~enabled ~clock =
     overload_breaker_opens = Metrics.gauge metrics "overload.breaker_opens";
     overload_hedges = Metrics.gauge metrics "overload.hedges";
     overload_hedge_wins = Metrics.gauge metrics "overload.hedge_wins";
+    reconcile_syncs = Metrics.gauge metrics "reconcile.syncs";
+    reconcile_tombstoned = Metrics.gauge metrics "reconcile.tombstoned";
+    reconcile_gc_purged = Metrics.gauge metrics "reconcile.gc_purged";
+    reconcile_repairs = Metrics.gauge metrics "reconcile.repairs";
     fault_level = 0;
     split_count = 0;
     retract_count = 0;
@@ -89,6 +101,10 @@ let make ~enabled ~clock =
     breaker_open_count = 0;
     hedge_count = 0;
     hedge_win_count = 0;
+    reconcile_sync_count = 0;
+    reconcile_tombstoned_count = 0;
+    reconcile_gc_count = 0;
+    reconcile_repair_count = 0;
     events = 0;
   }
 
@@ -177,6 +193,18 @@ let record t ev =
     | Event.Hedge_win _ ->
       t.hedge_win_count <- t.hedge_win_count + 1;
       Metrics.set_gauge t.overload_hedge_wins (float_of_int t.hedge_win_count)
+    | Event.Reconcile_sync { tombstoned; _ } ->
+      t.reconcile_sync_count <- t.reconcile_sync_count + 1;
+      t.reconcile_tombstoned_count <- t.reconcile_tombstoned_count + tombstoned;
+      Metrics.set_gauge t.reconcile_syncs (float_of_int t.reconcile_sync_count);
+      Metrics.set_gauge t.reconcile_tombstoned
+        (float_of_int t.reconcile_tombstoned_count)
+    | Event.Reconcile_gc { purged; _ } ->
+      t.reconcile_gc_count <- t.reconcile_gc_count + purged;
+      Metrics.set_gauge t.reconcile_gc_purged (float_of_int t.reconcile_gc_count)
+    | Event.Reconcile_repair _ ->
+      t.reconcile_repair_count <- t.reconcile_repair_count + 1;
+      Metrics.set_gauge t.reconcile_repairs (float_of_int t.reconcile_repair_count)
     | _ -> ());
     List.iter (fun s -> Sink.emit s ev) t.sinks
   end

@@ -12,6 +12,7 @@ let () =
       ("core", Test_core.suite);
       ("maintenance", Test_maintenance.suite);
       ("balance", Test_balance.suite);
+      ("reconcile", Test_reconcile.suite);
       ("txn", Test_txn.suite);
       ("health", Test_health.suite);
       ("baseline", Test_baseline.suite);

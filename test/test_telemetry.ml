@@ -150,6 +150,10 @@ let sample_events =
     Event.Breaker_close { origin = 3; target = 9 };
     Event.Hedge_launch { qid = 17; origin = 3; primary = 9; backup = 11 };
     Event.Hedge_win { qid = 17; origin = 3; backup_won = true };
+    Event.Partition_heal { fault = "partition"; cut = 512 };
+    Event.Reconcile_sync { a = 4; b = 9; copied = 3; tombstoned = 1 };
+    Event.Reconcile_gc { peer = -1; purged = 7 };
+    Event.Reconcile_repair { path = "01"; demoted = 2; moved = 5 };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
