@@ -13,7 +13,15 @@
    --strict promotes the stderr warnings (entries present in only one
    report, direction disagreements) to a non-zero exit: CI baselines
    should fail loudly when a metric silently disappears or flips
-   polarity, not just when a shared one drifts. *)
+   polarity, not just when a shared one drifts.
+
+   --filter SUBSTR (repeatable) keeps only entries whose name contains
+   one of the given substrings; --exclude SUBSTR (repeatable) then
+   drops any whose name contains one.  Both apply to every section and
+   to both reports before pairing, so a baseline's out-of-scope entries
+   don't trip the --strict one-sided warnings — which is what lets CI
+   diff just the deterministic subset (e.g. --filter smoke/ --exclude
+   seconds) of a report that also carries machine-dependent numbers. *)
 
 module Table = Pgrid_stats.Table
 
@@ -163,9 +171,16 @@ let print_section ~title ~unit ~threshold rows =
              ])
            rows)
 
+let contains hay needle =
+  let lm = String.length needle and n = String.length hay in
+  let rec scan i = i + lm <= n && (String.sub hay i lm = needle || scan (i + 1)) in
+  lm = 0 || scan 0
+
 let () =
   let threshold = ref 10. in
   let strict = ref false in
+  let filters = ref [] in
+  let excludes = ref [] in
   let positional = ref [] in
   let rec parse = function
     | [] -> ()
@@ -179,6 +194,15 @@ let () =
     | "--strict" :: rest ->
       strict := true;
       parse rest
+    | "--filter" :: v :: rest ->
+      filters := v :: !filters;
+      parse rest
+    | "--exclude" :: v :: rest ->
+      excludes := v :: !excludes;
+      parse rest
+    | [ ("--threshold" | "--filter" | "--exclude") ] ->
+      prerr_endline "compare: flag is missing its argument";
+      exit 2
     | a :: rest ->
       positional := a :: !positional;
       parse rest
@@ -189,9 +213,15 @@ let () =
     | [ a; b ] -> (a, b)
     | _ ->
       prerr_endline
-        "usage: compare BASELINE.json CANDIDATE.json [--threshold PCT] [--strict]";
+        "usage: compare BASELINE.json CANDIDATE.json [--threshold PCT] [--strict] \
+         [--filter SUBSTR]... [--exclude SUBSTR]...";
       exit 2
   in
+  let selected name =
+    (match !filters with [] -> true | fs -> List.exists (contains name) fs)
+    && not (List.exists (contains name) !excludes)
+  in
+  let restrict entries = List.filter (fun (name, _) -> selected name) entries in
   let load path =
     try Json.of_file path with
     | Sys_error e ->
@@ -203,12 +233,14 @@ let () =
   in
   let old_doc = load old_path and new_doc = load new_path in
   let walls =
-    paired ~kind:"target" ~floor:wall_floor (collect_walls old_doc)
-      (collect_walls new_doc)
+    paired ~kind:"target" ~floor:wall_floor
+      (restrict (collect_walls old_doc))
+      (restrict (collect_walls new_doc))
   in
   let micros =
-    paired ~kind:"kernel" ~floor:0. (collect_micros old_doc)
-      (collect_micros new_doc)
+    paired ~kind:"kernel" ~floor:0.
+      (restrict (collect_micros old_doc))
+      (restrict (collect_micros new_doc))
   in
   (* The candidate report's explicit direction wins (it reflects the
      current bench), then the baseline's, then the name heuristic for
@@ -232,8 +264,9 @@ let () =
     | None, None -> metric_higher_better name
   in
   let values =
-    paired ~kind:"metric" ~floor:0. ~direction (collect_values old_doc)
-      (collect_values new_doc)
+    paired ~kind:"metric" ~floor:0. ~direction
+      (restrict (collect_values old_doc))
+      (restrict (collect_values new_doc))
   in
   if walls = [] && micros = [] && values = [] then begin
     prerr_endline "compare: no common targets or kernels between the two reports";

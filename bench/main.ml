@@ -29,6 +29,14 @@ let overload_horizon = ref 1440.
 let overload_peers = ref 10_000
 let partition_horizon = ref 14400.
 let partition_peers = ref 1024
+let queries_peers = ref 10_000
+let queries_count = ref 1_000_000
+let queries_smoke_only = ref false
+
+(* The smoke configuration is fixed (never flag-tunable): CI diffs its
+   deterministic metrics byte-for-byte against the committed baseline,
+   so the config must match what generated QUERIES_0001.json. *)
+let queries_smoke_config = (2000, 100_000)
 
 let banner title =
   let line = String.make 72 '=' in
@@ -178,6 +186,29 @@ let overload _reps =
     ~rows;
   let columns, rows = Figures.overload_summary o in
   Table.print ~title:"overload summary" ~columns ~rows
+
+let queries _reps =
+  banner "Queries -- Zipf-1.1 lookup storm, route/result caches on vs off";
+  note
+    "both arms replay the identical pregenerated trace over the same \
+     overlay; validation on use means a stale cache entry costs a \
+     fallback hop, never a wrong responsible peer";
+  note
+    "expected: the cached arm cuts mean hops and raises queries/s; wrong \
+     responsible and store mismatches stay 0 under the live balance storm";
+  let run tag ~peers ~count =
+    let q = Figures.queries ~peers ~count ~seed () in
+    let columns, rows = Figures.queries_summary q in
+    Table.print
+      ~title:(Printf.sprintf "%s (%d peers, %d queries): cache on vs off" tag peers count)
+      ~columns ~rows;
+    let columns, rows = Figures.queries_storm_summary q in
+    Table.print ~title:(tag ^ ": storm audit and shared-walk batching") ~columns ~rows
+  in
+  let sp, sc = queries_smoke_config in
+  run "smoke" ~peers:sp ~count:sc;
+  if not !queries_smoke_only then
+    run "full" ~peers:!queries_peers ~count:!queries_count
 
 (* 60 samples across the horizon, but never denser than one per minute. *)
 let partition_sample_every () = Float.max 60. (!partition_horizon /. 60.)
@@ -356,6 +387,7 @@ let targets =
     ("balance", balance);
     ("txn", txn);
     ("overload", overload);
+    ("queries", queries);
     ("partition", partition);
     ("scale", scale);
     ("micro", micro);
@@ -560,6 +592,72 @@ let overload_values () =
   in
   arm "on" o.on @ arm "off" o.off @ protection
 
+(* The query-storm bundle flattens to per-arm volume / hop-percentile /
+   throughput values, the cross-arm speedup and hop reduction the
+   acceptance gate watches, the stale-correctness audit and the
+   shared-walk batching economics — once per configuration ([smoke/] is
+   the fixed CI config, [full/] the flag-tunable one).  [qps], [speedup]
+   and wall seconds are machine-dependent; everything else is
+   seed-deterministic, which is what lets CI compare [smoke/] exactly.
+   Memoized like the other experiments. *)
+let queries_values () =
+  let open Figures in
+  let config tag ~peers ~count =
+    let q = Figures.queries ~peers ~count ~seed () in
+    let v name value dir = (tag ^ "/" ^ name, value, dir) in
+    let vi name value dir = v name (float_of_int value) dir in
+    let arm atag (a : queries_arm) =
+      let av name value dir = v (atag ^ "/" ^ name) value dir in
+      let avi name value dir = av name (float_of_int value) dir in
+      [
+        avi "issued" a.issued Report.Up;
+        avi "routed" a.routed Report.Up;
+        avi "found" a.found Report.Up;
+        av "mean_hops" a.mean_hops Report.Down;
+        avi "p50_hops" a.p50_hops Report.Down;
+        avi "p99_hops" a.p99_hops Report.Down;
+        avi "max_hops" a.peak_hops Report.Down;
+        av "qps" a.qps Report.Up;
+      ]
+      @ (if a.cached then
+           [
+             av "hit_ratio" a.hit_ratio Report.Up;
+             avi "result_hits" a.result_hits Report.Up;
+             avi "route_hits" a.route_hits Report.Up;
+             avi "stale_probes" a.stale_probes Report.Down;
+           ]
+         else [])
+    in
+    let s = q.storm and b = q.batch in
+    arm "on" q.on @ arm "off" q.off
+    @ [
+        v "speedup" (q.on.qps /. q.off.qps) Report.Up;
+        v "hop_reduction" (1. -. (q.on.mean_hops /. q.off.mean_hops)) Report.Up;
+        vi "storm/queries" s.storm_queries Report.Up;
+        vi "storm/routed" s.storm_routed Report.Up;
+        vi "storm/wrong_responsible" s.wrong_responsible Report.Down;
+        vi "storm/mismatch" s.storm_mismatch Report.Down;
+        vi "storm/stale" s.storm_stale Report.Up;
+        vi "storm/splits" s.storm_splits Report.Up;
+        vi "storm/invalidations" s.storm_invalidations Report.Up;
+        v "storm/hit_ratio" s.storm_hit_ratio Report.Up;
+        vi "batch/groups" b.batch_groups Report.Up;
+        vi "batch/keys" b.batch_keys Report.Up;
+        vi "batch/messages" b.batch_messages Report.Down;
+        vi "batch/naive_messages" b.batch_naive Report.Down;
+        vi "batch/unresolved" b.batch_unresolved Report.Down;
+        v "batch/saving_frac"
+          (if b.batch_naive = 0 then 0.
+           else 1. -. (float_of_int b.batch_messages /. float_of_int b.batch_naive))
+          Report.Up;
+      ]
+  in
+  let sp, sc = queries_smoke_config in
+  config "smoke" ~peers:sp ~count:sc
+  @
+  if !queries_smoke_only then []
+  else config "full" ~peers:!queries_peers ~count:!queries_count
+
 (* The transaction sweep flattens to one named value per (severity,
    metric) cell, every metric carrying its explicit improvement
    direction — the torn/lost/residue audits must trend to zero, the
@@ -656,6 +754,7 @@ let values_of name reps =
   | "balance" -> auto (balance_values ())
   | "txn" -> txn_values ()
   | "overload" -> overload_values ()
+  | "queries" -> queries_values ()
   | "partition" -> partition_values ()
   | "scale" -> Scale.values ~seed
   | "fig6a" -> auto (fig6_values (Figures.fig6a ?reps ~seed ()))
@@ -723,6 +822,19 @@ let split_flags argv =
       | Some p when p >= 64 -> partition_peers := p
       | _ -> usage_error "--partition-peers expects a peer count >= 64, got %S" n);
       go acc rest
+    | "--queries-peers" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some p when p >= 8 -> queries_peers := p
+      | _ -> usage_error "--queries-peers expects a peer count >= 8, got %S" n);
+      go acc rest
+    | "--queries-count" :: n :: rest ->
+      (match int_of_string_opt n with
+      | Some c when c >= 1 -> queries_count := c
+      | _ -> usage_error "--queries-count expects a query count >= 1, got %S" n);
+      go acc rest
+    | "--queries-smoke" :: rest ->
+      queries_smoke_only := true;
+      go acc rest
     | "--scale-peers" :: spec :: rest ->
       let sizes =
         List.map
@@ -739,7 +851,8 @@ let split_flags argv =
       Scale.sizes := sizes;
       go acc rest
     | ("--trace" | "--json" | "--quota" | "--horizon" | "--overload-peers"
-      | "--partition-peers" | "--scale-peers")
+      | "--partition-peers" | "--scale-peers" | "--queries-peers"
+      | "--queries-count")
       :: [] ->
       usage_error "flag is missing its argument"
     | a :: rest -> go { acc with positional = a :: acc.positional } rest

@@ -458,8 +458,8 @@ let figure_name_arg =
     & pos 0 (some string) None
     & info [] ~docv:"FIGURE"
         ~doc:"One of: fig3 fig4 fig5 fig6a fig6b fig6c fig6d fig6e fig6f fig7 fig8 fig9 \
-              table1 resilience survival balance txn overload partition ablation-seq \
-              ablation-cost ablation-cor ablation-pht ablation-merge \
+              table1 resilience survival balance txn overload queries partition \
+              ablation-seq ablation-cost ablation-cor ablation-pht ablation-merge \
               ablation-maintain.")
 
 let figure seed name reps trace metrics =
@@ -499,6 +499,12 @@ let figure seed name reps trace metrics =
     print_table "offered load, goodput, sheds and backlog over time"
       (Figures.overload_table o);
     print_table "overload summary" (Figures.overload_summary o)
+  | "queries" ->
+    (* CLI-sized configuration; the bench target runs the paper-scale
+       million-query trace. *)
+    let q = Figures.queries ~peers:1000 ~count:20_000 ~seed () in
+    print_table "query caches on vs off" (Figures.queries_summary q);
+    print_table "storm audit and shared-walk batching" (Figures.queries_storm_summary q)
   | "partition" ->
     let x = Figures.partition ~seed () in
     print_table "split-brain violations over time" (Figures.partition_table x);

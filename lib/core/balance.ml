@@ -211,6 +211,7 @@ let split_partition ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~pa
       let n = node overlay i in
       let newp = if side.(k) = 0 then p0 else p1 in
       Node.set_path n newp;
+      Overlay.notify overlay (Overlay.Peer_changed i);
       let dropped = Node.drop_keys_outside n newp in
       dropped_total := !dropped_total + dropped;
       if dropped > 0 && Telemetry.active telemetry then
@@ -276,6 +277,7 @@ let retract_partition ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~path
     (fun i ->
       let n = node overlay i in
       Node.set_path n parent;
+      Overlay.notify overlay (Overlay.Peer_changed i);
       (* The old last level pointed at the sibling half — now the same
          partition; clear it so the routing table mirrors the path. *)
       Node.set_refs n ~level [])

@@ -101,7 +101,8 @@ let adopt overlay ~host_id ~peer =
     if r.Node.online then Node.add_replica r peer
   in
   register host_id;
-  Intset.iter register host.Node.replicas
+  Intset.iter register host.Node.replicas;
+  Overlay.notify overlay (Overlay.Peer_changed peer)
 
 (* Remove [id] from its group's replica lists. *)
 let farewell overlay id =
@@ -278,6 +279,7 @@ let correct_on_use ?(telemetry = Pgrid_telemetry.Global.get ()) ?dead rng overla
     List.iter
       (fun r ->
         Node.remove_ref n ~level r;
+        Overlay.notify overlay (Overlay.Peer_changed r);
         if Telemetry.active telemetry then
           Telemetry.emit telemetry (Event.Ref_evict { peer; level; target = r }))
       stale;

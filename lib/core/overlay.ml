@@ -7,6 +7,14 @@ module Moments = Pgrid_stats.Moments
    id, of which the first [count] slots are live.  Growth doubles the
    array and blits, so ids (array indices) are stable across growth and
    [node] stays a plain array read on the routing hot path. *)
+(* What a subscriber needs to know to keep derived state (query caches,
+   secondary indexes) coherent.  Deliberately coarse: [Peer_changed]
+   means "anything remembered about this peer is suspect" — its path,
+   its store, or its references changed.  [Key_written] is a routed
+   write reaching its responsible peer(s); [Flush] is a bulk mutation
+   (global anti-entropy) not worth itemizing. *)
+type change = Peer_changed of Node.id | Key_written of Pgrid_keyspace.Key.t | Flush
+
 type t = {
   mutable nodes : Node.t array;
   mutable count : int;
@@ -16,11 +24,23 @@ type t = {
          a responsible peer gets the next version, so concurrent writes on
          either side of a partition are totally ordered per overlay and
          newest-write-wins is well defined after heal *)
+  mutable watchers : (change -> unit) list;
 }
 
 let create rng ~n =
   if n < 1 then invalid_arg "Overlay.create: n must be >= 1";
-  { nodes = Array.init n (fun id -> Node.create ~id); count = n; rng; clock = 0 }
+  {
+    nodes = Array.init n (fun id -> Node.create ~id);
+    count = n;
+    rng;
+    clock = 0;
+    watchers = [];
+  }
+
+let subscribe t f = t.watchers <- f :: t.watchers
+
+let notify t change =
+  match t.watchers with [] -> () | ws -> List.iter (fun f -> f change) ws
 
 let clock t = t.clock
 
@@ -189,6 +209,7 @@ let insert ?(admit = admit_all) ?(stamp = 0.) t ~from key payload =
           Node.note_write replica key ~version ~stamp
         end)
       peer.Node.replicas;
+    notify t (Key_written key);
     Some r.hops
 
 type delete_result = { hops : int; removed : int }
@@ -230,6 +251,7 @@ let delete ?(admit = admit_all) ?(stamp = 0.) t ~from ?payload key =
           && admit id rid
         then removed := !removed + remove_at replica)
       peer.Node.replicas;
+    notify t (Key_written key);
     Some { hops = r.hops; removed = !removed }
 
 let anti_entropy t =
@@ -267,6 +289,7 @@ let anti_entropy t =
               union)
           members)
     by_path;
+  if !moved > 0 then notify t Flush;
   !moved
 
 let anti_entropy_pair t ~a ~b ~budget =
@@ -304,6 +327,10 @@ let anti_entropy_pair t ~a ~b ~budget =
       copy_missing nb na;
       Node.add_replica na b;
       Node.add_replica nb a;
+      if !copied > 0 then begin
+        notify t (Peer_changed a);
+        notify t (Peer_changed b)
+      end;
       !copied
     end
   end

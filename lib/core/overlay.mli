@@ -23,6 +23,28 @@ val add_peer : t -> Node.t
 val size : t -> int
 val node : t -> Node.id -> Node.t
 
+(** What a subscriber needs to keep derived state (query caches,
+    secondary indexes) coherent.  Deliberately coarse-grained:
+    {ul
+    {- [Peer_changed id] — the peer's path, store or references changed;
+       anything cached {e about} it is suspect.}
+    {- [Key_written k] — a routed insert/delete reached [k]'s
+       responsible peer(s); cached answers for [k] are stale.}
+    {- [Flush] — a bulk mutation (global anti-entropy) not worth
+       itemizing; drop everything.}} *)
+type change = Peer_changed of Node.id | Key_written of Pgrid_keyspace.Key.t | Flush
+
+(** [subscribe t f] registers [f] to be called on every subsequent
+    {!notify}.  Subscribers must not mutate the overlay re-entrantly.
+    With no subscribers the overlay behaves exactly as before — no RNG
+    draw, no allocation — so experiment outputs are unchanged. *)
+val subscribe : t -> (change -> unit) -> unit
+
+(** [notify t c] informs subscribers of [c].  Exposed so the layers that
+    re-home peers outside this module (balancing, maintenance,
+    reconciliation) can report their own mutations. *)
+val notify : t -> change -> unit
+
 (** [iter t f] applies [f] to every node in id order. *)
 val iter : t -> (Node.t -> unit) -> unit
 
@@ -59,6 +81,28 @@ val search :
   from:Node.id ->
   Pgrid_keyspace.Key.t ->
   search_result
+
+(** [divergence_level path key] is the first level at which [path]
+    disagrees with [key], or [None] when [path] is a prefix of [key]
+    (the node is responsible). *)
+val divergence_level :
+  Pgrid_keyspace.Path.t -> Pgrid_keyspace.Key.t -> int option
+
+(** [forward ?admit t cur key] is one routing step of {!search}, exposed
+    for query engines that interleave their own bookkeeping (caches,
+    batching) with the walk: [`Responsible] when [cur]'s path matches
+    [key], otherwise a uniform draw among [cur]'s usable references at
+    the divergence level ([`Next id]), or [`Dead_end level] when none is
+    online.  Consumes exactly the RNG draws {!search} would. *)
+val forward :
+  ?admit:(Node.id -> Node.id -> bool) ->
+  t ->
+  Node.t ->
+  Pgrid_keyspace.Key.t ->
+  [ `Responsible | `Dead_end of int | `Next of Node.id ]
+
+(** The hop budget of {!search}: [2 * Key.bits]. *)
+val max_hops : int
 
 (** Outcome of a range query. *)
 type range_result = {

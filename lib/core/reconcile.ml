@@ -230,6 +230,7 @@ let repair_structure ?(telemetry = Pgrid_telemetry.Global.get ()) cfg t =
                     others)
               ();
             Node.set_path m target;
+            Overlay.notify t (Overlay.Peer_changed m.Node.id);
             ignore (Node.drop_keys_outside m target))
           members;
         (* Complete the routing structure at the new level: demoted peers

@@ -2137,3 +2137,372 @@ let partition_summary x =
     ]
   in
   (columns, rows)
+
+(* --- queries: million-lookup Zipf storm, route/result caching on vs off -- *)
+
+module Engine = Pgrid_query.Engine
+module Qcache = Pgrid_query.Qcache
+module Path = Pgrid_keyspace.Path
+
+type queries_arm = {
+  cached : bool;
+  issued : int;
+  routed : int;
+  found : int;
+  mean_hops : float;
+  p50_hops : int;
+  p99_hops : int;
+  peak_hops : int;
+  seconds : float;  (* CPU seconds; the only machine-dependent field *)
+  qps : float;
+  hit_ratio : float;
+  result_hits : int;
+  route_hits : int;
+  stale_probes : int;
+}
+
+type queries_storm = {
+  storm_queries : int;
+  storm_routed : int;
+  wrong_responsible : int;  (* must be 0: validation on use *)
+  storm_stale : int;  (* stale hits that fell back to routing *)
+  storm_mismatch : int;  (* cached answer disagreed with the live store *)
+  storm_splits : int;
+  storm_invalidations : int;
+  storm_hit_ratio : float;
+}
+
+type queries_batch = {
+  batch_groups : int;
+  batch_keys : int;
+  batch_messages : int;  (* forwards sent by the shared walks *)
+  batch_naive : int;  (* what the same resolutions cost walked alone *)
+  batch_unresolved : int;
+}
+
+type queries = {
+  peers : int;
+  count : int;
+  on : queries_arm;
+  off : queries_arm;
+  storm : queries_storm;
+  batch : queries_batch;
+}
+
+(* Smallest hop count at or below which a [frac] share of routed queries
+   completed. *)
+let queries_percentile hist routed frac =
+  let want =
+    int_of_float (ceil (frac *. float_of_int routed)) |> max 1
+  in
+  let rec go h acc =
+    if h >= Array.length hist then Array.length hist - 1
+    else begin
+      let acc = acc + hist.(h) in
+      if acc >= want then h else go (h + 1) acc
+    end
+  in
+  if routed = 0 then 0 else go 0 0
+
+(* Modeled-network service costs behind [qps].  In-process, a routing
+   hop is a function call and a cache probe a hash lookup, so wall
+   clock inverts the real economics; deployed, every hop is a network
+   message (PlanetLab median one-way delay — the same
+   [Latency.planetlab] shape the daemon experiments sample) that dwarfs
+   a local probe.  Charging those costs makes [qps] the serial-replay
+   throughput over the modeled network — and fully seed-deterministic,
+   so CI can compare it exactly, unlike the wall-clock [seconds]. *)
+let queries_hop_seconds = 0.15
+let queries_probe_seconds = 1e-5
+
+(* The two arms replay one pregenerated (origin, key) trace — identical
+   draws by construction, not by RNG-discipline luck.  Construction is
+   followed by one global anti-entropy round so every replica of a
+   partition answers key presence identically; with both arms then
+   reading the same stores, [routed] and [found] must agree exactly and
+   any divergence is a cache-correctness bug. *)
+let queries_run ~peers ~count ~seed =
+  let rng = Rng.create ~seed in
+  let built = Round.run rng (Round.default_params ~peers) ~spec:Distribution.Uniform in
+  let overlay = built.Round.overlay in
+  ignore (Overlay.anti_entropy overlay);
+  let keys =
+    let tbl = Hashtbl.create 1024 in
+    for i = 0 to peers - 1 do
+      List.iter (fun k -> Hashtbl.replace tbl k ()) (Node.keys (Overlay.node overlay i))
+    done;
+    Hashtbl.fold (fun k () acc -> k :: acc) tbl []
+    |> List.sort Key.compare |> Array.of_list
+  in
+  (* Responsibility closure over the queried key universe.  Exact-path
+     anti-entropy leaves a node whose path is a strict prefix of a
+     deeper group's without that group's keys — yet a walk can
+     legitimately terminate at either, and the two arms' walks for the
+     same query may terminate at different ones (a cache jump picks a
+     different replica).  Giving every responsible node each queried key
+     (bare presence plus the full payload union) makes [found] depend
+     only on the trace, never on which valid terminal a walk reached. *)
+  let () =
+    let canonical = Hashtbl.create (Array.length keys) in
+    for i = 0 to peers - 1 do
+      Hashtbl.iter
+        (fun k payloads ->
+          let existing = Option.value ~default:[] (Hashtbl.find_opt canonical k) in
+          let missing = List.filter (fun p -> not (List.mem p existing)) payloads in
+          Hashtbl.replace canonical k (missing @ existing))
+        (Overlay.node overlay i).Node.store
+    done;
+    (* First index whose key is >= [target]; [keys] is still sorted. *)
+    let lower_bound target =
+      let lo = ref 0 and hi = ref (Array.length keys) in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Key.to_int keys.(mid) < target then lo := mid + 1 else hi := mid
+      done;
+      !lo
+    in
+    for i = 0 to peers - 1 do
+      let n = Overlay.node overlay i in
+      let lo, hi = Path.interval_keys n.Node.path in
+      for j = lower_bound lo to lower_bound hi - 1 do
+        let k = keys.(j) in
+        (* [ensure_key] propagates bare presence: construction indexes
+           keys without payloads, which a payload-union pass would skip
+           entirely. *)
+        Node.ensure_key n k;
+        List.iter
+          (fun p -> ignore (Node.insert_new n k p))
+          (Option.value ~default:[] (Hashtbl.find_opt canonical k))
+      done
+    done
+  in
+  (* Decorrelate popularity rank from key-space position, as in the
+     overload storm. *)
+  Rng.shuffle (Rng.create ~seed:(seed + 1)) keys;
+  let zipf = Sample.Zipf.create ~n:(Array.length keys) ~s:1.1 in
+  let trng = Rng.create ~seed:(seed + 2) in
+  let origins = Array.make count 0 in
+  let qkeys = Array.make count keys.(0) in
+  for i = 0 to count - 1 do
+    origins.(i) <- Rng.int trng peers;
+    qkeys.(i) <- keys.(Sample.Zipf.draw zipf trng - 1)
+  done;
+  let arm cached =
+    let cache = if cached then Some (Qcache.create overlay) else None in
+    let hist = Array.make (Overlay.max_hops + 2) 0 in
+    let routed = ref 0 and found = ref 0 in
+    let hops_sum = ref 0 and peak = ref 0 in
+    (* All messages paid, successful or not — failed walks still cost
+       their hops on the modeled network. *)
+    let all_hops = ref 0 in
+    let t0 = Sys.time () in
+    for i = 0 to count - 1 do
+      let r = Engine.lookup ?cache overlay ~from:origins.(i) qkeys.(i) in
+      all_hops := !all_hops + r.Engine.hops;
+      match r.Engine.responsible with
+      | Some _ ->
+        incr routed;
+        if r.Engine.key_present then incr found;
+        hops_sum := !hops_sum + r.Engine.hops;
+        if r.Engine.hops > !peak then peak := r.Engine.hops;
+        let h = min r.Engine.hops (Array.length hist - 1) in
+        hist.(h) <- hist.(h) + 1
+      | None -> ()
+    done;
+    let seconds = Sys.time () -. t0 in
+    let cstats =
+      match cache with
+      | Some c -> Qcache.stats c
+      | None ->
+        {
+          Qcache.route_hits = 0; result_hits = 0; misses = 0; stale = 0;
+          invalidations = 0; evictions = 0; route_entries = 0;
+          result_entries = 0;
+        }
+    in
+    {
+      cached;
+      issued = count;
+      routed = !routed;
+      found = !found;
+      mean_hops =
+        (if !routed = 0 then 0.
+         else float_of_int !hops_sum /. float_of_int !routed);
+      p50_hops = queries_percentile hist !routed 0.5;
+      p99_hops = queries_percentile hist !routed 0.99;
+      peak_hops = !peak;
+      seconds;
+      qps =
+        (let probes =
+           cstats.Qcache.route_hits + cstats.Qcache.result_hits
+           + cstats.Qcache.misses + cstats.Qcache.stale
+         in
+         let net_seconds =
+           (float_of_int !all_hops *. queries_hop_seconds)
+           +. (float_of_int probes *. queries_probe_seconds)
+         in
+         if net_seconds > 0. then float_of_int count /. net_seconds
+         else float_of_int count);
+      hit_ratio = Qcache.hit_ratio cstats;
+      result_hits = cstats.Qcache.result_hits;
+      route_hits = cstats.Qcache.route_hits;
+      stale_probes = cstats.Qcache.stale;
+    }
+  in
+  let off = arm false in
+  let on = arm true in
+  (* Batched lookups, measured without caches so [messages] vs [naive]
+     isolates the prefix-sharing win. *)
+  let batch =
+    let brng = Rng.create ~seed:(seed + 3) in
+    let groups = 200 and group_size = 32 in
+    let messages = ref 0 and naive = ref 0 in
+    let unresolved = ref 0 and bkeys = ref 0 in
+    for _ = 1 to groups do
+      let from = Rng.int brng peers in
+      let ks =
+        List.init group_size (fun _ -> keys.(Sample.Zipf.draw zipf brng - 1))
+      in
+      bkeys := !bkeys + group_size;
+      let b = Engine.lookup_many overlay ~from ks in
+      messages := !messages + b.Engine.messages;
+      naive := !naive + b.Engine.naive_messages;
+      unresolved := !unresolved + b.Engine.unresolved
+    done;
+    {
+      batch_groups = groups;
+      batch_keys = !bkeys;
+      batch_messages = !messages;
+      batch_naive = !naive;
+      batch_unresolved = !unresolved;
+    }
+  in
+  (* Stale-cache correctness under a live balance storm: a skewed insert
+     stream pushes hot partitions past [d_max] so Balance.pass keeps
+     splitting (re-homed members invalidate cache entries through the
+     overlay's change feed), while churn toggles peers offline so
+     entries go stale the invalidation feed cannot see.  Every answered
+     query is audited: the responsible peer returned must genuinely be
+     online and responsible, and a cache-served answer must match the
+     live store. *)
+  let storm =
+    let cache = Qcache.create overlay in
+    let srng = Rng.create ~seed:(seed + 4) in
+    let sample_key = Distribution.sampler (Distribution.Pareto 1.5) srng in
+    let d_max = (Round.default_params ~peers).Round.d_max in
+    let bcfg = Balance.default_config ~d_max ~n_min:1 in
+    let rounds = 20 in
+    let inserts_per_round = max 20 (peers / 100) in
+    let queries_per_round = max 200 (count / 2000) in
+    let churn_per_round = max 2 (peers / 200) in
+    let q = ref 0 and routed = ref 0 and wrong = ref 0 and mismatch = ref 0 in
+    let splits = ref 0 in
+    let offline = ref [] in
+    for _round = 1 to rounds do
+      for i = 1 to inserts_per_round do
+        let from = Rng.int srng peers in
+        if (Overlay.node overlay from).Node.online then
+          ignore (Overlay.insert overlay ~from (sample_key ())
+                    (Printf.sprintf "storm-%d" i))
+      done;
+      (* Churn: take a few peers down (their cached entries turn stale),
+         bring the previous round's victims back. *)
+      List.iter
+        (fun i -> (Overlay.node overlay i).Node.online <- true)
+        !offline;
+      offline := [];
+      for _ = 1 to churn_per_round do
+        let i = Rng.int srng peers in
+        let n = Overlay.node overlay i in
+        if n.Node.online then begin
+          n.Node.online <- false;
+          offline := i :: !offline
+        end
+      done;
+      for _ = 1 to queries_per_round do
+        incr q;
+        let from = Rng.int srng peers in
+        let k = qkeys.(Rng.int srng count) in
+        let r = Engine.lookup ~cache overlay ~from k in
+        match r.Engine.responsible with
+        | None -> ()
+        | Some id ->
+          incr routed;
+          let n = Overlay.node overlay id in
+          if not (n.Node.online && Node.responsible_for n k) then incr wrong;
+          if r.Engine.key_present <> Node.has_key n k then incr mismatch
+      done;
+      let report = Balance.pass srng overlay bcfg in
+      splits := !splits + report.Balance.splits
+    done;
+    List.iter (fun i -> (Overlay.node overlay i).Node.online <- true) !offline;
+    let cstats = Qcache.stats cache in
+    {
+      storm_queries = !q;
+      storm_routed = !routed;
+      wrong_responsible = !wrong;
+      storm_stale = cstats.Qcache.stale;
+      storm_mismatch = !mismatch;
+      storm_splits = !splits;
+      storm_invalidations = cstats.Qcache.invalidations;
+      storm_hit_ratio = Qcache.hit_ratio cstats;
+    }
+  in
+  { peers; count; on; off; storm; batch }
+
+let queries_exp_cache : (int * int * int, queries) Hashtbl.t = Hashtbl.create 4
+
+let queries ?(peers = 10_000) ?(count = 1_000_000) ~seed () =
+  if peers < 8 then invalid_arg "Figures.queries: need at least 8 peers";
+  if count < 1 then invalid_arg "Figures.queries: count must be >= 1";
+  let key = (peers, count, seed) in
+  match Hashtbl.find_opt queries_exp_cache key with
+  | Some q -> q
+  | None ->
+    let q = queries_run ~peers ~count ~seed in
+    Hashtbl.add queries_exp_cache key q;
+    q
+
+let queries_summary q =
+  let columns = [ "statistic"; "cache on"; "cache off" ] in
+  let both f = [ f q.on; f q.off ] in
+  let rows =
+    [
+      "queries issued" :: both (fun a -> string_of_int a.issued);
+      "routed" :: both (fun a -> string_of_int a.routed);
+      "found" :: both (fun a -> string_of_int a.found);
+      "mean hops" :: both (fun a -> Table.fmt_float ~decimals:3 a.mean_hops);
+      "p50 hops" :: both (fun a -> string_of_int a.p50_hops);
+      "p99 hops" :: both (fun a -> string_of_int a.p99_hops);
+      "max hops" :: both (fun a -> string_of_int a.peak_hops);
+      "queries/s (modeled net)" :: both (fun a -> Table.fmt_float ~decimals:2 a.qps);
+      "cpu seconds" :: both (fun a -> Table.fmt_float ~decimals:2 a.seconds);
+      "hit ratio" :: both (fun a -> Table.fmt_float ~decimals:4 a.hit_ratio);
+      "result-cache hits" :: both (fun a -> string_of_int a.result_hits);
+      "route-cache hits" :: both (fun a -> string_of_int a.route_hits);
+      "stale probes" :: both (fun a -> string_of_int a.stale_probes);
+    ]
+  in
+  (columns, rows)
+
+let queries_storm_summary q =
+  let columns = [ "statistic"; "value" ] in
+  let s = q.storm and b = q.batch in
+  let rows =
+    [
+      [ "storm queries"; string_of_int s.storm_queries ];
+      [ "storm routed"; string_of_int s.storm_routed ];
+      [ "wrong responsible"; string_of_int s.wrong_responsible ];
+      [ "stale fallbacks"; string_of_int s.storm_stale ];
+      [ "store mismatches"; string_of_int s.storm_mismatch ];
+      [ "splits during storm"; string_of_int s.storm_splits ];
+      [ "invalidations"; string_of_int s.storm_invalidations ];
+      [ "storm hit ratio"; Table.fmt_float ~decimals:4 s.storm_hit_ratio ];
+      [ "batch groups"; string_of_int b.batch_groups ];
+      [ "batch keys"; string_of_int b.batch_keys ];
+      [ "batch messages"; string_of_int b.batch_messages ];
+      [ "batch naive messages"; string_of_int b.batch_naive ];
+      [ "batch unresolved"; string_of_int b.batch_unresolved ];
+    ]
+  in
+  (columns, rows)

@@ -497,3 +497,77 @@ val partition_table : partition -> string list * string list list
 (** Aggregates: convergence verdict and time, end-state violations,
     sync / repair / GC counters, workload volume. *)
 val partition_summary : partition -> string list * string list list
+
+(** One arm of the query-storm experiment: the same pregenerated
+    million-draw Zipf-1.1 trace replayed with the route/result caches
+    on or off.  [seconds] is CPU time and therefore machine-dependent;
+    [qps] is the serial-replay throughput over a {e modeled} network —
+    every hop charged the PlanetLab median one-way delay, every cache
+    probe a local-lookup cost — so it, like every remaining field, is
+    seed-deterministic. *)
+type queries_arm = {
+  cached : bool;
+  issued : int;
+  routed : int;
+  found : int;
+  mean_hops : float;
+  p50_hops : int;
+  p99_hops : int;
+  peak_hops : int;
+  seconds : float;
+  qps : float;
+  hit_ratio : float;
+  result_hits : int;
+  route_hits : int;
+  stale_probes : int;
+}
+
+(** Stale-cache correctness audit under a live balance storm (skewed
+    inserts force runtime splits; churn turns cached targets stale).
+    [wrong_responsible] and [storm_mismatch] must be 0: validation on
+    use means a stale entry costs a fallback hop, never a wrong
+    answer. *)
+type queries_storm = {
+  storm_queries : int;
+  storm_routed : int;
+  wrong_responsible : int;
+  storm_stale : int;
+  storm_mismatch : int;
+  storm_splits : int;
+  storm_invalidations : int;
+  storm_hit_ratio : float;
+}
+
+(** Batched lookups sharing a walk ({!Pgrid_query.Engine.lookup_many}),
+    measured cache-less so [batch_messages] vs [batch_naive] isolates
+    the prefix-sharing win. *)
+type queries_batch = {
+  batch_groups : int;
+  batch_keys : int;
+  batch_messages : int;
+  batch_naive : int;
+  batch_unresolved : int;
+}
+
+type queries = {
+  peers : int;
+  count : int;
+  on : queries_arm;
+  off : queries_arm;
+  storm : queries_storm;
+  batch : queries_batch;
+}
+
+(** [queries ~seed ()] runs the full bundle (both arms, batch
+    measurement, balance-storm audit), memoized per parameter tuple.
+    Defaults: 10k peers, one million queries.  Construction is followed
+    by one global anti-entropy round, so both arms must report identical
+    [routed] / [found]. *)
+val queries : ?peers:int -> ?count:int -> seed:int -> unit -> queries
+
+(** Arm-by-arm comparison: volume, hop percentiles, throughput, cache
+    counters. *)
+val queries_summary : queries -> string list * string list list
+
+(** The correctness audit and batching rows. *)
+val queries_storm_summary : queries -> string list * string list list

@@ -1,0 +1,390 @@
+module Key = Pgrid_keyspace.Key
+module Path = Pgrid_keyspace.Path
+module Node = Pgrid_core.Node
+module Overlay = Pgrid_core.Overlay
+module Telemetry = Pgrid_telemetry.Telemetry
+module Event = Pgrid_telemetry.Event
+
+(* A small polymorphic LRU: hash table for O(1) lookup plus an intrusive
+   doubly-linked recency list for O(1) bump and O(1) eviction.  At the
+   query-storm scale (millions of probes against bounded caches) an
+   O(capacity) recency scan would eat the hops the cache saves. *)
+module Lru = struct
+  type ('k, 'v) entry = {
+    key : 'k;
+    mutable value : 'v;
+    mutable prev : ('k, 'v) entry option;
+    mutable next : ('k, 'v) entry option;
+  }
+
+  type ('k, 'v) t = {
+    cap : int;
+    tbl : ('k, ('k, 'v) entry) Hashtbl.t;
+    mutable head : ('k, 'v) entry option;  (* most recently used *)
+    mutable tail : ('k, 'v) entry option;  (* eviction candidate *)
+  }
+
+  let create cap = { cap; tbl = Hashtbl.create 16; head = None; tail = None }
+  let length t = Hashtbl.length t.tbl
+
+  let unlink t e =
+    (match e.prev with Some p -> p.next <- e.next | None -> t.head <- e.next);
+    (match e.next with Some n -> n.prev <- e.prev | None -> t.tail <- e.prev);
+    e.prev <- None;
+    e.next <- None
+
+  let push_front t e =
+    e.next <- t.head;
+    (match t.head with Some h -> h.prev <- Some e | None -> t.tail <- Some e);
+    t.head <- Some e
+
+  let find t k =
+    match Hashtbl.find_opt t.tbl k with
+    | None -> None
+    | Some e ->
+      unlink t e;
+      push_front t e;
+      Some e.value
+
+  let mem t k = Hashtbl.mem t.tbl k
+
+  let remove t k =
+    match Hashtbl.find_opt t.tbl k with
+    | None -> ()
+    | Some e ->
+      unlink t e;
+      Hashtbl.remove t.tbl k
+
+  (* Insert or refresh; returns the entry evicted to stay within
+     capacity, if any. *)
+  let put t k v =
+    match Hashtbl.find_opt t.tbl k with
+    | Some e ->
+      e.value <- v;
+      unlink t e;
+      push_front t e;
+      None
+    | None ->
+      let e = { key = k; value = v; prev = None; next = None } in
+      Hashtbl.replace t.tbl k e;
+      push_front t e;
+      if Hashtbl.length t.tbl > t.cap then (
+        match t.tail with
+        | None -> None
+        | Some victim ->
+          unlink t victim;
+          Hashtbl.remove t.tbl victim.key;
+          Some (victim.key, victim.value))
+      else None
+
+  let clear t =
+    Hashtbl.reset t.tbl;
+    t.head <- None;
+    t.tail <- None
+end
+
+(* Validity of an entry is generational, so invalidation never walks the
+   caches: bumping one counter retires every entry that depends on it.
+   An entry records, at insert time,
+     - the generation of the peer it points at ([Peer_changed] bumps it),
+     - the global epoch ([Flush] bumps it),
+     - for results, the write generation of its key ([Key_written]). *)
+type route_entry = { rtarget : int; rgen : int; repoch : int }
+
+type result_entry = {
+  xtarget : int;
+  xpresent : bool;
+  xpayloads : string list;
+  xgen : int;
+  xwgen : int;
+  xepoch : int;
+}
+
+type peer_cache = {
+  routes : (Path.t, route_entry) Lru.t;
+      (* full path of a known responsible peer -> that peer *)
+  results : (Key.t, result_entry) Lru.t;
+  mutable lens : int;  (* bitmask of route-prefix lengths present *)
+  len_count : int array;  (* live route entries per prefix length *)
+}
+
+type stats = {
+  route_hits : int;
+  result_hits : int;
+  misses : int;
+  stale : int;
+  invalidations : int;
+  evictions : int;
+  route_entries : int;
+  result_entries : int;
+}
+
+type counters = {
+  mutable c_route_hits : int;
+  mutable c_result_hits : int;
+  mutable c_misses : int;
+  mutable c_stale : int;
+  mutable c_invalidations : int;
+  mutable c_evictions : int;
+}
+
+type t = {
+  overlay : Overlay.t;
+  telemetry : Telemetry.t;
+  route_cap : int;
+  result_cap : int;
+  peers : (int, peer_cache) Hashtbl.t;
+  mutable gen : int array;  (* per-peer generation, grown on demand *)
+  mutable epoch : int;
+  wgen : (Key.t, int) Hashtbl.t;  (* per-key write generation *)
+  c : counters;
+}
+
+let gen_of t id = if id < Array.length t.gen then t.gen.(id) else 0
+
+let bump t id =
+  if id >= Array.length t.gen then begin
+    let grown = Array.make (max (id + 1) ((2 * Array.length t.gen) + 1)) 0 in
+    Array.blit t.gen 0 grown 0 (Array.length t.gen);
+    t.gen <- grown
+  end;
+  t.gen.(id) <- t.gen.(id) + 1
+
+let wgen_of t k = Option.value ~default:0 (Hashtbl.find_opt t.wgen k)
+
+let emit_invalidate t ~peer ~reason =
+  if Telemetry.active t.telemetry then
+    Telemetry.emit t.telemetry (Event.Cache_invalidate { peer; reason })
+
+let invalidate_peer ?(reason = "peer_changed") t id =
+  bump t id;
+  t.c.c_invalidations <- t.c.c_invalidations + 1;
+  emit_invalidate t ~peer:id ~reason
+
+let invalidate_key ?(reason = "write") t k =
+  Hashtbl.replace t.wgen k (wgen_of t k + 1);
+  t.c.c_invalidations <- t.c.c_invalidations + 1;
+  emit_invalidate t ~peer:(-1) ~reason
+
+let flush ?(reason = "flush") t =
+  (* The epoch bump retires every entry at once; the write generations
+     only existed to compare against live entries, so they can go too. *)
+  t.epoch <- t.epoch + 1;
+  Hashtbl.reset t.wgen;
+  t.c.c_invalidations <- t.c.c_invalidations + 1;
+  emit_invalidate t ~peer:(-1) ~reason
+
+let invalidate t = function
+  | Overlay.Peer_changed id -> invalidate_peer t id
+  | Overlay.Key_written k -> invalidate_key t k
+  | Overlay.Flush -> flush t
+
+let observe t = function
+  | Event.Migrate { peer; _ } -> invalidate_peer ~reason:"migrate" t peer
+  | Event.Ref_evict { target; _ } -> invalidate_peer ~reason:"ref_evict" t target
+  | Event.Balance_split _ -> flush ~reason:"balance_split" t
+  | Event.Retract _ -> flush ~reason:"retract" t
+  | Event.Partition_heal _ -> flush ~reason:"partition_heal" t
+  | _ -> ()
+
+let create ?(telemetry = Pgrid_telemetry.Global.get ()) ?(route_cap = 512)
+    ?(result_cap = 512) overlay =
+  if route_cap < 1 || result_cap < 1 then
+    invalid_arg "Qcache.create: capacities must be >= 1";
+  let t =
+    {
+      overlay;
+      telemetry;
+      route_cap;
+      result_cap;
+      peers = Hashtbl.create 256;
+      gen = Array.make (Overlay.size overlay) 0;
+      epoch = 0;
+      wgen = Hashtbl.create 256;
+      c =
+        {
+          c_route_hits = 0;
+          c_result_hits = 0;
+          c_misses = 0;
+          c_stale = 0;
+          c_invalidations = 0;
+          c_evictions = 0;
+        };
+    }
+  in
+  Overlay.subscribe overlay (fun change -> invalidate t change);
+  t
+
+let peer_cache t id =
+  match Hashtbl.find_opt t.peers id with
+  | Some pc -> pc
+  | None ->
+    let pc =
+      {
+        routes = Lru.create t.route_cap;
+        results = Lru.create t.result_cap;
+        lens = 0;
+        len_count = Array.make (Key.bits + 1) 0;
+      }
+    in
+    Hashtbl.replace t.peers id pc;
+    pc
+
+let len_incr pc l =
+  pc.len_count.(l) <- pc.len_count.(l) + 1;
+  pc.lens <- pc.lens lor (1 lsl l)
+
+let len_decr pc l =
+  pc.len_count.(l) <- pc.len_count.(l) - 1;
+  if pc.len_count.(l) = 0 then pc.lens <- pc.lens land lnot (1 lsl l)
+
+let remove_route pc prefix =
+  if Lru.mem pc.routes prefix then begin
+    Lru.remove pc.routes prefix;
+    len_decr pc (Path.length prefix)
+  end
+
+type probe =
+  | Hit_result of { target : int; present : bool; payloads : string list }
+  | Hit_route of int
+  | Stale of int
+  | Miss
+
+(* Validation on use is the correctness backstop: a cached responsible
+   peer is served only if it is online and its path still matches the
+   key — exactly the criterion a routed search terminates on — so even
+   an entry that slipped past every invalidation event can redirect the
+   lookup but never falsify its answer. *)
+let target_valid t target key =
+  let n = Overlay.node t.overlay target in
+  n.Node.online && Node.responsible_for n key
+
+let probe_result t pc key =
+  match Lru.find pc.results key with
+  | None -> `None
+  | Some e ->
+    if e.xepoch <> t.epoch || e.xgen <> gen_of t e.xtarget || e.xwgen <> wgen_of t key
+    then begin
+      (* Generationally retired: indistinguishable from a miss. *)
+      Lru.remove pc.results key;
+      `None
+    end
+    else if target_valid t e.xtarget key then
+      `Hit (e.xtarget, e.xpresent, e.xpayloads)
+    else begin
+      Lru.remove pc.results key;
+      `Stale e.xtarget
+    end
+
+let rec top_bit mask l = if mask lsr (l + 1) = 0 then l else top_bit mask (l + 1)
+
+(* Longest-prefix probe: only lengths that actually have entries are
+   tried, guided by the per-peer bitmask (Key.bits fits an int). *)
+let probe_route t pc key =
+  let rec scan mask =
+    if mask = 0 then `None
+    else begin
+      let l = top_bit mask 0 in
+      let rest = mask land lnot (1 lsl l) in
+      let prefix = Path.key_prefix key l in
+      match Lru.find pc.routes prefix with
+      | None -> scan rest
+      | Some e ->
+        if e.repoch <> t.epoch || e.rgen <> gen_of t e.rtarget then begin
+          remove_route pc prefix;
+          scan rest
+        end
+        else if target_valid t e.rtarget key then `Hit e.rtarget
+        else begin
+          remove_route pc prefix;
+          `Stale e.rtarget
+        end
+    end
+  in
+  scan pc.lens
+
+let probe t ~at key =
+  match Hashtbl.find_opt t.peers at with
+  | None ->
+    t.c.c_misses <- t.c.c_misses + 1;
+    Miss
+  | Some pc -> (
+    match probe_result t pc key with
+    | `Hit (target, present, payloads) ->
+      t.c.c_result_hits <- t.c.c_result_hits + 1;
+      Hit_result { target; present; payloads }
+    | `Stale target ->
+      t.c.c_stale <- t.c.c_stale + 1;
+      Stale target
+    | `None -> (
+      match probe_route t pc key with
+      | `Hit target ->
+        t.c.c_route_hits <- t.c.c_route_hits + 1;
+        Hit_route target
+      | `Stale target ->
+        t.c.c_stale <- t.c.c_stale + 1;
+        Stale target
+      | `None ->
+        t.c.c_misses <- t.c.c_misses + 1;
+        Miss))
+
+let learn t ~at ~key ~target ~present ~payloads =
+  if at <> target then begin
+    let pc = peer_cache t at in
+    let tpath = (Overlay.node t.overlay target).Node.path in
+    let fresh = not (Lru.mem pc.routes tpath) in
+    (match
+       Lru.put pc.routes tpath
+         { rtarget = target; rgen = gen_of t target; repoch = t.epoch }
+     with
+    | Some (victim, _) ->
+      len_decr pc (Path.length victim);
+      t.c.c_evictions <- t.c.c_evictions + 1
+    | None -> ());
+    if fresh then len_incr pc (Path.length tpath);
+    match
+      Lru.put pc.results key
+        {
+          xtarget = target;
+          xpresent = present;
+          xpayloads = payloads;
+          xgen = gen_of t target;
+          xwgen = wgen_of t key;
+          xepoch = t.epoch;
+        }
+    with
+    | Some _ -> t.c.c_evictions <- t.c.c_evictions + 1
+    | None -> ()
+  end
+
+let stats t =
+  let route_entries = ref 0 and result_entries = ref 0 in
+  Hashtbl.iter
+    (fun _ pc ->
+      route_entries := !route_entries + Lru.length pc.routes;
+      result_entries := !result_entries + Lru.length pc.results)
+    t.peers;
+  {
+    route_hits = t.c.c_route_hits;
+    result_hits = t.c.c_result_hits;
+    misses = t.c.c_misses;
+    stale = t.c.c_stale;
+    invalidations = t.c.c_invalidations;
+    evictions = t.c.c_evictions;
+    route_entries = !route_entries;
+    result_entries = !result_entries;
+  }
+
+let hit_ratio s =
+  let probes = s.route_hits + s.result_hits + s.misses + s.stale in
+  if probes = 0 then 0.
+  else float_of_int (s.route_hits + s.result_hits) /. float_of_int probes
+
+let clear t =
+  Hashtbl.iter
+    (fun _ pc ->
+      Lru.clear pc.routes;
+      Lru.clear pc.results;
+      pc.lens <- 0;
+      Array.fill pc.len_count 0 (Array.length pc.len_count) 0)
+    t.peers

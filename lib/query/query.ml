@@ -29,8 +29,14 @@ let random_online_node rng overlay =
   in
   try_ (4 * n)
 
-let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rng
-    overlay ~keys ~count =
+(* Synchronous batches have no transport delay of their own; [now] lets
+   a daemon-driven caller thread its sim clock through so emitted
+   [Query_complete] latencies are real.  The default freezes the clock
+   at 0, keeping traces from clock-less callers replay-identical. *)
+let zero_clock () = 0.
+
+let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ())
+    ?(now = zero_clock) ?(heal = false) rng overlay ~keys ~count =
   if Array.length keys = 0 then invalid_arg "Query.lookup_batch: no keys";
   if count < 1 then invalid_arg "Query.lookup_batch: count must be >= 1";
   let hops = Moments.create () in
@@ -49,6 +55,7 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rn
       let key = keys.(Rng.int rng (Array.length keys)) in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry (Event.Query_issue { qid; origin });
+      let issued_at = now () in
       let first = Overlay.search overlay ~from:origin key in
       let r =
         (* Correction on use: a dead end names the peer and level that
@@ -66,7 +73,8 @@ let lookup_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(heal = false) rn
       if Telemetry.active telemetry then
         Telemetry.emit telemetry
           (Event.Query_complete
-             { qid; origin; hops = r.Overlay.hops; latency = 0.; success });
+             { qid; origin; hops = r.Overlay.hops; latency = now () -. issued_at;
+               success });
       (match r.Overlay.responsible with
       | Some _ ->
         incr routed;
@@ -92,16 +100,24 @@ type range_stats = {
   mean_results : float;
 }
 
-let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~count ~width =
+let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) ?(now = zero_clock)
+    rng overlay ~count ~width =
   if count < 1 then invalid_arg "Query.range_batch: count must be >= 1";
   if not (width > 0. && width <= 1.) then invalid_arg "Query.range_batch: bad width";
   let partitions = Moments.create () in
   let hops = Moments.create () in
   let results = Moments.create () in
-  for qid = 1 to count do
+  let issued = ref 0 in
+  (* Same partial-result discipline as [lookup_batch]: with nobody
+     online there is nothing to originate from — report [0] ranges
+     without burning [4n] rejection draws per requested query, and only
+     count the queries actually issued. *)
+  let want = if Overlay.online_count overlay = 0 then 0 else count in
+  for qid = 1 to want do
     match random_online_node rng overlay with
     | None -> ()
     | Some origin ->
+      incr issued;
       let start = Rng.float rng *. (1. -. width) in
       (* [start + width] can round one ulp past the intended right edge
          (or past 1.0 when width = 1); clamp before discretizing. *)
@@ -109,18 +125,20 @@ let range_batch ?(telemetry = Pgrid_telemetry.Global.get ()) rng overlay ~count 
       let lo = Key.of_float start and hi = Key.of_float hi_f in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry (Event.Query_issue { qid; origin });
+      let issued_at = now () in
       let r = Overlay.range_search overlay ~from:origin ~lo ~hi in
       if Telemetry.active telemetry then
         Telemetry.emit telemetry
           (Event.Query_complete
-             { qid; origin; hops = r.Overlay.total_hops; latency = 0.;
+             { qid; origin; hops = r.Overlay.total_hops;
+               latency = now () -. issued_at;
                success = r.Overlay.visited <> [] });
       Moments.add partitions (float_of_int (List.length r.Overlay.visited));
       Moments.add hops (float_of_int r.Overlay.total_hops);
       Moments.add results (float_of_int (List.length r.Overlay.matches))
   done;
   {
-    ranges = count;
+    ranges = !issued;
     mean_partitions = Moments.mean partitions;
     mean_hops = Moments.mean hops;
     mean_results = Moments.mean results;
@@ -132,7 +150,54 @@ type conjunctive_result = {
   total_hops : int;
 }
 
-let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys =
+(* True k-way sorted-merge intersection over duplicate-free ascending
+   arrays: hold a candidate (the max of the current heads), advance
+   every cursor to >= it, restart the round whenever someone overshoots,
+   emit when all k agree.  Each cursor only ever moves forward, so the
+   whole intersection is O(sum of lengths) comparisons — no intermediate
+   lists, unlike a pairwise fold. *)
+let k_way_intersect arrs =
+  match arrs with
+  | [] -> []
+  | [ a ] -> Array.to_list a
+  | arrs ->
+    let arrs = Array.of_list arrs in
+    let k = Array.length arrs in
+    let idx = Array.make k 0 in
+    let out = ref [] in
+    (try
+       if Array.exists (fun a -> Array.length a = 0) arrs then raise Exit;
+       let candidate = ref arrs.(0).(0) in
+       while true do
+         let agreed = ref true in
+         for i = 0 to k - 1 do
+           let a = arrs.(i) in
+           while
+             idx.(i) < Array.length a && compare a.(idx.(i)) !candidate < 0
+           do
+             idx.(i) <- idx.(i) + 1
+           done;
+           if idx.(i) >= Array.length a then raise Exit;
+           if compare a.(idx.(i)) !candidate > 0 then begin
+             (* Overshot: a bigger candidate; the next round re-aligns
+                the cursors already past the old one (they never move
+                back). *)
+             candidate := a.(idx.(i));
+             agreed := false
+           end
+         done;
+         if !agreed then begin
+           out := !candidate :: !out;
+           idx.(0) <- idx.(0) + 1;
+           if idx.(0) >= Array.length arrs.(0) then raise Exit;
+           candidate := arrs.(0).(idx.(0))
+         end
+       done
+     with Exit -> ());
+    List.rev !out
+
+let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) ?(now = zero_clock)
+    overlay ~from keys =
   if keys = [] then invalid_arg "Query.conjunctive: no keys";
   let resolved = ref 0 and hops = ref 0 in
   let postings =
@@ -140,12 +205,14 @@ let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys 
       (fun qid k ->
         if Telemetry.active telemetry then
           Telemetry.emit telemetry (Event.Query_issue { qid; origin = from });
+        let issued_at = now () in
         let r = Overlay.search overlay ~from k in
         hops := !hops + r.Overlay.hops;
         if Telemetry.active telemetry then
           Telemetry.emit telemetry
             (Event.Query_complete
-               { qid; origin = from; hops = r.Overlay.hops; latency = 0.;
+               { qid; origin = from; hops = r.Overlay.hops;
+                 latency = now () -. issued_at;
                  success = r.Overlay.responsible <> None });
         match r.Overlay.responsible with
         | Some _ ->
@@ -157,23 +224,15 @@ let conjunctive ?(telemetry = Pgrid_telemetry.Global.get ()) overlay ~from keys 
   (* Unresolved keys contribute nothing: intersecting their (vacuously
      empty) posting list would annihilate the whole result on a single
      routing failure. *)
-  (* Each posting list is sorted and duplicate-free, so the intersection
-     is a linear merge — O(n + m) per pair instead of the quadratic
-     per-element [List.mem] scan.  Starting from the shortest list keeps
-     every intermediate result minimal. *)
-  let rec inter a b =
-    match (a, b) with
-    | [], _ | _, [] -> []
-    | x :: xs, y :: ys ->
-      let c = compare x y in
-      if c = 0 then x :: inter xs ys else if c < 0 then inter xs b else inter a ys
-  in
+  (* Decorate with the length once — computing [List.length] inside the
+     comparator recomputes an O(n) walk O(k log k) times — and put the
+     shortest list first so the k-way candidate starts from the
+     sparsest stream. *)
   let matches =
-    match
-      List.filter_map Fun.id postings
-      |> List.sort (fun a b -> compare (List.length a) (List.length b))
-    with
-    | [] -> []
-    | first :: rest -> List.fold_left inter first rest
+    List.filter_map Fun.id postings
+    |> List.map (fun l -> (List.length l, l))
+    |> List.sort (fun (la, _) (lb, _) -> compare la lb)
+    |> List.map (fun (_, l) -> Array.of_list l)
+    |> k_way_intersect
   in
   { matches; resolved = !resolved; total_hops = !hops }

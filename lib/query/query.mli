@@ -5,9 +5,12 @@
     recall (did the responsible peer actually hold the key?).
 
     Every batch reports per-query [Query_issue]/[Query_complete] events
-    to its [?telemetry] handle (default {!Pgrid_telemetry.Global.get});
-    latencies are 0 because these batches run on the static overlay, not
-    the simulated network. *)
+    to its [?telemetry] handle (default {!Pgrid_telemetry.Global.get}).
+    Emitted latencies are [now () - now ()] around each query: a
+    daemon-driven caller passes its sim clock as [?now] to get real
+    latencies; the default clock is frozen at 0, so clock-less batches
+    keep emitting [latency = 0.] exactly as before (replay stays
+    consistent). *)
 
 type batch_stats = {
   issued : int;  (** lookups that found an online origin to start from *)
@@ -34,6 +37,7 @@ type batch_stats = {
     the simulated network under overload, see {!Storm}.) *)
 val lookup_batch :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?now:(unit -> float) ->
   ?heal:bool ->
   Pgrid_prng.Rng.t ->
   Pgrid_core.Overlay.t ->
@@ -42,7 +46,7 @@ val lookup_batch :
   batch_stats
 
 type range_stats = {
-  ranges : int;
+  ranges : int;  (** range queries actually issued (an online origin found) *)
   mean_partitions : float;  (** responsible partitions visited per range *)
   mean_hops : float;
   mean_results : float;
@@ -52,9 +56,15 @@ type range_stats = {
     of key-space width [width] (fraction of the unit interval, in
     (0, 1] — [width = 1.] scans the full key space) at uniform
     positions; the right edge is clamped so float rounding cannot push
-    it past the intended bound. *)
+    it past the intended bound.
+
+    Degrades gracefully like {!lookup_batch}: with nobody online the
+    batch returns a partial {!range_stats} with [ranges = 0] — counting
+    only the queries actually issued, never the requested [count] —
+    and consumes no RNG draws. *)
 val range_batch :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?now:(unit -> float) ->
   Pgrid_prng.Rng.t ->
   Pgrid_core.Overlay.t ->
   count:int ->
@@ -69,11 +79,14 @@ type conjunctive_result = {
 
 (** [conjunctive overlay ~from keys] resolves every key from origin
     [from] and intersects the payload lists — the multi-keyword query of
-    a distributed inverted file (each payload a document id).  Keys whose
-    routing fails contribute nothing (and are not counted in
+    a distributed inverted file (each payload a document id).  The
+    intersection is a true k-way sorted merge over all resolved posting
+    lists at once (cursors only move forward; O(sum of lengths)).  Keys
+    whose routing fails contribute nothing (and are not counted in
     [resolved]). Requires a non-empty key list. *)
 val conjunctive :
   ?telemetry:Pgrid_telemetry.Telemetry.t ->
+  ?now:(unit -> float) ->
   Pgrid_core.Overlay.t ->
   from:int ->
   Pgrid_keyspace.Key.t list ->

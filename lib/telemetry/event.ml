@@ -1,4 +1,5 @@
 type traffic = Maintenance | Query
+type cache = Route | Result
 
 type kind =
   | Interaction of { src : int; dst : int }
@@ -61,10 +62,14 @@ type kind =
   | Reconcile_sync of { a : int; b : int; copied : int; tombstoned : int }
   | Reconcile_gc of { peer : int; purged : int }
   | Reconcile_repair of { path : string; demoted : int; moved : int }
+  | Cache_hit of { peer : int; cache : cache }
+  | Cache_miss of { peer : int }
+  | Cache_stale of { peer : int; target : int }
+  | Cache_invalidate of { peer : int; reason : string }
 
 type t = { time : float; kind : kind }
 
-let tag_count = 46
+let tag_count = 50
 
 let tag = function
   | Interaction _ -> 0
@@ -113,6 +118,10 @@ let tag = function
   | Reconcile_sync _ -> 43
   | Reconcile_gc _ -> 44
   | Reconcile_repair _ -> 45
+  | Cache_hit _ -> 46
+  | Cache_miss _ -> 47
+  | Cache_stale _ -> 48
+  | Cache_invalidate _ -> 49
 
 let labels =
   [|
@@ -125,6 +134,7 @@ let labels =
     "txn_prepare"; "txn_commit"; "txn_abort"; "txn_recover"; "msg_shed";
     "breaker_open"; "breaker_close"; "hedge_launch"; "hedge_win";
     "partition_heal"; "reconcile_sync"; "reconcile_gc"; "reconcile_repair";
+    "cache_hit"; "cache_miss"; "cache_stale"; "cache_invalidate";
   |]
 
 let label k = labels.(tag k)
@@ -134,6 +144,7 @@ let label_of_tag i =
   labels.(i)
 
 let traffic_label = function Maintenance -> "maintenance" | Query -> "query"
+let cache_label = function Route -> "route" | Result -> "result"
 
 (* %.17g round trips every float through decimal exactly. *)
 let fnum x =
@@ -304,7 +315,17 @@ let to_json { time; kind } =
   | Reconcile_repair { path; demoted; moved } ->
     str "path" path;
     int "demoted" demoted;
-    int "moved" moved);
+    int "moved" moved
+  | Cache_hit { peer; cache } ->
+    int "peer" peer;
+    str "cache" (cache_label cache)
+  | Cache_miss { peer } -> int "peer" peer
+  | Cache_stale { peer; target } ->
+    int "peer" peer;
+    int "target" target
+  | Cache_invalidate { peer; reason } ->
+    int "peer" peer;
+    str "reason" reason);
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -533,6 +554,18 @@ let of_json line =
       | "reconcile_repair" ->
         Reconcile_repair
           { path = str "path"; demoted = int "demoted"; moved = int "moved" }
+      | "cache_hit" ->
+        let cache =
+          match str "cache" with
+          | "route" -> Route
+          | "result" -> Result
+          | other -> raise (Bad ("unknown cache kind " ^ other))
+        in
+        Cache_hit { peer = int "peer"; cache }
+      | "cache_miss" -> Cache_miss { peer = int "peer" }
+      | "cache_stale" -> Cache_stale { peer = int "peer"; target = int "target" }
+      | "cache_invalidate" ->
+        Cache_invalidate { peer = int "peer"; reason = str "reason" }
       | other -> raise (Bad ("unknown event kind " ^ other))
     in
     Ok { time = num "t"; kind }

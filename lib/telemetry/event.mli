@@ -13,6 +13,11 @@
 
 type traffic = Maintenance | Query
 
+(** Which query-engine cache answered: a route-cache entry (jump to a
+    remembered responsible peer) or a result-cache entry (the full
+    lookup answer served locally). *)
+type cache = Route | Result
+
 type kind =
   | Interaction of { src : int; dst : int }  (** one pairwise contact *)
   | Refer of { src : int; dst : int; level : int }
@@ -128,6 +133,21 @@ type kind =
   | Reconcile_repair of { path : string; demoted : int; moved : int }
       (** structural-divergence repair re-split [path]: [demoted] peers
           pushed into a child partition, [moved] keys re-homed *)
+  | Cache_hit of { peer : int; cache : cache }
+      (** a lookup visiting [peer] was answered (or short-cut) by one of
+          [peer]'s query caches *)
+  | Cache_miss of { peer : int }
+      (** a lookup probed [peer]'s query caches and found no usable
+          entry; routing proceeded normally *)
+  | Cache_stale of { peer : int; target : int }
+      (** a cache entry at [peer] pointed at [target] but failed
+          validation (offline or no longer responsible); the entry was
+          evicted and the lookup fell back to routing *)
+  | Cache_invalidate of { peer : int; reason : string }
+      (** cache entries depending on [peer] were invalidated ([peer] is
+          [-1] for a global flush); [reason] names the trigger, e.g.
+          ["migrate"], ["balance_split"], ["retract"],
+          ["partition_heal"], ["ref_evict"], ["write"] *)
 
 type t = { time : float; kind : kind }
 
@@ -144,6 +164,7 @@ val label : kind -> string
 val label_of_tag : int -> string
 
 val traffic_label : traffic -> string
+val cache_label : cache -> string
 
 (** [to_json t] is a single-line JSON object (no trailing newline). *)
 val to_json : t -> string

@@ -1,4 +1,5 @@
-(* Tests for Pgrid_query: batch lookup and range measurement. *)
+(* Tests for Pgrid_query: batch lookup, range measurement, and the
+   caching engine (Qcache + Engine). *)
 
 module Rng = Pgrid_prng.Rng
 module Key = Pgrid_keyspace.Key
@@ -6,7 +7,11 @@ module Distribution = Pgrid_workload.Distribution
 module Builder = Pgrid_core.Builder
 module Overlay = Pgrid_core.Overlay
 module Node = Pgrid_core.Node
+module Balance = Pgrid_core.Balance
+module Event = Pgrid_telemetry.Event
 module Query = Pgrid_query.Query
+module Engine = Pgrid_query.Engine
+module Qcache = Pgrid_query.Qcache
 module Storm = Pgrid_query.Storm
 module Sim = Pgrid_simnet.Sim
 module Net = Pgrid_simnet.Net
@@ -379,6 +384,234 @@ let test_lookup_batch_nobody_online () =
   ignore (Query.lookup_batch r1 overlay ~keys ~count:100);
   checki "no draws consumed" (Rng.int r2 1000000) (Rng.int r1 1000000)
 
+let test_range_batch_nobody_online () =
+  (* Satellite: like [test_lookup_batch_nobody_online], a range batch
+     against a fully-killed overlay must report zero *issued* queries —
+     the old code reported [ranges = count] — and burn no RNG draws. *)
+  let overlay, _ = build 27 in
+  for i = 0 to Overlay.size overlay - 1 do
+    (Overlay.node overlay i).Node.online <- false
+  done;
+  let rng = Rng.create ~seed:70 in
+  let s = Query.range_batch rng overlay ~count:50 ~width:0.1 in
+  checki "nothing issued" 0 s.Query.ranges;
+  Alcotest.check (Alcotest.float 0.) "mean partitions defined" 0.
+    s.Query.mean_partitions;
+  let r1 = Rng.create ~seed:71 and r2 = Rng.create ~seed:71 in
+  ignore (Query.range_batch r1 overlay ~count:50 ~width:0.1);
+  checki "no draws consumed" (Rng.int r2 1000000) (Rng.int r1 1000000)
+
+let test_conjunctive_uneven_postings () =
+  (* Regression for the decorated length sort: posting lists of very
+     different lengths must still intersect correctly (the shortest
+     list leads the k-way merge). *)
+  let overlay, _ = build 8 in
+  let k1 = Key.of_float 0.15 and k2 = Key.of_float 0.65 in
+  for d = 0 to 29 do
+    ignore (Overlay.insert overlay ~from:0 k1 (Printf.sprintf "doc-%02d" d))
+  done;
+  ignore (Overlay.insert overlay ~from:0 k2 "doc-07");
+  ignore (Overlay.insert overlay ~from:0 k2 "doc-23");
+  ignore (Overlay.insert overlay ~from:0 k2 "zz-not-under-k1");
+  let r = Query.conjunctive overlay ~from:3 [ k1; k2 ] in
+  Alcotest.check (Alcotest.list Alcotest.string) "uneven intersection"
+    [ "doc-07"; "doc-23" ] r.Query.matches
+
+(* --- Engine + Qcache: the caching query engine --------------------------- *)
+
+let test_engine_cacheless_matches_search () =
+  (* With no cache the engine must be Overlay.search exactly: same
+     outcome, same hops, same RNG draws.  Two identically-seeded
+     overlays keep the internal draw streams aligned. *)
+  let overlay_s, keys = build 30 in
+  let overlay_e, _ = build 30 in
+  for i = 0 to 199 do
+    let k = keys.(i mod Array.length keys) in
+    let from = i mod Overlay.size overlay_s in
+    let s = Overlay.search overlay_s ~from k in
+    let e = Engine.lookup overlay_e ~from k in
+    checkb "same responsible" true (s.Overlay.responsible = e.Engine.responsible);
+    checki "same hops" s.Overlay.hops e.Engine.hops;
+    checkb "same presence" true (s.Overlay.key_present = e.Engine.key_present)
+  done
+
+(* Route a key once so we know a genuine (origin, target) pair with
+   origin <> target, then the cache tests can plant entries by hand. *)
+let planted_pair overlay keys =
+  let rec hunt i =
+    if i >= Array.length keys then Alcotest.fail "no multi-hop lookup found"
+    else begin
+      let k = keys.(i) in
+      let r = Overlay.search overlay ~from:0 k in
+      match r.Overlay.responsible with
+      | Some t when t <> 0 -> (k, t)
+      | _ -> hunt (i + 1)
+    end
+  in
+  hunt 0
+
+let test_qcache_lru_eviction () =
+  let overlay, keys = build 31 in
+  let cache = Qcache.create ~route_cap:2 ~result_cap:2 overlay in
+  for i = 0 to 19 do
+    let k = keys.(i) in
+    match (Overlay.search overlay ~from:0 k).Overlay.responsible with
+    | Some t when t <> 0 ->
+      Qcache.learn cache ~at:0 ~key:k ~target:t ~present:true ~payloads:[]
+    | _ -> ()
+  done;
+  let s = Qcache.stats cache in
+  checkb "route entries bounded by cap" true (s.Qcache.route_entries <= 2);
+  checkb "result entries bounded by cap" true (s.Qcache.result_entries <= 2);
+  checkb "evictions happened" true (s.Qcache.evictions > 0)
+
+let test_qcache_invalidation_kinds () =
+  let overlay, keys = build 32 in
+  let cache = Qcache.create overlay in
+  let k, t = planted_pair overlay keys in
+  let plant () =
+    Qcache.learn cache ~at:0 ~key:k ~target:t ~present:true ~payloads:[]
+  in
+  let probe () = Qcache.probe cache ~at:0 k in
+  plant ();
+  (match probe () with
+  | Qcache.Hit_result { target; present; _ } ->
+    checki "result hit names the planted target" t target;
+    checkb "present as planted" true present
+  | _ -> Alcotest.fail "expected a result hit after learn");
+  (* Peer_changed retires every entry pointing at the peer. *)
+  Qcache.invalidate cache (Overlay.Peer_changed t);
+  (match probe () with
+  | Qcache.Miss -> ()
+  | _ -> Alcotest.fail "expected a miss after Peer_changed");
+  (* Key_written retires the key's result entry but spares the route. *)
+  plant ();
+  Qcache.invalidate cache (Overlay.Key_written k);
+  (match probe () with
+  | Qcache.Hit_route target -> checki "route survives a key write" t target
+  | _ -> Alcotest.fail "expected a route hit after Key_written");
+  (* Flush retires everything. *)
+  plant ();
+  Qcache.invalidate cache Overlay.Flush;
+  (match probe () with
+  | Qcache.Miss -> ()
+  | _ -> Alcotest.fail "expected a miss after Flush");
+  checkb "invalidations counted" true ((Qcache.stats cache).Qcache.invalidations > 0)
+
+let test_qcache_observe_events () =
+  let overlay, keys = build 33 in
+  let cache = Qcache.create overlay in
+  let k, t = planted_pair overlay keys in
+  let plant () =
+    Qcache.learn cache ~at:0 ~key:k ~target:t ~present:true ~payloads:[]
+  in
+  let expect_miss label =
+    match Qcache.probe cache ~at:0 k with
+    | Qcache.Miss -> ()
+    | _ -> Alcotest.fail ("expected a miss after " ^ label)
+  in
+  plant ();
+  Qcache.observe cache (Event.Migrate { peer = t; level = 0; keys = 1 });
+  expect_miss "Migrate";
+  plant ();
+  Qcache.observe cache (Event.Ref_evict { peer = 0; level = 0; target = t });
+  expect_miss "Ref_evict";
+  plant ();
+  Qcache.observe cache
+    (Event.Balance_split { path = "0"; level = 0; zeros = 1; ones = 1 });
+  expect_miss "Balance_split";
+  plant ();
+  Qcache.observe cache (Event.Retract { path = "0"; members = 2; merged_keys = 0 });
+  expect_miss "Retract";
+  plant ();
+  Qcache.observe cache (Event.Partition_heal { fault = "cut"; cut = 1 });
+  expect_miss "Partition_heal";
+  (* Unrelated events leave entries alone. *)
+  plant ();
+  Qcache.observe cache (Event.Query_issue { qid = 1; origin = 0 });
+  (match Qcache.probe cache ~at:0 k with
+  | Qcache.Hit_result _ -> ()
+  | _ -> Alcotest.fail "unrelated event must not invalidate")
+
+let test_engine_stale_fallback () =
+  (* A cached target that went offline must cost a stale fallback, never
+     return a wrong responsible peer. *)
+  let overlay, keys = build 34 in
+  let cache = Qcache.create overlay in
+  let k, t = planted_pair overlay keys in
+  Qcache.learn cache ~at:0 ~key:k ~target:t ~present:true ~payloads:[];
+  (Overlay.node overlay t).Node.online <- false;
+  let r = Engine.lookup ~cache overlay ~from:0 k in
+  (match r.Engine.responsible with
+  | None -> Alcotest.fail "routing must still resolve past a stale entry"
+  | Some id ->
+    let n = Overlay.node overlay id in
+    checkb "returned peer is online" true n.Node.online;
+    checkb "returned peer is responsible" true (Node.responsible_for n k));
+  checkb "stale probe recorded" true (r.Engine.stale >= 1);
+  checkb "stale entry evicted and counted" true
+    ((Qcache.stats cache).Qcache.stale >= 1)
+
+let test_engine_lookup_many () =
+  let overlay, keys = build 35 in
+  let group = Array.to_list (Array.sub keys 0 48) in
+  let b = Engine.lookup_many overlay ~from:0 group in
+  checki "every key resolved on a healthy overlay" 0 b.Engine.unresolved;
+  checkb "shared walk beats naive per-key walks" true
+    (b.Engine.messages <= b.Engine.naive_messages);
+  Array.iter
+    (fun item ->
+      match item.Engine.bresponsible with
+      | None -> Alcotest.fail "unresolved item"
+      | Some t ->
+        checkb "item target is responsible" true
+          (Node.responsible_for (Overlay.node overlay t) item.Engine.bkey))
+    b.Engine.items
+
+(* The tentpole's correctness property: cached lookups agree with plain
+   routing on responsibility and key presence before, during and after a
+   balance split storm — stale entries may cost hops, never answers. *)
+let qcheck_cached_agrees_under_balance_storm =
+  QCheck.Test.make ~name:"cached = uncached under balance splits" ~count:10
+    QCheck.small_signed_int (fun seed ->
+      let rng = Rng.create ~seed in
+      let keys = Distribution.generate rng Distribution.Uniform ~n:600 in
+      let overlay =
+        Builder.index rng ~peers:64 ~keys ~d_max:12 ~n_min:2 ~refs_per_level:2
+      in
+      let cache = Qcache.create overlay in
+      let ok = ref true in
+      let audit () =
+        for _ = 1 to 30 do
+          let k = keys.(Rng.int rng (Array.length keys)) in
+          let from = Rng.int rng 64 in
+          let r = Engine.lookup ~cache overlay ~from k in
+          match r.Engine.responsible with
+          | None -> ()
+          | Some t ->
+            let n = Overlay.node overlay t in
+            if not (n.Node.online && Node.responsible_for n k) then ok := false;
+            if r.Engine.key_present <> Node.has_key n k then ok := false
+        done
+      in
+      audit ();
+      let bcfg = Balance.default_config ~d_max:12 ~n_min:1 in
+      for i = 1 to 4 do
+        (* Skewed inserts overload the low partitions until splits fire. *)
+        for j = 1 to 120 do
+          let from = Rng.int rng 64 in
+          if (Overlay.node overlay from).Node.online then
+            ignore
+              (Overlay.insert overlay ~from
+                 (Key.of_float (Rng.float rng *. 0.05))
+                 (Printf.sprintf "storm-%d-%d" i j))
+        done;
+        ignore (Balance.pass rng overlay bcfg);
+        audit ()
+      done;
+      audit ();
+      !ok)
+
 let suite =
   [
     Alcotest.test_case "lookup batch" `Quick test_lookup_batch;
@@ -407,5 +640,18 @@ let suite =
     Alcotest.test_case "storm breaker opens" `Quick test_storm_breaker_opens;
     Alcotest.test_case "lookup batch nobody online" `Quick
       test_lookup_batch_nobody_online;
+    Alcotest.test_case "range batch nobody online" `Quick
+      test_range_batch_nobody_online;
+    Alcotest.test_case "conjunctive uneven postings" `Quick
+      test_conjunctive_uneven_postings;
+    Alcotest.test_case "engine cacheless = search" `Quick
+      test_engine_cacheless_matches_search;
+    Alcotest.test_case "qcache lru eviction" `Quick test_qcache_lru_eviction;
+    Alcotest.test_case "qcache invalidation kinds" `Quick
+      test_qcache_invalidation_kinds;
+    Alcotest.test_case "qcache observes events" `Quick test_qcache_observe_events;
+    Alcotest.test_case "engine stale fallback" `Quick test_engine_stale_fallback;
+    Alcotest.test_case "engine batched lookups" `Quick test_engine_lookup_many;
     QCheck_alcotest.to_alcotest qcheck_conjunctive_merge_equiv;
+    QCheck_alcotest.to_alcotest qcheck_cached_agrees_under_balance_storm;
   ]

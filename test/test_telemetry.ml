@@ -154,6 +154,11 @@ let sample_events =
     Event.Reconcile_sync { a = 4; b = 9; copied = 3; tombstoned = 1 };
     Event.Reconcile_gc { peer = -1; purged = 7 };
     Event.Reconcile_repair { path = "01"; demoted = 2; moved = 5 };
+    Event.Cache_hit { peer = 4; cache = Event.Route };
+    Event.Cache_hit { peer = 4; cache = Event.Result };
+    Event.Cache_miss { peer = 7 };
+    Event.Cache_stale { peer = 4; target = 12 };
+    Event.Cache_invalidate { peer = 12; reason = "migrate" };
   ]
   |> List.mapi (fun i kind ->
          { Event.time = (float_of_int i *. 0.1) +. (1. /. 3.); kind })
